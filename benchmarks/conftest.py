@@ -1,0 +1,20 @@
+"""Shared helpers for the figure benchmarks.
+
+Every benchmark regenerates one figure of the paper at laptop scale: it runs
+the experiment once (``benchmark.pedantic`` with a single round -- the
+metric of interest is the *query count*, not wall time), attaches the series
+to ``extra_info`` so it lands in the benchmark report, and asserts the
+qualitative shape the paper reports.  Full-scale series are recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer and record rows."""
+    rows = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = [
+        {key: str(value) for key, value in row.items()} for row in rows
+    ]
+    return rows

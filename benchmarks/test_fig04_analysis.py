@@ -1,0 +1,15 @@
+"""Bench for Figure 4: analytic average- vs worst-case SQ-DB-SKY cost."""
+
+from repro.experiments import fig04_analysis
+
+from conftest import run_once
+
+
+def test_fig04(benchmark):
+    rows = run_once(benchmark, fig04_analysis.run)
+    for row in rows:
+        if row["S"] >= 5:
+            # The average case sits orders of magnitude below the worst case.
+            assert row["worst_case"] / row["average_cost"] > 10
+        # Eq. (10) upper-bounds the closed form.
+        assert row["average_cost"] <= row["eq10_bound"] + 1

@@ -1,0 +1,25 @@
+"""Bench for Figure 6: SQ vs RQ query cost as the skyline size grows."""
+
+from repro.experiments import fig06_sq_vs_rq
+
+from conftest import run_once
+
+
+def test_fig06(benchmark):
+    rows = run_once(
+        benchmark,
+        fig06_sq_vs_rq.run,
+        ms=(4,),
+        n=2000,
+        rhos=(0.8, 0.2, -0.3, -0.9),
+        k=1,
+        sq_budget=50_000,
+    )
+    # Skyline size grows as correlation falls ...
+    sizes = [row["S"] for row in rows]
+    assert sizes == sorted(sizes)
+    # ... and RQ-DB-SKY's advantage widens with it.
+    last = rows[-1]
+    assert isinstance(last["sq_cost"], str) or (
+        last["sq_cost"] >= 2 * last["rq_cost"]
+    )

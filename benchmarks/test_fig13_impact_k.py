@@ -1,0 +1,17 @@
+"""Bench for Figure 13: impact of k, RQ-DB-SKY vs BASELINE."""
+
+from repro.experiments import fig13_impact_k
+
+from conftest import run_once
+
+
+def test_fig13(benchmark):
+    rows = run_once(
+        benchmark, fig13_impact_k.run, n=10_000, m=4, ks=(1, 10, 50)
+    )
+    for row in rows:
+        # The headline result: discovery beats crawling at every k.
+        assert row["baseline_cost"] > 3 * row["rq_cost"]
+    # Both methods get cheaper as k grows.
+    assert rows[0]["rq_cost"] >= rows[-1]["rq_cost"]
+    assert rows[0]["baseline_cost"] >= rows[-1]["baseline_cost"]

@@ -1,0 +1,19 @@
+"""Bench for Figure 14: query cost as the database grows (range predicates)."""
+
+from repro.experiments import fig14_impact_n
+
+from conftest import run_once
+
+
+def test_fig14(benchmark):
+    rows = run_once(
+        benchmark, fig14_impact_n.run, ns=(10_000, 20_000, 40_000), m=5, k=10
+    )
+    # Cost tracks |S|, not n: an 4x larger database must not cost 4x more
+    # per skyline tuple.
+    first, last = rows[0], rows[-1]
+    per_tuple_first = first["rq_cost"] / max(first["S"], 1)
+    per_tuple_last = last["rq_cost"] / max(last["S"], 1)
+    assert per_tuple_last < 4 * per_tuple_first
+    for row in rows:
+        assert row["rq_cost"] <= row["sq_cost"]

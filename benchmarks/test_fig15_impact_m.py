@@ -1,0 +1,20 @@
+"""Bench for Figure 15: query cost as dimensionality grows (range predicates)."""
+
+from repro.experiments import fig15_impact_m
+
+from conftest import run_once
+
+
+def test_fig15(benchmark):
+    rows = run_once(
+        benchmark, fig15_impact_m.run, ms=(2, 3, 4, 5), n=10_000, k=10,
+        sq_budget=100_000,
+    )
+    # Skyline size and RQ cost both grow with m, and the measured cost stays
+    # far below the average-case bound of Eq. (10).
+    sizes = [row["S"] for row in rows]
+    assert sizes == sorted(sizes)
+    costs = [row["rq_cost"] for row in rows]
+    assert costs[-1] >= costs[0]
+    for row in rows:
+        assert row["rq_cost"] <= row["avg_case_bound"] + row["S"] + 10

@@ -1,0 +1,16 @@
+"""Bench for Figure 16: PQ-DB-SKY cost vs n for 3-D/4-D/5-D data."""
+
+from repro.experiments import fig16_pq_n
+
+from conftest import run_once
+
+
+def test_fig16(benchmark):
+    rows = run_once(
+        benchmark, fig16_pq_n.run, ns=(5_000, 10_000), ms=(3, 4, 5), k=10
+    )
+    for row in rows:
+        # Cost rises steeply with dimensionality (plane enumeration) ...
+        assert row["cost_5d"] >= row["cost_4d"] >= row["cost_3d"]
+    # ... but barely with n.
+    assert rows[-1]["cost_4d"] < 10 * max(rows[0]["cost_4d"], 1)

@@ -1,0 +1,19 @@
+"""Bench for Figure 17: PQ-DB-SKY cost vs attribute domain size."""
+
+from repro.experiments import fig17_pq_domain
+
+from conftest import run_once
+
+
+def test_fig17(benchmark):
+    rows = run_once(
+        benchmark, fig17_pq_domain.run,
+        domains=(5, 9, 13), n=20_000, m=4, sample=10_000, k=10,
+    )
+    # Larger domains cost more ...
+    costs = [row["cost"] for row in rows]
+    assert costs[-1] >= costs[0]
+    # ... but the growth is far below the v^m growth of the data space.
+    cost_ratio = (costs[-1] + 1) / (costs[0] + 1)
+    space_ratio = rows[-1]["space"] / rows[0]["space"]
+    assert cost_ratio < space_ratio

@@ -1,0 +1,14 @@
+"""Bench for Figure 18: MQ-DB-SKY cost vs n (3 RQ + 2 PQ attributes)."""
+
+from repro.experiments import fig18_mixed_n
+
+from conftest import run_once
+
+
+def test_fig18(benchmark):
+    rows = run_once(
+        benchmark, fig18_mixed_n.run, ns=(5_000, 10_000, 20_000), k=10
+    )
+    # Tuple count has minimal impact: per-skyline-tuple cost stays flat.
+    per_tuple = [row["cost"] / max(row["S"], 1) for row in rows]
+    assert max(per_tuple) < 6 * min(per_tuple)

@@ -1,0 +1,16 @@
+"""Bench for Figure 19: varying range vs point attributes in MQ-DB-SKY."""
+
+from repro.experiments import fig19_mixed_attrs
+
+from conftest import run_once
+
+
+def test_fig19(benchmark):
+    rows = run_once(
+        benchmark, fig19_mixed_attrs.run, totals=(3, 4, 5), n=10_000, k=10
+    )
+    # Adding PQ attributes hurts much more than adding RQ attributes.
+    last = rows[-1]
+    assert last["cost_varying_point"] > last["cost_varying_range"]
+    point_costs = [row["cost_varying_point"] for row in rows]
+    assert point_costs[-1] >= point_costs[0]

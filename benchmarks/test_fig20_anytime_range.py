@@ -1,0 +1,18 @@
+"""Bench for Figure 20: anytime discovery curves of SQ- and RQ-DB-SKY."""
+
+from repro.experiments import fig20_anytime_range
+
+from conftest import run_once
+
+
+def test_fig20(benchmark):
+    rows = run_once(benchmark, fig20_anytime_range.run, n=20_000, m=5, k=10)
+    assert rows
+    sq = [row["sq_cost"] for row in rows]
+    rq = [row["rq_cost"] for row in rows]
+    # Both curves are monotone.  RQ's win is asymptotic in |S| (Figure 6);
+    # on a per-instance basis at bench scale it must merely stay in the same
+    # ballpark as SQ by the final discovery.
+    assert sq == sorted(sq)
+    assert rq == sorted(rq)
+    assert rq[-1] <= 2 * sq[-1]

@@ -1,0 +1,15 @@
+"""Bench for Figure 21: anytime discovery curve of PQ-DB-SKY."""
+
+from repro.experiments import fig21_anytime_pq
+
+from conftest import run_once
+
+
+def test_fig21(benchmark):
+    rows = run_once(benchmark, fig21_anytime_pq.run, n=20_000, m=4, k=10)
+    assert rows
+    costs = [row["cost"] for row in rows]
+    assert costs == sorted(costs)
+    # The whole skyline is found in far fewer queries than the data space
+    # would suggest (the paper reports < 600 queries at full scale).
+    assert costs[-1] < 5000

@@ -1,0 +1,15 @@
+"""Bench for Figure 23: Google Flights, average cost per discovery."""
+
+from repro.experiments import fig23_gflights
+
+from conftest import run_once
+
+
+def test_fig23(benchmark):
+    rows = run_once(benchmark, fig23_gflights.run, instances=15, k=1)
+    summary = rows[-1]
+    # Every instance finishes within the 50-query daily quota, even at k=1.
+    assert "0 instances over" in str(summary["avg_cost"])
+    costs = [row["avg_cost"] for row in rows[:-1]]
+    assert costs == sorted(costs)
+    assert costs[-1] <= 50

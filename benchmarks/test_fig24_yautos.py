@@ -1,0 +1,16 @@
+"""Bench for Figure 24: Yahoo! Autos, MQ-DB-SKY vs BASELINE."""
+
+from repro.experiments import fig24_yautos
+
+from conftest import run_once
+
+
+def test_fig24(benchmark):
+    rows = run_once(
+        benchmark, fig24_yautos.run, n=10_000, k=50, baseline_cutoff=2_000
+    )
+    total = rows[-1]
+    # The paper reports < 2 queries per skyline car at full scale.
+    per_tuple = total["mq_cost"] / total["tuples"]
+    assert per_tuple < 6
+    assert "found" in str(total["baseline_cost"])

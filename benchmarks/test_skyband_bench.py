@@ -1,0 +1,39 @@
+"""Bench for the §7.2 extension: K-skyband discovery costs.
+
+The paper predicts the number of range-tree executions for RQ skyband
+discovery to be ``|top-(K-1) band| + 1``; this bench measures the actual
+query cost across band depths on used-car data.
+"""
+
+from repro.core import rq_db_skyband
+from repro.datagen.autos import autos_table
+from repro.hiddendb import LinearRanker, TopKInterface
+
+from conftest import run_once
+
+
+def _measure(n: int, bands: tuple[int, ...], seed: int) -> list[dict]:
+    table = autos_table(n, seed=seed)
+    rows = []
+    for band in bands:
+        interface = TopKInterface(
+            table, ranker=LinearRanker.single_attribute(0, 3), k=50
+        )
+        result = rq_db_skyband(interface, band)
+        rows.append(
+            {
+                "band": band,
+                "band_size": len(result.skyband),
+                "cost": result.total_cost,
+            }
+        )
+    return rows
+
+
+def test_skyband_cost_growth(benchmark):
+    rows = run_once(benchmark, _measure, n=3_000, bands=(1, 2, 3), seed=0)
+    sizes = [row["band_size"] for row in rows]
+    costs = [row["cost"] for row in rows]
+    # Deeper bands contain more tuples and cost more queries.
+    assert sizes == sorted(sizes)
+    assert costs == sorted(costs)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Third-party diamond search across several jewellery stores.
+
+The motivating application of the paper's introduction: each store hides its
+catalogue behind a proprietary top-k interface with its own ranking
+function, yet a third-party service wants to rank *all* diamonds from *all*
+stores under a user-chosen weighting.  Discovering each store's skyline
+first makes that possible -- the top-1 under any monotone ranking function
+is always a skyline tuple.
+
+Run with::
+
+    python examples/diamond_marketplace.py
+"""
+
+from __future__ import annotations
+
+from repro import LexicographicRanker, LinearRanker, TopKInterface, discover
+from repro.datagen.diamonds import diamonds_table
+
+
+STORES = {
+    # Each store: its catalogue seed, size, ranking function and page size.
+    "BlueNile-like": dict(
+        seed=1, n=8000, ranker=LinearRanker.single_attribute(0, 5), k=50
+    ),
+    "SparkleCo": dict(
+        seed=2, n=5000, ranker=LinearRanker([0.5, 1.0, 2.0, 2.0, 2.0]), k=20
+    ),
+    "GemHut": dict(
+        seed=3, n=3000, ranker=LexicographicRanker([1, 0, 2, 3, 4]), k=10
+    ),
+}
+
+
+def user_score(values, weights) -> float:
+    """The service's user-configurable ranking: a weighted sum over
+    preference values (lower is better)."""
+    return sum(weight * value for weight, value in zip(weights, values))
+
+
+def main() -> None:
+    all_offers = []
+    print("discovering per-store skylines")
+    print("store           n      |S|    queries  queries/tuple")
+    for store, config in STORES.items():
+        table = diamonds_table(config["n"], seed=config["seed"])
+        interface = TopKInterface(table, ranker=config["ranker"], k=config["k"])
+        result = discover(interface)
+        per_tuple = result.total_cost / max(result.skyline_size, 1)
+        print(
+            f"{store:14s}  {table.n:5d}  {result.skyline_size:5d}  "
+            f"{result.total_cost:7d}  {per_tuple:13.2f}"
+        )
+        schema = table.schema
+        for row in result.skyline:
+            all_offers.append((store, row, schema))
+
+    # The user cares mostly about price and carat, a little about clarity.
+    weights = (1.0, 18.0, 2.0, 2.0, 6.0)
+    ranked = sorted(
+        all_offers, key=lambda offer: user_score(offer[1].values, weights)
+    )
+
+    print("\ntop five diamonds across all stores under the user's weighting:")
+    print("store           price($)  carat  cut         color  clarity")
+    for store, row, schema in ranked[:5]:
+        price = row.values[0] * 25  # preference bucket -> dollars
+        carat = (schema["carat"].domain_size - 1 - row.values[1]) / 100 + 0.2
+        cut = schema["cut"].label(row.values[2])
+        color = schema["color"].label(row.values[3])
+        clarity = schema["clarity"].label(row.values[4])
+        print(
+            f"{store:14s}  {price:8d}  {carat:5.2f}  {cut:10s}  "
+            f"{color:5s}  {clarity}"
+        )
+
+
+if __name__ == "__main__":
+    main()

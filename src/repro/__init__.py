@@ -1,0 +1,89 @@
+"""repro: skyline discovery over top-k hidden web databases.
+
+A full reproduction of Asudeh, Thirumuruganathan, Zhang and Das,
+*"Discovering the Skyline of Web Databases"* (VLDB 2016): the hidden-database
+simulator substrate, the SQ- / RQ- / PQ- / MQ-DB-SKY discovery algorithms,
+K-skyband extensions, the crawling baseline, synthetic stand-ins for the
+paper's datasets, and a benchmark harness regenerating every evaluation
+figure.
+
+Typical usage::
+
+    from repro import (
+        Attribute, InterfaceKind, Schema, Table, TopKInterface, discover,
+    )
+
+    schema = Schema([
+        Attribute("price", 1000, InterfaceKind.RQ),
+        Attribute("stops", 3, InterfaceKind.PQ),
+    ])
+    table = Table(schema, values)
+    interface = TopKInterface(table, k=10)
+    result = discover(interface)
+    print(result.skyline, result.total_cost)
+"""
+
+from .hiddendb import (
+    Attribute,
+    InterfaceKind,
+    Interval,
+    LexicographicRanker,
+    LinearRanker,
+    Query,
+    QueryBudgetExceeded,
+    QueryResult,
+    RandomSkylineRanker,
+    Ranker,
+    Row,
+    Schema,
+    Table,
+    TopKInterface,
+    UnsupportedQueryError,
+)
+from .core import (
+    DiscoveryResult,
+    SkybandResult,
+    baseline_skyline,
+    discover,
+    discover_mq,
+    discover_pq,
+    discover_pq2d,
+    discover_rq,
+    discover_sq,
+    pq_db_skyband,
+    rq_db_skyband,
+    sq_db_skyband,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "DiscoveryResult",
+    "InterfaceKind",
+    "Interval",
+    "LexicographicRanker",
+    "LinearRanker",
+    "Query",
+    "QueryBudgetExceeded",
+    "QueryResult",
+    "RandomSkylineRanker",
+    "Ranker",
+    "Row",
+    "Schema",
+    "SkybandResult",
+    "Table",
+    "TopKInterface",
+    "UnsupportedQueryError",
+    "__version__",
+    "baseline_skyline",
+    "discover",
+    "discover_mq",
+    "discover_pq",
+    "discover_pq2d",
+    "discover_rq",
+    "discover_sq",
+    "pq_db_skyband",
+    "rq_db_skyband",
+    "sq_db_skyband",
+]

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro.cli``.
+
+Three subcommands, all running against the bundled generators so the paper's
+system can be exercised without writing any code:
+
+* ``discover`` -- run skyline discovery over a generated dataset;
+* ``skyband``  -- run top-K skyband discovery;
+* ``figures``  -- list or run the figure-reproduction experiments.
+
+Examples::
+
+    python -m repro.cli discover --dataset diamonds --n 20000 --k 50
+    python -m repro.cli discover --dataset flights-mixed --n 50000 --budget 500
+    python -m repro.cli skyband --dataset autos --n 5000 --band 3
+    python -m repro.cli figures --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .core import discover, rq_db_skyband
+from .core.base import DiscoverySession
+from .core.stats import summarize_session
+from .datagen import (
+    autos_table,
+    diamonds_table,
+    flight_instance,
+    flights_mixed_table,
+    flights_pq_table,
+    flights_range_table,
+    independent,
+)
+from .experiments import ALL_FIGURES
+from .experiments.reporting import format_table
+from .hiddendb import LinearRanker, Table, TopKInterface
+
+DATASETS: dict[str, Callable[[int, int], Table]] = {
+    "diamonds": lambda n, seed: diamonds_table(n, seed=seed),
+    "autos": lambda n, seed: autos_table(n, seed=seed),
+    "gflights": lambda n, seed: flight_instance(seed=seed, n=n),
+    "flights-range": lambda n, seed: flights_range_table(n, 5, seed=seed),
+    "flights-pq": lambda n, seed: flights_pq_table(n, 4, seed=seed),
+    "flights-mixed": lambda n, seed: flights_mixed_table(n, 3, 2, seed=seed),
+    "uniform": lambda n, seed: independent(n, 4, domain=50, seed=seed),
+}
+
+
+def _build_interface(args) -> TopKInterface:
+    table = DATASETS[args.dataset](args.n, args.seed)
+    ranker = None
+    if args.price_ranking:
+        ranker = LinearRanker.single_attribute(0, table.schema.m)
+    return TopKInterface(table, ranker=ranker, k=args.k, budget=args.budget)
+
+
+def _cmd_discover(args) -> int:
+    interface = _build_interface(args)
+    result = discover(interface)
+    print(f"dataset    : {args.dataset} (n={args.n}, k={args.k})")
+    print(f"algorithm  : {result.algorithm}")
+    print(f"queries    : {result.total_cost}")
+    print(f"skyline    : {result.skyline_size} tuples")
+    print(f"complete   : {result.complete}")
+    if result.skyline_size:
+        print(f"cost/tuple : {result.total_cost / result.skyline_size:.2f}")
+    if args.show_tuples:
+        for row in result.skyline[: args.show_tuples]:
+            print(f"  {row.values}")
+    if args.curve:
+        print("\nanytime curve (cost, discovered):")
+        for cost, count in result.discovery_curve():
+            print(f"  {cost:6d}  {count}")
+    return 0
+
+
+def _cmd_skyband(args) -> int:
+    interface = _build_interface(args)
+    result = rq_db_skyband(interface, args.band)
+    print(f"dataset  : {args.dataset} (n={args.n}, k={args.k})")
+    print(f"algorithm: {result.algorithm} (K={args.band})")
+    print(f"queries  : {result.total_cost}")
+    print(f"band     : {len(result.skyband)} tuples")
+    print(f"complete : {result.complete}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    interface = _build_interface(args)
+    session = DiscoverySession(interface)
+    from .core.mq import mq_db_sky
+
+    mq_db_sky(session)
+    summary = summarize_session(session)
+    print(format_table(summary.as_rows()))
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    if args.list or not args.figures:
+        for name, module in ALL_FIGURES.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:7s} {doc}")
+        return 0
+    for name in args.figures:
+        if name not in ALL_FIGURES:
+            print(f"unknown figure {name!r}; try --list", file=sys.stderr)
+            return 2
+        ALL_FIGURES[name].main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Skyline discovery over top-k hidden web databases "
+        "(Asudeh et al., VLDB 2016).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--dataset", choices=sorted(DATASETS), required=True)
+        sub.add_argument("--n", type=int, default=10_000,
+                         help="dataset size (default 10000)")
+        sub.add_argument("--k", type=int, default=10,
+                         help="top-k of the interface (default 10)")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--budget", type=int, default=None,
+                         help="query rate limit (anytime mode)")
+        sub.add_argument("--price-ranking", action="store_true",
+                         help="rank by the first attribute only "
+                         "(the live sites' default)")
+
+    sub = subparsers.add_parser("discover", help="discover the skyline")
+    add_common(sub)
+    sub.add_argument("--show-tuples", type=int, default=0, metavar="N",
+                     help="print the first N skyline tuples")
+    sub.add_argument("--curve", action="store_true",
+                     help="print the anytime discovery curve")
+    sub.set_defaults(handler=_cmd_discover)
+
+    sub = subparsers.add_parser("skyband", help="discover the top-K skyband")
+    add_common(sub)
+    sub.add_argument("--band", type=int, default=2, help="K (default 2)")
+    sub.set_defaults(handler=_cmd_skyband)
+
+    sub = subparsers.add_parser("stats", help="query-log statistics of a run")
+    add_common(sub)
+    sub.set_defaults(handler=_cmd_stats)
+
+    sub = subparsers.add_parser("figures", help="figure experiments")
+    sub.add_argument("figures", nargs="*", help="figure ids (e.g. fig13)")
+    sub.add_argument("--list", action="store_true", help="list figures")
+    sub.set_defaults(handler=_cmd_figures)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Skyline discovery algorithms over top-k hidden web databases.
+
+The primary contribution of the paper: one discovery algorithm per interface
+family (SQ / RQ / PQ), their mixed-interface composition MQ-DB-SKY, the
+crawling BASELINE, K-skyband extensions, and the closed-form cost analysis.
+
+Quick start::
+
+    from repro.core import discover
+    result = discover(interface)          # dispatches on the schema taxonomy
+    result.skyline, result.total_cost, result.trace
+"""
+
+from . import analysis
+from .base import (
+    DiscoveryResult,
+    DiscoverySession,
+    TraceEntry,
+    rows_values,
+    run_with_budget_guard,
+)
+from .baseline import baseline_skyline, crawl_all
+from .dominance import (
+    dominates,
+    dominates_row,
+    dominator_counts,
+    skyband_indices,
+    skyband_of_rows,
+    skyline_indices,
+    skyline_of_rows,
+)
+from .mq import discover, discover_mq, mq_db_sky
+from .pq import choose_plane_attributes, discover_pq, pq_db_sky
+from .pq2d import discover_pq2d, pq_2d_sky
+from .pqsub import PlaneState, explore_plane
+from .rq import discover_rq, rq_db_sky
+from .skyband import (
+    SkybandResult,
+    pq_db_skyband,
+    rq_db_skyband,
+    sq_db_skyband,
+)
+from .sq import discover_sq, sq_db_sky
+from .stats import QueryLogSummary, summarize_session
+
+__all__ = [
+    "DiscoveryResult",
+    "DiscoverySession",
+    "PlaneState",
+    "SkybandResult",
+    "TraceEntry",
+    "analysis",
+    "baseline_skyline",
+    "choose_plane_attributes",
+    "crawl_all",
+    "discover",
+    "discover_mq",
+    "discover_pq",
+    "discover_pq2d",
+    "discover_rq",
+    "discover_sq",
+    "dominates",
+    "dominates_row",
+    "dominator_counts",
+    "explore_plane",
+    "mq_db_sky",
+    "pq_2d_sky",
+    "pq_db_sky",
+    "pq_db_skyband",
+    "rows_values",
+    "rq_db_sky",
+    "rq_db_skyband",
+    "run_with_budget_guard",
+    "skyband_indices",
+    "skyband_of_rows",
+    "skyline_indices",
+    "skyline_of_rows",
+    "sq_db_sky",
+    "sq_db_skyband",
+    "QueryLogSummary",
+    "summarize_session",
+]

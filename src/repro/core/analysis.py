@@ -1,0 +1,138 @@
+"""Closed-form query-cost analysis from Section 3.2 and Section 5 of the paper.
+
+Implements, for SQ-DB-SKY:
+
+* the average-case recurrence, Eq. (4):
+  ``E(C_s) = 1 + (m / s) * sum_{i=0}^{s-1} E(C_i)`` with ``E(C_0) = 1``;
+* the closed form, Eq. (5):
+  ``E(C_s) = m ((m+s-1)! - (m-1)! s!) / ((m-1) (m-1)! s!)``.
+
+A note on fidelity: Eq. (5) is *not* the exact solution of Eq. (4) -- for
+``m = 2`` the recurrence yields ``2s + 1`` while the paper states ``2s``.
+Exact expansion shows the recurrence solves to ``closed_form + 1``
+(verified symbolically by :func:`expected_cost_recurrence` vs
+:func:`expected_cost_closed_form` in the test suite); the paper evidently
+dropped the additive constant.  Both are provided.
+
+Also implements the bounding chain of Eqs. (6)-(10)
+(``E(C_s) <= C(s+m, m) <= (e + e s / m)^m``), the worst-case orders for SQ
+and RQ, and the exact PQ-2D cost formula, Eq. (11).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Sequence
+
+
+def expected_cost_recurrence(m: int, s: int) -> Fraction:
+    """Exact average-case SQ-DB-SKY cost from the recurrence, Eq. (4).
+
+    ``m`` is the number of attributes, ``s`` the skyline size.  Exact
+    rational arithmetic so the closed form can be checked symbolically.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if s < 0:
+        raise ValueError(f"s must be >= 0, got {s}")
+    costs = [Fraction(1)]
+    running_sum = Fraction(1)
+    for size in range(1, s + 1):
+        cost = 1 + Fraction(m, size) * running_sum
+        costs.append(cost)
+        running_sum += cost
+    return costs[s]
+
+
+def expected_cost_closed_form(m: int, s: int) -> Fraction:
+    """Average-case SQ-DB-SKY cost, the paper's closed form Eq. (5).
+
+    Equals :func:`expected_cost_recurrence` minus 1 for every ``m >= 2``
+    (see module docstring).  For ``m = 1`` the paper's formula divides by
+    zero, so this function falls back to the exact recurrence minus 1 to
+    keep the off-by-one convention uniform.
+    """
+    if m < 1:
+        raise ValueError(f"m must be >= 1, got {m}")
+    if s < 0:
+        raise ValueError(f"s must be >= 0, got {s}")
+    if s == 0:
+        return Fraction(0)
+    if m == 1:
+        return expected_cost_recurrence(1, s) - 1
+    numerator = math.factorial(m + s - 1) - math.factorial(m - 1) * math.factorial(s)
+    denominator = (m - 1) * math.factorial(m - 1) * math.factorial(s)
+    return Fraction(m) * Fraction(numerator, denominator)
+
+
+def binomial_cost_bound(m: int, s: int) -> int:
+    """The ``F_s = C(s + m, m)`` bound of Eq. (9) on the average cost."""
+    if m < 1 or s < 0:
+        raise ValueError("require m >= 1 and s >= 0")
+    return math.comb(s + m, m)
+
+
+def average_case_bound(m: int, s: int) -> float:
+    """The paper's headline bound ``(e + e s / m)^m`` of Eq. (10)."""
+    if m < 1 or s < 0:
+        raise ValueError("require m >= 1 and s >= 0")
+    return (math.e + math.e * s / m) ** m
+
+
+def sq_worst_case_bound(m: int, s: int) -> int:
+    """Worst-case SQ-DB-SKY cost order, ``m * s^(m+1)`` (§3.2)."""
+    if m < 1 or s < 0:
+        raise ValueError("require m >= 1 and s >= 0")
+    return m * s ** (m + 1)
+
+
+def rq_worst_case_bound(m: int, s: int, n: int) -> int:
+    """Worst-case RQ-DB-SKY cost order, ``m * min(s^(m+1), n)`` (§4.2)."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return m * min(s ** (m + 1), n)
+
+
+def sq_lower_bound_order(m: int, s: int) -> int:
+    """The ``C(s, m)`` lower bound on SQ skyline discovery (Theorem 1)."""
+    if m < 1 or s < 0:
+        raise ValueError("require m >= 1 and s >= 0")
+    return math.comb(s, m)
+
+
+def pq_2d_cost(
+    skyline: Sequence[tuple[int, int]], dom_x: int, dom_y: int
+) -> int:
+    """Exact PQ-2D-SKY cost over a fully known 2-D skyline, Eq. (11).
+
+    ``skyline`` lists the skyline points as ``(x, y)`` preference pairs;
+    ``dom_x`` / ``dom_y`` are the two domain sizes.  The formula extends the
+    skyline with the two domain corners ``(0, max(Dom(A2)))`` and
+    ``(max(Dom(A1)), 0)`` and charges each adjacent gap the smaller of its
+    width and height.  The initial ``SELECT *`` is not included.
+    """
+    if dom_x < 1 or dom_y < 1:
+        raise ValueError("domains must be non-empty")
+    points = sorted(skyline)
+    for (x, y), (nx, ny) in zip(points, points[1:]):
+        if not (x < nx and y > ny):
+            raise ValueError(
+                f"{(x, y)} and {(nx, ny)} are not both skyline points"
+            )
+    extended = [(0, dom_y - 1), *points, (dom_x - 1, 0)]
+    cost = 0
+    for (x, y), (nx, ny) in zip(extended, extended[1:]):
+        cost += min(nx - x, y - ny)
+    return cost
+
+
+def pq_db_cost_bound(domain_sizes: Sequence[int]) -> int:
+    """Order-of-magnitude PQ-DB-SKY bound (§5.3): the two largest domains
+    contribute additively, every other domain multiplicatively."""
+    if len(domain_sizes) < 2:
+        raise ValueError("need at least 2 attributes")
+    ordered = sorted(domain_sizes, reverse=True)
+    additive = ordered[0] + ordered[1]
+    multiplicative = math.prod(ordered[2:]) if len(ordered) > 2 else 1
+    return additive * multiplicative

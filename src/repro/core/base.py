@@ -1,0 +1,219 @@
+"""Shared machinery for the skyline-discovery algorithms.
+
+Every algorithm in :mod:`repro.core` is written as a function operating on a
+:class:`DiscoverySession`, which wraps the top-k interface and keeps the
+bookkeeping the paper's evaluation needs:
+
+* the query cost (number of issued queries since the session began);
+* the first-retrieval cost of every distinct tuple, which yields the
+  *anytime* discovery curve of Figures 20-24;
+* the full query/answer log, consumed by the PQ plane-pruning rules.
+
+Results are reported as a :class:`DiscoveryResult`.  Skylines are compared by
+**value vectors** throughout the library: under the paper's general
+positioning assumption value vectors are unique, and when a dataset does
+contain duplicated vectors a top-k interface fundamentally cannot distinguish
+the copies, so value-set equality is the right correctness criterion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from ..hiddendb.errors import QueryBudgetExceeded
+from ..hiddendb.interface import QueryResult, TopKInterface
+from ..hiddendb.query import Query
+from ..hiddendb.table import Row
+from .dominance import skyline_of_rows
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One point of the anytime discovery curve."""
+
+    cost: int  #: queries issued when the tuple was first retrieved
+    row: Row
+
+
+@dataclass(frozen=True)
+class DiscoveryResult:
+    """Outcome of one skyline-discovery run.
+
+    ``skyline`` is the skyline of all retrieved tuples; when ``complete`` is
+    true this equals the skyline of the hidden database.  ``trace`` records,
+    for each skyline tuple, the query cost at which it was first retrieved --
+    the anytime curve of Section 7.1.
+    """
+
+    algorithm: str
+    skyline: tuple[Row, ...]
+    trace: tuple[TraceEntry, ...]
+    total_cost: int
+    retrieved: tuple[Row, ...]
+    complete: bool
+
+    @property
+    def skyline_values(self) -> frozenset[tuple[int, ...]]:
+        """The skyline as a set of value vectors (the comparison currency)."""
+        return frozenset(row.values for row in self.skyline)
+
+    @property
+    def skyline_size(self) -> int:
+        """Number of distinct skyline value vectors."""
+        return len(self.skyline_values)
+
+    def discovered_within(self, budget: int) -> tuple[Row, ...]:
+        """Skyline tuples already retrieved after ``budget`` queries."""
+        return tuple(entry.row for entry in self.trace if entry.cost <= budget)
+
+    def discovery_curve(self) -> list[tuple[int, int]]:
+        """Monotone ``(query cost, #skyline tuples discovered)`` points."""
+        curve: list[tuple[int, int]] = []
+        for count, entry in enumerate(self.trace, start=1):
+            if curve and curve[-1][0] == entry.cost:
+                curve[-1] = (entry.cost, count)
+            else:
+                curve.append((entry.cost, count))
+        return curve
+
+    def cost_of_discovery(self, index: int) -> int:
+        """Query cost when the ``index``-th skyline tuple (1-based) appeared."""
+        if not 1 <= index <= len(self.trace):
+            raise IndexError(
+                f"discovery index {index} out of range 1..{len(self.trace)}"
+            )
+        return self.trace[index - 1].cost
+
+    def __repr__(self) -> str:
+        return (
+            f"DiscoveryResult({self.algorithm}: |S|={self.skyline_size}, "
+            f"cost={self.total_cost}, complete={self.complete})"
+        )
+
+
+class DiscoverySession:
+    """Query issuing and retrieval bookkeeping for one discovery run.
+
+    Parameters
+    ----------
+    interface:
+        The hidden database's search endpoint.
+    base_query:
+        Optional predicates conjoined to *every* issued query.  This
+        implements the paper's "skyline subject to filtering conditions"
+        extension (Section 2.1) and the domination-subspace recursion of the
+        skyband algorithms.
+    """
+
+    def __init__(
+        self, interface: TopKInterface, base_query: Query | None = None
+    ) -> None:
+        self._interface = interface
+        self._base = base_query if base_query is not None else Query.select_all()
+        self._start = interface.queries_issued
+        self._first_seen: dict[int, TraceEntry] = {}
+        self._log: list[QueryResult] = []
+
+    # ------------------------------------------------------------------
+    # interface passthrough
+    # ------------------------------------------------------------------
+    @property
+    def schema(self):
+        """Schema of the underlying search interface."""
+        return self._interface.schema
+
+    @property
+    def k(self) -> int:
+        """Top-k limit of the underlying interface."""
+        return self._interface.k
+
+    @property
+    def base_query(self) -> Query:
+        """Predicates conjoined to every query of this session."""
+        return self._base
+
+    @property
+    def cost(self) -> int:
+        """Queries issued through this session so far."""
+        return self._interface.queries_issued - self._start
+
+    @property
+    def log(self) -> tuple[QueryResult, ...]:
+        """All query results observed by this session, in issue order."""
+        return tuple(self._log)
+
+    def issue(self, query: Query) -> QueryResult:
+        """Issue ``query`` (conjoined with the base query) and record it."""
+        merged = self._base.merge(query)
+        if merged is None:
+            raise ValueError(
+                f"query {query!r} contradicts session base {self._base!r}"
+            )
+        result = self._interface.query(merged)
+        cost = self.cost
+        for row in result.rows:
+            self._first_seen.setdefault(row.rid, TraceEntry(cost, row))
+        self._log.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # retrieval bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def retrieved_rows(self) -> list[Row]:
+        """All distinct tuples retrieved so far, in first-retrieval order."""
+        return [entry.row for entry in self._first_seen.values()]
+
+    def has_retrieved(self, rid: int) -> bool:
+        """Whether the tuple with row id ``rid`` has been retrieved."""
+        return rid in self._first_seen
+
+    def confirmed_skyline(self) -> list[Row]:
+        """Skyline of the tuples retrieved so far."""
+        return skyline_of_rows(self.retrieved_rows)
+
+    def result(self, algorithm: str, complete: bool = True) -> DiscoveryResult:
+        """Package the session state into a :class:`DiscoveryResult`."""
+        skyline = skyline_of_rows(self.retrieved_rows)
+        skyline_rids = {row.rid for row in skyline}
+        trace = sorted(
+            (
+                entry
+                for entry in self._first_seen.values()
+                if entry.row.rid in skyline_rids
+            ),
+            key=lambda entry: (entry.cost, entry.row.rid),
+        )
+        return DiscoveryResult(
+            algorithm=algorithm,
+            skyline=tuple(
+                sorted(skyline, key=lambda row: (row.values, row.rid))
+            ),
+            trace=tuple(trace),
+            total_cost=self.cost,
+            retrieved=tuple(self.retrieved_rows),
+            complete=complete,
+        )
+
+
+def run_with_budget_guard(
+    interface: TopKInterface,
+    algorithm_name: str,
+    body: Callable[[DiscoverySession], None],
+    base_query: Query | None = None,
+) -> DiscoveryResult:
+    """Run ``body`` in a fresh session, converting budget exhaustion into a
+    partial (``complete=False``) result -- the anytime behaviour of §7.1."""
+    session = DiscoverySession(interface, base_query)
+    complete = True
+    try:
+        body(session)
+    except QueryBudgetExceeded:
+        complete = False
+    return session.result(algorithm_name, complete)
+
+
+def rows_values(rows: Iterable[Row]) -> frozenset[tuple[int, ...]]:
+    """Value-vector set of a row collection (test / comparison helper)."""
+    return frozenset(row.values for row in rows)

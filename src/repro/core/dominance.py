@@ -1,0 +1,177 @@
+"""Dominance tests and offline skyline / K-skyband computation.
+
+These are the classical *full-access* operators (Borzsony et al., ICDE 2001)
+used in two roles:
+
+* as the ground-truth oracle that verifies the hidden-database discovery
+  algorithms (the oracle sees the raw matrix; the algorithms never do);
+* as the local post-processing step of the BASELINE crawler, which first
+  crawls every tuple and then extracts the skyline locally.
+
+All values are in preference space: smaller is better on every attribute.
+A tuple ``t`` dominates ``u`` iff ``t <= u`` component-wise and ``t < u`` on
+at least one component; tuples with identical value vectors do not dominate
+each other (the paper's general-positioning convention).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..hiddendb.table import Row
+
+
+def dominates(left: Sequence[int], right: Sequence[int]) -> bool:
+    """Whether value vector ``left`` dominates ``right``."""
+    strictly_better = False
+    for left_value, right_value in zip(left, right):
+        if left_value > right_value:
+            return False
+        if left_value < right_value:
+            strictly_better = True
+    return strictly_better
+
+
+def dominates_row(left: Row, right: Row) -> bool:
+    """Whether row ``left`` dominates row ``right``."""
+    return dominates(left.values, right.values)
+
+
+def dominated_by_any(values: Sequence[int], rows: Iterable[Row]) -> bool:
+    """Whether any row in ``rows`` dominates the value vector ``values``."""
+    return any(dominates(row.values, values) for row in rows)
+
+
+def _dominated_by_block(chunk: np.ndarray, kept: np.ndarray) -> np.ndarray:
+    """Mask of ``chunk`` rows dominated by at least one row of ``kept``.
+
+    Broadcast in sub-blocks of ``kept`` to bound peak memory at roughly
+    ``block * len(chunk) * m`` elements.
+    """
+    mask = np.zeros(chunk.shape[0], dtype=bool)
+    block = max(1, 8_000_000 // max(chunk.shape[0] * chunk.shape[1], 1))
+    for start in range(0, kept.shape[0], block):
+        piece = kept[start : start + block]
+        weakly = np.all(piece[:, None, :] <= chunk[None, :, :], axis=2)
+        strictly = np.any(piece[:, None, :] < chunk[None, :, :], axis=2)
+        mask |= np.any(weakly & strictly, axis=0)
+    return mask
+
+
+def skyline_indices(matrix: np.ndarray) -> np.ndarray:
+    """Row positions of the skyline of ``matrix``, sorted ascending.
+
+    Sort-filter-skyline over the *distinct* value vectors: vectors are
+    visited in ascending coordinate-sum order (no vector can be dominated by
+    a later one) in chunks, each chunk first filtered against the kept
+    skyline in one vectorised pass and only the survivors compared pairwise.
+    Duplicated vectors do not dominate each other, so every row carrying a
+    skyline vector is on the skyline.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    n = matrix.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    unique, inverse = np.unique(matrix, axis=0, return_inverse=True)
+    order = np.argsort(unique.sum(axis=1), kind="stable")
+    sorted_values = unique[order]
+    kept_rows: list[np.ndarray] = []
+    kept_values = np.empty((0, matrix.shape[1]), dtype=matrix.dtype)
+    chunk_size = 4096
+    for start in range(0, sorted_values.shape[0], chunk_size):
+        chunk = sorted_values[start : start + chunk_size]
+        # Two-pass filter: most tuples die against the strongest (lowest
+        # coordinate-sum) skyline points, so test those first and run the
+        # full comparison only for the survivors.
+        strongest = kept_values[:192]
+        alive = ~_dominated_by_block(chunk, strongest)
+        if kept_values.shape[0] > strongest.shape[0] and bool(alive.any()):
+            survivors = chunk[alive]
+            alive_positions = np.flatnonzero(alive)
+            still = ~_dominated_by_block(survivors, kept_values[192:])
+            alive = np.zeros(chunk.shape[0], dtype=bool)
+            alive[alive_positions[still]] = True
+        fresh: list[np.ndarray] = []
+        fresh_values = np.empty((0, matrix.shape[1]), dtype=matrix.dtype)
+        for candidate in chunk[alive]:
+            if fresh_values.shape[0]:
+                weakly = np.all(fresh_values <= candidate, axis=1)
+                strictly = np.any(fresh_values < candidate, axis=1)
+                if bool(np.any(weakly & strictly)):
+                    continue
+            fresh.append(candidate)
+            fresh_values = np.vstack([fresh_values, candidate[None, :]])
+        if fresh:
+            kept_rows.extend(fresh)
+            kept_values = np.vstack([kept_values] + [f[None, :] for f in fresh])
+    if not kept_rows:
+        return np.empty(0, dtype=np.int64)
+    # Map skyline vectors back to every original row carrying one of them.
+    skyline_set = {tuple(int(v) for v in row) for row in kept_rows}
+    unique_is_skyline = np.fromiter(
+        (tuple(int(v) for v in row) in skyline_set for row in unique),
+        dtype=bool,
+        count=unique.shape[0],
+    )
+    return np.flatnonzero(unique_is_skyline[inverse])
+
+
+def skyline_of_rows(rows: Sequence[Row]) -> list[Row]:
+    """Skyline of an explicit row collection, preserving input order."""
+    if not rows:
+        return []
+    matrix = np.array([row.values for row in rows], dtype=np.int64)
+    keep = set(skyline_indices(matrix).tolist())
+    return [row for position, row in enumerate(rows) if position in keep]
+
+
+def dominator_counts(matrix: np.ndarray, cap: int | None = None) -> np.ndarray:
+    """Number of tuples dominating each row (counts clip at ``cap``).
+
+    Visits tuples in ascending coordinate-sum order: only earlier tuples can
+    dominate a later one, so each row is compared against a growing prefix.
+    Quadratic in the worst case -- intended for ground-truth verification and
+    moderate ``n``, not for the inner loop of an algorithm.
+    """
+    matrix = np.asarray(matrix)
+    n = matrix.shape[0]
+    counts = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return counts
+    order = np.argsort(matrix.sum(axis=1), kind="stable")
+    sorted_values = matrix[order]
+    for position in range(1, n):
+        candidate = sorted_values[position]
+        prefix = sorted_values[:position]
+        weakly_better = np.all(prefix <= candidate, axis=1)
+        strictly_better = np.any(prefix < candidate, axis=1)
+        count = int(np.count_nonzero(weakly_better & strictly_better))
+        if cap is not None:
+            count = min(count, cap)
+        counts[order[position]] = count
+    return counts
+
+
+def skyband_indices(matrix: np.ndarray, k_band: int) -> np.ndarray:
+    """Row positions of the top-``k_band`` skyband, sorted ascending.
+
+    A tuple belongs to the K-skyband iff it is dominated by fewer than ``K``
+    other tuples; the skyline is the special case ``K = 1``.
+    """
+    if k_band < 1:
+        raise ValueError(f"k_band must be >= 1, got {k_band}")
+    counts = dominator_counts(matrix, cap=k_band)
+    return np.flatnonzero(counts < k_band)
+
+
+def skyband_of_rows(rows: Sequence[Row], k_band: int) -> list[Row]:
+    """Top-``k_band`` skyband of an explicit row collection."""
+    if not rows:
+        return []
+    matrix = np.array([row.values for row in rows], dtype=np.int64)
+    keep = set(skyband_indices(matrix, k_band).tolist())
+    return [row for position, row in enumerate(rows) if position in keep]

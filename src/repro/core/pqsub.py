@@ -1,0 +1,334 @@
+"""PQ-2DSUB-SKY: skyline discovery inside a pruned 2-D subspace (§5.3.1).
+
+Higher-dimensional PQ discovery decomposes the space into 2-D *planes*: one
+plane per value combination of the non-plane attributes.  Before a plane is
+explored, knowledge accumulated elsewhere prunes it:
+
+* **witness rule** -- if a query containing the plane returned tuple ``t``
+  whose non-plane values are all >= the plane's, then every plane cell that
+  would dominate ``t`` is provably empty (it would have outranked ``t``);
+* **domination rule** -- every retrieved tuple whose non-plane values are
+  all <= the plane's kills the cells it dominates;
+* **certification rule** -- an *underflowing* query containing the plane
+  proves every matching cell without a returned tuple empty.
+
+The remaining alive region is a staircase band.  Exploration repeatedly
+builds the paper's "block-diagonal" rectangles between adjacent lower-bound
+corners, picks one agreeing with the overall region on which dimension is
+narrower, and issues a 1-D line query along that dimension.  Every line
+query fully resolves its line, so the loop terminates in at most
+``width + height`` queries per plane.
+
+The cell state is a dominator-*count* grid, so the same machinery serves
+K-skyband discovery (a cell stays alive until ``band`` dominators are known).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..hiddendb.interface import QueryResult
+from ..hiddendb.query import Query
+from ..hiddendb.table import Row
+from .base import DiscoverySession
+
+
+class PlaneState:
+    """Alive/dead bookkeeping for one 2-D plane of a PQ database.
+
+    Cells are indexed ``[x, y]`` in preference coordinates.  A cell is dead
+    once it is *closed* (proven empty, or its tuple retrieved) or once at
+    least ``band`` retrieved tuples are known to dominate it.
+    """
+
+    def __init__(self, dom_x: int, dom_y: int, band: int = 1) -> None:
+        if band < 1:
+            raise ValueError(f"band must be >= 1, got {band}")
+        self._dominators = np.zeros((dom_x, dom_y), dtype=np.int32)
+        self._closed = np.zeros((dom_x, dom_y), dtype=bool)
+        self._band = band
+        self._counted_rids: set[int] = set()
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """The ``(dom_x, dom_y)`` grid dimensions."""
+        return self._closed.shape
+
+    @property
+    def band(self) -> int:
+        """The skyband depth this plane is being explored for."""
+        return self._band
+
+    def alive_mask(self) -> np.ndarray:
+        """Boolean grid of cells that may still hold undiscovered tuples."""
+        return ~self._closed & (self._dominators < self._band)
+
+    def any_alive(self) -> bool:
+        """Whether any cell still needs exploration."""
+        return bool(self.alive_mask().any())
+
+    def dominator_count(self, x: int, y: int) -> int:
+        """Known dominators of cell ``(x, y)``."""
+        return int(self._dominators[x, y])
+
+    # ------------------------------------------------------------------
+    # pruning rules
+    # ------------------------------------------------------------------
+    def close_witness_rect(self, x: int, y: int) -> None:
+        """Witness rule: close every cell at ``(<= x, <= y)``.
+
+        Valid when a query containing this plane returned a tuple whose
+        non-plane values are all >= the plane's and whose plane projection is
+        ``(x, y)``: a tuple in any such cell would dominate the witness and
+        would therefore have been returned ahead of it.
+        """
+        self._closed[: x + 1, : y + 1] = True
+
+    def add_dominator(
+        self, x: int, y: int, in_plane: bool, rid: int | None = None
+    ) -> None:
+        """Domination rule: count a dominator for all cells at ``(>= x, >= y)``.
+
+        ``in_plane`` marks a dominating tuple living in this very plane: its
+        own cell is not dominated by itself (it is closed as retrieved
+        instead).  ``rid`` deduplicates contributions -- a tuple can reach
+        the plane through pre-seeding and through both of its line queries,
+        but must count as a single dominator.
+        """
+        if rid is not None:
+            if rid in self._counted_rids:
+                if in_plane:
+                    self._closed[x, y] = True
+                return
+            self._counted_rids.add(rid)
+        self._dominators[x:, y:] += 1
+        if in_plane:
+            self._dominators[x, y] -= 1
+            self._closed[x, y] = True
+
+    def close_cell(self, x: int, y: int) -> None:
+        """Close a single cell (tuple retrieved there, or proven empty)."""
+        self._closed[x, y] = True
+
+    def close_column(self, x: int, y_lo: int = 0, y_hi: int | None = None) -> None:
+        """Close cells ``(x, y_lo .. y_hi)`` (line fully resolved)."""
+        if y_hi is None:
+            y_hi = self._closed.shape[1] - 1
+        self._closed[x, y_lo : y_hi + 1] = True
+
+    def close_row(self, y: int, x_lo: int = 0, x_hi: int | None = None) -> None:
+        """Close cells ``(x_lo .. x_hi, y)`` (line fully resolved)."""
+        if x_hi is None:
+            x_hi = self._closed.shape[0] - 1
+        self._closed[x_lo : x_hi + 1, y] = True
+
+
+@dataclass(frozen=True)
+class _BlockRect:
+    """One block-diagonal rectangle: columns/rows it spans plus alive sizes."""
+
+    columns: np.ndarray
+    rows: np.ndarray
+    width: int
+    height: int
+
+
+def _block_rectangles(alive: np.ndarray) -> list[_BlockRect]:
+    """The block-diagonal rectangles of the alive staircase region.
+
+    Alive columns are grouped into maximal runs of equal lowest-alive-row;
+    run ``j`` pairs with the alive rows between its floor and the previous
+    run's floor, reproducing the construction of Figure 12(b).
+    """
+    alive_columns = np.flatnonzero(alive.any(axis=1))
+    alive_rows = np.flatnonzero(alive.any(axis=0))
+    floors = [int(np.flatnonzero(alive[column])[0]) for column in alive_columns]
+    rectangles: list[_BlockRect] = []
+    start = 0
+    previous_floor: int | None = None
+    for position in range(1, len(alive_columns) + 1):
+        is_break = (
+            position == len(alive_columns) or floors[position] != floors[start]
+        )
+        if not is_break:
+            continue
+        columns = alive_columns[start:position]
+        floor = floors[start]
+        if previous_floor is None:
+            ceiling = int(alive_rows[-1])
+        else:
+            ceiling = previous_floor - 1
+        rows = alive_rows[(alive_rows >= floor) & (alive_rows <= ceiling)]
+        if rows.size == 0:
+            rows = alive_rows[alive_rows >= floor][:1]
+        rectangles.append(
+            _BlockRect(
+                columns=columns,
+                rows=rows,
+                width=int(columns.size),
+                height=int(rows.size),
+            )
+        )
+        previous_floor = floor
+        start = position
+    return rectangles
+
+
+def choose_line(state: PlaneState) -> tuple[str, int] | None:
+    """Decide the next 1-D line query for ``state``.
+
+    Returns ``("x", value)`` for a column query, ``("y", value)`` for a row
+    query, or ``None`` when nothing is alive.  Follows §5.3.1: build the
+    block-diagonal rectangles, keep one agreeing with the overall compressed
+    region on which dimension is narrower, and query the best (lowest)
+    alive line of that rectangle along the narrow dimension.
+    """
+    alive = state.alive_mask()
+    if not alive.any():
+        return None
+    total_width = int(alive.any(axis=1).sum())
+    total_height = int(alive.any(axis=0).sum())
+    rectangles = _block_rectangles(alive)
+    prefer_column = total_width < total_height
+    chosen = next(
+        (
+            rect
+            for rect in rectangles
+            if (rect.width < rect.height) == prefer_column
+        ),
+        rectangles[0],
+    )
+    if chosen.width < chosen.height:
+        return ("x", int(chosen.columns[0]))
+    return ("y", int(chosen.rows[0]))
+
+
+def explore_plane(
+    session: DiscoverySession,
+    state: PlaneState,
+    plane_query: Query,
+    x_attr: int,
+    y_attr: int,
+    on_found: Callable[[Row], None] | None = None,
+) -> None:
+    """Drain all alive cells of one plane via 1-D line queries.
+
+    ``plane_query`` fixes the non-plane attributes; line queries append one
+    equality predicate on ``x_attr`` or ``y_attr``.  ``on_found`` is called
+    for every retrieved in-plane tuple (used by callers that propagate
+    pruning across planes).
+    """
+    while True:
+        line = choose_line(state)
+        if line is None:
+            return
+        axis, value = line
+        if axis == "x":
+            query = plane_query.and_point(x_attr, value)
+        else:
+            query = plane_query.and_point(y_attr, value)
+        assert query is not None  # plane_query never constrains plane attrs
+        result = session.issue(query)
+        _apply_line_result(
+            state, result, axis, value, x_attr, y_attr, session.k, on_found
+        )
+        if result.overflow and state.band > session.k:
+            # A top-k answer pins down only the k best cells of the line;
+            # deeper skyband exploration (band > k) resolves the remaining
+            # alive cells one by one with fully-specified point queries
+            # ("the 0D base queries" of §7.2).
+            _drain_line_pointwise(
+                session, state, plane_query, axis, value, x_attr, y_attr,
+                on_found,
+            )
+
+
+def _drain_line_pointwise(
+    session: DiscoverySession,
+    state: PlaneState,
+    plane_query: Query,
+    axis: str,
+    value: int,
+    x_attr: int,
+    y_attr: int,
+    on_found: Callable[[Row], None] | None,
+) -> None:
+    """Resolve every remaining alive cell of a line with 0-D point queries."""
+    while True:
+        alive = state.alive_mask()
+        line = alive[value, :] if axis == "x" else alive[:, value]
+        open_cells = np.flatnonzero(line)
+        if open_cells.size == 0:
+            return
+        free_value = int(open_cells[0])
+        query = plane_query.and_point(
+            x_attr, value if axis == "x" else free_value
+        )
+        assert query is not None
+        query = query.and_point(
+            y_attr, free_value if axis == "x" else value
+        )
+        assert query is not None
+        result = session.issue(query)
+        for row in result.rows:
+            state.add_dominator(
+                row.values[x_attr], row.values[y_attr], in_plane=True,
+                rid=row.rid,
+            )
+            if on_found is not None:
+                on_found(row)
+        if axis == "x":
+            state.close_cell(value, free_value)
+        else:
+            state.close_cell(free_value, value)
+
+
+def _apply_line_result(
+    state: PlaneState,
+    result: QueryResult,
+    axis: str,
+    value: int,
+    x_attr: int,
+    y_attr: int,
+    k: int,
+    on_found: Callable[[Row], None] | None,
+) -> None:
+    """Fold one line-query answer into the plane state.
+
+    All tuples matching a line query form a dominance chain, so the top-k
+    answer is exactly the ``k`` best cells of the line; every earlier cell
+    without a returned tuple is empty, and (for the skyline case) every later
+    cell is dominated.  Either way the queried line dies completely when the
+    query underflows, and dies for ``band <= k`` otherwise.
+    """
+    free_attr = y_attr if axis == "x" else x_attr
+    returned = sorted(result.rows, key=lambda row: row.values[free_attr])
+    positions = [row.values[free_attr] for row in returned]
+    occupied = set(positions)
+    frontier = positions[-1] if positions else None
+
+    def close_line_cell(free_value: int) -> None:
+        if axis == "x":
+            state.close_cell(value, free_value)
+        else:
+            state.close_cell(free_value, value)
+
+    # Cells before the worst returned tuple that hold no tuple are empty.
+    upper = frontier if frontier is not None else -1
+    for free_value in range(0, upper + 1):
+        if free_value not in occupied:
+            close_line_cell(free_value)
+    for row in returned:
+        x, y = row.values[x_attr], row.values[y_attr]
+        state.add_dominator(x, y, in_plane=True, rid=row.rid)
+        if on_found is not None:
+            on_found(row)
+    if not result.overflow:
+        # Underflow certifies the rest of the line empty.
+        if axis == "x":
+            state.close_column(value)
+        else:
+            state.close_row(value)

@@ -1,0 +1,235 @@
+"""K-skyband discovery extensions (§7.2).
+
+A tuple is in the top-K skyband iff fewer than ``K`` other tuples dominate
+it; the skyline is the ``K = 1`` special case.  The paper extends each
+discovery algorithm differently:
+
+* **RQ** -- a tuple on band level ``h`` (but not ``h - 1``) is a skyline
+  tuple of the *domination subspace* of some tuple on band level ``h - 1``.
+  The subspace ``{u : u dominated by t}`` is expressible through two-ended
+  ranges as ``m`` disjoint conjunctive roots, so the extension re-runs the
+  range tree once per band tuple.
+* **PQ** -- the plane machinery already tracks per-cell dominator *counts*;
+  a cell stays alive until ``K`` dominators are known, with fully-specified
+  point queries resolving lines deeper than the interface's ``k``.
+* **SQ** -- provably hard: one-ended queries alone can never surface a
+  dominated tuple, so the best-effort extension branches on answer tuples
+  that are dominated by ``K - 1`` others *within the same answer* (needs a
+  generous interface ``k``) and otherwise reports the discovery as partial.
+
+All variants report a :class:`SkybandResult`; membership is decided by
+counting dominators among the retrieved tuples, which is sound because every
+dominator of a band tuple lies in a lower band and is therefore retrieved.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hiddendb.errors import QueryBudgetExceeded
+from ..hiddendb.interface import TopKInterface
+from ..hiddendb.query import Query
+from ..hiddendb.table import Row
+from .base import DiscoverySession
+from .dominance import skyband_of_rows
+from .pq import pq_db_sky
+from .rq import rq_db_sky
+
+
+@dataclass(frozen=True)
+class SkybandResult:
+    """Outcome of a K-skyband discovery run."""
+
+    algorithm: str
+    band: int
+    skyband: tuple[Row, ...]
+    total_cost: int
+    retrieved: tuple[Row, ...]
+    complete: bool
+
+    @property
+    def skyband_values(self) -> frozenset[tuple[int, ...]]:
+        """The skyband as a set of value vectors."""
+        return frozenset(row.values for row in self.skyband)
+
+    def __repr__(self) -> str:
+        return (
+            f"SkybandResult({self.algorithm}, K={self.band}: "
+            f"|band|={len(self.skyband)}, cost={self.total_cost}, "
+            f"complete={self.complete})"
+        )
+
+
+def _finish(
+    session: DiscoverySession, algorithm: str, band: int, complete: bool
+) -> SkybandResult:
+    retrieved = session.retrieved_rows
+    return SkybandResult(
+        algorithm=algorithm,
+        band=band,
+        skyband=tuple(
+            sorted(
+                skyband_of_rows(retrieved, band),
+                key=lambda row: (row.values, row.rid),
+            )
+        ),
+        total_cost=session.cost,
+        retrieved=tuple(retrieved),
+        complete=complete,
+    )
+
+
+# ----------------------------------------------------------------------
+# RQ extension
+# ----------------------------------------------------------------------
+def _domination_subspace_roots(row: Row, domain_sizes: tuple[int, ...]) -> list[Query]:
+    """Disjoint conjunctive roots covering exactly the tuples dominated by
+    ``row`` (its domination subspace minus its own value combination).
+
+    Root ``j`` pins ``A_i = row[A_i]`` for ``i < j``, requires
+    ``A_j > row[A_j]`` and ``A_i >= row[A_i]`` for ``i > j``.
+    """
+    m = len(domain_sizes)
+    roots: list[Query] = []
+    for pivot_attr in range(m):
+        query: Query | None = Query.select_all()
+        for earlier in range(pivot_attr):
+            query = query.and_point(earlier, row.values[earlier])
+            assert query is not None
+        query = query.and_lower(
+            pivot_attr, row.values[pivot_attr] + 1, domain_sizes[pivot_attr]
+        )
+        if query is None:
+            continue  # row already holds the worst value on this attribute
+        for later in range(pivot_attr + 1, m):
+            if row.values[later] > 0:
+                query = query.and_lower(
+                    later, row.values[later], domain_sizes[later]
+                )
+                assert query is not None
+        roots.append(query)
+    return roots
+
+
+def rq_db_skyband(interface: TopKInterface, band: int) -> SkybandResult:
+    """Discover the top-``band`` skyband through a two-ended range interface.
+
+    One range-tree run discovers the skyline; every confirmed band tuple of
+    level ``< band`` then spawns range-tree runs over its domination
+    subspace, surfacing the next level.  Total runs: ``|top-(K-1) band| + 1``
+    (§7.2).
+    """
+    if band < 1:
+        raise ValueError(f"band must be >= 1, got {band}")
+    session = DiscoverySession(interface)
+    domain_sizes = interface.schema.domain_sizes
+    complete = True
+    try:
+        rq_db_sky(session)
+        expanded: set[int] = set()
+        while True:
+            candidates = _expansion_candidates(session, band, expanded)
+            if not candidates:
+                break
+            for row in candidates:
+                expanded.add(row.rid)
+                for root in _domination_subspace_roots(row, domain_sizes):
+                    rq_db_sky(session, root=root)
+    except QueryBudgetExceeded:
+        complete = False
+    return _finish(session, "RQ-DB-SKYBAND", band, complete)
+
+
+def _expansion_candidates(
+    session: DiscoverySession, band: int, expanded: set[int]
+) -> list[Row]:
+    """Retrieved tuples on the top-(band-1) skyband not yet expanded."""
+    if band == 1:
+        return []
+    retrieved = session.retrieved_rows
+    frontier = skyband_of_rows(retrieved, band - 1)
+    return [row for row in frontier if row.rid not in expanded]
+
+
+# ----------------------------------------------------------------------
+# PQ extension
+# ----------------------------------------------------------------------
+def pq_db_skyband(interface: TopKInterface, band: int) -> SkybandResult:
+    """Discover the top-``band`` skyband through a point-predicate interface.
+
+    Reuses the PQ plane machinery with dominator-count pruning: a plane cell
+    survives until ``band`` dominators are known.  When the interface's ``k``
+    is smaller than ``band``, overflowing line queries are drained with
+    fully-specified point queries.
+    """
+    if band < 1:
+        raise ValueError(f"band must be >= 1, got {band}")
+    session = DiscoverySession(interface)
+    complete = True
+    try:
+        pq_db_sky(session, band=band)
+    except QueryBudgetExceeded:
+        complete = False
+    return _finish(session, "PQ-DB-SKYBAND", band, complete)
+
+
+# ----------------------------------------------------------------------
+# SQ extension (best effort)
+# ----------------------------------------------------------------------
+def sq_db_skyband(interface: TopKInterface, band: int) -> SkybandResult:
+    """Best-effort top-``band`` skyband through a one-ended range interface.
+
+    Branches on an answer tuple dominated by ``band - 1`` others *within the
+    answer* (so everything it dominates is provably outside the band).  When
+    an overflowing answer contains no such tuple the subtree cannot be
+    explored safely; the result is then flagged ``complete=False`` -- the
+    paper shows complete SQ skyband discovery degenerates to a full crawl in
+    the worst case.
+    """
+    if band < 1:
+        raise ValueError(f"band must be >= 1, got {band}")
+    session = DiscoverySession(interface)
+    complete = True
+    m = interface.schema.m
+    try:
+        queue: deque[Query] = deque([Query.select_all()])
+        while queue:
+            query = queue.popleft()
+            result = session.issue(query)
+            if result.is_empty or not result.overflow:
+                continue
+            pivot = _band_pivot(result.rows, band)
+            if pivot is None:
+                complete = False
+                continue
+            for attribute in range(m):
+                child = query.and_upper(attribute, pivot[attribute] - 1)
+                if child is not None:
+                    queue.append(child)
+    except QueryBudgetExceeded:
+        complete = False
+    return _finish(session, "SQ-DB-SKYBAND", band, complete)
+
+
+def _band_pivot(rows: tuple[Row, ...], band: int) -> Row | None:
+    """First answer tuple dominated by >= band - 1 other answer tuples."""
+    if band == 1:
+        return rows[0]
+    values = np.array([row.values for row in rows], dtype=np.int64)
+    for position, row in enumerate(rows):
+        weakly = np.all(values <= values[position], axis=1)
+        strictly = np.any(values < values[position], axis=1)
+        if int(np.count_nonzero(weakly & strictly)) >= band - 1:
+            return row
+    return None
+
+
+__all__ = [
+    "SkybandResult",
+    "pq_db_skyband",
+    "rq_db_skyband",
+    "sq_db_skyband",
+]

@@ -1,0 +1,84 @@
+"""SQ-DB-SKY: skyline discovery through one-ended range interfaces (§3).
+
+The algorithm is an iterative divide-and-conquer over a *query tree*: the
+root is ``SELECT *``; whenever a query ``q`` overflows after returning top
+tuple ``t``, it spawns ``m`` children, the ``i``-th appending the predicate
+``A_i < t[A_i]``.  Every skyline tuple matching ``q`` must beat ``t`` on some
+attribute, hence matches at least one child -- which gives completeness
+(Theorem 2).  Because each query region is downward-closed, any returned
+tuple not dominated by another tuple in the same answer is guaranteed to be a
+skyline tuple, so discovery is *anytime*.
+
+Query cost is worst-case ``O(m * |S|^(m+1))`` but only ``(e + e|S|/m)^m``
+expected under the random-ranking model (§3.2); see
+:mod:`repro.core.analysis` for the closed forms.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+from ..hiddendb.interface import TopKInterface
+from ..hiddendb.query import Query
+from .base import DiscoveryResult, DiscoverySession, run_with_budget_guard
+
+ALGORITHM_NAME = "SQ-DB-SKY"
+
+
+def sq_db_sky(
+    session: DiscoverySession,
+    branch_attributes: Sequence[int] | None = None,
+    root: Query | None = None,
+) -> None:
+    """Run SQ-DB-SKY (Algorithm 1 of the paper) inside ``session``.
+
+    Parameters
+    ----------
+    session:
+        Discovery session wrapping the top-k interface.
+    branch_attributes:
+        Ranking-attribute indices the tree branches on; defaults to all
+        ranking attributes.  MQ-DB-SKY restricts this to the range-predicate
+        attributes.
+    root:
+        Query at the tree root (defaults to ``SELECT *``).  Used by the
+        skyband extension to explore a subspace.
+
+    Notes
+    -----
+    Children whose appended predicate is syntactically empty (``A_i < 0``,
+    i.e. "better than the best domain value") are skipped without being
+    issued -- a real search form cannot even express them.
+    """
+    schema = session.schema
+    if branch_attributes is None:
+        branch_attributes = range(schema.m)
+    branch_attributes = tuple(branch_attributes)
+    queue: deque[Query] = deque([root if root is not None else Query.select_all()])
+    while queue:
+        query = queue.popleft()
+        result = session.issue(query)
+        if result.is_empty or not result.overflow:
+            # Valid or underflowing answer: leaf node.  All matching tuples
+            # were returned (Section 2.1), nothing below to explore.
+            continue
+        pivot = result.top
+        for attribute in branch_attributes:
+            child = query.and_upper(attribute, pivot[attribute] - 1)
+            if child is not None:
+                queue.append(child)
+
+
+def discover_sq(
+    interface: TopKInterface,
+    branch_attributes: Sequence[int] | None = None,
+    base_query: Query | None = None,
+) -> DiscoveryResult:
+    """Discover the skyline of ``interface`` with SQ-DB-SKY."""
+    return run_with_budget_guard(
+        interface,
+        ALGORITHM_NAME,
+        lambda session: sq_db_sky(session, branch_attributes),
+        base_query,
+    )

@@ -1,0 +1,120 @@
+"""Adversarial instances from the paper's proofs.
+
+Two constructions:
+
+* :func:`theorem1_table` -- the lower-bound instance of Theorem 1 (§3).
+  ``m`` *blocker* tuples force any SQ discovery algorithm to issue
+  fully-specified queries (every query with fewer than ``m`` predicates
+  returns a blocker), and ``s`` skyline tuples built from permutations make
+  ``C(s, m)`` probe points indistinguishable from potential skyline tuples.
+  On this family the query cost of SQ-DB-SKY grows combinatorially with the
+  skyline size, matching the worst-case analysis.
+
+* :func:`priority_case_study_table` -- the §5.3 case-study database: a
+  3-attribute PQ database whose ranking function prioritises the third
+  attribute ``z``, with every ``x`` and ``y`` value occupied at ``z = 0``.
+  The paper uses it to show PQ-DB-SKY approaching the instance-optimal cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..hiddendb.attributes import Attribute, InterfaceKind, Schema
+from ..hiddendb.ranking import LexicographicRanker, Ranker
+from ..hiddendb.table import Table
+
+
+def theorem1_table(
+    m: int,
+    s: int,
+    kind: InterfaceKind = InterfaceKind.SQ,
+) -> Table:
+    """The Theorem-1 lower-bound instance with ``m`` attributes.
+
+    Layout (scaled to an integer domain):
+
+    * ``m`` blockers ``t0_i``: best value everywhere except attribute ``i``,
+      where they hold the worst value ``h + 1``;
+    * ``s`` skyline tuples, each a distinct permutation of ``m`` evenly
+      spread mid-range levels, perturbed by per-cell unique "noise" offsets
+      so every attribute value is unique (the proof's epsilon_ij).
+
+    Requires ``s <= m!`` (the number of distinct permutations).
+    """
+    if m < 2:
+        raise ValueError(f"m must be >= 2, got {m}")
+    if s < 1:
+        raise ValueError(f"s must be >= 1, got {s}")
+    permutations = []
+    for permutation in itertools.permutations(range(m)):
+        permutations.append(permutation)
+        if len(permutations) == s:
+            break
+    if len(permutations) < s:
+        raise ValueError(f"s={s} exceeds the {len(permutations)} available "
+                         f"permutations of m={m} levels")
+    # Each level occupies a band of width s so the per-tuple noise offsets
+    # keep all values unique, mirroring the proof's epsilon_ij.
+    band = s
+    h = m * band  # worst in-band value
+    domain = h + 2  # h + 1 is the blockers' "poison" value
+    rows = []
+    for blocker in range(m):
+        values = [0] * m  # the domain's best value: nothing dominates them
+        values[blocker] = h + 1
+        rows.append(values)
+    for index, permutation in enumerate(permutations):
+        # The per-tuple offset plays the role of the proof's epsilon_ij:
+        # tuples sharing a level on an attribute still hold distinct values.
+        rows.append(
+            [1 + int(level) * band + index for level in permutation]
+        )
+    schema = Schema(
+        [Attribute(f"a{i}", domain, kind) for i in range(m)]
+    )
+    return Table(schema, np.asarray(rows, dtype=np.int64))
+
+
+def theorem1_skyline_size(table: Table) -> int:
+    """Number of non-blocker skyline tuples of a Theorem-1 instance."""
+    return len(table.skyline_indices()) - table.m
+
+
+def priority_case_study_table(
+    dom_x: int = 6,
+    dom_y: int = 6,
+    dom_z: int = 3,
+    extra: int = 30,
+    seed: int = 0,
+) -> tuple[Table, Ranker]:
+    """The §5.3 case-study PQ database and its priority ranking function.
+
+    Every ``x`` value and every ``y`` value is occupied by a tuple with
+    ``z = 0``, and the ranking function returns ``z``-best tuples first
+    (so any 1-D query on ``x`` or ``y`` behaves like its ``z = 0``
+    restriction).  Returns the table together with the matching ranker.
+    """
+    rng = np.random.default_rng(seed)
+    rows = {(x, int(rng.integers(dom_y)), 0) for x in range(dom_x)}
+    rows |= {(int(rng.integers(dom_x)), y, 0) for y in range(dom_y)}
+    for _ in range(extra):
+        rows.add(
+            (
+                int(rng.integers(dom_x)),
+                int(rng.integers(dom_y)),
+                int(rng.integers(dom_z)),
+            )
+        )
+    matrix = np.asarray(sorted(rows), dtype=np.int64)
+    schema = Schema(
+        [
+            Attribute("x", dom_x, InterfaceKind.PQ),
+            Attribute("y", dom_y, InterfaceKind.PQ),
+            Attribute("z", dom_z, InterfaceKind.PQ),
+        ]
+    )
+    # z is the first-priority ordering attribute (§5.3's construction).
+    return Table(schema, matrix), LexicographicRanker([2, 0, 1])

@@ -1,0 +1,93 @@
+"""Synthetic stand-in for the Blue Nile diamond catalogue (§8.3).
+
+At the time of the paper's live experiments Blue Nile listed 209,666
+diamonds over six attributes; five have universal preference orders and were
+used as skyline attributes -- lower Price, higher Carat, better Cut, whiter
+Color, higher Clarity -- and all five are exposed through two-ended range
+predicates, with a price-ascending default ranking.  Shape is an order-less
+filtering attribute.
+
+The generator reproduces the gemological pricing structure: price grows
+super-linearly with carat and multiplicatively with the quality grades, plus
+market noise.  That correlation is what gives the catalogue its large
+skyline (the paper discovered 2,149 skyline diamonds): at every price point
+there is a best-value frontier across the four quality dimensions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hiddendb.attributes import Attribute, InterfaceKind, Schema
+from ..hiddendb.table import Table
+
+CUT_GRADES = ("Astor Ideal", "Ideal", "Very Good", "Good", "Fair")
+COLOR_GRADES = ("D", "E", "F", "G", "H", "I", "J", "K")
+CLARITY_GRADES = ("FL", "IF", "VVS1", "VVS2", "VS1", "VS2", "SI1", "SI2")
+SHAPES = (
+    "Round", "Princess", "Cushion", "Oval", "Emerald",
+    "Pear", "Marquise", "Asscher", "Radiant", "Heart",
+)
+
+#: Price buckets (preference value 0 = cheapest bucket).
+PRICE_DOMAIN = 20_000
+#: Carat in hundredths, 0.20 .. 8.19 ct; preference value 0 = heaviest.
+CARAT_DOMAIN = 800
+
+
+def diamonds_table(n: int = 50_000, seed: int = 0) -> Table:
+    """Generate a Blue Nile-like catalogue of ``n`` diamonds.
+
+    Ranking attributes, in schema order: price (RQ, lower better), carat
+    (RQ, higher better -- preference 0 is the heaviest stone), cut, color,
+    clarity (RQ ordinal grades).  Shape is a filtering attribute.
+    """
+    rng = np.random.default_rng(seed)
+    carat_ct = np.minimum(rng.lognormal(-0.45, 0.55, size=n) + 0.2, 8.19)
+    cut = rng.choice(len(CUT_GRADES), size=n, p=(0.05, 0.45, 0.3, 0.15, 0.05))
+    color = rng.integers(0, len(COLOR_GRADES), size=n)
+    clarity = rng.choice(
+        len(CLARITY_GRADES), size=n,
+        p=(0.01, 0.04, 0.08, 0.12, 0.2, 0.25, 0.18, 0.12),
+    )
+    # Rapaport-style pricing: price per carat grows with carat and with each
+    # quality grade; multiplicative log-normal market noise.
+    quality_discount = (
+        0.94 ** cut * 0.955 ** color * 0.93 ** clarity
+    )
+    # Market noise of ~30%: enough mispricing that most stones are
+    # dominated by a better-value peer, leaving a skyline of the paper's
+    # scale (|S| ~ 2,000 at catalogue size).
+    price_usd = (
+        3500.0
+        * carat_ct ** 1.9
+        * quality_discount
+        * rng.lognormal(0.0, 0.3, size=n)
+    )
+    price = np.clip(price_usd / 25.0, 0, PRICE_DOMAIN - 1).astype(np.int64)
+    carat = np.clip(
+        CARAT_DOMAIN - 1 - ((carat_ct - 0.2) * 100.0).astype(np.int64),
+        0,
+        CARAT_DOMAIN - 1,
+    )
+    shape = rng.integers(0, len(SHAPES), size=n)
+    schema = Schema(
+        [
+            Attribute("price", PRICE_DOMAIN, InterfaceKind.RQ),
+            Attribute("carat", CARAT_DOMAIN, InterfaceKind.RQ),
+            Attribute("cut", len(CUT_GRADES), InterfaceKind.RQ,
+                      labels=CUT_GRADES),
+            Attribute("color", len(COLOR_GRADES), InterfaceKind.RQ,
+                      labels=COLOR_GRADES),
+            Attribute("clarity", len(CLARITY_GRADES), InterfaceKind.RQ,
+                      labels=CLARITY_GRADES),
+            Attribute("shape", len(SHAPES), InterfaceKind.FILTER,
+                      labels=SHAPES),
+        ]
+    )
+    matrix = np.column_stack([price, carat, cut, color, clarity])
+    return Table(schema, matrix, {"shape": shape})
+
+
+#: Index of the price attribute (the site's default ranking, low to high).
+PRICE_ATTRIBUTE = 0

@@ -1,0 +1,241 @@
+"""Synthetic stand-in for the US DOT on-time flights dataset (§8.1).
+
+The paper's offline experiments use the January-2015 BTS on-time extract:
+457,013 flights, 9 ordinal ranking attributes with domain sizes from 11 to
+4,983, two of which (the "group" attributes) are natively discretised and
+serve as PQ attributes; four more derived group attributes provide extra PQ
+attributes when needed.
+
+We cannot fetch the BTS extract offline, so this generator reproduces its
+*structure*: the same nine ranking attributes in the same order, the
+reported domain-size range, and the real-world correlations among them --
+air time tracks distance, elapsed time is air time plus taxiing, arrival
+delay tracks departure delay, and each group attribute is a coarsened copy
+of its parent.  Preference orders follow the paper: shorter delays and
+durations rank higher; *longer* distances rank higher.
+
+The experiments that consume this data (Figures 13-21) depend only on the
+interface taxonomy, the skyline-size behaviour as n and m vary, and the
+attribute correlations, all of which the generator preserves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hiddendb.attributes import Attribute, InterfaceKind, Schema
+from ..hiddendb.table import Table
+
+#: Ranking attributes in the paper's listing order.  Sizes chosen to match
+#: the reported domain range: smallest 11, largest 4,983.
+RANKING_ATTRIBUTES: tuple[tuple[str, int], ...] = (
+    ("dep_delay", 1500),
+    ("taxi_out", 180),
+    ("taxi_in", 160),
+    ("actual_elapsed", 700),
+    ("air_time", 660),
+    ("distance", 4983),
+    ("delay_group", 11),
+    ("distance_group", 11),
+    ("arrival_delay", 1500),
+)
+
+#: The two natively discretised attributes, used as PQ by default (§8.1).
+DEFAULT_PQ = ("delay_group", "distance_group")
+
+#: Derived group attributes available as additional PQ attributes.
+#: ``air_time_group`` comes first: its preference (shorter flights) opposes
+#: ``distance_group``'s (longer flights), which keeps the PQ skyline from
+#: collapsing to a single corner tuple -- matching the non-trivial PQ costs
+#: the paper reports in Figures 16-17.
+DERIVED_GROUPS: tuple[tuple[str, str, int], ...] = (
+    ("air_time_group", "air_time", 12),
+    ("taxi_out_group", "taxi_out", 12),
+    ("arrival_delay_group", "arrival_delay", 15),
+    ("taxi_in_group", "taxi_in", 12),
+)
+
+
+def _clip(values: np.ndarray, domain: int) -> np.ndarray:
+    return np.clip(values, 0, domain - 1).astype(np.int64)
+
+
+def _coarsen(values: np.ndarray, parent_domain: int, domain: int) -> np.ndarray:
+    """Discretise a parent column into ``domain`` buckets (the DOT 'groups')."""
+    return _clip(values * domain // parent_domain, domain)
+
+
+def flights_table(
+    n: int = 100_000,
+    seed: int = 0,
+    pq_attributes: tuple[str, ...] = DEFAULT_PQ,
+    range_kind: InterfaceKind = InterfaceKind.RQ,
+    derived_groups: tuple[str, ...] = (),
+) -> Table:
+    """Generate a DOT-like flights table.
+
+    Parameters
+    ----------
+    n:
+        Number of flights (the paper's full extract has 457,013).
+    seed:
+        RNG seed; the same seed always yields the same table.
+    pq_attributes:
+        Ranking attributes exposed through point predicates.
+    range_kind:
+        Interface kind of the remaining ranking attributes (RQ or SQ
+        depending on the experiment).
+    derived_groups:
+        Names from :data:`DERIVED_GROUPS` to append as extra PQ attributes
+        (used by the PQ experiments that need more than two PQ attributes).
+    """
+    rng = np.random.default_rng(seed)
+    sizes = dict(RANKING_ATTRIBUTES)
+
+    # Distance in "preference space" (0 = longest flight, preferred).  A
+    # log-normal mileage profile: many short hops, few transcontinental runs.
+    mileage = rng.lognormal(mean=6.3, sigma=0.6, size=n)
+    mileage = _clip(mileage, sizes["distance"])
+    distance = sizes["distance"] - 1 - mileage  # longer distance preferred
+
+    # Air time follows mileage at ~8 miles/minute plus congestion noise.
+    air_minutes = mileage / 7.5 + rng.gamma(2.0, 6.0, size=n)
+    air_time = _clip(air_minutes, sizes["air_time"])
+
+    taxi_out = _clip(rng.gamma(3.2, 5.2, size=n), sizes["taxi_out"])
+    taxi_in = _clip(rng.gamma(2.2, 3.2, size=n), sizes["taxi_in"])
+    actual_elapsed = _clip(
+        air_time + taxi_out + taxi_in + rng.integers(0, 12, size=n),
+        sizes["actual_elapsed"],
+    )
+
+    # Departure delay: most flights on time, heavy tail of long delays.
+    on_time = rng.random(n) < 0.62
+    dep_delay = np.where(
+        on_time,
+        rng.integers(0, 12, size=n),
+        rng.gamma(1.4, 38.0, size=n),
+    )
+    dep_delay = _clip(dep_delay, sizes["dep_delay"])
+    arrival_delay = _clip(
+        dep_delay + rng.normal(0.0, 9.0, size=n) + taxi_out * 0.18,
+        sizes["arrival_delay"],
+    )
+
+    delay_group = _coarsen(
+        arrival_delay, sizes["arrival_delay"], sizes["delay_group"]
+    )
+    distance_group = _coarsen(distance, sizes["distance"], sizes["distance_group"])
+
+    columns = {
+        "dep_delay": dep_delay,
+        "taxi_out": taxi_out,
+        "taxi_in": taxi_in,
+        "actual_elapsed": actual_elapsed,
+        "air_time": air_time,
+        "distance": distance,
+        "delay_group": delay_group,
+        "distance_group": distance_group,
+        "arrival_delay": arrival_delay,
+    }
+    names = [name for name, _ in RANKING_ATTRIBUTES]
+    domain_sizes = dict(RANKING_ATTRIBUTES)
+
+    derived_lookup = {name: (parent, size) for name, parent, size in DERIVED_GROUPS}
+    for name in derived_groups:
+        if name not in derived_lookup:
+            raise ValueError(f"unknown derived group {name!r}")
+        parent, size = derived_lookup[name]
+        columns[name] = _coarsen(columns[parent], domain_sizes[parent], size)
+        names.append(name)
+        domain_sizes[name] = size
+
+    pq_set = set(pq_attributes) | set(derived_groups)
+    unknown = pq_set - set(names)
+    if unknown:
+        raise ValueError(f"unknown PQ attributes: {sorted(unknown)}")
+    attributes = [
+        Attribute(
+            name,
+            domain_sizes[name],
+            InterfaceKind.PQ if name in pq_set else range_kind,
+        )
+        for name in names
+    ]
+    matrix = np.column_stack([columns[name] for name in names])
+    # Carrier is a filtering attribute (14 US carriers in the extract).
+    carrier = rng.integers(0, 14, size=n)
+    schema = Schema(
+        attributes + [Attribute("carrier", 14, InterfaceKind.FILTER)]
+    )
+    return Table(schema, matrix, {"carrier": carrier})
+
+
+def flights_range_table(
+    n: int,
+    m: int,
+    kind: InterfaceKind = InterfaceKind.RQ,
+    seed: int = 0,
+) -> Table:
+    """A flights table restricted to its first ``m`` ranking attributes, all
+    exposed as range attributes -- the workload of Figures 14 and 15."""
+    if not 1 <= m <= len(RANKING_ATTRIBUTES):
+        raise ValueError(f"m must be in 1..{len(RANKING_ATTRIBUTES)}")
+    table = flights_table(n=n, seed=seed, pq_attributes=(), range_kind=kind)
+    return table.project_ranking(range(m))
+
+
+def flights_pq_table(
+    n: int,
+    m: int,
+    seed: int = 0,
+) -> Table:
+    """A flights table of ``m`` PQ (group) attributes -- Figures 16, 17, 21.
+
+    Uses the two native group attributes first, then derived groups.
+    """
+    derived_names = [name for name, _, _ in DERIVED_GROUPS]
+    if not 2 <= m <= 2 + len(derived_names):
+        raise ValueError(f"m must be in 2..{2 + len(derived_names)}")
+    extra = tuple(derived_names[: m - 2])
+    table = flights_table(
+        n=n,
+        seed=seed,
+        pq_attributes=DEFAULT_PQ,
+        derived_groups=extra,
+    )
+    names = [a.name for a in table.schema.ranking_attributes]
+    keep = [names.index(name) for name in DEFAULT_PQ + extra]
+    return table.project_ranking(keep)
+
+
+def flights_mixed_table(
+    n: int,
+    num_range: int,
+    num_point: int,
+    range_kind: InterfaceKind = InterfaceKind.RQ,
+    seed: int = 0,
+) -> Table:
+    """A flights table with ``num_range`` range and ``num_point`` PQ ranking
+    attributes -- the mixed-interface workload of Figures 18 and 19."""
+    range_names = [
+        name for name, _ in RANKING_ATTRIBUTES if name not in DEFAULT_PQ
+    ]
+    if not 0 <= num_range <= len(range_names):
+        raise ValueError(f"num_range must be in 0..{len(range_names)}")
+    derived_names = [name for name, _, _ in DERIVED_GROUPS]
+    if not 0 <= num_point <= 2 + len(derived_names):
+        raise ValueError(f"num_point must be in 0..{2 + len(derived_names)}")
+    point_names = list(DEFAULT_PQ[:num_point])
+    extra = tuple(derived_names[: max(0, num_point - 2)])
+    table = flights_table(
+        n=n,
+        seed=seed,
+        pq_attributes=DEFAULT_PQ,
+        range_kind=range_kind,
+        derived_groups=extra,
+    )
+    names = [a.name for a in table.schema.ranking_attributes]
+    keep_names = range_names[:num_range] + point_names + list(extra)
+    keep = [names.index(name) for name in keep_names]
+    return table.project_ranking(keep)

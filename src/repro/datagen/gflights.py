@@ -1,0 +1,101 @@
+"""Synthetic stand-in for the Google Flights (QPX API) scenario (§8.3).
+
+The paper's live GF experiment: pick a random pair among the 25 busiest US
+airports and a travel date, then discover all skyline one-way flights for a
+traveller who prefers fewer Stops, a lower Price, a shorter
+ConnectionDuration and a *later* DepartureTime (getting away after a day of
+work).  The QPX interface exposes Stops, Price and ConnectionDuration as
+one-ended (SQ) ranges and DepartureTime as a two-ended (RQ) range; the
+default ranking is price ascending, and the free tier allows only 50 queries
+per user per day.
+
+Each route/date instance is an independent small table (tens to a few
+hundred flights); the paper reports 4-11 skyline flights per instance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..hiddendb.attributes import Attribute, InterfaceKind, Schema
+from ..hiddendb.table import Table
+
+#: The QPX free-tier rate limit highlighted by the paper.
+DAILY_QUERY_LIMIT = 50
+
+#: Domain sizes: stops 0..2, price in ~$31 buckets, connection time in
+#: 40-minute steps, departure time in 2-hour windows across the day.  The
+#: granularities are chosen so that instances land in the paper's regime:
+#: 4-11 skyline flights, all discoverable within the 50-query daily quota
+#: even at k = 1.
+STOPS_DOMAIN = 3
+PRICE_DOMAIN = 80
+CONNECTION_DOMAIN = 12
+DEPARTURE_DOMAIN = 8
+
+
+def flight_schema() -> Schema:
+    """The QPX-like search interface taxonomy of §8.3."""
+    return Schema(
+        [
+            Attribute("stops", STOPS_DOMAIN, InterfaceKind.SQ),
+            Attribute("price", PRICE_DOMAIN, InterfaceKind.SQ),
+            Attribute("connection", CONNECTION_DOMAIN, InterfaceKind.SQ),
+            Attribute("departure", DEPARTURE_DOMAIN, InterfaceKind.RQ),
+            Attribute("origin", 25, InterfaceKind.FILTER),
+            Attribute("destination", 25, InterfaceKind.FILTER),
+            Attribute("date", 30, InterfaceKind.FILTER),
+        ]
+    )
+
+
+def flight_instance(seed: int, n: int | None = None) -> Table:
+    """One route/date search instance.
+
+    ``departure`` is stored in preference space: 0 is the latest slot of the
+    day (the traveller prefers leaving later).  Nonstop flights have no
+    connection time; price correlates negatively with stops and mildly with
+    departure convenience.
+    """
+    rng = np.random.default_rng(seed)
+    if n is None:
+        n = int(rng.integers(40, 260))
+    stops = rng.choice(STOPS_DOMAIN, size=n, p=(0.35, 0.5, 0.15))
+    connection_minutes = np.where(
+        stops == 0,
+        0,
+        rng.gamma(3.0, 14.0, size=n) * stops,
+    )
+    connection = np.clip(
+        connection_minutes / (480.0 / CONNECTION_DOMAIN), 0,
+        CONNECTION_DOMAIN - 1,
+    )
+    departure_slot = rng.integers(0, DEPARTURE_DOMAIN, size=n)
+    departure = DEPARTURE_DOMAIN - 1 - departure_slot  # later preferred
+    base_fare = rng.lognormal(5.4, 0.2, size=n)
+    fare = base_fare * (1.0 - 0.25 * stops)
+    price = np.clip(fare / (2500.0 / PRICE_DOMAIN), 0, PRICE_DOMAIN - 1)
+    matrix = np.column_stack(
+        [
+            stops.astype(np.int64),
+            price.astype(np.int64),
+            connection.astype(np.int64),
+            departure.astype(np.int64),
+        ]
+    )
+    route = np.random.default_rng(seed + 1)
+    origin, destination = route.choice(25, size=2, replace=False)
+    filters = {
+        "origin": np.full(n, origin, dtype=np.int64),
+        "destination": np.full(n, destination, dtype=np.int64),
+        "date": np.full(n, int(route.integers(0, 30)), dtype=np.int64),
+    }
+    return Table(flight_schema(), matrix, filters)
+
+
+def flight_instances(count: int, seed: int = 0) -> Iterator[Table]:
+    """``count`` independent route/date instances (the paper samples 50)."""
+    for index in range(count):
+        yield flight_instance(seed * 10_000 + index)

@@ -1,0 +1,31 @@
+"""Run every figure experiment in sequence: ``python -m repro.experiments``.
+
+Accepts figure ids to restrict the run, e.g.::
+
+    python -m repro.experiments fig13 fig22
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import ALL_FIGURES
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    selected = argv or list(ALL_FIGURES)
+    unknown = [figure for figure in selected if figure not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {unknown}; available: {sorted(ALL_FIGURES)}")
+        return 2
+    for figure in selected:
+        start = time.perf_counter()
+        ALL_FIGURES[figure].main()
+        print(f"[{figure} finished in {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

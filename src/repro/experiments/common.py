@@ -1,0 +1,78 @@
+"""Shared plumbing for the figure-reproduction experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import discover_pq, discover_rq, discover_sq
+from ..core.base import DiscoveryResult
+from ..hiddendb.attributes import InterfaceKind
+from ..hiddendb.interface import TopKInterface
+from ..hiddendb.ranking import Ranker
+from ..hiddendb.table import Table
+
+#: Default top-k of the simulated search forms in the offline experiments.
+DEFAULT_K = 10
+
+
+def ground_truth_values(table: Table) -> frozenset[tuple[int, ...]]:
+    """Skyline of ``table`` as a value-vector set (oracle access)."""
+    return frozenset(
+        tuple(int(v) for v in row) for row in table.matrix[table.skyline_indices()]
+    )
+
+
+def run_range_algorithm(
+    table: Table,
+    algorithm: str,
+    k: int = DEFAULT_K,
+    ranker: Ranker | None = None,
+    verify: bool = True,
+) -> DiscoveryResult:
+    """Run ``"sq"`` or ``"rq"`` discovery over ``table`` and optionally check
+    the answer against the ground truth."""
+    interface = TopKInterface(table, ranker=ranker, k=k)
+    if algorithm == "sq":
+        result = discover_sq(interface)
+    elif algorithm == "rq":
+        kinds = [a.kind for a in table.schema.ranking_attributes]
+        two_ended = tuple(
+            i for i, kind in enumerate(kinds) if kind is InterfaceKind.RQ
+        )
+        result = discover_rq(interface, two_ended=two_ended)
+    else:
+        raise ValueError(f"unknown range algorithm {algorithm!r}")
+    if verify:
+        expected = ground_truth_values(table)
+        if result.skyline_values != expected:
+            raise AssertionError(
+                f"{algorithm} returned {len(result.skyline_values)} skyline "
+                f"vectors, expected {len(expected)}"
+            )
+    return result
+
+
+def run_pq(
+    table: Table,
+    k: int = DEFAULT_K,
+    ranker: Ranker | None = None,
+    verify: bool = True,
+) -> DiscoveryResult:
+    """Run PQ-DB-SKY over ``table`` with optional verification."""
+    interface = TopKInterface(table, ranker=ranker, k=k)
+    result = discover_pq(interface)
+    if verify:
+        expected = ground_truth_values(table)
+        if result.skyline_values != expected:
+            raise AssertionError("PQ-DB-SKY missed part of the skyline")
+    return result
+
+
+def skyline_count(table: Table) -> int:
+    """Number of distinct skyline value vectors of ``table``."""
+    return len(ground_truth_values(table))
+
+
+def as_int(value) -> int:
+    """Narrow numpy integers for clean report rows."""
+    return int(np.asarray(value).item())

@@ -1,0 +1,51 @@
+"""Figure 13: impact of the interface's top-k on RQ-DB-SKY vs BASELINE.
+
+DOT-like flights data through a two-ended range interface; k sweeps 1..50.
+Both methods get cheaper with larger k, but RQ-DB-SKY stays orders of
+magnitude below the crawl-everything BASELINE at every k.
+"""
+
+from __future__ import annotations
+
+from ..core import baseline_skyline, discover_rq
+from ..datagen.flights import flights_range_table
+from ..hiddendb.interface import TopKInterface
+from .common import ground_truth_values
+from .reporting import print_experiment
+
+DEFAULT_KS = (1, 10, 20, 30, 40, 50)
+
+
+def run(
+    n: int = 20_000,
+    m: int = 5,
+    ks: tuple[int, ...] = DEFAULT_KS,
+    seed: int = 0,
+    include_baseline: bool = True,
+) -> list[dict]:
+    """Cost rows for RQ-DB-SKY and BASELINE at each k."""
+    table = flights_range_table(n, m, seed=seed)
+    expected = ground_truth_values(table)
+    rows = []
+    for k in ks:
+        interface = TopKInterface(table, k=k)
+        rq = discover_rq(interface)
+        if rq.skyline_values != expected:
+            raise AssertionError(f"RQ-DB-SKY incomplete at k={k}")
+        row = {"k": k, "S": len(expected), "rq_cost": rq.total_cost}
+        if include_baseline:
+            base = baseline_skyline(TopKInterface(table, k=k))
+            if base.skyline_values != expected:
+                raise AssertionError(f"BASELINE incomplete at k={k}")
+            row["baseline_cost"] = base.total_cost
+            row["speedup"] = round(base.total_cost / max(rq.total_cost, 1), 1)
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    print_experiment("Figure 13: impact of k (RQ-DB-SKY vs BASELINE)", run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Figure 16: PQ-DB-SKY query cost vs database size for 3-D/4-D/5-D data.
+
+Point-predicate (group) attributes of the flights data.  Expected shape:
+cost barely moves as n grows from 20K to 100K but rises steeply with the
+number of PQ attributes -- the plane enumeration is exponential in m - 2.
+"""
+
+from __future__ import annotations
+
+from ..datagen.flights import flights_pq_table
+from .common import run_pq
+from .reporting import print_experiment
+
+DEFAULT_NS = (20_000, 40_000, 60_000, 80_000, 100_000)
+
+
+def run(
+    ns: tuple[int, ...] = DEFAULT_NS,
+    ms: tuple[int, ...] = (3, 4, 5),
+    k: int = 10,
+    seed: int = 0,
+) -> list[dict]:
+    """Cost rows per (n, m) combination."""
+    rows = []
+    for n in ns:
+        row: dict = {"n": n}
+        for m in ms:
+            table = flights_pq_table(n, m, seed=seed)
+            result = run_pq(table, k=k)
+            row[f"cost_{m}d"] = result.total_cost
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    print_experiment("Figure 16: impact of n (point predicates)", run())
+
+
+if __name__ == "__main__":
+    main()

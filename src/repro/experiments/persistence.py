@@ -1,0 +1,65 @@
+"""Archive experiment results as JSON.
+
+A full-scale figure run can take minutes; archiving its rows lets the
+numbers in EXPERIMENTS.md be regenerated, diffed and plotted without
+re-running the simulation.  Archives are plain JSON with a small metadata
+envelope::
+
+    {"figure": "fig13", "params": {...}, "rows": [...]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+
+def _jsonable(value):
+    """Coerce numpy scalars and other simple objects to JSON-safe types."""
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def save_rows(
+    path: str | Path,
+    figure: str,
+    rows: Sequence[Mapping],
+    params: Mapping | None = None,
+) -> Path:
+    """Write one experiment's rows (plus parameters) to ``path``."""
+    path = Path(path)
+    payload = {
+        "figure": figure,
+        "params": _jsonable(params or {}),
+        "rows": [_jsonable(row) for row in rows],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_rows(path: str | Path) -> tuple[str, dict, list[dict]]:
+    """Read an archive back as ``(figure, params, rows)``."""
+    payload = json.loads(Path(path).read_text())
+    for key in ("figure", "params", "rows"):
+        if key not in payload:
+            raise ValueError(f"{path}: not an experiment archive (no {key!r})")
+    return payload["figure"], payload["params"], payload["rows"]
+
+
+def run_and_save(
+    figure_module, path: str | Path, **params
+) -> list[dict]:
+    """Run a figure module's ``run(**params)`` and archive the result."""
+    rows = figure_module.run(**params)
+    name = figure_module.__name__.rsplit(".", 1)[-1]
+    save_rows(path, name, rows, params)
+    return rows

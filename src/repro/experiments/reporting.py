@@ -1,0 +1,60 @@
+"""Plain-text reporting helpers shared by all experiment front-ends.
+
+Each experiment module exposes ``run(...) -> list[dict]`` returning one dict
+per series point, plus a ``main()`` that prints the rows as an aligned table
+-- the textual equivalent of the paper's figure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render result rows as an aligned monospace table."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join(
+        "  ".join(value.rjust(widths[i]) for i, value in enumerate(line))
+        for line in rendered
+    )
+    return "\n".join([header, separator, body])
+
+
+def _render(value: object) -> str:
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.2f}"
+    return str(value)
+
+
+def print_experiment(title: str, rows: Sequence[Mapping[str, object]]) -> None:
+    """Print an experiment header followed by its result table."""
+    print(f"== {title} ==")
+    print(format_table(rows))
+    print()
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, tolerant of empty input (returns 0)."""
+    product = 1.0
+    count = 0
+    for value in values:
+        product *= float(value)
+        count += 1
+    if count == 0:
+        return 0.0
+    return product ** (1.0 / count)

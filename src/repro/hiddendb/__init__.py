@@ -1,0 +1,48 @@
+"""Hidden web database simulator: schema, queries, ranking and top-k access.
+
+This subpackage is the substrate every discovery algorithm runs against.  It
+reproduces the access model of the paper exactly: conjunctive queries subject
+to a per-attribute interface taxonomy (SQ / RQ / PQ / filtering), answered by
+at most ``k`` tuples chosen by a domination-consistent ranking function, with
+every issued query counted against an optional rate limit.
+"""
+
+from .attributes import Attribute, InterfaceKind, Schema
+from .errors import (
+    HiddenDBError,
+    InvalidDomainValueError,
+    QueryBudgetExceeded,
+    UnknownAttributeError,
+    UnsupportedQueryError,
+)
+from .interface import QueryResult, TopKInterface
+from .query import Interval, Query, predicates_from_strings
+from .ranking import (
+    LexicographicRanker,
+    LinearRanker,
+    RandomSkylineRanker,
+    Ranker,
+)
+from .table import Row, Table
+
+__all__ = [
+    "Attribute",
+    "HiddenDBError",
+    "InterfaceKind",
+    "Interval",
+    "InvalidDomainValueError",
+    "LexicographicRanker",
+    "LinearRanker",
+    "Query",
+    "QueryBudgetExceeded",
+    "QueryResult",
+    "RandomSkylineRanker",
+    "Ranker",
+    "Row",
+    "Schema",
+    "Table",
+    "TopKInterface",
+    "UnknownAttributeError",
+    "UnsupportedQueryError",
+    "predicates_from_strings",
+]

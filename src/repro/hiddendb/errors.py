@@ -1,0 +1,43 @@
+"""Exceptions raised by the hidden-database simulator.
+
+The simulator mirrors the failure modes of a real web search form: a client
+can submit a query the interface does not support (``UnsupportedQueryError``),
+reference an attribute that does not exist (``UnknownAttributeError``), or
+exhaust its per-IP / per-API-key query allowance (``QueryBudgetExceeded``).
+"""
+
+from __future__ import annotations
+
+
+class HiddenDBError(Exception):
+    """Base class for all errors raised by :mod:`repro.hiddendb`."""
+
+
+class UnknownAttributeError(HiddenDBError):
+    """A query or schema operation referenced an attribute that does not exist."""
+
+
+class UnsupportedQueryError(HiddenDBError):
+    """The search interface rejected a query.
+
+    Raised when a predicate is not expressible through the attribute's
+    interface kind -- e.g. a lower bound on an SQ (one-ended range) attribute,
+    or a range predicate on a PQ (point-predicate) attribute.
+    """
+
+
+class QueryBudgetExceeded(HiddenDBError):
+    """The query rate limit of the hidden database was reached.
+
+    Mirrors the per-IP-address / per-API-key limits that real web databases
+    enforce (e.g. 50 free queries per day for the Google QPX API).  Discovery
+    algorithms catch this to return a partial, *anytime* result.
+    """
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(f"query budget of {limit} queries exhausted")
+        self.limit = limit
+
+
+class InvalidDomainValueError(HiddenDBError):
+    """A value lies outside the attribute's domain ``[0, domain_size)``."""

@@ -1,0 +1,180 @@
+"""The top-k search interface -- the only data access the algorithms get.
+
+:class:`TopKInterface` models the proprietary search form of a hidden web
+database (Section 2.1 of the paper):
+
+* it accepts conjunctive queries, validated against the per-attribute
+  interface taxonomy (SQ / RQ / PQ / filtering);
+* it returns at most ``k`` matching tuples, selected by a
+  domination-consistent ranking function the client cannot inspect;
+* it **counts every issued query**, the paper's sole efficiency measure, and
+  optionally enforces a query budget that mirrors per-IP / per-API-key rate
+  limits (triggering :class:`~repro.hiddendb.errors.QueryBudgetExceeded`).
+
+The ``overflow`` flag of a :class:`QueryResult` is the client-side proxy a
+real scraper has: a query *may* have more matches exactly when it returned
+``k`` tuples.  The simulator does not reveal the true match count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import QueryBudgetExceeded
+from .query import Query
+from .ranking import LinearRanker, Ranker
+from .table import Row, Table
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Answer to one issued query."""
+
+    query: Query
+    rows: tuple[Row, ...]
+    overflow: bool  #: ``True`` when ``len(rows) == k`` (more matches may exist)
+    sequence: int  #: 1-based position of this query in the issue order
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the query returned no tuples."""
+        return not self.rows
+
+    @property
+    def top(self) -> Row:
+        """The highest-ranked returned tuple (``rows[0]``)."""
+        if not self.rows:
+            raise IndexError("query returned no rows")
+        return self.rows[0]
+
+
+class TopKInterface:
+    """A counting, validating, rate-limited top-k query endpoint.
+
+    Parameters
+    ----------
+    table:
+        The hidden data.
+    ranker:
+        Domination-consistent ranking function; defaults to the unit-weight
+        :class:`~repro.hiddendb.ranking.LinearRanker` (the paper's SUM).
+    k:
+        Maximum number of tuples returned per query.
+    budget:
+        Optional hard limit on the number of queries; the ``budget + 1``-th
+        query raises :class:`QueryBudgetExceeded` *without* being executed.
+    validate:
+        Whether to enforce the per-attribute interface taxonomy.  Leave on;
+        turning it off is only useful for oracle-style test harnesses.
+    record_log:
+        Keep every :class:`QueryResult` in :attr:`log` (needed by the PQ
+        plane-pruning rules and by debugging tools; off by default to keep
+        large experiments lean).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        ranker: Ranker | None = None,
+        k: int = 1,
+        budget: int | None = None,
+        validate: bool = True,
+        record_log: bool = False,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if budget is not None and budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
+        self._table = table
+        self._ranker = ranker if ranker is not None else LinearRanker()
+        self._bound = self._ranker.bind(table)
+        self._k = k
+        self._budget = budget
+        self._validate = validate
+        self._count = 0
+        self._log: list[QueryResult] | None = [] if record_log else None
+
+    # ------------------------------------------------------------------
+    # metadata visible to a client
+    # ------------------------------------------------------------------
+    @property
+    def schema(self):
+        """The (public) schema of the search form."""
+        return self._table.schema
+
+    @property
+    def k(self) -> int:
+        """The top-k output limit."""
+        return self._k
+
+    @property
+    def queries_issued(self) -> int:
+        """Total number of queries issued so far -- the paper's cost metric."""
+        return self._count
+
+    @property
+    def budget(self) -> int | None:
+        """The configured query budget, if any."""
+        return self._budget
+
+    @property
+    def budget_remaining(self) -> int | None:
+        """Queries left before the rate limit triggers (``None`` = unlimited)."""
+        if self._budget is None:
+            return None
+        return max(self._budget - self._count, 0)
+
+    @property
+    def log(self) -> tuple[QueryResult, ...]:
+        """All recorded results (empty unless ``record_log=True``)."""
+        if self._log is None:
+            return ()
+        return tuple(self._log)
+
+    # ------------------------------------------------------------------
+    # the search endpoint
+    # ------------------------------------------------------------------
+    def query(self, query: Query) -> QueryResult:
+        """Issue one query and return its top-k answer.
+
+        Raises
+        ------
+        UnsupportedQueryError
+            If the query is not expressible through this interface.
+        QueryBudgetExceeded
+            If the query budget is already exhausted.
+        """
+        if self._validate:
+            query.validate(self._table.schema)
+        if self._budget is not None and self._count >= self._budget:
+            raise QueryBudgetExceeded(self._budget)
+        self._count += 1
+        matched = self._table.match_indices(query)
+        top = self._bound.top(matched, self._k)
+        rows = self._table.rows(top)
+        result = QueryResult(
+            query=query,
+            rows=rows,
+            overflow=len(rows) == self._k,
+            sequence=self._count,
+        )
+        if self._log is not None:
+            self._log.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # experiment plumbing
+    # ------------------------------------------------------------------
+    def reset(self, budget: int | None = None) -> None:
+        """Clear the query counter and log; optionally set a new budget."""
+        self._count = 0
+        if self._log is not None:
+            self._log = []
+        if budget is not None:
+            self._budget = budget
+
+    def __repr__(self) -> str:
+        return (
+            f"TopKInterface(n={self._table.n}, k={self._k}, "
+            f"issued={self._count}, budget={self._budget})"
+        )

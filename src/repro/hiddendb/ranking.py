@@ -1,0 +1,231 @@
+"""Domination-consistent ranking functions for the top-k interface.
+
+The paper supports any proprietary ranking function subject to a single
+requirement (Section 2.1): *domination consistency* -- if tuple ``t``
+dominates ``t'`` and both match a query, ``t`` must rank above ``t'``.
+
+Every ranker here guarantees that property:
+
+* :class:`LinearRanker` -- weighted sum of preference values with
+  non-negative weights; the paper's offline experiments use the plain SUM,
+  and a single-attribute weight vector models the "price low to high"
+  default ranking of Blue Nile / Google Flights / Yahoo! Autos.
+* :class:`LexicographicRanker` -- attribute-priority ordering; an example of
+  the "ill-behaved" rankers driving the worst-case analysis of Section 3.2.
+* :class:`RandomSkylineRanker` -- for each query, the top-1 is drawn
+  uniformly at random from the skyline tuples matching the query.  This is
+  exactly the randomness model of the paper's average-case analysis
+  (Section 3.2), used to validate Eq. (4)/(5) empirically.
+
+Ties on the primary criterion are broken by the full value vector
+(lexicographically in preference space) and finally by row id, which keeps
+every ranker a domination-consistent *total* order even with zero weights.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from .table import Table
+
+
+class BoundRanker(abc.ABC):
+    """A ranker bound to a concrete table (scores precomputed)."""
+
+    @abc.abstractmethod
+    def top(self, indices: np.ndarray, k: int) -> np.ndarray:
+        """The ``k`` highest-ranked row ids among ``indices``, in rank order."""
+
+
+class Ranker(abc.ABC):
+    """A ranking-function factory, independent of any table."""
+
+    @abc.abstractmethod
+    def bind(self, table: Table) -> BoundRanker:
+        """Precompute per-row state for ``table`` and return a bound ranker."""
+
+
+def _lexicographic_top(
+    matrix: np.ndarray,
+    indices: np.ndarray,
+    k: int,
+    primary: np.ndarray | None = None,
+) -> np.ndarray:
+    """Rank ``indices`` by (primary, value vector, rid) and keep the best k."""
+    if indices.size == 0:
+        return indices
+    keys = [indices]  # least-significant: row id
+    sub = matrix[indices]
+    for column in range(sub.shape[1] - 1, -1, -1):
+        keys.append(sub[:, column])
+    if primary is not None:
+        keys.append(primary)  # most-significant
+    order = np.lexsort(keys)
+    return indices[order[:k]]
+
+
+class _BoundLinear(BoundRanker):
+    def __init__(self, matrix: np.ndarray, scores: np.ndarray) -> None:
+        self._matrix = matrix
+        self._scores = scores
+
+    def top(self, indices: np.ndarray, k: int) -> np.ndarray:
+        if indices.size == 0:
+            return indices
+        scores = self._scores[indices]
+        if indices.size > max(4 * k, 64) and k < indices.size:
+            # Keep every row that could still be in the top-k after
+            # tie-breaking: all rows scoring <= the k-th smallest score.
+            kth = np.partition(scores, k - 1)[k - 1]
+            keep = scores <= kth
+            indices = indices[keep]
+            scores = scores[keep]
+        return _lexicographic_top(self._matrix, indices, k, primary=scores)
+
+
+class LinearRanker(Ranker):
+    """Rank by a non-negative weighted sum of preference values (lower wins).
+
+    With the default unit weights this is the paper's SUM ranking function
+    for the offline DOT experiments.  A one-hot weight vector yields the
+    single-attribute default ranking of the live websites (e.g. price
+    ascending).
+    """
+
+    def __init__(self, weights: Sequence[float] | None = None) -> None:
+        self._weights = None if weights is None else tuple(float(w) for w in weights)
+        if self._weights is not None and any(w < 0 for w in self._weights):
+            raise ValueError(
+                "negative weights would violate domination consistency"
+            )
+
+    @property
+    def weights(self) -> tuple[float, ...] | None:
+        """The configured weights, or ``None`` for unit weights."""
+        return self._weights
+
+    def bind(self, table: Table) -> BoundRanker:
+        if self._weights is None:
+            weights = np.ones(table.m)
+        else:
+            if len(self._weights) != table.m:
+                raise ValueError(
+                    f"{len(self._weights)} weights for {table.m} attributes"
+                )
+            weights = np.asarray(self._weights)
+        scores = table.matrix @ weights
+        return _BoundLinear(table.matrix, scores)
+
+    @classmethod
+    def single_attribute(cls, index: int, m: int) -> "LinearRanker":
+        """Rank by attribute ``index`` only (e.g. price low-to-high)."""
+        weights = [0.0] * m
+        weights[index] = 1.0
+        return cls(weights)
+
+
+class _BoundLexicographic(BoundRanker):
+    def __init__(self, matrix: np.ndarray, priority: tuple[int, ...]) -> None:
+        self._matrix = matrix
+        self._priority = priority
+
+    def top(self, indices: np.ndarray, k: int) -> np.ndarray:
+        if indices.size == 0:
+            return indices
+        keys = [indices]
+        sub = self._matrix[indices]
+        for column in reversed(self._priority):
+            keys.append(sub[:, column])
+        order = np.lexsort(keys)
+        return indices[order[:k]]
+
+
+class LexicographicRanker(Ranker):
+    """Rank by attribute priority (first attribute dominates the order).
+
+    Domination-consistent because every comparison key is a preference value.
+    This ranker is deliberately "unreasonable" in the paper's sense -- a tuple
+    ranked first on ``priority[0]`` wins regardless of how poor its remaining
+    values are -- and serves as the worst-case stressor in the experiments.
+    """
+
+    def __init__(self, priority: Sequence[int] | None = None) -> None:
+        self._priority = None if priority is None else tuple(int(i) for i in priority)
+
+    def bind(self, table: Table) -> BoundRanker:
+        priority = self._priority
+        if priority is None:
+            priority = tuple(range(table.m))
+        seen = set(priority)
+        if not all(0 <= i < table.m for i in priority):
+            raise ValueError(f"priority {priority} out of range for m={table.m}")
+        # Complete the priority with the remaining attributes so the order is
+        # total (plus the row-id key added by the bound ranker).
+        full = priority + tuple(i for i in range(table.m) if i not in seen)
+        return _BoundLexicographic(table.matrix, full)
+
+
+class _BoundRandomSkyline(BoundRanker):
+    def __init__(
+        self, matrix: np.ndarray, fallback: BoundRanker, rng: np.random.Generator
+    ) -> None:
+        self._matrix = matrix
+        self._fallback = fallback
+        self._rng = rng
+
+    def top(self, indices: np.ndarray, k: int) -> np.ndarray:
+        from ..core.dominance import skyline_indices
+
+        if indices.size == 0:
+            return indices
+        local_skyline = skyline_indices(self._matrix[indices])
+        chosen = int(indices[local_skyline[self._rng.integers(len(local_skyline))]])
+        if k == 1:
+            return np.array([chosen], dtype=indices.dtype)
+        rest = indices[indices != chosen]
+        tail = self._fallback.top(rest, k - 1)
+        return np.concatenate(([chosen], tail)).astype(indices.dtype)
+
+
+class RandomSkylineRanker(Ranker):
+    """The average-case ranking model of Section 3.2.
+
+    For every query, the returned top-1 tuple is chosen uniformly at random
+    from the skyline of the *matching* tuples; positions 2..k follow a
+    domination-consistent fallback.  The choice is domination-consistent
+    because a matching-skyline tuple is, by definition, not dominated by any
+    other matching tuple.
+
+    The selection consumes one random draw per query, so results depend on
+    the query sequence; seed the ranker for reproducibility.
+    """
+
+    def __init__(self, seed: int = 0, fallback: Ranker | None = None) -> None:
+        self._seed = seed
+        self._fallback = fallback if fallback is not None else LinearRanker()
+
+    def bind(self, table: Table) -> BoundRanker:
+        rng = np.random.default_rng(self._seed)
+        return _BoundRandomSkyline(table.matrix, self._fallback.bind(table), rng)
+
+
+def is_domination_consistent_order(matrix: np.ndarray, order: np.ndarray) -> bool:
+    """Test helper: no tuple appears after one it dominates in ``order``.
+
+    ``matrix`` holds the value vectors of the ordered tuples; ``order`` is a
+    permutation of row positions from best to worst rank.
+    """
+    values = matrix[order]
+    count = values.shape[0]
+    for later in range(count):
+        for earlier in range(later):
+            dominated_by_later = bool(
+                np.all(values[later] <= values[earlier])
+                and np.any(values[later] < values[earlier])
+            )
+            if dominated_by_later:
+                return False
+    return True

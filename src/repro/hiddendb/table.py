@@ -1,0 +1,230 @@
+"""In-memory tuple store backing the hidden-database simulator.
+
+A :class:`Table` holds ``n`` tuples over a :class:`~repro.hiddendb.attributes.Schema`.
+Ranking-attribute values live in a dense ``(n, m)`` numpy integer matrix in
+preference space (smaller is better); filtering attributes live in parallel
+per-name integer columns.  The matrix layout keeps query matching -- the hot
+path of every experiment, executed once per issued query -- vectorised.
+
+The table also exposes the *ground-truth* skyline and K-skyband oracles used
+to verify the discovery algorithms.  These oracles see the full data and are
+never available to the algorithms themselves, which may only go through
+:class:`~repro.hiddendb.interface.TopKInterface`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .attributes import Attribute, InterfaceKind, Schema
+from .errors import InvalidDomainValueError, UnknownAttributeError
+from .query import Query
+
+
+@dataclass(frozen=True)
+class Row:
+    """A tuple returned through the search interface.
+
+    ``rid`` is the internal row identifier (stable across queries, analogous
+    to the listing URL of a real result), and ``values`` are the ranking
+    attribute values in schema order, in preference space.
+    """
+
+    rid: int
+    values: tuple[int, ...]
+
+    def __getitem__(self, index: int) -> int:
+        return self.values[index]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        body = ",".join(str(v) for v in self.values)
+        return f"Row#{self.rid}({body})"
+
+
+class Table:
+    """An immutable collection of tuples over a schema."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        ranking_values: np.ndarray | Sequence[Sequence[int]],
+        filter_values: Mapping[str, np.ndarray | Sequence[int]] | None = None,
+    ) -> None:
+        matrix = np.asarray(ranking_values, dtype=np.int64)
+        if matrix.ndim == 1:
+            matrix = matrix.reshape(-1, 1)
+        if matrix.ndim != 2:
+            raise ValueError("ranking_values must be a 2-D array")
+        if matrix.shape[1] != schema.m:
+            raise ValueError(
+                f"ranking_values has {matrix.shape[1]} columns but schema "
+                f"declares {schema.m} ranking attributes"
+            )
+        for column, attribute in enumerate(schema.ranking_attributes):
+            if matrix.shape[0] == 0:
+                break
+            lo = int(matrix[:, column].min())
+            hi = int(matrix[:, column].max())
+            if lo < 0 or hi > attribute.max_value:
+                raise InvalidDomainValueError(
+                    f"column {attribute.name!r}: values span [{lo}, {hi}] but "
+                    f"domain is [0, {attribute.max_value}]"
+                )
+        self._schema = schema
+        self._matrix = matrix
+        self._matrix.setflags(write=False)
+        self._filters: dict[str, np.ndarray] = {}
+        expected = {a.name for a in schema.filtering_attributes}
+        provided = set(filter_values or {})
+        if not provided <= expected:
+            raise UnknownAttributeError(
+                f"unknown filtering columns: {sorted(provided - expected)}"
+            )
+        for name, column_values in (filter_values or {}).items():
+            column = np.asarray(column_values, dtype=np.int64)
+            if column.shape != (matrix.shape[0],):
+                raise ValueError(
+                    f"filter column {name!r} has shape {column.shape}, "
+                    f"expected ({matrix.shape[0]},)"
+                )
+            column.setflags(write=False)
+            self._filters[name] = column
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        """The table's schema."""
+        return self._schema
+
+    @property
+    def n(self) -> int:
+        """Number of tuples."""
+        return int(self._matrix.shape[0])
+
+    @property
+    def m(self) -> int:
+        """Number of ranking attributes."""
+        return int(self._matrix.shape[1])
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Read-only ``(n, m)`` ranking-value matrix (preference space)."""
+        return self._matrix
+
+    def __len__(self) -> int:
+        return self.n
+
+    def row(self, rid: int) -> Row:
+        """Materialise the row with identifier ``rid``."""
+        return Row(rid, tuple(int(v) for v in self._matrix[rid]))
+
+    def rows(self, rids: Sequence[int]) -> tuple[Row, ...]:
+        """Materialise several rows at once."""
+        return tuple(self.row(int(rid)) for rid in rids)
+
+    def iter_rows(self) -> Iterator[Row]:
+        """Iterate over all rows (test / example use only)."""
+        for rid in range(self.n):
+            yield self.row(rid)
+
+    def filter_value(self, name: str, rid: int) -> int:
+        """Filtering-attribute value of row ``rid``."""
+        try:
+            return int(self._filters[name][rid])
+        except KeyError:
+            raise UnknownAttributeError(f"no filter column {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # query evaluation
+    # ------------------------------------------------------------------
+    def match_mask(self, query: Query) -> np.ndarray:
+        """Boolean mask of rows satisfying ``query``."""
+        mask = np.ones(self.n, dtype=bool)
+        for index, interval in query.ranges.items():
+            column = self._matrix[:, index]
+            if interval.lo > 0:
+                mask &= column >= interval.lo
+            attribute = self._schema.ranking_attributes[index]
+            if interval.hi < attribute.max_value:
+                mask &= column <= interval.hi
+        for name, value in query.filters.items():
+            try:
+                column = self._filters[name]
+            except KeyError:
+                raise UnknownAttributeError(f"no filter column {name!r}") from None
+            mask &= column == value
+        return mask
+
+    def match_indices(self, query: Query) -> np.ndarray:
+        """Row identifiers of rows satisfying ``query``."""
+        return np.flatnonzero(self.match_mask(query))
+
+    def count_matches(self, query: Query) -> int:
+        """Number of rows satisfying ``query``."""
+        return int(self.match_mask(query).sum())
+
+    # ------------------------------------------------------------------
+    # ground-truth oracles (not reachable through the web interface)
+    # ------------------------------------------------------------------
+    def skyline_indices(self) -> np.ndarray:
+        """Row identifiers of the true skyline, sorted ascending."""
+        from ..core.dominance import skyline_indices
+
+        return skyline_indices(self._matrix)
+
+    def skyline_rows(self) -> tuple[Row, ...]:
+        """The true skyline tuples."""
+        return self.rows(self.skyline_indices())
+
+    def skyband_indices(self, k_band: int) -> np.ndarray:
+        """Row identifiers of the true top-``k_band`` skyband, sorted."""
+        from ..core.dominance import skyband_indices
+
+        return skyband_indices(self._matrix, k_band)
+
+    def subsample(self, n: int, seed: int = 0) -> "Table":
+        """A uniform random sample of ``n`` rows (used by the n-scaling
+        experiments, mirroring the paper's subsampling of the DOT data)."""
+        if n > self.n:
+            raise ValueError(f"cannot sample {n} rows from {self.n}")
+        rng = np.random.default_rng(seed)
+        chosen = np.sort(rng.choice(self.n, size=n, replace=False))
+        filters = {name: column[chosen] for name, column in self._filters.items()}
+        return Table(self._schema, self._matrix[chosen], filters)
+
+    def project_ranking(self, indices: Sequence[int]) -> "Table":
+        """A table keeping only the ranking attributes at ``indices``.
+
+        Used by the vary-``m`` experiments, which run discovery over attribute
+        prefixes of the flights dataset.
+        """
+        kept = [self._schema.ranking_attributes[i] for i in indices]
+        schema = Schema(tuple(kept) + self._schema.filtering_attributes)
+        matrix = self._matrix[:, list(indices)]
+        return Table(schema, matrix, dict(self._filters))
+
+    def with_kinds(self, kinds: Mapping[str, InterfaceKind]) -> "Table":
+        """A table whose named attributes get new interface kinds.
+
+        Used to study the same data under different interface taxonomies
+        (e.g. Figure 19 sweeps the number of RQ vs PQ attributes).
+        """
+        attributes = []
+        for attribute in self._schema.attributes:
+            kind = kinds.get(attribute.name, attribute.kind)
+            attributes.append(
+                Attribute(attribute.name, attribute.domain_size, kind,
+                          attribute.labels)
+            )
+        return Table(Schema(attributes), self._matrix, dict(self._filters))
+
+    def __repr__(self) -> str:
+        return f"Table(n={self.n}, schema={self._schema!r})"

@@ -1,0 +1,104 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hiddendb import (
+    Attribute,
+    InterfaceKind,
+    LinearRanker,
+    Schema,
+    Table,
+    TopKInterface,
+)
+
+
+def make_table(
+    values,
+    kinds=None,
+    domain: int | None = None,
+    filters=None,
+    filter_domains=None,
+) -> Table:
+    """Build a table from a plain list of value tuples.
+
+    ``kinds`` is a single :class:`InterfaceKind` or one per attribute;
+    ``domain`` defaults to one past the largest value seen.
+    """
+    matrix = np.asarray(values, dtype=np.int64)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(-1, 1)
+    m = matrix.shape[1]
+    if domain is None:
+        domain = int(matrix.max(initial=0)) + 1
+    if kinds is None:
+        kinds = InterfaceKind.RQ
+    if isinstance(kinds, InterfaceKind):
+        kinds = [kinds] * m
+    attributes = [
+        Attribute(f"a{i}", domain, kinds[i]) for i in range(m)
+    ]
+    for name in (filters or {}):
+        size = (filter_domains or {}).get(
+            name, int(max(filters[name])) + 1 if len(filters[name]) else 1
+        )
+        attributes.append(Attribute(name, size, InterfaceKind.FILTER))
+    return Table(Schema(attributes), matrix, filters)
+
+
+def truth_values(table: Table) -> frozenset[tuple[int, ...]]:
+    """Ground-truth skyline of ``table`` as value vectors."""
+    return frozenset(
+        tuple(int(v) for v in row)
+        for row in table.matrix[table.skyline_indices()]
+    )
+
+
+def truth_band_values(table: Table, band: int) -> frozenset[tuple[int, ...]]:
+    """Ground-truth K-skyband of ``table`` as value vectors."""
+    return frozenset(
+        tuple(int(v) for v in row)
+        for row in table.matrix[table.skyband_indices(band)]
+    )
+
+
+def random_table(
+    rng: np.random.Generator,
+    kinds,
+    n: int,
+    domain: int,
+    distinct: bool = False,
+) -> Table:
+    """A uniform random table over the given interface kinds."""
+    m = len(kinds)
+    if distinct:
+        total = domain ** m
+        n = min(n, total)
+        cells = rng.choice(total, size=n, replace=False)
+        matrix = np.stack([(cells // domain ** j) % domain for j in range(m)], axis=1)
+    else:
+        matrix = rng.integers(0, domain, size=(n, m))
+    schema = Schema([Attribute(f"a{i}", domain, kinds[i]) for i in range(m)])
+    return Table(schema, matrix)
+
+
+@pytest.fixture
+def simple_table() -> Table:
+    """The paper's running example (Figure 2): four 3-D tuples."""
+    return make_table(
+        [
+            (5, 1, 9),
+            (4, 4, 8),
+            (1, 3, 7),
+            (3, 2, 3),
+        ],
+        kinds=InterfaceKind.RQ,
+        domain=10,
+    )
+
+
+@pytest.fixture
+def simple_interface(simple_table) -> TopKInterface:
+    return TopKInterface(simple_table, ranker=LinearRanker(), k=1)

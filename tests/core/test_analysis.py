@@ -1,0 +1,128 @@
+"""Tests for the closed-form cost analysis (§3.2, §5.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import analysis
+
+
+class TestExpectedCost:
+    def test_base_cases(self):
+        assert analysis.expected_cost_recurrence(3, 0) == 1
+        # C_1 = m + 1: the root plus m empty branches.
+        assert analysis.expected_cost_recurrence(3, 1) == 4
+        assert analysis.expected_cost_recurrence(8, 1) == 9
+
+    def test_paper_m2_closed_form(self):
+        """The paper states E(C_s) = 2s for m = 2."""
+        for s in range(1, 30):
+            assert analysis.expected_cost_closed_form(2, s) == 2 * s
+
+    @pytest.mark.parametrize("m", range(2, 9))
+    def test_recurrence_solves_to_closed_form_plus_one(self, m):
+        """Eq. (5) is the exact solution of Eq. (4) minus 1 (see module doc)."""
+        for s in range(0, 30):
+            recurrence = analysis.expected_cost_recurrence(m, s)
+            closed = analysis.expected_cost_closed_form(m, s)
+            if s == 0:
+                assert recurrence == 1
+            else:
+                assert recurrence == closed + 1, (m, s)
+
+    def test_m1_special_case(self):
+        # Recurrence for m = 1: E(C_1) = 2, E(C_2) = 5/2, ...; the closed
+        # form keeps the uniform "recurrence minus one" convention.
+        assert analysis.expected_cost_recurrence(1, 1) == 2
+        assert analysis.expected_cost_recurrence(1, 2) == Fraction(5, 2)
+        for s in range(1, 10):
+            assert analysis.expected_cost_closed_form(1, s) == (
+                analysis.expected_cost_recurrence(1, s) - 1
+            )
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            analysis.expected_cost_recurrence(0, 3)
+        with pytest.raises(ValueError):
+            analysis.expected_cost_recurrence(2, -1)
+        with pytest.raises(ValueError):
+            analysis.expected_cost_closed_form(0, 1)
+
+    def test_monotone_in_s(self):
+        values = [analysis.expected_cost_recurrence(4, s) for s in range(15)]
+        assert values == sorted(values)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_binomial_bound_dominates_expectation(self, m):
+        """Eq. (9): E(C_s) <= C(s + m, m) (+1 for the off-by-one)."""
+        for s in range(0, 25):
+            expected = analysis.expected_cost_recurrence(m, s)
+            assert expected <= Fraction(analysis.binomial_cost_bound(m, s)) + 1
+
+    @pytest.mark.parametrize("m", [2, 4, 8])
+    def test_eq10_bound_dominates_binomial(self, m):
+        """Eq. (10): C(s + m, m) <= (e + e s / m)^m."""
+        for s in range(0, 25):
+            assert analysis.binomial_cost_bound(m, s) <= (
+                analysis.average_case_bound(m, s) + 1e-9
+            )
+
+    def test_average_far_below_worst_case(self):
+        """The Figure-4 claim: orders of magnitude apart for m = 8."""
+        average = float(analysis.expected_cost_closed_form(8, 19))
+        worst = analysis.sq_worst_case_bound(8, 19)
+        assert worst / average > 1e6
+
+    def test_rq_bound_caps_at_n(self):
+        assert analysis.rq_worst_case_bound(3, 10, n=50) == 150
+        assert analysis.rq_worst_case_bound(3, 2, n=10**9) == 3 * 2 ** 4
+
+    def test_sq_lower_bound(self):
+        assert analysis.sq_lower_bound_order(3, 6) == 20  # C(6, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analysis.average_case_bound(0, 1)
+        with pytest.raises(ValueError):
+            analysis.sq_worst_case_bound(2, -1)
+        with pytest.raises(ValueError):
+            analysis.rq_worst_case_bound(2, 1, -1)
+        with pytest.raises(ValueError):
+            analysis.sq_lower_bound_order(0, 1)
+
+
+class TestPQ2DCost:
+    def test_staircase(self):
+        # Skyline {(0,4), (2,2), (4,0)} over 5x5: gaps contribute
+        # min(0,0) + min(2,2) + min(2,2) + min(0,0) = 4.
+        assert analysis.pq_2d_cost([(0, 4), (2, 2), (4, 0)], 5, 5) == 4
+
+    def test_single_point(self):
+        # Skyline {(2,3)} over 6x6: min(2, 2) + min(3, 3) = 5.
+        assert analysis.pq_2d_cost([(2, 3)], 6, 6) == 5
+
+    def test_empty_skyline(self):
+        assert analysis.pq_2d_cost([], 4, 7) == 3
+
+    def test_rejects_non_skyline_points(self):
+        with pytest.raises(ValueError):
+            analysis.pq_2d_cost([(0, 0), (1, 1)], 4, 4)
+
+    def test_rejects_empty_domains(self):
+        with pytest.raises(ValueError):
+            analysis.pq_2d_cost([(0, 0)], 0, 4)
+
+
+class TestPQDBBound:
+    def test_additive_times_multiplicative(self):
+        # Domains (11, 12, 3, 4): plane = 12 + 11, others 3 * 4.
+        assert analysis.pq_db_cost_bound((11, 12, 3, 4)) == 23 * 12
+
+    def test_two_attributes(self):
+        assert analysis.pq_db_cost_bound((5, 9)) == 14
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analysis.pq_db_cost_bound((5,))

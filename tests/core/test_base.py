@@ -1,0 +1,130 @@
+"""Tests for the discovery session and result machinery."""
+
+import pytest
+
+from repro.core.base import DiscoverySession, run_with_budget_guard
+from repro.hiddendb import Query, TopKInterface
+
+from ..conftest import make_table
+
+
+def _interface(values=((0, 9), (5, 5), (9, 0), (6, 6)), k=2, **kwargs):
+    return TopKInterface(make_table(values, domain=10), k=k, **kwargs)
+
+
+class TestDiscoverySession:
+    def test_cost_is_relative_to_session_start(self):
+        interface = _interface()
+        interface.query(Query.select_all())  # pre-session traffic
+        session = DiscoverySession(interface)
+        assert session.cost == 0
+        session.issue(Query.select_all())
+        assert session.cost == 1
+        assert interface.queries_issued == 2
+
+    def test_first_seen_records_earliest_cost(self):
+        session = DiscoverySession(_interface())
+        session.issue(Query.select_all())
+        session.issue(Query.select_all())
+        result = session.result("X")
+        assert all(entry.cost == 1 for entry in result.trace)
+
+    def test_retrieved_rows_deduplicated(self):
+        session = DiscoverySession(_interface())
+        session.issue(Query.select_all())
+        session.issue(Query.select_all())
+        rids = [row.rid for row in session.retrieved_rows]
+        assert len(rids) == len(set(rids))
+
+    def test_has_retrieved(self):
+        session = DiscoverySession(_interface(k=4))
+        assert not session.has_retrieved(0)
+        session.issue(Query.select_all())
+        assert session.has_retrieved(0)
+
+    def test_base_query_applied_to_every_issue(self):
+        table = make_table(
+            [(1,), (2,)],
+            filters={"city": [0, 1]},
+            filter_domains={"city": 2},
+        )
+        interface = TopKInterface(table, k=5)
+        base = Query.select_all().and_filter("city", 1)
+        session = DiscoverySession(interface, base)
+        result = session.issue(Query.select_all())
+        assert [row.values for row in result.rows] == [(2,)]
+
+    def test_contradictory_base_raises(self):
+        session = DiscoverySession(_interface(), Query.select_all().and_upper(0, 2))
+        with pytest.raises(ValueError):
+            session.issue(Query.select_all().and_lower(0, 5, 10))
+
+    def test_log_records_results(self):
+        session = DiscoverySession(_interface())
+        session.issue(Query.select_all())
+        assert len(session.log) == 1
+
+    def test_confirmed_skyline_filters_dominated(self):
+        session = DiscoverySession(_interface(k=4))
+        session.issue(Query.select_all())
+        values = {row.values for row in session.confirmed_skyline()}
+        assert values == {(0, 9), (5, 5), (9, 0)}
+
+
+class TestDiscoveryResult:
+    def _result(self):
+        session = DiscoverySession(_interface(k=4))
+        session.issue(Query.select_all())
+        return session.result("TEST")
+
+    def test_skyline_excludes_dominated_retrievals(self):
+        result = self._result()
+        assert result.skyline_values == {(0, 9), (5, 5), (9, 0)}
+        assert result.skyline_size == 3
+
+    def test_trace_is_sorted_and_covers_skyline(self):
+        result = self._result()
+        costs = [entry.cost for entry in result.trace]
+        assert costs == sorted(costs)
+        assert {entry.row.values for entry in result.trace} == result.skyline_values
+
+    def test_discovery_curve_monotone(self):
+        result = self._result()
+        curve = result.discovery_curve()
+        assert curve == [(1, 3)]
+
+    def test_discovered_within(self):
+        result = self._result()
+        assert len(result.discovered_within(0)) == 0
+        assert len(result.discovered_within(1)) == 3
+
+    def test_cost_of_discovery_bounds(self):
+        result = self._result()
+        assert result.cost_of_discovery(1) == 1
+        with pytest.raises(IndexError):
+            result.cost_of_discovery(4)
+        with pytest.raises(IndexError):
+            result.cost_of_discovery(0)
+
+    def test_repr_mentions_algorithm(self):
+        assert "TEST" in repr(self._result())
+
+
+class TestBudgetGuard:
+    def test_budget_exhaustion_yields_partial_result(self):
+        interface = _interface(k=1, budget=2)
+
+        def body(session):
+            for _ in range(10):
+                session.issue(Query.select_all())
+
+        result = run_with_budget_guard(interface, "X", body)
+        assert not result.complete
+        assert result.total_cost == 2
+        assert len(result.retrieved) == 1
+
+    def test_normal_completion(self):
+        result = run_with_budget_guard(
+            _interface(), "X", lambda session: session.issue(Query.select_all())
+        )
+        assert result.complete

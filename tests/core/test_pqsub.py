@@ -1,0 +1,120 @@
+"""Tests for the plane-state machinery behind PQ-2DSUB-SKY."""
+
+import numpy as np
+
+from repro.core.pqsub import PlaneState, _block_rectangles, choose_line
+
+
+class TestPlaneState:
+    def test_everything_alive_initially(self):
+        state = PlaneState(4, 5)
+        assert state.any_alive()
+        assert state.alive_mask().sum() == 20
+
+    def test_close_witness_rect(self):
+        state = PlaneState(4, 4)
+        state.close_witness_rect(1, 2)
+        alive = state.alive_mask()
+        assert not alive[0, 0] and not alive[1, 2]
+        assert alive[2, 0] and alive[0, 3]
+
+    def test_add_dominator_kills_worse_cells(self):
+        state = PlaneState(4, 4)
+        state.add_dominator(1, 1, in_plane=False)
+        alive = state.alive_mask()
+        assert not alive[1, 1] and not alive[3, 3]
+        assert alive[0, 3] and alive[3, 0]
+
+    def test_in_plane_dominator_spares_then_closes_own_cell(self):
+        state = PlaneState(4, 4)
+        state.add_dominator(1, 1, in_plane=True)
+        assert state.dominator_count(1, 1) == 0
+        assert not state.alive_mask()[1, 1]  # closed as retrieved
+
+    def test_rid_deduplication(self):
+        state = PlaneState(4, 4, band=2)
+        state.add_dominator(0, 0, in_plane=False, rid=7)
+        state.add_dominator(0, 0, in_plane=False, rid=7)
+        assert state.dominator_count(3, 3) == 1
+
+    def test_distinct_rids_accumulate(self):
+        state = PlaneState(4, 4, band=3)
+        state.add_dominator(0, 0, in_plane=False, rid=1)
+        state.add_dominator(0, 0, in_plane=False, rid=2)
+        assert state.dominator_count(3, 3) == 2
+        assert state.alive_mask()[3, 3]  # two dominators < band of three
+
+    def test_band_controls_death_threshold(self):
+        one = PlaneState(3, 3, band=1)
+        two = PlaneState(3, 3, band=2)
+        for state, rid in ((one, 1), (two, 1)):
+            state.add_dominator(0, 0, in_plane=False, rid=rid)
+        assert not one.alive_mask()[2, 2]
+        assert two.alive_mask()[2, 2]
+
+    def test_close_column_and_row(self):
+        state = PlaneState(3, 3)
+        state.close_column(1)
+        state.close_row(2, x_lo=0, x_hi=0)
+        alive = state.alive_mask()
+        assert not alive[1].any()
+        assert not alive[0, 2]
+        assert alive[2, 2]
+
+    def test_band_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            PlaneState(2, 2, band=0)
+
+
+class TestBlockRectangles:
+    def test_single_rectangle_for_uniform_region(self):
+        alive = np.ones((3, 4), dtype=bool)
+        rects = _block_rectangles(alive)
+        assert len(rects) == 1
+        assert rects[0].width == 3
+        assert rects[0].height == 4
+
+    def test_staircase_splits_into_blocks(self):
+        # Columns 0-1 have floor row 2; columns 2-3 have floor row 0.
+        alive = np.zeros((4, 4), dtype=bool)
+        alive[0:2, 2:] = True
+        alive[2:4, 0:2] = True
+        rects = _block_rectangles(alive)
+        assert len(rects) == 2
+        assert rects[0].columns.tolist() == [0, 1]
+        assert rects[1].columns.tolist() == [2, 3]
+
+    def test_dead_columns_skipped(self):
+        alive = np.zeros((4, 3), dtype=bool)
+        alive[0, :] = True
+        alive[3, :] = True
+        rects = _block_rectangles(alive)
+        spanned = sorted(c for rect in rects for c in rect.columns.tolist())
+        assert spanned == [0, 3]
+
+
+class TestChooseLine:
+    def test_none_when_everything_dead(self):
+        state = PlaneState(2, 2)
+        state.close_witness_rect(1, 1)
+        assert choose_line(state) is None
+
+    def test_prefers_narrow_dimension(self):
+        state = PlaneState(2, 6)
+        axis, value = choose_line(state)
+        assert axis == "x"
+        assert value == 0
+
+    def test_row_query_on_wide_region(self):
+        state = PlaneState(6, 2)
+        axis, value = choose_line(state)
+        assert axis == "y"
+        assert value == 0
+
+    def test_skips_dead_lines(self):
+        state = PlaneState(3, 9)
+        state.close_column(0)
+        axis, value = choose_line(state)
+        assert (axis, value) == ("x", 1)

@@ -1,0 +1,159 @@
+"""Tests for the DOT-flights stand-in generator."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import truncate_domains
+from repro.datagen.flights import (
+    DEFAULT_PQ,
+    RANKING_ATTRIBUTES,
+    flights_mixed_table,
+    flights_pq_table,
+    flights_range_table,
+    flights_table,
+)
+from repro.hiddendb import InterfaceKind
+
+
+class TestFlightsTable:
+    def test_schema_matches_paper(self):
+        table = flights_table(1000, seed=0)
+        names = [a.name for a in table.schema.ranking_attributes]
+        assert names == [name for name, _ in RANKING_ATTRIBUTES]
+        assert table.schema.m == 9
+
+    def test_domain_size_range_matches_paper(self):
+        """The paper reports ranking domains from 11 to 4,983."""
+        sizes = dict(RANKING_ATTRIBUTES)
+        assert min(sizes.values()) == 11
+        assert max(sizes.values()) == 4983
+
+    def test_default_pq_attributes(self):
+        table = flights_table(100, seed=0)
+        for name in DEFAULT_PQ:
+            assert table.schema[name].kind is InterfaceKind.PQ
+        assert table.schema["dep_delay"].kind is InterfaceKind.RQ
+
+    def test_structural_correlations(self):
+        table = flights_table(5000, seed=1)
+        names = [a.name for a in table.schema.ranking_attributes]
+        matrix = table.matrix
+        air = matrix[:, names.index("air_time")]
+        elapsed = matrix[:, names.index("actual_elapsed")]
+        # Elapsed time includes air time (both in preference space).
+        corr = np.corrcoef(air, elapsed)[0, 1]
+        assert corr > 0.8
+        dep = matrix[:, names.index("dep_delay")]
+        arrival = matrix[:, names.index("arrival_delay")]
+        assert np.corrcoef(dep, arrival)[0, 1] > 0.8
+
+    def test_group_attributes_coarsen_parents(self):
+        table = flights_table(2000, seed=2)
+        names = [a.name for a in table.schema.ranking_attributes]
+        arrival = table.matrix[:, names.index("arrival_delay")]
+        group = table.matrix[:, names.index("delay_group")]
+        assert group.max() < 11
+        # Same order: a much larger delay never lands in a smaller group.
+        order = np.argsort(arrival)
+        assert (np.diff(group[order]) >= 0).all()
+
+    def test_carrier_filter_column(self):
+        table = flights_table(100, seed=0)
+        assert table.schema["carrier"].kind is InterfaceKind.FILTER
+        assert 0 <= table.filter_value("carrier", 0) < 14
+
+    def test_unknown_derived_group_rejected(self):
+        with pytest.raises(ValueError):
+            flights_table(10, derived_groups=("bogus",))
+
+
+class TestDerivedTables:
+    def test_range_table_prefix(self):
+        table = flights_range_table(500, 4, seed=0)
+        assert table.schema.m == 4
+        assert all(a.kind is InterfaceKind.RQ
+                   for a in table.schema.ranking_attributes)
+
+    def test_range_table_sq_kind(self):
+        table = flights_range_table(100, 3, kind=InterfaceKind.SQ)
+        assert all(a.kind is InterfaceKind.SQ
+                   for a in table.schema.ranking_attributes)
+
+    def test_range_table_bounds(self):
+        with pytest.raises(ValueError):
+            flights_range_table(10, 0)
+        with pytest.raises(ValueError):
+            flights_range_table(10, 10)
+
+    def test_pq_table(self):
+        table = flights_pq_table(500, 4, seed=0)
+        assert table.schema.m == 4
+        assert all(a.kind is InterfaceKind.PQ
+                   for a in table.schema.ranking_attributes)
+        assert max(a.domain_size for a in table.schema.ranking_attributes) <= 15
+
+    def test_pq_table_bounds(self):
+        with pytest.raises(ValueError):
+            flights_pq_table(10, 1)
+        with pytest.raises(ValueError):
+            flights_pq_table(10, 9)
+
+    def test_mixed_table_composition(self):
+        table = flights_mixed_table(500, 3, 2, seed=0)
+        kinds = [a.kind for a in table.schema.ranking_attributes]
+        assert kinds.count(InterfaceKind.RQ) == 3
+        assert kinds.count(InterfaceKind.PQ) == 2
+
+    def test_mixed_table_bounds(self):
+        with pytest.raises(ValueError):
+            flights_mixed_table(10, 8, 1)
+        with pytest.raises(ValueError):
+            flights_mixed_table(10, 1, 7)
+
+
+class TestTruncateDomains:
+    def test_values_and_domains_shrink(self):
+        table = flights_pq_table(2000, 3, seed=0)
+        truncated = truncate_domains(table, 5)
+        assert truncated.matrix.max() < 5
+        assert all(a.domain_size <= 5
+                   for a in truncated.schema.ranking_attributes)
+        assert truncated.n < table.n
+
+    def test_kept_values_are_the_most_preferred_occupied(self):
+        table = flights_pq_table(2000, 3, seed=0)
+        truncated = truncate_domains(table, 4)
+        # Remapped values are contiguous from 0 in every non-empty column.
+        if truncated.n:
+            assert truncated.matrix.min() == 0
+
+    def test_validation(self):
+        table = flights_pq_table(100, 3, seed=0)
+        with pytest.raises(ValueError):
+            truncate_domains(table, 0)
+
+
+class TestRediscretizeDomains:
+    def test_keeps_all_tuples(self):
+        from repro.datagen import rediscretize_domains
+
+        table = flights_pq_table(2000, 3, seed=0)
+        smaller = rediscretize_domains(table, 5)
+        assert smaller.n == table.n
+        assert smaller.matrix.max() < 5
+
+    def test_order_preserving(self):
+        from repro.datagen import rediscretize_domains
+
+        table = flights_pq_table(2000, 3, seed=0)
+        smaller = rediscretize_domains(table, 5)
+        original = table.matrix[:, 0]
+        bucketed = smaller.matrix[:, 0]
+        order = np.argsort(original, kind="stable")
+        assert (np.diff(bucketed[order]) >= 0).all()
+
+    def test_validation(self):
+        from repro.datagen import rediscretize_domains
+
+        with pytest.raises(ValueError):
+            rediscretize_domains(flights_pq_table(50, 3), 0)

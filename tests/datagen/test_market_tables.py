@@ -1,0 +1,99 @@
+"""Tests for the live-website stand-ins (Blue Nile, Google Flights, Yahoo! Autos)."""
+
+import numpy as np
+
+from repro.datagen.autos import autos_table
+from repro.datagen.diamonds import diamonds_table
+from repro.datagen.gflights import (
+    DAILY_QUERY_LIMIT,
+    flight_instance,
+    flight_instances,
+    flight_schema,
+)
+from repro.hiddendb import InterfaceKind
+
+
+class TestDiamonds:
+    def test_schema_matches_site(self):
+        table = diamonds_table(500, seed=0)
+        names = [a.name for a in table.schema.ranking_attributes]
+        assert names == ["price", "carat", "cut", "color", "clarity"]
+        assert all(a.kind is InterfaceKind.RQ
+                   for a in table.schema.ranking_attributes)
+        assert table.schema["shape"].kind is InterfaceKind.FILTER
+
+    def test_price_carat_anticorrelated_in_preference_space(self):
+        # Heavier stones (carat preference 0) cost more (price preference
+        # high): the trade-off behind the large diamond skyline.
+        table = diamonds_table(5000, seed=1)
+        price = table.matrix[:, 0]
+        carat = table.matrix[:, 1]
+        assert np.corrcoef(price, carat)[0, 1] < -0.5
+
+    def test_skyline_scale_matches_paper(self):
+        """The paper found 2,149 skyline diamonds in 209,666 listings; at our
+        default scale the skyline should be the same order of magnitude."""
+        table = diamonds_table(20_000, seed=0)
+        size = len(table.skyline_indices())
+        assert 500 <= size <= 6000
+
+    def test_grade_labels(self):
+        table = diamonds_table(10, seed=0)
+        assert table.schema["cut"].label(0) == "Astor Ideal"
+        assert table.schema["clarity"].label(0) == "FL"
+
+
+class TestAutos:
+    def test_schema_matches_site(self):
+        table = autos_table(100, seed=0)
+        names = [a.name for a in table.schema.ranking_attributes]
+        assert names == ["price", "mileage", "year"]
+        assert all(a.kind is InterfaceKind.RQ
+                   for a in table.schema.ranking_attributes)
+
+    def test_mileage_tracks_age(self):
+        table = autos_table(5000, seed=0)
+        mileage = table.matrix[:, 1]
+        year = table.matrix[:, 2]  # preference 0 = newest
+        assert np.corrcoef(mileage, year)[0, 1] > 0.5
+
+    def test_skyline_scale_matches_paper(self):
+        """The paper found 1,601 skyline cars in 125,149 listings."""
+        table = autos_table(50_000, seed=0)
+        size = len(table.skyline_indices())
+        assert 200 <= size <= 4000
+
+
+class TestGoogleFlights:
+    def test_interface_taxonomy(self):
+        schema = flight_schema()
+        assert schema["stops"].kind is InterfaceKind.SQ
+        assert schema["price"].kind is InterfaceKind.SQ
+        assert schema["connection"].kind is InterfaceKind.SQ
+        assert schema["departure"].kind is InterfaceKind.RQ
+        assert schema["origin"].kind is InterfaceKind.FILTER
+
+    def test_nonstop_flights_have_no_connection(self):
+        table = flight_instance(seed=0, n=200)
+        stops = table.matrix[:, 0]
+        connection = table.matrix[:, 2]
+        assert (connection[stops == 0] == 0).all()
+
+    def test_skyline_size_matches_paper_range(self):
+        """The paper reports 4-11 skyline flights per route/date."""
+        sizes = [
+            len(table.skyline_indices())
+            for table in flight_instances(10, seed=0)
+        ]
+        assert min(sizes) >= 2
+        assert max(sizes) <= 30
+
+    def test_instances_differ(self):
+        tables = list(flight_instances(2, seed=0))
+        assert tables[0].n != tables[1].n or not np.array_equal(
+            tables[0].matrix[: min(tables[0].n, tables[1].n)],
+            tables[1].matrix[: min(tables[0].n, tables[1].n)],
+        )
+
+    def test_quota_constant(self):
+        assert DAILY_QUERY_LIMIT == 50

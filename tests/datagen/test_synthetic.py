@@ -1,0 +1,90 @@
+"""Tests for the synthetic micro-benchmark generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.synthetic import (
+    anticorrelated,
+    correlated,
+    correlation_sweep_table,
+    exact_skyline_table,
+    independent,
+)
+from repro.hiddendb import InterfaceKind
+
+
+class TestIndependent:
+    def test_shape_and_domain(self):
+        table = independent(100, 3, domain=10, seed=1)
+        assert table.n == 100
+        assert table.m == 3
+        assert table.matrix.max() < 10
+        assert table.matrix.min() >= 0
+
+    def test_deterministic_per_seed(self):
+        a = independent(50, 2, seed=7)
+        b = independent(50, 2, seed=7)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_kind_applies_to_all_attributes(self):
+        table = independent(10, 2, kind=InterfaceKind.PQ, seed=0)
+        assert all(a.kind is InterfaceKind.PQ
+                   for a in table.schema.ranking_attributes)
+
+
+class TestCorrelated:
+    def test_positive_correlation_shrinks_skyline(self):
+        strong = correlated(1000, 3, domain=50, rho=0.9, seed=0)
+        weak = correlated(1000, 3, domain=50, rho=-0.9, seed=0)
+        assert len(strong.skyline_indices()) < len(weak.skyline_indices())
+
+    def test_rho_bounds_validated(self):
+        with pytest.raises(ValueError):
+            correlated(10, 2, rho=1.5)
+
+    def test_marginals_stay_in_domain(self):
+        table = correlated(500, 4, domain=20, rho=-0.5, seed=3)
+        assert table.matrix.min() >= 0
+        assert table.matrix.max() < 20
+
+    def test_sweep_monotone_in_rho(self):
+        sizes = [
+            len(correlation_sweep_table(1000, 4, rho, seed=0).skyline_indices())
+            for rho in (0.9, 0.0, -0.9)
+        ]
+        assert sizes[0] < sizes[-1]
+
+
+class TestAnticorrelated:
+    def test_larger_skyline_than_independent(self):
+        anti = anticorrelated(1000, 2, domain=50, seed=0)
+        indep = independent(1000, 2, domain=50, seed=0)
+        assert len(anti.skyline_indices()) > len(indep.skyline_indices())
+
+    def test_domain_respected(self):
+        table = anticorrelated(300, 3, domain=30, seed=2)
+        assert table.matrix.max() < 30
+
+
+class TestExactSkylineTable:
+    def test_skyline_is_exactly_the_given_points(self):
+        points = [(1, 4), (2, 3), (4, 1)]
+        table = exact_skyline_table(points, filler=50, domain=10, seed=0)
+        got = {tuple(int(v) for v in row)
+               for row in table.matrix[table.skyline_indices()]}
+        assert got == set(points)
+        assert table.n == 53
+
+    def test_rejects_dominating_points(self):
+        with pytest.raises(ValueError):
+            exact_skyline_table([(0, 0), (1, 1)], filler=5, domain=4)
+
+    def test_rejects_cornered_anchor(self):
+        with pytest.raises(ValueError):
+            exact_skyline_table([(9, 9)], filler=5, domain=10)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            exact_skyline_table([1, 2], filler=0, domain=4)
+        with pytest.raises(ValueError):
+            exact_skyline_table(np.empty((0, 2)), filler=0, domain=4)

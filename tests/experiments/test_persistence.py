@@ -1,0 +1,50 @@
+"""Tests for the experiment-archive helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig04_analysis
+from repro.experiments.persistence import load_rows, run_and_save, save_rows
+
+
+class TestSaveLoadRoundTrip:
+    def test_round_trip(self, tmp_path):
+        rows = [{"k": 1, "cost": 10}, {"k": 2, "cost": 20}]
+        path = save_rows(tmp_path / "a.json", "fig13", rows, {"n": 100})
+        figure, params, loaded = load_rows(path)
+        assert figure == "fig13"
+        assert params == {"n": 100}
+        assert loaded == rows
+
+    def test_numpy_scalars_coerced(self, tmp_path):
+        rows = [{"cost": np.int64(7), "ratio": np.float64(0.5)}]
+        path = save_rows(tmp_path / "b.json", "x", rows)
+        _, _, loaded = load_rows(path)
+        assert loaded == [{"cost": 7, "ratio": 0.5}]
+
+    def test_nested_structures(self, tmp_path):
+        rows = [{"series": [1, 2, 3], "meta": {"pair": (0, 1)}}]
+        path = save_rows(tmp_path / "c.json", "x", rows)
+        _, _, loaded = load_rows(path)
+        assert loaded[0]["series"] == [1, 2, 3]
+        assert loaded[0]["meta"]["pair"] == [0, 1]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_rows(tmp_path / "deep" / "dir" / "d.json", "x", [])
+        assert path.exists()
+
+    def test_rejects_non_archive(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(ValueError):
+            load_rows(bad)
+
+
+class TestRunAndSave:
+    def test_runs_figure_and_archives(self, tmp_path):
+        path = tmp_path / "fig04.json"
+        rows = run_and_save(fig04_analysis, path, ms=(4,), max_s=5)
+        figure, params, loaded = load_rows(path)
+        assert figure == "fig04_analysis"
+        assert params == {"ms": [4], "max_s": 5}
+        assert len(loaded) == len(rows) > 0

@@ -1,0 +1,34 @@
+"""Tests for the experiment reporting helpers."""
+
+from repro.experiments.reporting import format_table, geometric_mean
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment_and_columns(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert len({len(line) for line in lines if line}) == 1
+
+    def test_union_of_columns(self):
+        rows = [{"a": 1}, {"b": 2}]
+        text = format_table(rows)
+        assert "a" in text and "b" in text
+
+    def test_float_rendering(self):
+        rows = [{"x": 3.0, "y": 3.14159}]
+        text = format_table(rows)
+        assert " 3" in text
+        assert "3.14" in text
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert abs(geometric_mean([1, 100]) - 10.0) < 1e-9
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0

@@ -1,0 +1,124 @@
+"""Tests for attribute and schema definitions."""
+
+import pytest
+
+from repro.hiddendb import (
+    Attribute,
+    InterfaceKind,
+    InvalidDomainValueError,
+    Schema,
+    UnknownAttributeError,
+)
+
+
+class TestInterfaceKind:
+    def test_filter_is_not_ranking(self):
+        assert not InterfaceKind.FILTER.is_ranking
+
+    def test_sq_rq_pq_are_ranking(self):
+        for kind in (InterfaceKind.SQ, InterfaceKind.RQ, InterfaceKind.PQ):
+            assert kind.is_ranking
+
+    def test_upper_bound_support(self):
+        assert InterfaceKind.SQ.supports_upper_bound
+        assert InterfaceKind.RQ.supports_upper_bound
+        assert not InterfaceKind.PQ.supports_upper_bound
+
+    def test_lower_bound_support_is_rq_only(self):
+        assert InterfaceKind.RQ.supports_lower_bound
+        assert not InterfaceKind.SQ.supports_lower_bound
+        assert not InterfaceKind.PQ.supports_lower_bound
+
+
+class TestAttribute:
+    def test_max_value(self):
+        assert Attribute("price", 100).max_value == 99
+
+    def test_rejects_empty_domain(self):
+        with pytest.raises(ValueError):
+            Attribute("price", 0)
+
+    def test_rejects_mismatched_labels(self):
+        with pytest.raises(ValueError):
+            Attribute("cut", 3, labels=("Ideal", "Good"))
+
+    def test_label_lookup(self):
+        cut = Attribute("cut", 2, labels=("Ideal", "Good"))
+        assert cut.label(0) == "Ideal"
+        assert cut.label(1) == "Good"
+
+    def test_label_defaults_to_value(self):
+        assert Attribute("price", 5).label(3) == 3
+
+    def test_label_validates_domain(self):
+        with pytest.raises(InvalidDomainValueError):
+            Attribute("price", 5).label(5)
+
+    def test_validate_value_bounds(self):
+        attribute = Attribute("price", 5)
+        attribute.validate_value(0)
+        attribute.validate_value(4)
+        with pytest.raises(InvalidDomainValueError):
+            attribute.validate_value(-1)
+        with pytest.raises(InvalidDomainValueError):
+            attribute.validate_value(5)
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema(
+            [
+                Attribute("price", 100, InterfaceKind.RQ),
+                Attribute("stops", 3, InterfaceKind.PQ),
+                Attribute("duration", 50, InterfaceKind.SQ),
+                Attribute("city", 10, InterfaceKind.FILTER),
+            ]
+        )
+
+    def test_m_counts_only_ranking(self):
+        assert self._schema().m == 3
+
+    def test_ranking_order_preserved(self):
+        names = [a.name for a in self._schema().ranking_attributes]
+        assert names == ["price", "stops", "duration"]
+
+    def test_filtering_attributes(self):
+        names = [a.name for a in self._schema().filtering_attributes]
+        assert names == ["city"]
+
+    def test_domain_sizes(self):
+        assert self._schema().domain_sizes == (100, 3, 50)
+
+    def test_lookup_by_name(self):
+        assert self._schema()["stops"].kind is InterfaceKind.PQ
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            self._schema()["color"]
+
+    def test_contains(self):
+        schema = self._schema()
+        assert "price" in schema
+        assert "color" not in schema
+
+    def test_ranking_index(self):
+        assert self._schema().ranking_index("duration") == 2
+
+    def test_ranking_index_of_filter_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            self._schema().ranking_index("city")
+
+    def test_indices_of_kind(self):
+        schema = self._schema()
+        assert schema.indices_of_kind(InterfaceKind.PQ) == (1,)
+        assert schema.indices_of_kind(InterfaceKind.RQ) == (0,)
+        assert schema.indices_of_kind(InterfaceKind.SQ) == (2,)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([Attribute("a", 2), Attribute("a", 3)])
+
+    def test_iteration_and_len(self):
+        schema = self._schema()
+        assert len(schema) == 4
+        assert [a.name for a in schema] == ["price", "stops", "duration", "city"]

@@ -1,0 +1,223 @@
+"""Tests for the conjunctive query model."""
+
+import pytest
+
+from repro.hiddendb import (
+    Attribute,
+    InterfaceKind,
+    Interval,
+    Query,
+    Schema,
+    UnsupportedQueryError,
+    predicates_from_strings,
+)
+
+
+class TestInterval:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Interval(3, 2)
+
+    def test_point(self):
+        assert Interval(4, 4).is_point
+        assert not Interval(3, 4).is_point
+
+    def test_width(self):
+        assert Interval(2, 5).width == 4
+
+    def test_contains(self):
+        interval = Interval(2, 5)
+        assert interval.contains(2)
+        assert interval.contains(5)
+        assert not interval.contains(1)
+        assert not interval.contains(6)
+
+    def test_intersection(self):
+        assert Interval(0, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+
+    def test_disjoint_intersection_is_none(self):
+        assert Interval(0, 2).intersect(Interval(3, 4)) is None
+
+
+class TestQueryRefinement:
+    def test_select_all_matches_everything(self):
+        assert Query.select_all().matches_values((0, 99, 5))
+
+    def test_and_upper(self):
+        query = Query.select_all().and_upper(0, 4)
+        assert query.matches_values((4, 100))
+        assert not query.matches_values((5, 0))
+
+    def test_and_upper_negative_is_unsatisfiable(self):
+        assert Query.select_all().and_upper(0, -1) is None
+
+    def test_and_upper_intersects(self):
+        query = Query.select_all().and_upper(0, 7).and_upper(0, 3)
+        assert query.interval(0, 100) == Interval(0, 3)
+
+    def test_and_lower(self):
+        query = Query.select_all().and_lower(1, 5, 10)
+        assert query.matches_values((0, 5))
+        assert not query.matches_values((0, 4))
+
+    def test_and_lower_past_domain_is_unsatisfiable(self):
+        assert Query.select_all().and_lower(0, 10, 10) is None
+
+    def test_and_point(self):
+        query = Query.select_all().and_point(0, 3)
+        assert query.matches_values((3, 0))
+        assert not query.matches_values((2, 0))
+
+    def test_contradictory_point_is_unsatisfiable(self):
+        query = Query.select_all().and_upper(0, 2)
+        assert query.and_point(0, 3) is None
+
+    def test_empty_range_after_bounds(self):
+        query = Query.select_all().and_lower(0, 5, 10)
+        assert query.and_upper(0, 4) is None
+
+    def test_merge(self):
+        left = Query.select_all().and_upper(0, 5)
+        right = Query.select_all().and_lower(0, 2, 10).and_point(1, 3)
+        merged = left.merge(right)
+        assert merged.interval(0, 10) == Interval(2, 5)
+        assert merged.interval(1, 10) == Interval(3, 3)
+
+    def test_merge_unsatisfiable(self):
+        left = Query.select_all().and_upper(0, 2)
+        right = Query.select_all().and_lower(0, 5, 10)
+        assert left.merge(right) is None
+
+    def test_merge_conflicting_filters(self):
+        left = Query.select_all().and_filter("city", 1)
+        right = Query.select_all().and_filter("city", 2)
+        assert left.merge(right) is None
+
+    def test_merge_is_idempotent(self):
+        query = Query.select_all().and_upper(0, 5).and_filter("city", 1)
+        assert query.merge(query) == query
+
+
+class TestQuerySemantics:
+    def test_filters_do_not_affect_value_matching(self):
+        query = Query.select_all().and_filter("city", 3)
+        assert query.matches_values((0, 0))
+
+    def test_equality_and_hash(self):
+        a = Query.select_all().and_upper(0, 5).and_point(1, 2)
+        b = Query.select_all().and_point(1, 2).and_upper(0, 5)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_num_predicates(self):
+        query = Query.select_all().and_upper(0, 5).and_filter("city", 1)
+        assert query.num_predicates == 2
+
+    def test_constrained_attributes_sorted(self):
+        query = Query.select_all().and_upper(2, 5).and_upper(0, 3)
+        assert query.constrained_attributes == (0, 2)
+
+    def test_covers_unconstrained_plane_attribute(self):
+        broad = Query.select_all()
+        plane = Query.from_point({2: 1, 3: 0})
+        assert broad.covers(plane)
+
+    def test_covers_requires_containment(self):
+        broad = Query.select_all().and_upper(2, 0)
+        plane = Query.from_point({2: 1})
+        assert not broad.covers(plane)
+
+    def test_covers_with_matching_interval(self):
+        broad = Query.select_all().and_upper(2, 3)
+        plane = Query.from_point({2: 1})
+        assert broad.covers(plane)
+
+    def test_covers_requires_filter_agreement(self):
+        broad = Query.select_all().and_filter("city", 1)
+        plane = Query.from_point({0: 1})
+        assert not broad.covers(plane)
+
+    def test_repr_mentions_predicates(self):
+        query = Query.select_all().and_upper(0, 5)
+        assert "A0" in repr(query)
+        assert "SELECT *" in repr(Query.select_all())
+
+
+class TestValidation:
+    def _schema(self):
+        return Schema(
+            [
+                Attribute("sq", 10, InterfaceKind.SQ),
+                Attribute("rq", 10, InterfaceKind.RQ),
+                Attribute("pq", 10, InterfaceKind.PQ),
+                Attribute("city", 5, InterfaceKind.FILTER),
+            ]
+        )
+
+    def test_sq_accepts_upper_bound(self):
+        Query.select_all().and_upper(0, 4).validate(self._schema())
+
+    def test_sq_accepts_point(self):
+        Query.select_all().and_point(0, 4).validate(self._schema())
+
+    def test_sq_rejects_lower_bound(self):
+        query = Query.select_all().and_lower(0, 3, 10)
+        with pytest.raises(UnsupportedQueryError):
+            query.validate(self._schema())
+
+    def test_rq_accepts_two_ended(self):
+        query = Query.select_all().and_lower(1, 2, 10).and_upper(1, 7)
+        query.validate(self._schema())
+
+    def test_pq_rejects_range(self):
+        query = Query.select_all().and_upper(2, 4)
+        with pytest.raises(UnsupportedQueryError):
+            query.validate(self._schema())
+
+    def test_pq_accepts_point(self):
+        Query.select_all().and_point(2, 4).validate(self._schema())
+
+    def test_out_of_domain_rejected(self):
+        query = Query.select_all().and_point(1, 10)
+        with pytest.raises(UnsupportedQueryError):
+            query.validate(self._schema())
+
+    def test_unknown_attribute_index_rejected(self):
+        query = Query.select_all().and_point(7, 1)
+        with pytest.raises(UnsupportedQueryError):
+            query.validate(self._schema())
+
+    def test_filter_on_ranking_attribute_rejected(self):
+        query = Query.select_all().and_filter("rq", 1)
+        with pytest.raises(UnsupportedQueryError):
+            query.validate(self._schema())
+
+
+class TestPredicateParser:
+    def _schema(self):
+        return Schema(
+            [
+                Attribute("price", 100, InterfaceKind.RQ),
+                Attribute("city", 5, InterfaceKind.FILTER),
+            ]
+        )
+
+    def test_parses_all_operators(self):
+        schema = self._schema()
+        query = predicates_from_strings(
+            schema, ["price < 10", "price >= 2", "city = 3"]
+        )
+        assert query.interval(0, 100) == Interval(2, 9)
+        assert query.filters == {"city": 3}
+
+    def test_rejects_range_on_filter(self):
+        with pytest.raises(ValueError):
+            predicates_from_strings(self._schema(), ["city < 3"])
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            predicates_from_strings(self._schema(), ["price <"])
+
+    def test_rejects_empty_result(self):
+        with pytest.raises(ValueError):
+            predicates_from_strings(self._schema(), ["price < 5", "price > 7"])

@@ -1,0 +1,134 @@
+"""Tests for the domination-consistent ranking functions."""
+
+import numpy as np
+import pytest
+
+from repro.hiddendb import (
+    LexicographicRanker,
+    LinearRanker,
+    RandomSkylineRanker,
+)
+from repro.hiddendb.ranking import is_domination_consistent_order
+
+from ..conftest import make_table
+
+
+def _order(ranker, table):
+    bound = ranker.bind(table)
+    return bound.top(np.arange(table.n), table.n)
+
+
+class TestLinearRanker:
+    def test_unit_weights_rank_by_sum(self):
+        table = make_table([(5, 5), (1, 1), (3, 3)], domain=10)
+        assert _order(LinearRanker(), table).tolist() == [1, 2, 0]
+
+    def test_custom_weights(self):
+        table = make_table([(0, 9), (9, 0)], domain=10)
+        assert _order(LinearRanker([1.0, 0.0]), table).tolist() == [0, 1]
+        assert _order(LinearRanker([0.0, 1.0]), table).tolist() == [1, 0]
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            LinearRanker([1.0, -1.0])
+
+    def test_weight_count_mismatch(self):
+        table = make_table([(1, 2)])
+        with pytest.raises(ValueError):
+            LinearRanker([1.0]).bind(table)
+
+    def test_zero_weight_ties_break_by_values(self):
+        # Same price, different quality: the dominating tuple must rank first
+        # even though the score ties (domination consistency).
+        table = make_table([(5, 9), (5, 0)], domain=10)
+        ranker = LinearRanker.single_attribute(0, 2)
+        assert _order(ranker, table).tolist() == [1, 0]
+
+    def test_top_k_truncation(self):
+        table = make_table([(i,) for i in range(100)], domain=100)
+        bound = LinearRanker().bind(table)
+        top = bound.top(np.arange(100), 3)
+        assert top.tolist() == [0, 1, 2]
+
+    def test_top_with_large_candidate_set_and_ties(self):
+        values = [(1, 0)] * 200 + [(0, 0)]
+        table = make_table(values, domain=2)
+        bound = LinearRanker().bind(table)
+        top = bound.top(np.arange(table.n), 2)
+        assert top[0] == 200  # the dominating tuple wins despite 200 ties
+        assert top[1] == 0
+
+    def test_empty_candidate_set(self):
+        table = make_table([(1,)])
+        bound = LinearRanker().bind(table)
+        assert bound.top(np.empty(0, dtype=np.int64), 5).size == 0
+
+
+class TestLexicographicRanker:
+    def test_priority_order(self):
+        table = make_table([(2, 0), (1, 9)], domain=10)
+        assert _order(LexicographicRanker([0]), table).tolist() == [1, 0]
+        assert _order(LexicographicRanker([1]), table).tolist() == [0, 1]
+
+    def test_priority_completed_with_remaining_attributes(self):
+        table = make_table([(1, 5), (1, 3)], domain=10)
+        assert _order(LexicographicRanker([0]), table).tolist() == [1, 0]
+
+    def test_invalid_priority_rejected(self):
+        table = make_table([(1, 2)])
+        with pytest.raises(ValueError):
+            LexicographicRanker([5]).bind(table)
+
+
+class TestRandomSkylineRanker:
+    def test_top_is_always_a_matching_skyline_tuple(self):
+        rng = np.random.default_rng(0)
+        table = make_table(rng.integers(0, 10, (50, 3)), domain=10)
+        skyline = {row.values for row in table.skyline_rows()}
+        bound = RandomSkylineRanker(seed=1).bind(table)
+        for _ in range(20):
+            top = bound.top(np.arange(table.n), 1)
+            assert table.row(int(top[0])).values in skyline
+
+    def test_selection_is_seed_deterministic(self):
+        table = make_table([(0, 9), (9, 0), (5, 5)], domain=10)
+        a = RandomSkylineRanker(seed=7).bind(table)
+        b = RandomSkylineRanker(seed=7).bind(table)
+        picks_a = [int(a.top(np.arange(3), 1)[0]) for _ in range(10)]
+        picks_b = [int(b.top(np.arange(3), 1)[0]) for _ in range(10)]
+        assert picks_a == picks_b
+
+    def test_covers_all_skyline_choices(self):
+        table = make_table([(0, 9), (9, 0), (5, 5)], domain=10)
+        bound = RandomSkylineRanker(seed=3).bind(table)
+        picks = {int(bound.top(np.arange(3), 1)[0]) for _ in range(60)}
+        assert picks == {0, 1, 2}
+
+    def test_k_greater_than_one_fills_with_fallback(self):
+        table = make_table([(0, 9), (9, 0), (5, 5), (6, 6)], domain=10)
+        bound = RandomSkylineRanker(seed=0).bind(table)
+        top = bound.top(np.arange(4), 4)
+        assert len(top) == 4
+        assert sorted(top.tolist()) == [0, 1, 2, 3]
+
+
+class TestDominationConsistency:
+    @pytest.mark.parametrize(
+        "ranker",
+        [
+            LinearRanker(),
+            LinearRanker([0.0, 1.0, 0.0]),
+            LexicographicRanker([2, 0, 1]),
+            RandomSkylineRanker(seed=5),
+        ],
+    )
+    def test_full_order_is_domination_consistent(self, ranker):
+        rng = np.random.default_rng(11)
+        table = make_table(rng.integers(0, 6, (40, 3)), domain=6)
+        order = ranker.bind(table).top(np.arange(table.n), table.n)
+        assert is_domination_consistent_order(table.matrix, order)
+
+    def test_helper_detects_violation(self):
+        matrix = np.array([[1, 1], [0, 0]])
+        assert not is_domination_consistent_order(matrix, np.array([0, 1]))
+        assert is_domination_consistent_order(matrix, np.array([1, 0]))

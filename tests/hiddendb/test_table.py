@@ -1,0 +1,155 @@
+"""Tests for the table substrate."""
+
+import numpy as np
+import pytest
+
+from repro.hiddendb import (
+    Attribute,
+    InterfaceKind,
+    InvalidDomainValueError,
+    Query,
+    Schema,
+    Table,
+    UnknownAttributeError,
+)
+
+from ..conftest import make_table
+
+
+class TestConstruction:
+    def test_rejects_wrong_column_count(self):
+        schema = Schema([Attribute("a", 5), Attribute("b", 5)])
+        with pytest.raises(ValueError):
+            Table(schema, [[1, 2, 3]])
+
+    def test_rejects_out_of_domain_values(self):
+        schema = Schema([Attribute("a", 5)])
+        with pytest.raises(InvalidDomainValueError):
+            Table(schema, [[5]])
+        with pytest.raises(InvalidDomainValueError):
+            Table(schema, [[-1]])
+
+    def test_rejects_unknown_filter_column(self):
+        schema = Schema([Attribute("a", 5)])
+        with pytest.raises(UnknownAttributeError):
+            Table(schema, [[1]], {"city": [0]})
+
+    def test_rejects_misshapen_filter_column(self):
+        schema = Schema(
+            [Attribute("a", 5), Attribute("city", 3, InterfaceKind.FILTER)]
+        )
+        with pytest.raises(ValueError):
+            Table(schema, [[1], [2]], {"city": [0]})
+
+    def test_empty_table(self):
+        schema = Schema([Attribute("a", 5)])
+        table = Table(schema, np.empty((0, 1), dtype=np.int64))
+        assert table.n == 0
+        assert len(table.skyline_indices()) == 0
+
+    def test_matrix_is_read_only(self):
+        table = make_table([(1, 2)])
+        with pytest.raises(ValueError):
+            table.matrix[0, 0] = 9
+
+
+class TestAccessors:
+    def test_row_materialisation(self):
+        table = make_table([(1, 2), (3, 4)])
+        row = table.row(1)
+        assert row.rid == 1
+        assert row.values == (3, 4)
+        assert row[0] == 3
+        assert len(row) == 2
+
+    def test_rows_batch(self):
+        table = make_table([(1, 2), (3, 4), (5, 6)])
+        assert [r.values for r in table.rows([2, 0])] == [(5, 6), (1, 2)]
+
+    def test_iter_rows(self):
+        table = make_table([(1, 2), (3, 4)])
+        assert [row.rid for row in table.iter_rows()] == [0, 1]
+
+    def test_filter_value(self):
+        table = make_table([(1,)], filters={"city": np.array([7])},
+                           filter_domains={"city": 8})
+        assert table.filter_value("city", 0) == 7
+        with pytest.raises(UnknownAttributeError):
+            table.filter_value("state", 0)
+
+
+class TestMatching:
+    def test_range_match(self):
+        table = make_table([(0, 9), (5, 5), (9, 0)], domain=10)
+        query = Query.select_all().and_upper(0, 5)
+        assert table.match_indices(query).tolist() == [0, 1]
+
+    def test_point_match(self):
+        table = make_table([(0, 9), (5, 5), (9, 0)], domain=10)
+        query = Query.from_point({1: 5})
+        assert table.match_indices(query).tolist() == [1]
+
+    def test_filter_match(self):
+        table = make_table(
+            [(0,), (1,)],
+            filters={"city": np.array([3, 4])},
+            filter_domains={"city": 5},
+        )
+        query = Query.select_all().and_filter("city", 4)
+        assert table.match_indices(query).tolist() == [1]
+
+    def test_count_matches(self):
+        table = make_table([(0,), (1,), (2,)], domain=3)
+        assert table.count_matches(Query.select_all()) == 3
+        assert table.count_matches(Query.select_all().and_upper(0, 1)) == 2
+
+    def test_lower_bound_match(self):
+        table = make_table([(0,), (5,), (9,)], domain=10)
+        query = Query.select_all().and_lower(0, 5, 10)
+        assert table.match_indices(query).tolist() == [1, 2]
+
+
+class TestDerivedTables:
+    def test_subsample_size_and_domain(self):
+        table = make_table([(i % 7, i % 5) for i in range(100)], domain=10)
+        sample = table.subsample(10, seed=1)
+        assert sample.n == 10
+        assert sample.schema is table.schema
+
+    def test_subsample_too_large(self):
+        with pytest.raises(ValueError):
+            make_table([(1, 2)]).subsample(5)
+
+    def test_project_ranking(self):
+        table = make_table([(1, 2, 3), (4, 5, 6)], domain=10)
+        projected = table.project_ranking([2, 0])
+        assert projected.m == 2
+        assert projected.row(0).values == (3, 1)
+
+    def test_project_keeps_filters(self):
+        table = make_table(
+            [(1, 2)],
+            filters={"city": np.array([2])},
+            filter_domains={"city": 3},
+        )
+        projected = table.project_ranking([1])
+        assert projected.filter_value("city", 0) == 2
+
+    def test_with_kinds(self):
+        table = make_table([(1, 2)], kinds=InterfaceKind.RQ)
+        changed = table.with_kinds({"a0": InterfaceKind.PQ})
+        assert changed.schema["a0"].kind is InterfaceKind.PQ
+        assert changed.schema["a1"].kind is InterfaceKind.RQ
+
+
+class TestGroundTruth:
+    def test_skyline_rows(self):
+        table = make_table([(0, 9), (5, 5), (9, 0), (6, 6)], domain=10)
+        values = {row.values for row in table.skyline_rows()}
+        assert values == {(0, 9), (5, 5), (9, 0)}
+
+    def test_skyband(self):
+        table = make_table([(0, 0), (1, 1), (2, 2)], domain=3)
+        assert table.skyband_indices(1).tolist() == [0]
+        assert table.skyband_indices(2).tolist() == [0, 1]
+        assert table.skyband_indices(3).tolist() == [0, 1, 2]

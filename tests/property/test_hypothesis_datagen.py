@@ -1,0 +1,83 @@
+"""Property-based tests for the dataset transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.datagen import rediscretize_domains, truncate_domains
+from repro.hiddendb import Attribute, InterfaceKind, Schema, Table
+
+tables = st.integers(min_value=1, max_value=3).flatmap(
+    lambda m: st.lists(
+        st.tuples(*([st.integers(min_value=0, max_value=9)] * m)),
+        min_size=1,
+        max_size=60,
+    )
+)
+
+
+def _table(values) -> Table:
+    m = len(values[0])
+    schema = Schema(
+        [Attribute(f"a{i}", 10, InterfaceKind.PQ) for i in range(m)]
+    )
+    return Table(schema, np.asarray(values, dtype=np.int64))
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=tables, domain=st.integers(1, 12))
+def test_truncate_keeps_only_best_values_and_preserves_order(values, domain):
+    table = _table(values)
+    truncated = truncate_domains(table, domain)
+    # Domains shrink to at most `domain` and all values fit.
+    for attribute in truncated.schema.ranking_attributes:
+        assert attribute.domain_size <= max(domain, 1)
+    if truncated.n:
+        assert truncated.matrix.max() < domain
+    # Surviving tuples correspond to original tuples whose values were all
+    # among each column's `domain` most-preferred occupied values.
+    kept_value_sets = []
+    for column in range(table.m):
+        occupied = np.unique(table.matrix[:, column])
+        kept_value_sets.append(set(occupied[:domain].tolist()))
+    expected_survivors = sum(
+        1
+        for row in table.matrix
+        if all(int(row[c]) in kept_value_sets[c] for c in range(table.m))
+    )
+    assert truncated.n == expected_survivors
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=tables, domain=st.integers(1, 12))
+def test_rediscretize_preserves_tuples_and_order(values, domain):
+    table = _table(values)
+    bucketed = rediscretize_domains(table, domain)
+    assert bucketed.n == table.n
+    for column in range(table.m):
+        original = table.matrix[:, column]
+        new = bucketed.matrix[:, column]
+        assert new.min() >= 0
+        assert new.max() < domain
+        # Order preservation: larger original value -> >= bucket.
+        order = np.argsort(original, kind="stable")
+        assert (np.diff(new[order]) >= 0).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=tables, domain=st.integers(1, 12))
+def test_rediscretize_never_merges_across_dominance(values, domain):
+    """Bucketing is monotone, so dominance can only be gained, not lost:
+    the bucketed skyline size never exceeds the original's."""
+    table = _table(values)
+    bucketed = rediscretize_domains(table, domain)
+    original_sky = len(
+        {tuple(map(int, row))
+         for row in table.matrix[table.skyline_indices()]}
+    )
+    bucketed_sky = len(
+        {tuple(map(int, row))
+         for row in bucketed.matrix[bucketed.skyline_indices()]}
+    )
+    assert bucketed_sky <= original_sky

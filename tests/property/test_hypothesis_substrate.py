@@ -1,0 +1,127 @@
+"""Property-based tests for the hidden-database substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analysis import (
+    binomial_cost_bound,
+    expected_cost_closed_form,
+    expected_cost_recurrence,
+    pq_2d_cost,
+)
+from repro.hiddendb import Interval, LinearRanker, Query, TopKInterface
+from repro.hiddendb.ranking import is_domination_consistent_order
+
+from ..conftest import make_table
+
+intervals = st.tuples(
+    st.integers(0, 9), st.integers(0, 9)
+).map(lambda pair: Interval(min(pair), max(pair)))
+
+
+@settings(max_examples=100, deadline=None)
+@given(a=intervals, b=intervals)
+def test_interval_intersection_is_commutative_and_tight(a, b):
+    left = a.intersect(b)
+    right = b.intersect(a)
+    assert left == right
+    for value in range(10):
+        expected = a.contains(value) and b.contains(value)
+        got = left is not None and left.contains(value)
+        assert got == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bounds=st.lists(
+        st.tuples(st.integers(0, 2), st.sampled_from(["upper", "lower", "point"]),
+                  st.integers(0, 5)),
+        max_size=6,
+    ),
+    value=st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)),
+)
+def test_query_refinement_matches_predicate_semantics(bounds, value):
+    """A refined query matches a vector iff every applied predicate holds."""
+    query: Query | None = Query.select_all()
+    applied: list[tuple[int, str, int]] = []
+    for attribute, op, v in bounds:
+        if query is None:
+            break
+        if op == "upper":
+            refined = query.and_upper(attribute, v)
+        elif op == "lower":
+            refined = query.and_lower(attribute, v, 6)
+        else:
+            refined = query.and_point(attribute, v)
+        if refined is not None:
+            query = refined
+            applied.append((attribute, op, v))
+        # Unsatisfiable refinements are skipped: the prior query stands.
+    assert query is not None
+    expected = all(
+        (value[a] <= v if op == "upper" else
+         value[a] >= v if op == "lower" else value[a] == v)
+        for a, op, v in applied
+    )
+    assert query.matches_values(value) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=30
+    ),
+    weights=st.tuples(st.floats(0, 5), st.floats(0, 5)),
+)
+def test_linear_ranker_is_domination_consistent(values, weights):
+    table = make_table(values, domain=6)
+    order = LinearRanker(list(weights)).bind(table).top(
+        np.arange(table.n), table.n
+    )
+    assert is_domination_consistent_order(table.matrix, order)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    values=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=0, max_size=30
+    ),
+    k=st.integers(1, 5),
+)
+def test_interface_answer_is_a_top_k_prefix(values, k):
+    """The answer to a query equals the first k of the full ranking."""
+    table = make_table(values, domain=6) if values else None
+    if table is None:
+        return
+    interface = TopKInterface(table, k=k)
+    answer = interface.query(Query.select_all())
+    full_order = LinearRanker().bind(table).top(np.arange(table.n), table.n)
+    assert [row.rid for row in answer.rows] == full_order[:k].tolist()
+    assert answer.overflow == (len(answer.rows) == k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(m=st.integers(2, 6), s=st.integers(0, 40))
+def test_analysis_identities(m, s):
+    recurrence = expected_cost_recurrence(m, s)
+    if s > 0:
+        assert recurrence == expected_cost_closed_form(m, s) + 1
+    assert recurrence <= binomial_cost_bound(m, s) + 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    xs=st.sets(st.integers(0, 9), min_size=0, max_size=8).map(sorted),
+    dom=st.just(10),
+)
+def test_pq_2d_cost_nonnegative_and_bounded(xs, dom):
+    """Eq. (11) over anti-diagonal skylines stays within min-side bounds."""
+    skyline = [(x, dom - 1 - x) for x in xs]
+    cost = pq_2d_cost(skyline, dom, dom)
+    assert cost >= 0
+    if skyline:
+        assert cost <= min(x + y for x, y in skyline)
+    else:
+        assert cost == dom - 1

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import DATASETS, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_discover_defaults(self):
+        args = build_parser().parse_args(
+            ["discover", "--dataset", "autos"]
+        )
+        assert args.n == 10_000
+        assert args.k == 10
+        assert args.budget is None
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["discover", "--dataset", "nope"])
+
+
+class TestDiscoverCommand:
+    def test_small_run(self, capsys):
+        code = main(
+            ["discover", "--dataset", "uniform", "--n", "500", "--k", "5",
+             "--show-tuples", "3", "--curve"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "algorithm" in out
+        assert "anytime curve" in out
+
+    def test_budgeted_run_reports_incomplete(self, capsys):
+        code = main(
+            ["discover", "--dataset", "diamonds", "--n", "3000",
+             "--k", "5", "--budget", "3", "--price-ranking"]
+        )
+        assert code == 0
+        assert "complete   : False" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("dataset", sorted(DATASETS))
+    def test_every_dataset_runs(self, dataset, capsys):
+        code = main(
+            ["discover", "--dataset", dataset, "--n", "400", "--k", "10"]
+        )
+        assert code == 0
+        assert "skyline" in capsys.readouterr().out
+
+
+class TestSkybandCommand:
+    def test_small_run(self, capsys):
+        code = main(
+            ["skyband", "--dataset", "autos", "--n", "500", "--k", "20",
+             "--band", "2"]
+        )
+        assert code == 0
+        assert "band" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    def test_small_run(self, capsys):
+        code = main(
+            ["stats", "--dataset", "flights-mixed", "--n", "1000", "--k", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total queries" in out
+        assert "redundancy" in out
+
+
+class TestFiguresCommand:
+    def test_list(self, capsys):
+        code = main(["figures", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "fig22" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figures", "not-a-figure"]) == 2
+
+    def test_run_analysis_figure(self, capsys):
+        assert main(["figures", "fig04"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
