@@ -6,7 +6,7 @@ attribute contributes multiplicatively.  The ablation forces the *smallest*
 pair into the plane instead.
 """
 
-from repro.core import choose_plane_attributes, discover_pq
+from repro.core import Discoverer, choose_plane_attributes
 from repro.datagen.flights import flights_pq_table
 from repro.hiddendb import TopKInterface
 
@@ -23,8 +23,9 @@ def _measure(n: int, m: int, seed: int) -> list[dict]:
     rows = []
     for label, pair in (("largest-domains", best_pair),
                         ("smallest-domains", worst_pair)):
-        result = discover_pq(
-            TopKInterface(table, k=10), plane_attributes=pair
+        result = Discoverer().run(
+            TopKInterface(table, k=10), "pq",
+            options={"plane_attributes": pair},
         )
         rows.append({"plane": label, "pair": pair, "cost": result.total_cost})
     return rows

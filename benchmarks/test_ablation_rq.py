@@ -6,7 +6,7 @@ This bench quantifies the saving on anti-correlated data, where the skyline
 is large and revisits dominate SQ's cost.
 """
 
-from repro.core import discover_rq
+from repro.core import Discoverer
 from repro.datagen.synthetic import correlated
 from repro.hiddendb import TopKInterface
 
@@ -19,8 +19,9 @@ def _measure(n: int, m: int, rho: float, seed: int) -> list[dict]:
         total = 0
         for s in range(seed, seed + 3):
             table = correlated(n, m, domain=12, rho=rho, seed=s)
-            result = discover_rq(
-                TopKInterface(table, k=1), early_termination=early
+            result = Discoverer().run(
+                TopKInterface(table, k=1), "rq",
+                options={"early_termination": early},
             )
             total += result.total_cost
         rows.append({"early_termination": early, "total_cost": total})

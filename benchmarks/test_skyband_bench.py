@@ -5,7 +5,7 @@ discovery to be ``|top-(K-1) band| + 1``; this bench measures the actual
 query cost across band depths on used-car data.
 """
 
-from repro.core import rq_db_skyband
+from repro.core import Discoverer
 from repro.datagen.autos import autos_table
 from repro.hiddendb import LinearRanker, TopKInterface
 
@@ -19,7 +19,7 @@ def _measure(n: int, bands: tuple[int, ...], seed: int) -> list[dict]:
         interface = TopKInterface(
             table, ranker=LinearRanker.single_attribute(0, 3), k=50
         )
-        result = rq_db_skyband(interface, band)
+        result = Discoverer().skyband(interface, band, "rq")
         rows.append(
             {
                 "band": band,

@@ -15,7 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import LexicographicRanker, LinearRanker, TopKInterface, discover
+from repro import Discoverer, LexicographicRanker, LinearRanker, TopKInterface
 from repro.datagen.diamonds import diamonds_table
 
 
@@ -40,13 +40,14 @@ def user_score(values, weights) -> float:
 
 
 def main() -> None:
+    disc = Discoverer()
     all_offers = []
     print("discovering per-store skylines")
     print("store           n      |S|    queries  queries/tuple")
     for store, config in STORES.items():
         table = diamonds_table(config["n"], seed=config["seed"])
         interface = TopKInterface(table, ranker=config["ranker"], k=config["k"])
-        result = discover(interface)
+        result = disc.run(interface)
         per_tuple = result.total_cost / max(result.skyline_size, 1)
         print(
             f"{store:14s}  {table.n:5d}  {result.skyline_size:5d}  "

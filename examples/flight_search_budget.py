@@ -4,9 +4,10 @@
 Models the paper's Google Flights scenario: a QPX-like interface with
 one-ended ranges on stops / price / connection time, a two-ended range on
 departure time, a price-ascending default ranking, and a hard limit of 50
-free queries per day.  The anytime property (§7.1) means a rate-limited run
-still returns a verified subset of the skyline, and the search can resume
-the next "day".
+free queries per day.  The quota lives in the :class:`repro.DiscoveryConfig`
+of a :class:`repro.Discoverer`, so every ``run`` is one "day": the facade
+absorbs the rate limit and returns a partial, verified result (the anytime
+property of §7.1), and the search simply runs again the next day.
 
 Run with::
 
@@ -16,11 +17,12 @@ Run with::
 from __future__ import annotations
 
 from repro import (
+    Discoverer,
+    DiscoveryConfig,
     LinearRanker,
     Query,
     QueryBudgetExceeded,
     TopKInterface,
-    discover,
 )
 from repro.datagen.gflights import DAILY_QUERY_LIMIT, flight_instance
 
@@ -29,27 +31,26 @@ def main() -> None:
     table = flight_instance(seed=7)
     print(f"route instance with {table.n} flights")
 
-    # Day 1: run under the 50-query quota.  discover() absorbs the rate
-    # limit and returns a partial, verified result.
     interface = TopKInterface(
         table,
         ranker=LinearRanker.single_attribute(1, table.schema.m),  # price asc
         k=1,
-        budget=DAILY_QUERY_LIMIT,
-    )
-    day_one = discover(interface)
-    print(
-        f"day 1: issued {day_one.total_cost} queries "
-        f"(quota {DAILY_QUERY_LIMIT}), complete={day_one.complete}, "
-        f"{day_one.skyline_size} skyline flights so far"
     )
 
-    result = day_one
+    # The facade carries the quota: each run() issues at most 50 queries.
+    disc = Discoverer(DiscoveryConfig(budget=DAILY_QUERY_LIMIT))
+
+    result = disc.run(interface)
+    print(
+        f"day 1: issued {result.total_cost} queries "
+        f"(quota {DAILY_QUERY_LIMIT}), complete={result.complete}, "
+        f"{result.skyline_size} skyline flights so far"
+    )
+
     day = 1
     while not result.complete:
         day += 1
-        interface.reset(budget=DAILY_QUERY_LIMIT)
-        result = discover(interface)
+        result = disc.run(interface)
         print(
             f"day {day}: issued {result.total_cost} queries, "
             f"complete={result.complete}, {result.skyline_size} skyline flights"

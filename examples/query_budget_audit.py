@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Audit where a scraping campaign's query budget actually goes.
 
-Runs SQ-DB-SKY and RQ-DB-SKY over the same anti-correlated catalogue and
-breaks the query logs down with :mod:`repro.core.stats`: how many queries
+Runs SQ-DB-SKY and RQ-DB-SKY over the same anti-correlated catalogue via
+the :class:`repro.Discoverer` facade with ``record_log`` enabled, and breaks
+the attached query logs down with :mod:`repro.core.stats`: how many queries
 came back empty, how many answer slots were wasted re-retrieving known
 tuples, and how deep the conjunctions went.  This is the §4 story made
 concrete — RQ's mutually exclusive queries eliminate the answer redundancy
@@ -15,9 +16,8 @@ Run with::
 
 from __future__ import annotations
 
-from repro import TopKInterface
-from repro.core import DiscoverySession, rq_db_sky, sq_db_sky
-from repro.core.stats import summarize_session
+from repro import Discoverer, DiscoveryConfig, TopKInterface
+from repro.core.stats import summarize_log
 from repro.datagen.synthetic import correlated
 from repro.experiments.reporting import format_table
 
@@ -29,11 +29,11 @@ def main() -> None:
     print(f"catalogue: n={table.n}, m={table.m}, "
           f"|skyline|={len(table.skyline_indices())}\n")
 
+    disc = Discoverer(DiscoveryConfig(record_log=True))
     summaries = {}
-    for name, algorithm in (("SQ-DB-SKY", sq_db_sky), ("RQ-DB-SKY", rq_db_sky)):
-        session = DiscoverySession(TopKInterface(table, k=1))
-        algorithm(session)
-        summaries[name] = summarize_session(session)
+    for name in ("sq", "rq"):
+        result = disc.run(TopKInterface(table, k=1), name)
+        summaries[result.algorithm] = summarize_log(result.query_log)
 
     rows = []
     for metric in ("total queries", "empty answers", "overflowing answers",

@@ -2,8 +2,10 @@
 """Quickstart: discover the skyline of a hidden web database.
 
 Builds a small synthetic laptop catalogue behind a top-10 search interface
-and discovers its skyline through the public API -- never touching the raw
-data.  Run with::
+and discovers its skyline through the public :class:`repro.Discoverer`
+facade -- never touching the raw data.  The facade auto-dispatches on the
+schema's interface taxonomy (here: mixed RQ/SQ/PQ attributes, so MQ-DB-SKY
+runs) and a progress hook streams the anytime curve live.  Run with::
 
     python examples/quickstart.py
 """
@@ -14,12 +16,13 @@ import numpy as np
 
 from repro import (
     Attribute,
+    Discoverer,
+    DiscoveryConfig,
     InterfaceKind,
     LinearRanker,
     Schema,
     Table,
     TopKInterface,
-    discover,
 )
 
 
@@ -60,12 +63,25 @@ def main() -> None:
         k=10,
     )
 
-    result = discover(interface)
+    # A progress hook receives every newly retrieved tuple together with the
+    # query cost at which it appeared -- the live anytime curve of §7.1.
+    live: list[int] = []
+    disc = Discoverer(
+        DiscoveryConfig(on_tuple=lambda entry: live.append(entry.cost))
+    )
+
+    # Which registered algorithms could run against this interface?
+    names = [spec.name for spec in disc.algorithms(interface)]
+    print(f"applicable algorithms: {', '.join(names)}")
+
+    result = disc.run(interface)  # auto-dispatch on the schema taxonomy
 
     print(f"algorithm dispatched : {result.algorithm}")
+    print(f"registry metadata    : {result.info}")
     print(f"queries issued       : {result.total_cost}")
     print(f"skyline tuples found : {result.skyline_size}")
     print(f"queries per tuple    : {result.total_cost / result.skyline_size:.2f}")
+    print(f"tuples seen live     : {len(live)} (via the on_tuple hook)")
     print()
     print("first five skyline laptops (price, weight, memory, usb_ports):")
     for row in result.skyline[:5]:

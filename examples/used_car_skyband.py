@@ -16,7 +16,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import LinearRanker, TopKInterface, rq_db_skyband
+from repro import Discoverer, LinearRanker, TopKInterface
 from repro.datagen.autos import autos_table
 
 
@@ -36,8 +36,11 @@ def main() -> None:
     )
 
     band = 3
-    result = rq_db_skyband(interface, band)
+    # The facade picks the RQ skyband extension: all three ranking
+    # attributes are two-ended ranges.
+    result = Discoverer().skyband(interface, band)
     print(f"top-{band} skyband discovery: {result.algorithm}")
+    print(f"registry metadata: {result.info}")
     print(f"queries issued : {result.total_cost}")
     print(f"band tuples    : {len(result.skyband)}")
     print(f"complete       : {result.complete}")

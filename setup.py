@@ -1,4 +1,9 @@
-"""Shim for legacy editable installs in offline environments without wheel."""
+"""Legacy-install shim; all real metadata lives in pyproject.toml.
+
+Offline environments whose setuptools predates wheel-less editable builds
+(no ``wheel`` package available) can still do
+``pip install -e . --no-use-pep517 --no-build-isolation``.
+"""
 
 from setuptools import setup
 

@@ -7,10 +7,12 @@ K-skyband extensions, the crawling baseline, synthetic stand-ins for the
 paper's datasets, and a benchmark harness regenerating every evaluation
 figure.
 
-Typical usage::
+The public entry point is the :class:`Discoverer` facade over the algorithm
+registry.  Typical usage::
 
     from repro import (
-        Attribute, InterfaceKind, Schema, Table, TopKInterface, discover,
+        Attribute, Discoverer, DiscoveryConfig, InterfaceKind, Schema,
+        Table, TopKInterface,
     )
 
     schema = Schema([
@@ -19,8 +21,27 @@ Typical usage::
     ])
     table = Table(schema, values)
     interface = TopKInterface(table, k=10)
-    result = discover(interface)
-    print(result.skyline, result.total_cost)
+
+    disc = Discoverer(DiscoveryConfig(budget=5000))
+    result = disc.run(interface)           # auto-dispatch on the taxonomy
+    print(result.algorithm, result.skyline, result.total_cost)
+
+    per_algo = disc.run_all(interface)     # every applicable algorithm
+    band = disc.skyband(interface, band=3) # top-3 skyband (§7.2)
+
+Progress hooks stream the anytime curve while a run is still going::
+
+    config = DiscoveryConfig(
+        on_query=lambda res: print("issued", res.query),
+        on_tuple=lambda entry: print("new tuple at cost", entry.cost),
+    )
+    Discoverer(config).run(interface)
+
+One-shot runs can use the module-level convenience ``discover(interface)``.
+The pre-facade ``discover_sq`` / ``discover_rq`` / ``discover_pq`` /
+``discover_pq2d`` / ``discover_mq`` helpers still work but emit
+``DeprecationWarning``; new algorithms plug in through
+:func:`repro.core.registry.register_algorithm`.
 """
 
 from .hiddendb import (
@@ -41,24 +62,40 @@ from .hiddendb import (
     UnsupportedQueryError,
 )
 from .core import (
+    AlgorithmInfo,
+    AlgorithmNotFoundError,
+    AlgorithmSpec,
+    Discoverer,
+    DiscoveryConfig,
     DiscoveryResult,
     SkybandResult,
+    algorithm_names,
+    all_algorithms,
+    applicable_algorithms,
     baseline_skyline,
+    default_discoverer,
     discover,
     discover_mq,
     discover_pq,
     discover_pq2d,
     discover_rq,
     discover_sq,
+    get_algorithm,
     pq_db_skyband,
+    register_algorithm,
     rq_db_skyband,
     sq_db_skyband,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "AlgorithmInfo",
+    "AlgorithmNotFoundError",
+    "AlgorithmSpec",
     "Attribute",
+    "Discoverer",
+    "DiscoveryConfig",
     "DiscoveryResult",
     "InterfaceKind",
     "Interval",
@@ -76,14 +113,20 @@ __all__ = [
     "TopKInterface",
     "UnsupportedQueryError",
     "__version__",
+    "algorithm_names",
+    "all_algorithms",
+    "applicable_algorithms",
     "baseline_skyline",
+    "default_discoverer",
     "discover",
     "discover_mq",
     "discover_pq",
     "discover_pq2d",
     "discover_rq",
     "discover_sq",
+    "get_algorithm",
     "pq_db_skyband",
+    "register_algorithm",
     "rq_db_skyband",
     "sq_db_skyband",
 ]

@@ -1,18 +1,26 @@
-"""Command-line interface: ``python -m repro.cli``.
+"""Command-line interface: ``repro`` (or ``python -m repro.cli``).
 
-Three subcommands, all running against the bundled generators so the paper's
+Five subcommands, all running against the bundled generators so the paper's
 system can be exercised without writing any code:
 
-* ``discover`` -- run skyline discovery over a generated dataset;
-* ``skyband``  -- run top-K skyband discovery;
-* ``figures``  -- list or run the figure-reproduction experiments.
+* ``discover``   -- run skyline discovery over a generated dataset;
+* ``skyband``    -- run top-K skyband discovery;
+* ``stats``      -- query-log statistics of a discovery run;
+* ``algorithms`` -- list the registered discovery algorithms;
+* ``figures``    -- list or run the figure-reproduction experiments.
+
+Everything routes through the :class:`repro.Discoverer` facade, so the
+``--algorithm`` flag accepts any name in the registry (including algorithms
+registered by third-party plugins imported before the CLI runs).
 
 Examples::
 
-    python -m repro.cli discover --dataset diamonds --n 20000 --k 50
-    python -m repro.cli discover --dataset flights-mixed --n 50000 --budget 500
-    python -m repro.cli skyband --dataset autos --n 5000 --band 3
-    python -m repro.cli figures --list
+    repro discover --dataset diamonds --n 20000 --k 50
+    repro discover --dataset flights-mixed --n 50000 --budget 500
+    repro discover --dataset uniform --algorithm baseline
+    repro skyband --dataset autos --n 5000 --band 3
+    repro algorithms
+    repro figures --list
 """
 
 from __future__ import annotations
@@ -21,9 +29,13 @@ import argparse
 import sys
 from typing import Callable
 
-from .core import discover, rq_db_skyband
-from .core.base import DiscoverySession
-from .core.stats import summarize_session
+from .core import (
+    AlgorithmNotFoundError,
+    Discoverer,
+    DiscoveryConfig,
+    all_algorithms,
+    summarize_log,
+)
 from .datagen import (
     autos_table,
     diamonds_table,
@@ -53,12 +65,21 @@ def _build_interface(args) -> TopKInterface:
     ranker = None
     if args.price_ranking:
         ranker = LinearRanker.single_attribute(0, table.schema.m)
-    return TopKInterface(table, ranker=ranker, k=args.k, budget=args.budget)
+    return TopKInterface(table, ranker=ranker, k=args.k)
+
+
+def _discoverer(args, **config_kwargs) -> Discoverer:
+    return Discoverer(DiscoveryConfig(budget=args.budget, **config_kwargs))
+
+
+def _algorithm_arg(args) -> str | None:
+    name = getattr(args, "algorithm", None)
+    return None if name in (None, "auto") else name
 
 
 def _cmd_discover(args) -> int:
     interface = _build_interface(args)
-    result = discover(interface)
+    result = _discoverer(args).run(interface, _algorithm_arg(args))
     print(f"dataset    : {args.dataset} (n={args.n}, k={args.k})")
     print(f"algorithm  : {result.algorithm}")
     print(f"queries    : {result.total_cost}")
@@ -78,7 +99,9 @@ def _cmd_discover(args) -> int:
 
 def _cmd_skyband(args) -> int:
     interface = _build_interface(args)
-    result = rq_db_skyband(interface, args.band)
+    result = _discoverer(args).skyband(
+        interface, args.band, _algorithm_arg(args)
+    )
     print(f"dataset  : {args.dataset} (n={args.n}, k={args.k})")
     print(f"algorithm: {result.algorithm} (K={args.band})")
     print(f"queries  : {result.total_cost}")
@@ -89,12 +112,25 @@ def _cmd_skyband(args) -> int:
 
 def _cmd_stats(args) -> int:
     interface = _build_interface(args)
-    session = DiscoverySession(interface)
-    from .core.mq import mq_db_sky
-
-    mq_db_sky(session)
-    summary = summarize_session(session)
+    result = _discoverer(args, record_log=True).run(
+        interface, _algorithm_arg(args)
+    )
+    summary = summarize_log(result.query_log)
+    print(f"algorithm: {result.algorithm}")
     print(format_table(summary.as_rows()))
+    return 0
+
+
+def _cmd_algorithms(args) -> int:
+    print(f"{'name':10s} {'algorithm':12s} {'interfaces':10s} "
+          f"{'capabilities':28s} summary")
+    for spec in all_algorithms():
+        print(
+            f"{spec.name:10s} {spec.display_name:12s} "
+            f"{'+'.join(spec.taxonomy):10s} "
+            f"{','.join(sorted(spec.capabilities)) or '-':28s} "
+            f"{spec.summary}"
+        )
     return 0
 
 
@@ -119,6 +155,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(Asudeh et al., VLDB 2016).",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+    algorithm_choices = ["auto"] + [spec.name for spec in all_algorithms()]
 
     def add_common(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--dataset", choices=sorted(DATASETS), required=True)
@@ -132,6 +169,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--price-ranking", action="store_true",
                          help="rank by the first attribute only "
                          "(the live sites' default)")
+        sub.add_argument("--algorithm", choices=algorithm_choices,
+                         default="auto",
+                         help="registered algorithm to run "
+                         "(default: auto-dispatch on the schema taxonomy)")
 
     sub = subparsers.add_parser("discover", help="discover the skyline")
     add_common(sub)
@@ -150,6 +191,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(sub)
     sub.set_defaults(handler=_cmd_stats)
 
+    sub = subparsers.add_parser(
+        "algorithms", help="list the registered discovery algorithms"
+    )
+    sub.set_defaults(handler=_cmd_algorithms)
+
     sub = subparsers.add_parser("figures", help="figure experiments")
     sub.add_argument("figures", nargs="*", help="figure ids (e.g. fig13)")
     sub.add_argument("--list", action="store_true", help="list figures")
@@ -160,7 +206,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (AlgorithmNotFoundError, ValueError) as exc:
+        # e.g. --algorithm rq on a point-predicate dataset
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

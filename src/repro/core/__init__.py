@@ -4,11 +4,21 @@ The primary contribution of the paper: one discovery algorithm per interface
 family (SQ / RQ / PQ), their mixed-interface composition MQ-DB-SKY, the
 crawling BASELINE, K-skyband extensions, and the closed-form cost analysis.
 
+Every algorithm self-registers with :mod:`repro.core.registry`; the
+:class:`Discoverer` facade is the stable entry point over that registry.
+
 Quick start::
 
-    from repro.core import discover
-    result = discover(interface)          # dispatches on the schema taxonomy
+    from repro.core import Discoverer, DiscoveryConfig
+
+    disc = Discoverer(DiscoveryConfig(budget=1000))
+    result = disc.run(interface)          # dispatches on the schema taxonomy
     result.skyline, result.total_cost, result.trace
+
+or, for one-shot runs, the module-level convenience::
+
+    from repro.core import discover
+    result = discover(interface)
 """
 
 from . import analysis
@@ -29,7 +39,21 @@ from .dominance import (
     skyline_indices,
     skyline_of_rows,
 )
-from .mq import discover, discover_mq, mq_db_sky
+from .registry import (
+    AlgorithmInfo,
+    AlgorithmNotFoundError,
+    AlgorithmSpec,
+    DiscoveryConfig,
+    DuplicateAlgorithmError,
+    algorithm_names,
+    all_algorithms,
+    applicable_algorithms,
+    attach_skyband,
+    get_algorithm,
+    register_algorithm,
+    resolve_algorithm,
+)
+from .mq import discover_mq, mq_db_sky
 from .pq import choose_plane_attributes, discover_pq, pq_db_sky
 from .pq2d import discover_pq2d, pq_2d_sky
 from .pqsub import PlaneState, explore_plane
@@ -41,18 +65,31 @@ from .skyband import (
     sq_db_skyband,
 )
 from .sq import discover_sq, sq_db_sky
-from .stats import QueryLogSummary, summarize_session
+from .facade import Discoverer, default_discoverer, discover
+from .stats import QueryLogSummary, summarize_log, summarize_session
 
 __all__ = [
+    "AlgorithmInfo",
+    "AlgorithmNotFoundError",
+    "AlgorithmSpec",
+    "Discoverer",
+    "DiscoveryConfig",
     "DiscoveryResult",
     "DiscoverySession",
+    "DuplicateAlgorithmError",
     "PlaneState",
+    "QueryLogSummary",
     "SkybandResult",
     "TraceEntry",
+    "algorithm_names",
+    "all_algorithms",
     "analysis",
+    "applicable_algorithms",
+    "attach_skyband",
     "baseline_skyline",
     "choose_plane_attributes",
     "crawl_all",
+    "default_discoverer",
     "discover",
     "discover_mq",
     "discover_pq",
@@ -63,10 +100,13 @@ __all__ = [
     "dominates_row",
     "dominator_counts",
     "explore_plane",
+    "get_algorithm",
     "mq_db_sky",
     "pq_2d_sky",
     "pq_db_sky",
     "pq_db_skyband",
+    "register_algorithm",
+    "resolve_algorithm",
     "rows_values",
     "rq_db_sky",
     "rq_db_skyband",
@@ -77,6 +117,6 @@ __all__ = [
     "skyline_of_rows",
     "sq_db_sky",
     "sq_db_skyband",
-    "QueryLogSummary",
+    "summarize_log",
     "summarize_session",
 ]

@@ -18,14 +18,17 @@ the copies, so value-set equality is the right correctness criterion.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..hiddendb.errors import QueryBudgetExceeded
 from ..hiddendb.interface import QueryResult, TopKInterface
 from ..hiddendb.query import Query
 from ..hiddendb.table import Row
 from .dominance import skyline_of_rows
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .registry import AlgorithmInfo, DiscoveryConfig
 
 
 @dataclass(frozen=True)
@@ -52,6 +55,12 @@ class DiscoveryResult:
     total_cost: int
     retrieved: tuple[Row, ...]
     complete: bool
+    #: Run configuration (facade runs only; ``None`` for legacy entry points).
+    config: "DiscoveryConfig | None" = None
+    #: Registry metadata of the algorithm that produced this result.
+    info: "AlgorithmInfo | None" = None
+    #: Full query/answer log (populated when ``config.record_log`` is set).
+    query_log: tuple[QueryResult, ...] = field(default=(), repr=False)
 
     @property
     def skyline_values(self) -> frozenset[tuple[int, ...]]:
@@ -104,14 +113,36 @@ class DiscoverySession:
         implements the paper's "skyline subject to filtering conditions"
         extension (Section 2.1) and the domination-subspace recursion of the
         skyband algorithms.
+    budget:
+        Optional session-level query allowance, enforced on top of any
+        budget of the interface itself: issuing the ``budget + 1``-th query
+        raises :class:`QueryBudgetExceeded` without executing it.
+    on_query:
+        Hook invoked with every :class:`QueryResult` right after it is
+        recorded.
+    on_tuple:
+        Hook invoked with a :class:`TraceEntry` whenever a distinct tuple is
+        retrieved for the first time (the live anytime curve).
     """
 
     def __init__(
-        self, interface: TopKInterface, base_query: Query | None = None
+        self,
+        interface: TopKInterface,
+        base_query: Query | None = None,
+        *,
+        budget: int | None = None,
+        on_query: Callable[[QueryResult], None] | None = None,
+        on_tuple: Callable[[TraceEntry], None] | None = None,
     ) -> None:
+        if budget is not None and budget < 0:
+            raise ValueError(f"budget must be >= 0, got {budget}")
         self._interface = interface
         self._base = base_query if base_query is not None else Query.select_all()
         self._start = interface.queries_issued
+        self._budget = budget
+        self._on_query = on_query
+        self._on_tuple = on_tuple
+        self._incomplete = False
         self._first_seen: dict[int, TraceEntry] = {}
         self._log: list[QueryResult] = []
 
@@ -150,12 +181,42 @@ class DiscoverySession:
             raise ValueError(
                 f"query {query!r} contradicts session base {self._base!r}"
             )
+        if self._budget is not None and self.cost >= self._budget:
+            raise QueryBudgetExceeded(self._budget)
         result = self._interface.query(merged)
         cost = self.cost
         for row in result.rows:
-            self._first_seen.setdefault(row.rid, TraceEntry(cost, row))
+            if row.rid not in self._first_seen:
+                entry = TraceEntry(cost, row)
+                self._first_seen[row.rid] = entry
+                if self._on_tuple is not None:
+                    self._on_tuple(entry)
         self._log.append(result)
+        if self._on_query is not None:
+            self._on_query(result)
         return result
+
+    @classmethod
+    def from_config(
+        cls,
+        interface: TopKInterface,
+        config: "DiscoveryConfig | None" = None,
+    ) -> "DiscoverySession":
+        """A session honouring a :class:`DiscoveryConfig` (``None`` = defaults)."""
+        if config is None:
+            return cls(interface)
+        return cls(
+            interface,
+            config.base_query,
+            budget=config.budget,
+            on_query=config.on_query,
+            on_tuple=config.on_tuple,
+        )
+
+    def mark_incomplete(self) -> None:
+        """Flag the run as provably partial (e.g. an unsplittable crawl
+        region); the packaged result will report ``complete=False``."""
+        self._incomplete = True
 
     # ------------------------------------------------------------------
     # retrieval bookkeeping
@@ -193,7 +254,7 @@ class DiscoverySession:
             trace=tuple(trace),
             total_cost=self.cost,
             retrieved=tuple(self.retrieved_rows),
-            complete=complete,
+            complete=complete and not self._incomplete,
         )
 
 

@@ -24,6 +24,7 @@ from ..hiddendb.attributes import InterfaceKind
 from ..hiddendb.interface import TopKInterface
 from ..hiddendb.query import Query
 from .base import DiscoveryResult, DiscoverySession, run_with_budget_guard
+from .registry import DiscoveryConfig, register_algorithm
 
 ALGORITHM_NAME = "BASELINE"
 
@@ -104,13 +105,35 @@ def _split_region(
     return pieces
 
 
+@register_algorithm(
+    "baseline",
+    display_name=ALGORITHM_NAME,
+    kinds=(InterfaceKind.SQ, InterfaceKind.RQ, InterfaceKind.PQ),
+    capabilities=("complete",),
+    summary="Crawl everything, then compute the skyline locally (Sheng'12)",
+    # Never auto-dispatched: it exists as the comparison yardstick.
+)
+def _run_baseline(session: DiscoverySession, config: DiscoveryConfig) -> None:
+    """BASELINE under the facade; flags unsplittable regions as incomplete."""
+    _run_baseline_body(session)
+
+
 def baseline_skyline(
     interface: TopKInterface, base_query: Query | None = None
 ) -> DiscoveryResult:
-    """Crawl the whole database and extract the skyline locally."""
+    """Crawl the whole database and extract the skyline locally.
+
+    ``complete`` is false when the budget ran out *or* some region could not
+    be subdivided further (> k tuples sharing one value combination).
+    """
     return run_with_budget_guard(
         interface,
         ALGORITHM_NAME,
-        lambda session: crawl_all(session),
+        _run_baseline_body,
         base_query,
     )
+
+
+def _run_baseline_body(session: DiscoverySession) -> None:
+    if not crawl_all(session):
+        session.mark_incomplete()

@@ -1,0 +1,264 @@
+"""The :class:`Discoverer` facade: one entry point for every algorithm.
+
+``Discoverer`` binds a :class:`~repro.core.registry.DiscoveryConfig` to the
+algorithm registry and exposes three verbs:
+
+* :meth:`Discoverer.run` -- run one algorithm (by registry name, or
+  auto-dispatched on the schema's interface taxonomy) and return a
+  :class:`~repro.core.base.DiscoveryResult`;
+* :meth:`Discoverer.run_all` -- run every applicable registered algorithm
+  on the same interface and return one result per algorithm;
+* :meth:`Discoverer.skyband` -- run the K-skyband extension (§7.2) of a
+  registered algorithm and return a
+  :class:`~repro.core.skyband.SkybandResult`.
+
+Results carry the effective config plus the registry metadata of the
+algorithm that produced them, so downstream reporting never has to guess
+how a number was obtained.
+
+Quick start::
+
+    from repro import Discoverer, DiscoveryConfig
+
+    disc = Discoverer(DiscoveryConfig(budget=500))
+    result = disc.run(interface)                   # auto-dispatch
+    result = disc.run(interface, "rq")             # explicit algorithm
+    per_algo = disc.run_all(interface)             # compare algorithms
+    band = disc.skyband(interface, band=3)         # top-3 skyband
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as _dc_replace
+from typing import Any
+
+from ..hiddendb.errors import QueryBudgetExceeded
+from ..hiddendb.interface import TopKInterface
+from . import baseline, mq, pq, pq2d, rq, sq  # noqa: F401  (self-registration)
+from .base import DiscoveryResult, DiscoverySession
+from .registry import (
+    AlgorithmNotFoundError,
+    AlgorithmSpec,
+    DiscoveryConfig,
+    all_algorithms,
+    applicable_algorithms,
+    get_algorithm,
+    resolve_algorithm,
+)
+from .skyband import SkybandResult
+
+
+class Discoverer:
+    """Facade over the algorithm registry, bound to a default config.
+
+    The constructor config supplies defaults; every verb accepts a
+    per-call ``config`` and/or keyword overrides (any
+    :class:`DiscoveryConfig` field) that take precedence::
+
+        disc = Discoverer(DiscoveryConfig(budget=1000))
+        disc.run(interface)                 # budget 1000
+        disc.run(interface, budget=50)      # budget 50, same defaults else
+    """
+
+    def __init__(self, config: DiscoveryConfig | None = None) -> None:
+        self._config = config if config is not None else DiscoveryConfig()
+
+    @property
+    def config(self) -> DiscoveryConfig:
+        """The default configuration of this facade."""
+        return self._config
+
+    def with_config(self, **changes: Any) -> "Discoverer":
+        """A new facade with ``changes`` applied to the default config."""
+        return Discoverer(self._config.replace(**changes))
+
+    # ------------------------------------------------------------------
+    # registry views
+    # ------------------------------------------------------------------
+    @staticmethod
+    def algorithms(interface_or_schema=None) -> tuple[AlgorithmSpec, ...]:
+        """Registered algorithms; restricted to the applicable ones when an
+        interface (or schema) is given."""
+        if interface_or_schema is None:
+            return all_algorithms()
+        schema = getattr(interface_or_schema, "schema", interface_or_schema)
+        return applicable_algorithms(schema)
+
+    # ------------------------------------------------------------------
+    # the three verbs
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        interface: TopKInterface,
+        algorithm: str | None = None,
+        *,
+        config: DiscoveryConfig | None = None,
+        **overrides: Any,
+    ) -> DiscoveryResult:
+        """Discover the skyline of ``interface``.
+
+        ``algorithm`` is a registry name (``"sq"``, ``"rq"``, ``"pq"``,
+        ``"pq2d"``, ``"mq"``, ``"baseline"``, ...); ``None`` auto-dispatches
+        on the schema's interface taxonomy exactly like the classic
+        :func:`repro.discover`.
+        """
+        cfg = self._effective(config, overrides)
+        spec = self._spec_for(interface, algorithm)
+        session = self._session(interface, cfg)
+        complete = True
+        try:
+            spec.run(session, cfg)
+        except QueryBudgetExceeded:
+            complete = False
+        result = session.result(spec.display(interface.schema), complete)
+        return self._decorate(result, spec, cfg, session)
+
+    def run_all(
+        self,
+        interface: TopKInterface,
+        *,
+        config: DiscoveryConfig | None = None,
+        **overrides: Any,
+    ) -> dict[str, DiscoveryResult]:
+        """Run every applicable registered algorithm on ``interface``.
+
+        Returns ``{registry name: result}`` in registry order.  Runs share
+        the interface (and therefore any interface-level budget); each
+        result's ``total_cost`` counts only its own queries.
+        """
+        cfg = self._effective(config, overrides)
+        results: dict[str, DiscoveryResult] = {}
+        for spec in applicable_algorithms(interface.schema):
+            results[spec.name] = self.run(
+                interface, spec.name, config=cfg
+            )
+        return results
+
+    def skyband(
+        self,
+        interface: TopKInterface,
+        band: int | None = None,
+        algorithm: str | None = None,
+        *,
+        config: DiscoveryConfig | None = None,
+        **overrides: Any,
+    ) -> SkybandResult:
+        """Discover the top-``band`` skyband of ``interface`` (§7.2).
+
+        ``band`` defaults to ``config.band``.  ``algorithm`` must name a
+        registered algorithm with a skyband extension; ``None`` picks the
+        highest-priority applicable one (RQ > PQ > SQ for the built-ins).
+        """
+        cfg = self._effective(config, overrides)
+        if band is not None:
+            cfg = cfg.replace(band=band)
+        spec = self._skyband_spec_for(interface, algorithm)
+        result = spec.skyband(interface, cfg.band, cfg)
+        return _dc_replace(result, config=cfg, info=spec.info())
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _effective(
+        self, config: DiscoveryConfig | None, overrides: dict[str, Any]
+    ) -> DiscoveryConfig:
+        cfg = config if config is not None else self._config
+        if overrides:
+            options = overrides.pop("options", None)
+            cfg = cfg.replace(**overrides)
+            if options:
+                cfg = cfg.with_options(**options)
+        return cfg
+
+    @staticmethod
+    def _spec_for(
+        interface: TopKInterface, algorithm: str | None
+    ) -> AlgorithmSpec:
+        schema = interface.schema
+        if algorithm is None:
+            return resolve_algorithm(schema)
+        spec = get_algorithm(algorithm)
+        if not spec.supports(schema):
+            kinds = sorted({a.kind.name for a in schema.ranking_attributes})
+            raise ValueError(
+                f"algorithm {spec.name!r} ({spec.display_name}) does not "
+                f"support schemas with ranking kinds {kinds}; it handles "
+                f"{'+'.join(spec.taxonomy)}"
+            )
+        return spec
+
+    @staticmethod
+    def _skyband_spec_for(
+        interface: TopKInterface, algorithm: str | None
+    ) -> AlgorithmSpec:
+        schema = interface.schema
+        if algorithm is not None:
+            spec = get_algorithm(algorithm)
+            if spec.skyband is None:
+                raise ValueError(
+                    f"algorithm {spec.name!r} has no skyband extension"
+                )
+            if not spec.supports_skyband(schema):
+                raise ValueError(
+                    f"the skyband extension of {spec.name!r} does not "
+                    f"support this schema's interface taxonomy"
+                )
+            return spec
+        candidates = sorted(
+            (
+                spec
+                for spec in all_algorithms()
+                if spec.supports_skyband(schema)
+            ),
+            key=lambda spec: (-spec.priority, spec.name),
+        )
+        if not candidates:
+            raise AlgorithmNotFoundError(
+                "<no registered skyband extension supports this schema>",
+                [spec.name for spec in all_algorithms() if spec.skyband],
+            )
+        return candidates[0]
+
+    @staticmethod
+    def _session(
+        interface: TopKInterface, cfg: DiscoveryConfig
+    ) -> DiscoverySession:
+        return DiscoverySession.from_config(interface, cfg)
+
+    @staticmethod
+    def _decorate(
+        result: DiscoveryResult,
+        spec: AlgorithmSpec,
+        cfg: DiscoveryConfig,
+        session: DiscoverySession,
+    ) -> DiscoveryResult:
+        return _dc_replace(
+            result,
+            config=cfg,
+            info=spec.info(),
+            query_log=session.log if cfg.record_log else (),
+        )
+
+    def __repr__(self) -> str:
+        return f"Discoverer(config={self._config!r})"
+
+
+#: Shared default facade backing the module-level convenience functions.
+default_discoverer = Discoverer()
+
+
+def discover(
+    interface: TopKInterface,
+    algorithm: str | None = None,
+    **overrides: Any,
+) -> DiscoveryResult:
+    """Discover the skyline of ``interface`` (module-level convenience).
+
+    Auto-dispatches on the schema's interface taxonomy unless ``algorithm``
+    names a registered algorithm.  Equivalent to
+    ``Discoverer().run(interface, algorithm, **overrides)``.
+    """
+    return default_discoverer.run(interface, algorithm, **overrides)
+
+
+__all__ = ["Discoverer", "default_discoverer", "discover"]

@@ -25,6 +25,7 @@ entry point (:func:`repro.core.discover`).
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 from ..hiddendb.attributes import InterfaceKind
@@ -32,6 +33,7 @@ from ..hiddendb.interface import TopKInterface
 from ..hiddendb.query import Query
 from .base import DiscoveryResult, DiscoverySession, run_with_budget_guard
 from .pq import pq_db_sky
+from .registry import DiscoveryConfig, register_algorithm
 from .rq import rq_db_sky
 
 ALGORITHM_NAME = "MQ-DB-SKY"
@@ -143,34 +145,69 @@ def _resolve_overflow(
     # general-positioning assumption rules this out).
 
 
+@register_algorithm(
+    "mq",
+    display_name=ALGORITHM_NAME,
+    kinds=(InterfaceKind.SQ, InterfaceKind.RQ, InterfaceKind.PQ),
+    capabilities=("anytime", "complete"),
+    summary="Range phase plus pruned point chase for mixed interfaces (§6)",
+    dispatch=lambda schema: True,  # the universal fallback
+    priority=0,
+)
+def _run_mq(session: DiscoverySession, config: DiscoveryConfig) -> None:
+    """MQ-DB-SKY under the facade."""
+    mq_db_sky(session)
+
+
 def discover_mq(interface: TopKInterface) -> DiscoveryResult:
-    """Discover the skyline of a mixed-interface database with MQ-DB-SKY."""
+    """Discover the skyline of a mixed-interface database with MQ-DB-SKY.
+
+    .. deprecated:: 2.0
+        Use ``Discoverer().run(interface, "mq")`` instead.
+    """
+    warnings.warn(
+        "discover_mq() is deprecated; use repro.Discoverer().run(interface, "
+        '"mq") instead',
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return run_with_budget_guard(interface, ALGORITHM_NAME, mq_db_sky)
 
 
-def discover(interface: TopKInterface) -> DiscoveryResult:
-    """Universal entry point: dispatch on the schema's interface taxonomy.
+def legacy_discover(interface: TopKInterface) -> DiscoveryResult:
+    """The pre-registry universal entry point: hand-rolled dispatch on the
+    schema's interface taxonomy.
 
-    Pure point schemas run PQ-DB-SKY, pure range schemas run SQ/RQ-DB-SKY,
-    and everything else runs the full MQ-DB-SKY pipeline.  The reported
-    algorithm name reflects the dispatch target.
+    Kept verbatim as the parity reference for the registry's auto-dispatch
+    (``tests/core/test_registry.py``); new code should call
+    :func:`repro.discover` or :meth:`repro.Discoverer.run`, which resolve
+    the same targets through the registry.
     """
     schema = interface.schema
     sq_attrs, rq_attrs, pq_attrs = _interface_partition(schema)
     if not pq_attrs and not rq_attrs:
-        from .sq import discover_sq
-
-        return discover_sq(interface)
+        return run_with_budget_guard(
+            interface, "SQ-DB-SKY", lambda session: _sq_body(session)
+        )
     if not pq_attrs:
-        from .rq import discover_rq
-
-        return discover_rq(
+        branch = _range_branch_order(sq_attrs, rq_attrs)
+        return run_with_budget_guard(
             interface,
-            branch_attributes=_range_branch_order(sq_attrs, rq_attrs),
-            two_ended=rq_attrs,
+            "RQ-DB-SKY",
+            lambda session: rq_db_sky(
+                session, branch_attributes=branch, two_ended=rq_attrs
+            ),
         )
     if not sq_attrs and not rq_attrs:
-        from .pq import discover_pq
+        return run_with_budget_guard(
+            interface,
+            "PQ-DB-SKY" if schema.m != 2 else "PQ-2D-SKY",
+            pq_db_sky,
+        )
+    return run_with_budget_guard(interface, ALGORITHM_NAME, mq_db_sky)
 
-        return discover_pq(interface)
-    return discover_mq(interface)
+
+def _sq_body(session: DiscoverySession) -> None:
+    from .sq import sq_db_sky
+
+    sq_db_sky(session)

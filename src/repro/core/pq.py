@@ -18,12 +18,15 @@ from __future__ import annotations
 
 import itertools
 import math
+import warnings
 from typing import Sequence
 
+from ..hiddendb.attributes import InterfaceKind
 from ..hiddendb.interface import QueryResult, TopKInterface
 from ..hiddendb.query import Query
 from .base import DiscoveryResult, DiscoverySession, run_with_budget_guard
 from .pqsub import PlaneState, explore_plane
+from .registry import DiscoveryConfig, register_algorithm
 
 ALGORITHM_NAME = "PQ-DB-SKY"
 
@@ -191,12 +194,44 @@ def _scan_single_attribute(session: DiscoverySession, band: int) -> None:
             dominators += len(result.rows)
 
 
+@register_algorithm(
+    "pq",
+    display_name=ALGORITHM_NAME,
+    kinds=(InterfaceKind.PQ,),
+    capabilities=("anytime", "complete"),
+    summary="Greedy plane decomposition over point predicates (§5.3)",
+    dispatch=lambda schema: True,  # applicable == pure point schema
+    priority=20,
+    # Parity with the legacy entry points: the 2-attribute case delegates to
+    # the instance-optimal 2-D algorithm and reports its name.
+    display_for=lambda schema: "PQ-2D-SKY" if schema.m == 2 else ALGORITHM_NAME,
+)
+def _run_pq(session: DiscoverySession, config: DiscoveryConfig) -> None:
+    """PQ-DB-SKY under the facade; options: ``plane_attributes``,
+    ``plane_limit``."""
+    pq_db_sky(
+        session,
+        plane_attributes=config.option("plane_attributes"),
+        plane_limit=config.option("plane_limit", DEFAULT_PLANE_LIMIT),
+    )
+
+
 def discover_pq(
     interface: TopKInterface,
     plane_attributes: tuple[int, int] | None = None,
     plane_limit: int = DEFAULT_PLANE_LIMIT,
 ) -> DiscoveryResult:
-    """Discover the skyline of a point-predicate database with PQ-DB-SKY."""
+    """Discover the skyline of a point-predicate database with PQ-DB-SKY.
+
+    .. deprecated:: 2.0
+        Use ``Discoverer().run(interface, "pq")`` instead.
+    """
+    warnings.warn(
+        "discover_pq() is deprecated; use repro.Discoverer().run(interface, "
+        '"pq") instead',
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return run_with_budget_guard(
         interface,
         ALGORITHM_NAME if interface.schema.m != 2 else "PQ-2D-SKY",

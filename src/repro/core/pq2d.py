@@ -21,12 +21,14 @@ initial ``SELECT *``).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..hiddendb.attributes import InterfaceKind
 from ..hiddendb.interface import TopKInterface
 from ..hiddendb.query import Query
 from .base import DiscoveryResult, DiscoverySession, run_with_budget_guard
+from .registry import DiscoveryConfig, register_algorithm
 
 ALGORITHM_NAME = "PQ-2D-SKY"
 
@@ -126,8 +128,36 @@ def _step_row(session: DiscoverySession, rect: _Rect) -> None:
     rect.x_hi = x_found - 1
 
 
+@register_algorithm(
+    "pq2d",
+    display_name=ALGORITHM_NAME,
+    # Point predicates are expressible through every interface kind, so any
+    # 2-attribute ranking schema qualifies (matching legacy discover_pq2d).
+    kinds=(InterfaceKind.PQ, InterfaceKind.SQ, InterfaceKind.RQ),
+    capabilities=("anytime", "complete", "instance-optimal"),
+    summary="Instance-optimal 1-D line queries for 2-attribute schemas (§5.1)",
+    requires=lambda schema: schema.m == 2,
+    # Never auto-dispatched: the "pq" spec already delegates 2-D schemas to
+    # this algorithm internally (legacy discover() parity); select it by
+    # name to force the rectangle-worklist implementation.
+)
+def _run_pq2d(session: DiscoverySession, config: DiscoveryConfig) -> None:
+    """PQ-2D-SKY under the facade."""
+    pq_2d_sky(session)
+
+
 def discover_pq2d(interface: TopKInterface) -> DiscoveryResult:
-    """Discover the skyline of a 2-D point-predicate database."""
+    """Discover the skyline of a 2-D point-predicate database.
+
+    .. deprecated:: 2.0
+        Use ``Discoverer().run(interface, "pq2d")`` instead.
+    """
+    warnings.warn(
+        "discover_pq2d() is deprecated; use repro.Discoverer().run("
+        'interface, "pq2d") instead',
+        DeprecationWarning,
+        stacklevel=2,
+    )
     for attribute in interface.schema.ranking_attributes:
         if attribute.kind not in (InterfaceKind.PQ, InterfaceKind.SQ,
                                   InterfaceKind.RQ):

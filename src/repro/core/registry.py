@@ -1,0 +1,349 @@
+"""Algorithm registry and run configuration for the discovery facade.
+
+Every discovery algorithm in :mod:`repro.core` self-registers here through
+the :func:`register_algorithm` decorator, declaring its name, the interface
+taxonomy it supports (which :class:`~repro.hiddendb.attributes.InterfaceKind`
+mix it can query through) and its capabilities (``anytime``, ``skyband``,
+``complete``, ...).  The :class:`~repro.core.facade.Discoverer` facade is a
+thin consumer of this registry: it resolves a name (or auto-dispatches on
+the schema taxonomy), builds a session from a :class:`DiscoveryConfig` and
+runs the registered entry point.
+
+The registry is the extension seam for new algorithms and backends: a new
+module only has to decorate its runner --
+
+    @register_algorithm(
+        "my-algo",
+        display_name="MY-DB-SKY",
+        kinds=(InterfaceKind.RQ,),
+        capabilities=("anytime",),
+    )
+    def _run(session: DiscoverySession, config: DiscoveryConfig) -> None:
+        ...
+
+-- and it becomes available to ``Discoverer.run``, ``Discoverer.run_all``,
+the CLI ``--algorithm`` flag and the ``repro algorithms`` listing without
+touching any dispatch code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as _dc_replace
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+
+from ..hiddendb.attributes import InterfaceKind, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from ..hiddendb.interface import QueryResult, TopKInterface
+    from ..hiddendb.query import Query
+    from .base import DiscoverySession, TraceEntry
+    from .skyband import SkybandResult
+
+
+class AlgorithmNotFoundError(KeyError):
+    """Raised when a registry lookup names no registered algorithm."""
+
+    def __init__(self, name: str, available: Iterable[str]) -> None:
+        self.name = name
+        self.available = tuple(available)
+        super().__init__(
+            f"no algorithm registered under {name!r}; "
+            f"available: {', '.join(self.available) or '(none)'}"
+        )
+
+
+class DuplicateAlgorithmError(ValueError):
+    """Raised when two algorithms try to register under the same name."""
+
+
+@dataclass(frozen=True)
+class DiscoveryConfig:
+    """Frozen run configuration shared by every facade entry point.
+
+    Parameters
+    ----------
+    budget:
+        Per-run query allowance.  Enforced at the session level (on top of
+        any budget the interface itself carries), so one facade can impose
+        the same quota on runs against different interfaces.  Exhaustion
+        yields a partial ``complete=False`` result -- the anytime behaviour
+        of §7.1 -- rather than an exception.
+    band:
+        K-skyband depth used by :meth:`Discoverer.skyband` (``1`` = plain
+        skyline).
+    base_query:
+        Predicates conjoined to every issued query: the paper's "skyline
+        subject to filtering conditions" extension (§2.1).
+    on_query:
+        Progress hook invoked after every issued query with the
+        :class:`~repro.hiddendb.interface.QueryResult`.
+    on_tuple:
+        Progress hook invoked whenever a *new* distinct tuple is retrieved,
+        with the :class:`~repro.core.base.TraceEntry` (first-retrieval cost
+        plus row).  Feeding these entries into a list reproduces the anytime
+        discovery curve live, while the run is still going.
+    record_log:
+        Attach the full query/answer log to the returned result
+        (``result.query_log``), for :func:`repro.core.stats.summarize_log`.
+    options:
+        Algorithm-specific knobs forwarded to the registered runner
+        (e.g. ``early_termination`` for RQ-DB-SKY, ``plane_attributes`` /
+        ``plane_limit`` for PQ-DB-SKY).  Treat as read-only.
+    """
+
+    budget: int | None = None
+    band: int = 1
+    base_query: "Query | None" = None
+    on_query: "Callable[[QueryResult], None] | None" = None
+    on_tuple: "Callable[[TraceEntry], None] | None" = None
+    record_log: bool = False
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.budget is not None and self.budget < 0:
+            raise ValueError(f"budget must be >= 0, got {self.budget}")
+        if self.band < 1:
+            raise ValueError(f"band must be >= 1, got {self.band}")
+
+    def replace(self, **changes: Any) -> "DiscoveryConfig":
+        """A copy of this config with ``changes`` applied."""
+        return _dc_replace(self, **changes)
+
+    def with_options(self, **options: Any) -> "DiscoveryConfig":
+        """A copy with ``options`` merged into the algorithm options."""
+        merged = dict(self.options)
+        merged.update(options)
+        return _dc_replace(self, options=merged)
+
+    def option(self, key: str, default: Any = None) -> Any:
+        """Look up one algorithm-specific option."""
+        return self.options.get(key, default)
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Registry metadata attached to results (no callables, JSON-friendly)."""
+
+    name: str
+    display_name: str
+    taxonomy: tuple[str, ...]
+    capabilities: tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return (
+            f"AlgorithmInfo({self.name}: {self.display_name}, "
+            f"taxonomy={'+'.join(self.taxonomy)}, "
+            f"capabilities={','.join(self.capabilities) or '-'})"
+        )
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered discovery algorithm.
+
+    ``run`` is the uniform entry point every algorithm adapts to:
+    ``run(session, config)`` issues queries through the session and returns
+    nothing; the facade packages the session into a result.  ``skyband`` is
+    an optional second entry point (attached via :func:`attach_skyband`)
+    implementing the K-skyband extension of §7.2.
+    """
+
+    name: str
+    display_name: str
+    run: "Callable[[DiscoverySession, DiscoveryConfig], None]"
+    kinds: frozenset[InterfaceKind]
+    capabilities: frozenset[str] = frozenset()
+    summary: str = ""
+    #: Extra structural requirement beyond the kind check (e.g. ``m == 2``).
+    requires: Callable[[Schema], bool] | None = None
+    #: Auto-dispatch preference: among applicable specs the resolver picks
+    #: the highest-priority one whose ``dispatch`` predicate accepts the
+    #: schema.  ``None`` means the spec is only ever selected by name.
+    dispatch: Callable[[Schema], bool] | None = None
+    priority: int = 0
+    #: Schema-dependent display name (PQ-DB-SKY reports PQ-2D-SKY on m=2).
+    display_for: Callable[[Schema], str] | None = None
+    skyband: "Callable[[TopKInterface, int, DiscoveryConfig], SkybandResult] | None" = None
+    skyband_requires: Callable[[Schema], bool] | None = None
+
+    def supports(self, schema: Schema) -> bool:
+        """Whether this algorithm can run against ``schema``'s taxonomy."""
+        if not all(
+            attribute.kind in self.kinds
+            for attribute in schema.ranking_attributes
+        ):
+            return False
+        return self.requires is None or self.requires(schema)
+
+    def supports_skyband(self, schema: Schema) -> bool:
+        """Whether the attached skyband extension can run against ``schema``."""
+        if self.skyband is None:
+            return False
+        if self.skyband_requires is not None:
+            return self.skyband_requires(schema)
+        return self.supports(schema)
+
+    def prefers(self, schema: Schema) -> bool:
+        """Whether auto-dispatch should consider this spec for ``schema``."""
+        return self.dispatch is not None and self.dispatch(schema)
+
+    def display(self, schema: Schema | None = None) -> str:
+        """Reported algorithm name, possibly specialised to ``schema``."""
+        if schema is not None and self.display_for is not None:
+            return self.display_for(schema)
+        return self.display_name
+
+    @property
+    def taxonomy(self) -> tuple[str, ...]:
+        """Supported ranking-attribute kinds, stable order (SQ, RQ, PQ)."""
+        order = (InterfaceKind.SQ, InterfaceKind.RQ, InterfaceKind.PQ)
+        return tuple(kind.name for kind in order if kind in self.kinds)
+
+    def info(self) -> AlgorithmInfo:
+        """The callable-free metadata view attached to results."""
+        return AlgorithmInfo(
+            name=self.name,
+            display_name=self.display_name,
+            taxonomy=self.taxonomy,
+            capabilities=tuple(sorted(self.capabilities)),
+        )
+
+
+_REGISTRY: dict[str, AlgorithmSpec] = {}
+
+
+def register_algorithm(
+    name: str,
+    *,
+    display_name: str,
+    kinds: Iterable[InterfaceKind],
+    capabilities: Iterable[str] = (),
+    summary: str = "",
+    requires: Callable[[Schema], bool] | None = None,
+    dispatch: Callable[[Schema], bool] | None = None,
+    priority: int = 0,
+    display_for: Callable[[Schema], str] | None = None,
+) -> Callable[[Callable], Callable]:
+    """Class the decorated ``run(session, config)`` function as algorithm
+    ``name``.  Names are case-insensitive and must be unique."""
+    key = name.lower()
+
+    def decorator(run: Callable) -> Callable:
+        if key in _REGISTRY:
+            raise DuplicateAlgorithmError(
+                f"algorithm {name!r} is already registered "
+                f"(by {_REGISTRY[key].run.__module__})"
+            )
+        _REGISTRY[key] = AlgorithmSpec(
+            name=key,
+            display_name=display_name,
+            run=run,
+            kinds=frozenset(kinds),
+            capabilities=frozenset(capabilities),
+            summary=summary or (run.__doc__ or "").strip().split("\n")[0],
+            requires=requires,
+            dispatch=dispatch,
+            priority=priority,
+            display_for=display_for,
+        )
+        return run
+
+    return decorator
+
+
+def attach_skyband(
+    name: str,
+    *,
+    requires: Callable[[Schema], bool] | None = None,
+) -> Callable[[Callable], Callable]:
+    """Attach a K-skyband runner ``(interface, band, config) -> SkybandResult``
+    to the already-registered algorithm ``name``."""
+    key = name.lower()
+
+    def decorator(runner: Callable) -> Callable:
+        spec = _REGISTRY.get(key)
+        if spec is None:
+            raise AlgorithmNotFoundError(name, _REGISTRY)
+        if spec.skyband is not None:
+            raise DuplicateAlgorithmError(
+                f"algorithm {name!r} already has a skyband runner"
+            )
+        _REGISTRY[key] = _dc_replace(
+            spec,
+            skyband=runner,
+            skyband_requires=requires,
+            capabilities=spec.capabilities | {"skyband"},
+        )
+        return runner
+
+    return decorator
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove ``name`` from the registry (test / plugin teardown helper)."""
+    _REGISTRY.pop(name.lower(), None)
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up a registered algorithm by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise AlgorithmNotFoundError(name, sorted(_REGISTRY)) from None
+
+
+def algorithm_names() -> tuple[str, ...]:
+    """All registered algorithm names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def all_algorithms() -> tuple[AlgorithmSpec, ...]:
+    """All registered specs, sorted by name."""
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+def applicable_algorithms(schema: Schema) -> tuple[AlgorithmSpec, ...]:
+    """Registered specs able to run against ``schema``, sorted by name."""
+    return tuple(
+        spec for spec in all_algorithms() if spec.supports(schema)
+    )
+
+
+def resolve_algorithm(schema: Schema) -> AlgorithmSpec:
+    """Auto-dispatch on the schema's interface taxonomy.
+
+    Among the specs whose ``dispatch`` predicate accepts the schema, the
+    highest-priority one wins.  The built-in registrations reproduce the
+    dispatch of the legacy :func:`repro.core.mq.legacy_discover`: pure one-ended
+    schemas run SQ-DB-SKY, range schemas run RQ-DB-SKY, pure point schemas
+    run PQ-DB-SKY and everything else runs MQ-DB-SKY.
+    """
+    candidates = sorted(
+        (spec for spec in _REGISTRY.values() if spec.prefers(schema)),
+        key=lambda spec: (-spec.priority, spec.name),
+    )
+    for spec in candidates:
+        if spec.supports(schema):
+            return spec
+    raise AlgorithmNotFoundError(
+        f"<no algorithm dispatches schema with kinds "
+        f"{[a.kind.name for a in schema.ranking_attributes]}>",
+        sorted(_REGISTRY),
+    )
+
+
+__all__ = [
+    "AlgorithmInfo",
+    "AlgorithmNotFoundError",
+    "AlgorithmSpec",
+    "DiscoveryConfig",
+    "DuplicateAlgorithmError",
+    "algorithm_names",
+    "all_algorithms",
+    "applicable_algorithms",
+    "attach_skyband",
+    "get_algorithm",
+    "register_algorithm",
+    "resolve_algorithm",
+    "unregister_algorithm",
+]

@@ -28,13 +28,16 @@ expressible).
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
+from ..hiddendb.attributes import InterfaceKind
 from ..hiddendb.interface import TopKInterface
 from ..hiddendb.query import Query
 from ..hiddendb.table import Row
 from .base import DiscoveryResult, DiscoverySession, run_with_budget_guard
 from .dominance import dominates
+from .registry import DiscoveryConfig, register_algorithm
 
 ALGORITHM_NAME = "RQ-DB-SKY"
 
@@ -161,6 +164,43 @@ def rq_db_sky(
             stack.append(child)
 
 
+@register_algorithm(
+    "rq",
+    display_name=ALGORITHM_NAME,
+    kinds=(InterfaceKind.SQ, InterfaceKind.RQ),
+    capabilities=("anytime", "complete"),
+    summary="Mutually exclusive range tree with early termination (§4)",
+    # Preferred for any schema of range predicates with at least one
+    # two-ended attribute (legacy discover() parity).
+    dispatch=lambda schema: not schema.indices_of_kind(InterfaceKind.PQ)
+    and bool(schema.indices_of_kind(InterfaceKind.RQ)),
+    priority=40,
+)
+def _run_rq(session: DiscoverySession, config: DiscoveryConfig) -> None:
+    """RQ-DB-SKY under the facade.
+
+    Two-ended exclusion predicates go to the RQ attributes only, and the
+    tree branches two-ended attributes first (§6.3) -- on a pure-RQ schema
+    both default to the schema order, matching the legacy entry points.
+    Options: ``branch_attributes``, ``two_ended``, ``early_termination``.
+    """
+    schema = session.schema
+    sq_attrs = schema.indices_of_kind(InterfaceKind.SQ)
+    rq_attrs = schema.indices_of_kind(InterfaceKind.RQ)
+    branch = config.option("branch_attributes")
+    if branch is None:
+        branch = tuple(rq_attrs) + tuple(sq_attrs)
+    two_ended = config.option("two_ended")
+    if two_ended is None:
+        two_ended = rq_attrs
+    rq_db_sky(
+        session,
+        branch_attributes=branch,
+        two_ended=two_ended,
+        early_termination=config.option("early_termination", True),
+    )
+
+
 def discover_rq(
     interface: TopKInterface,
     branch_attributes: Sequence[int] | None = None,
@@ -168,7 +208,17 @@ def discover_rq(
     early_termination: bool = True,
     base_query: Query | None = None,
 ) -> DiscoveryResult:
-    """Discover the skyline of ``interface`` with RQ-DB-SKY."""
+    """Discover the skyline of ``interface`` with RQ-DB-SKY.
+
+    .. deprecated:: 2.0
+        Use ``Discoverer().run(interface, "rq")`` instead.
+    """
+    warnings.warn(
+        "discover_rq() is deprecated; use repro.Discoverer().run(interface, "
+        '"rq") instead',
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return run_with_budget_guard(
         interface,
         ALGORITHM_NAME,

@@ -25,18 +25,25 @@ dominator of a band tuple lies in a lower band and is therefore retrieved.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..hiddendb.attributes import InterfaceKind
 from ..hiddendb.errors import QueryBudgetExceeded
-from ..hiddendb.interface import TopKInterface
+from ..hiddendb.interface import QueryResult, TopKInterface
 from ..hiddendb.query import Query
 from ..hiddendb.table import Row
 from .base import DiscoverySession
 from .dominance import skyband_of_rows
 from .pq import pq_db_sky
+from .registry import DiscoveryConfig, attach_skyband
 from .rq import rq_db_sky
+from . import sq as _sq  # noqa: F401  (registers "sq" before attachment)
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from .registry import AlgorithmInfo
 
 
 @dataclass(frozen=True)
@@ -49,6 +56,12 @@ class SkybandResult:
     total_cost: int
     retrieved: tuple[Row, ...]
     complete: bool
+    #: Run configuration (facade runs only; ``None`` for legacy entry points).
+    config: "DiscoveryConfig | None" = None
+    #: Registry metadata of the algorithm that produced this result.
+    info: "AlgorithmInfo | None" = None
+    #: Full query/answer log (populated when ``config.record_log`` is set).
+    query_log: tuple[QueryResult, ...] = field(default=(), repr=False)
 
     @property
     def skyband_values(self) -> frozenset[tuple[int, ...]]:
@@ -63,8 +76,15 @@ class SkybandResult:
         )
 
 
+_session = DiscoverySession.from_config
+
+
 def _finish(
-    session: DiscoverySession, algorithm: str, band: int, complete: bool
+    session: DiscoverySession,
+    algorithm: str,
+    band: int,
+    complete: bool,
+    config: DiscoveryConfig | None = None,
 ) -> SkybandResult:
     retrieved = session.retrieved_rows
     return SkybandResult(
@@ -79,6 +99,7 @@ def _finish(
         total_cost=session.cost,
         retrieved=tuple(retrieved),
         complete=complete,
+        query_log=session.log if config is not None and config.record_log else (),
     )
 
 
@@ -114,7 +135,17 @@ def _domination_subspace_roots(row: Row, domain_sizes: tuple[int, ...]) -> list[
     return roots
 
 
-def rq_db_skyband(interface: TopKInterface, band: int) -> SkybandResult:
+@attach_skyband(
+    "rq",
+    # Domination-subspace roots need point and lower-bound predicates on
+    # every ranking attribute, i.e. two-ended ranges throughout.
+    requires=lambda schema: all(
+        a.kind is InterfaceKind.RQ for a in schema.ranking_attributes
+    ),
+)
+def rq_db_skyband(
+    interface: TopKInterface, band: int, config: DiscoveryConfig | None = None
+) -> SkybandResult:
     """Discover the top-``band`` skyband through a two-ended range interface.
 
     One range-tree run discovers the skyline; every confirmed band tuple of
@@ -124,7 +155,7 @@ def rq_db_skyband(interface: TopKInterface, band: int) -> SkybandResult:
     """
     if band < 1:
         raise ValueError(f"band must be >= 1, got {band}")
-    session = DiscoverySession(interface)
+    session = _session(interface, config)
     domain_sizes = interface.schema.domain_sizes
     complete = True
     try:
@@ -140,7 +171,7 @@ def rq_db_skyband(interface: TopKInterface, band: int) -> SkybandResult:
                     rq_db_sky(session, root=root)
     except QueryBudgetExceeded:
         complete = False
-    return _finish(session, "RQ-DB-SKYBAND", band, complete)
+    return _finish(session, "RQ-DB-SKYBAND", band, complete, config)
 
 
 def _expansion_candidates(
@@ -157,7 +188,10 @@ def _expansion_candidates(
 # ----------------------------------------------------------------------
 # PQ extension
 # ----------------------------------------------------------------------
-def pq_db_skyband(interface: TopKInterface, band: int) -> SkybandResult:
+@attach_skyband("pq")
+def pq_db_skyband(
+    interface: TopKInterface, band: int, config: DiscoveryConfig | None = None
+) -> SkybandResult:
     """Discover the top-``band`` skyband through a point-predicate interface.
 
     Reuses the PQ plane machinery with dominator-count pruning: a plane cell
@@ -167,19 +201,22 @@ def pq_db_skyband(interface: TopKInterface, band: int) -> SkybandResult:
     """
     if band < 1:
         raise ValueError(f"band must be >= 1, got {band}")
-    session = DiscoverySession(interface)
+    session = _session(interface, config)
     complete = True
     try:
         pq_db_sky(session, band=band)
     except QueryBudgetExceeded:
         complete = False
-    return _finish(session, "PQ-DB-SKYBAND", band, complete)
+    return _finish(session, "PQ-DB-SKYBAND", band, complete, config)
 
 
 # ----------------------------------------------------------------------
 # SQ extension (best effort)
 # ----------------------------------------------------------------------
-def sq_db_skyband(interface: TopKInterface, band: int) -> SkybandResult:
+@attach_skyband("sq")
+def sq_db_skyband(
+    interface: TopKInterface, band: int, config: DiscoveryConfig | None = None
+) -> SkybandResult:
     """Best-effort top-``band`` skyband through a one-ended range interface.
 
     Branches on an answer tuple dominated by ``band - 1`` others *within the
@@ -191,7 +228,7 @@ def sq_db_skyband(interface: TopKInterface, band: int) -> SkybandResult:
     """
     if band < 1:
         raise ValueError(f"band must be >= 1, got {band}")
-    session = DiscoverySession(interface)
+    session = _session(interface, config)
     complete = True
     m = interface.schema.m
     try:
@@ -211,7 +248,7 @@ def sq_db_skyband(interface: TopKInterface, band: int) -> SkybandResult:
                     queue.append(child)
     except QueryBudgetExceeded:
         complete = False
-    return _finish(session, "SQ-DB-SKYBAND", band, complete)
+    return _finish(session, "SQ-DB-SKYBAND", band, complete, config)
 
 
 def _band_pivot(rows: tuple[Row, ...], band: int) -> Row | None:

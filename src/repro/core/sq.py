@@ -16,12 +16,15 @@ expected under the random-ranking model (§3.2); see
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from typing import Sequence
 
+from ..hiddendb.attributes import InterfaceKind
 from ..hiddendb.interface import TopKInterface
 from ..hiddendb.query import Query
 from .base import DiscoveryResult, DiscoverySession, run_with_budget_guard
+from .registry import DiscoveryConfig, register_algorithm
 
 ALGORITHM_NAME = "SQ-DB-SKY"
 
@@ -70,12 +73,39 @@ def sq_db_sky(
                 queue.append(child)
 
 
+@register_algorithm(
+    "sq",
+    display_name=ALGORITHM_NAME,
+    kinds=(InterfaceKind.SQ, InterfaceKind.RQ),
+    capabilities=("anytime", "complete"),
+    summary="Overlapping query tree over one-ended range predicates (§3)",
+    # Preferred only for pure one-ended schemas; RQ-DB-SKY takes over as
+    # soon as a two-ended attribute is available (legacy discover() parity).
+    dispatch=lambda schema: not schema.indices_of_kind(InterfaceKind.RQ)
+    and not schema.indices_of_kind(InterfaceKind.PQ),
+    priority=30,
+)
+def _run_sq(session: DiscoverySession, config: DiscoveryConfig) -> None:
+    """SQ-DB-SKY under the facade; honours the ``branch_attributes`` option."""
+    sq_db_sky(session, config.option("branch_attributes"))
+
+
 def discover_sq(
     interface: TopKInterface,
     branch_attributes: Sequence[int] | None = None,
     base_query: Query | None = None,
 ) -> DiscoveryResult:
-    """Discover the skyline of ``interface`` with SQ-DB-SKY."""
+    """Discover the skyline of ``interface`` with SQ-DB-SKY.
+
+    .. deprecated:: 2.0
+        Use ``Discoverer().run(interface, "sq")`` instead.
+    """
+    warnings.warn(
+        "discover_sq() is deprecated; use repro.Discoverer().run(interface, "
+        '"sq") instead',
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return run_with_budget_guard(
         interface,
         ALGORITHM_NAME,

@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
+from typing import Sequence
 
+from ..hiddendb.interface import QueryResult
 from .base import DiscoverySession
 
 
@@ -64,13 +66,22 @@ class QueryLogSummary:
 
 def summarize_session(session: DiscoverySession) -> QueryLogSummary:
     """Fold ``session``'s query log into a :class:`QueryLogSummary`."""
+    return summarize_log(session.log)
+
+
+def summarize_log(log: Sequence[QueryResult]) -> QueryLogSummary:
+    """Fold a query/answer log into a :class:`QueryLogSummary`.
+
+    Accepts any result sequence -- a session's ``log``, or the
+    ``query_log`` a facade run attaches when ``record_log`` is set.
+    """
     empty = overflow = underflow = 0
     rows_returned = 0
     seen: set[int] = set()
     redundant = 0
     predicate_histogram: Counter[int] = Counter()
     max_predicates = 0
-    for result in session.log:
+    for result in log:
         depth = result.query.num_predicates
         predicate_histogram[depth] += 1
         max_predicates = max(max_predicates, depth)
@@ -87,7 +98,7 @@ def summarize_session(session: DiscoverySession) -> QueryLogSummary:
             else:
                 seen.add(row.rid)
     return QueryLogSummary(
-        total_queries=len(session.log),
+        total_queries=len(log),
         empty_answers=empty,
         overflowing_answers=overflow,
         underflowing_answers=underflow,

@@ -1,18 +1,35 @@
-"""Shared plumbing for the figure-reproduction experiments."""
+"""Shared plumbing for the figure-reproduction experiments.
+
+All experiment runs route through one module-level
+:class:`~repro.core.facade.Discoverer` so the figure modules never hand-roll
+algorithm dispatch; they name a registry algorithm (``"sq"``, ``"rq"``,
+``"pq"``, ``"baseline"``, ...) or let the facade auto-dispatch.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..core import discover_pq, discover_rq, discover_sq
+from ..core import Discoverer
 from ..core.base import DiscoveryResult
-from ..hiddendb.attributes import InterfaceKind
 from ..hiddendb.interface import TopKInterface
 from ..hiddendb.ranking import Ranker
 from ..hiddendb.table import Table
 
 #: Default top-k of the simulated search forms in the offline experiments.
 DEFAULT_K = 10
+
+#: The facade every experiment runs through.
+DISCOVERER = Discoverer()
+
+
+def run_discovery(
+    interface: TopKInterface,
+    algorithm: str | None = None,
+    **overrides,
+) -> DiscoveryResult:
+    """Run one registered algorithm (or auto-dispatch) on ``interface``."""
+    return DISCOVERER.run(interface, algorithm, **overrides)
 
 
 def ground_truth_values(table: Table) -> frozenset[tuple[int, ...]]:
@@ -31,17 +48,10 @@ def run_range_algorithm(
 ) -> DiscoveryResult:
     """Run ``"sq"`` or ``"rq"`` discovery over ``table`` and optionally check
     the answer against the ground truth."""
-    interface = TopKInterface(table, ranker=ranker, k=k)
-    if algorithm == "sq":
-        result = discover_sq(interface)
-    elif algorithm == "rq":
-        kinds = [a.kind for a in table.schema.ranking_attributes]
-        two_ended = tuple(
-            i for i, kind in enumerate(kinds) if kind is InterfaceKind.RQ
-        )
-        result = discover_rq(interface, two_ended=two_ended)
-    else:
+    if algorithm not in ("sq", "rq"):
         raise ValueError(f"unknown range algorithm {algorithm!r}")
+    interface = TopKInterface(table, ranker=ranker, k=k)
+    result = DISCOVERER.run(interface, algorithm)
     if verify:
         expected = ground_truth_values(table)
         if result.skyline_values != expected:
@@ -60,7 +70,7 @@ def run_pq(
 ) -> DiscoveryResult:
     """Run PQ-DB-SKY over ``table`` with optional verification."""
     interface = TopKInterface(table, ranker=ranker, k=k)
-    result = discover_pq(interface)
+    result = DISCOVERER.run(interface, "pq")
     if verify:
         expected = ground_truth_values(table)
         if result.skyline_values != expected:

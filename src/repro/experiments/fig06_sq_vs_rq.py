@@ -15,11 +15,10 @@ figure studies, cost as a function of |S|, is preserved.
 
 from __future__ import annotations
 
-from ..core import discover_rq, discover_sq
 from ..datagen.synthetic import correlation_sweep_table
 from ..hiddendb.attributes import InterfaceKind
 from ..hiddendb.interface import TopKInterface
-from .common import ground_truth_values, skyline_count
+from .common import ground_truth_values, run_discovery, skyline_count
 from .reporting import print_experiment
 
 DEFAULT_RHOS = (0.95, 0.8, 0.5, 0.2, 0.0, -0.3, -0.6, -0.9)
@@ -54,8 +53,10 @@ def run(
                 {a.name: InterfaceKind.RQ for a in sq_table.schema.ranking_attributes}
             )
             expected = ground_truth_values(sq_table)
-            sq = discover_sq(TopKInterface(sq_table, k=k, budget=sq_budget))
-            rq = discover_rq(TopKInterface(rq_table, k=k))
+            sq = run_discovery(
+                TopKInterface(sq_table, k=k), "sq", budget=sq_budget
+            )
+            rq = run_discovery(TopKInterface(rq_table, k=k), "rq")
             if rq.skyline_values != expected:
                 raise AssertionError(f"RQ incomplete at m={m}, rho={rho}")
             if sq.complete and sq.skyline_values != expected:

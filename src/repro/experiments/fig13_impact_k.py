@@ -7,10 +7,9 @@ magnitude below the crawl-everything BASELINE at every k.
 
 from __future__ import annotations
 
-from ..core import baseline_skyline, discover_rq
 from ..datagen.flights import flights_range_table
 from ..hiddendb.interface import TopKInterface
-from .common import ground_truth_values
+from .common import ground_truth_values, run_discovery
 from .reporting import print_experiment
 
 DEFAULT_KS = (1, 10, 20, 30, 40, 50)
@@ -29,12 +28,12 @@ def run(
     rows = []
     for k in ks:
         interface = TopKInterface(table, k=k)
-        rq = discover_rq(interface)
+        rq = run_discovery(interface, "rq")
         if rq.skyline_values != expected:
             raise AssertionError(f"RQ-DB-SKY incomplete at k={k}")
         row = {"k": k, "S": len(expected), "rq_cost": rq.total_cost}
         if include_baseline:
-            base = baseline_skyline(TopKInterface(table, k=k))
+            base = run_discovery(TopKInterface(table, k=k), "baseline")
             if base.skyline_values != expected:
                 raise AssertionError(f"BASELINE incomplete at k={k}")
             row["baseline_cost"] = base.total_cost

@@ -9,11 +9,11 @@ below SQ-DB-SKY, both far under the worst-case bounds.
 
 from __future__ import annotations
 
-from ..core import analysis, discover_rq, discover_sq
+from ..core import analysis
 from ..datagen.flights import flights_range_table
 from ..hiddendb.attributes import InterfaceKind
 from ..hiddendb.interface import TopKInterface
-from .common import ground_truth_values
+from .common import ground_truth_values, run_discovery
 from .reporting import print_experiment
 
 DEFAULT_MS = (2, 3, 4, 5, 6, 7)
@@ -39,8 +39,8 @@ def run(
         )
         expected = ground_truth_values(table)
         size = len(expected)
-        sq = discover_sq(TopKInterface(sq_table, k=k, budget=sq_budget))
-        rq = discover_rq(TopKInterface(table, k=k))
+        sq = run_discovery(TopKInterface(sq_table, k=k), "sq", budget=sq_budget)
+        rq = run_discovery(TopKInterface(table, k=k), "rq")
         if rq.skyline_values != expected:
             raise AssertionError(f"RQ-DB-SKY incomplete at m={m}")
         if sq.complete and sq.skyline_values != expected:

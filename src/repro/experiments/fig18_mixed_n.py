@@ -7,10 +7,9 @@ stays nearly flat across a 5x growth in n.
 
 from __future__ import annotations
 
-from ..core import discover_mq
 from ..datagen.flights import flights_mixed_table
 from ..hiddendb.interface import TopKInterface
-from .common import ground_truth_values
+from .common import ground_truth_values, run_discovery
 from .reporting import print_experiment
 
 DEFAULT_NS = (20_000, 40_000, 60_000, 80_000, 100_000)
@@ -28,7 +27,7 @@ def run(
     for n in ns:
         table = flights_mixed_table(n, num_range, num_point, seed=seed)
         interface = TopKInterface(table, k=k)
-        result = discover_mq(interface)
+        result = run_discovery(interface, "mq")
         expected = ground_truth_values(table)
         if result.skyline_values != expected:
             raise AssertionError(f"MQ-DB-SKY incomplete at n={n}")

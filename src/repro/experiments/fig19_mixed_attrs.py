@@ -12,10 +12,9 @@ phase only deepens the query tree.
 
 from __future__ import annotations
 
-from ..core import discover_mq
 from ..datagen.flights import flights_mixed_table
 from ..hiddendb.interface import TopKInterface
-from .common import ground_truth_values
+from .common import ground_truth_values, run_discovery
 from .reporting import print_experiment
 
 
@@ -43,7 +42,7 @@ def run(
 def _measure(n: int, num_range: int, num_point: int, k: int, seed: int) -> int:
     table = flights_mixed_table(n, num_range, num_point, seed=seed)
     interface = TopKInterface(table, k=k)
-    result = discover_mq(interface)
+    result = run_discovery(interface, "mq")
     expected = ground_truth_values(table)
     if result.skyline_values != expected:
         raise AssertionError(

@@ -13,12 +13,11 @@ the same 10,000-query budget the paper imposed.
 
 from __future__ import annotations
 
-from ..core import baseline_skyline, discover
 from ..datagen.diamonds import PRICE_ATTRIBUTE, diamonds_table
 from ..hiddendb.errors import QueryBudgetExceeded
 from ..hiddendb.interface import TopKInterface
 from ..hiddendb.ranking import LinearRanker
-from .common import ground_truth_values
+from .common import ground_truth_values, run_discovery
 from .reporting import print_experiment
 
 BASELINE_CUTOFF = 10_000
@@ -37,13 +36,13 @@ def run(
     expected = ground_truth_values(table)
 
     interface = TopKInterface(table, ranker=ranker, k=k)
-    mq = discover(interface)
+    mq = run_discovery(interface)
     if mq.skyline_values != expected:
         raise AssertionError("discovery incomplete on the diamond catalogue")
 
     budgeted = TopKInterface(table, ranker=ranker, k=k, budget=baseline_cutoff)
     try:
-        base = baseline_skyline(budgeted)
+        base = run_discovery(budgeted, "baseline")
     except QueryBudgetExceeded:  # pragma: no cover - guard handles it
         raise
     base_found = len(base.skyline_values & expected)

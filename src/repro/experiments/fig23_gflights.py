@@ -12,11 +12,10 @@ paper plots.
 
 from __future__ import annotations
 
-from ..core import discover
 from ..datagen.gflights import DAILY_QUERY_LIMIT, flight_instances
 from ..hiddendb.interface import TopKInterface
 from ..hiddendb.ranking import LinearRanker
-from .common import ground_truth_values
+from .common import ground_truth_values, run_discovery
 from .reporting import print_experiment
 
 
@@ -32,7 +31,7 @@ def run(
     for table in flight_instances(instances, seed=seed):
         ranker = LinearRanker.single_attribute(1, table.schema.m)  # price
         interface = TopKInterface(table, ranker=ranker, k=k)
-        result = discover(interface)
+        result = run_discovery(interface)
         expected = ground_truth_values(table)
         if result.skyline_values != expected:
             raise AssertionError("discovery incomplete on a flight instance")

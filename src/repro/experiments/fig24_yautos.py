@@ -8,11 +8,10 @@ finishing its crawl.
 
 from __future__ import annotations
 
-from ..core import baseline_skyline, discover
 from ..datagen.autos import PRICE_ATTRIBUTE, autos_table
 from ..hiddendb.interface import TopKInterface
 from ..hiddendb.ranking import LinearRanker
-from .common import ground_truth_values
+from .common import ground_truth_values, run_discovery
 from .reporting import print_experiment
 
 BASELINE_CUTOFF = 10_000
@@ -31,12 +30,12 @@ def run(
     expected = ground_truth_values(table)
 
     interface = TopKInterface(table, ranker=ranker, k=k)
-    mq = discover(interface)
+    mq = run_discovery(interface)
     if mq.skyline_values != expected:
         raise AssertionError("discovery incomplete on the autos listings")
 
     budgeted = TopKInterface(table, ranker=ranker, k=k, budget=baseline_cutoff)
-    base = baseline_skyline(budgeted)
+    base = run_discovery(budgeted, "baseline")
     base_found = len(base.skyline_values & expected)
 
     size = len(expected)
