@@ -42,6 +42,21 @@ The pre-facade ``discover_sq`` / ``discover_rq`` / ``discover_pq`` /
 ``discover_pq2d`` / ``discover_mq`` helpers still work but emit
 ``DeprecationWarning``; new algorithms plug in through
 :func:`repro.core.registry.register_algorithm`.
+
+Algorithms access data only through the :class:`SearchEndpoint` protocol, so
+backends are swappable: the in-process :class:`TopKInterface` simulator, or
+the networked service layer in :mod:`repro.service` -- ``repro serve`` (or
+:class:`repro.service.HiddenDBServer`) exposes a table as a JSON top-k
+search API with per-API-key budgets and fault injection, and
+:class:`repro.service.RemoteTopKInterface` is the resilient HTTP client
+(retry/backoff, optional free-of-charge LRU query cache) that drops into
+``Discoverer`` unchanged::
+
+    from repro.service import HiddenDBServer, RemoteTopKInterface
+
+    with HiddenDBServer(table, k=10) as server:
+        remote = RemoteTopKInterface(server.url, cache_size=1024)
+        result = Discoverer().run(remote)
 """
 
 from .hiddendb import (
@@ -57,6 +72,7 @@ from .hiddendb import (
     Ranker,
     Row,
     Schema,
+    SearchEndpoint,
     Table,
     TopKInterface,
     UnsupportedQueryError,
@@ -108,6 +124,7 @@ __all__ = [
     "Ranker",
     "Row",
     "Schema",
+    "SearchEndpoint",
     "SkybandResult",
     "Table",
     "TopKInterface",

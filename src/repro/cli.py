@@ -1,17 +1,22 @@
 """Command-line interface: ``repro`` (or ``python -m repro.cli``).
 
-Five subcommands, all running against the bundled generators so the paper's
+Six subcommands, all running against the bundled generators so the paper's
 system can be exercised without writing any code:
 
 * ``discover``   -- run skyline discovery over a generated dataset;
 * ``skyband``    -- run top-K skyband discovery;
 * ``stats``      -- query-log statistics of a discovery run;
 * ``algorithms`` -- list the registered discovery algorithms;
-* ``figures``    -- list or run the figure-reproduction experiments.
+* ``figures``    -- list or run the figure-reproduction experiments;
+* ``serve``      -- stand a generated dataset up as a networked top-k
+  search service (:mod:`repro.service`).
 
 Everything routes through the :class:`repro.Discoverer` facade, so the
 ``--algorithm`` flag accepts any name in the registry (including algorithms
-registered by third-party plugins imported before the CLI runs).
+registered by third-party plugins imported before the CLI runs).  The
+``discover`` / ``skyband`` / ``stats`` commands accept ``--url`` to crawl a
+remote service through :class:`repro.service.RemoteTopKInterface` instead
+of building an in-process interface.
 
 Examples::
 
@@ -21,6 +26,13 @@ Examples::
     repro skyband --dataset autos --n 5000 --band 3
     repro algorithms
     repro figures --list
+
+    # terminal 1: serve a hidden database (flaky, rate-limited)
+    repro serve --dataset diamonds --n 20000 --k 10 --port 8080 \
+        --key-budget 5000 --fault-rate 0.1
+
+    # terminal 2: crawl it over the wire, with a client-side query cache
+    repro discover --url http://127.0.0.1:8080 --cache 4096
 """
 
 from __future__ import annotations
@@ -60,12 +72,42 @@ DATASETS: dict[str, Callable[[int, int], Table]] = {
 }
 
 
-def _build_interface(args) -> TopKInterface:
-    table = DATASETS[args.dataset](args.n, args.seed)
-    ranker = None
+def _build_table(args) -> Table:
+    if not args.dataset:
+        raise ValueError("--dataset is required (or pass --url for a remote run)")
+    return DATASETS[args.dataset](args.n, args.seed)
+
+
+def _build_ranker(args, table: Table) -> LinearRanker | None:
     if args.price_ranking:
-        ranker = LinearRanker.single_attribute(0, table.schema.m)
-    return TopKInterface(table, ranker=ranker, k=args.k)
+        return LinearRanker.single_attribute(0, table.schema.m)
+    return None
+
+
+def _build_interface(args):
+    if getattr(args, "url", None):
+        from .service import RemoteTopKInterface
+
+        return RemoteTopKInterface(
+            args.url,
+            api_key=args.api_key,
+            cache_size=args.cache or None,
+        )
+    table = _build_table(args)
+    return TopKInterface(table, ranker=_build_ranker(args, table), k=args.k)
+
+
+def _source_label(args, interface) -> str:
+    if getattr(args, "url", None):
+        return f"{args.url} (remote, k={interface.k})"
+    return f"{args.dataset} (n={args.n}, k={args.k})"
+
+
+def _print_remote_telemetry(args, interface) -> None:
+    if not getattr(args, "url", None):
+        return
+    print(f"billable   : {interface.queries_issued} "
+          f"(cache hits {interface.cache_hits}, retries {interface.retries})")
 
 
 def _discoverer(args, **config_kwargs) -> Discoverer:
@@ -80,11 +122,12 @@ def _algorithm_arg(args) -> str | None:
 def _cmd_discover(args) -> int:
     interface = _build_interface(args)
     result = _discoverer(args).run(interface, _algorithm_arg(args))
-    print(f"dataset    : {args.dataset} (n={args.n}, k={args.k})")
+    print(f"dataset    : {_source_label(args, interface)}")
     print(f"algorithm  : {result.algorithm}")
     print(f"queries    : {result.total_cost}")
     print(f"skyline    : {result.skyline_size} tuples")
     print(f"complete   : {result.complete}")
+    _print_remote_telemetry(args, interface)
     if result.skyline_size:
         print(f"cost/tuple : {result.total_cost / result.skyline_size:.2f}")
     if args.show_tuples:
@@ -102,11 +145,12 @@ def _cmd_skyband(args) -> int:
     result = _discoverer(args).skyband(
         interface, args.band, _algorithm_arg(args)
     )
-    print(f"dataset  : {args.dataset} (n={args.n}, k={args.k})")
+    print(f"dataset  : {_source_label(args, interface)}")
     print(f"algorithm: {result.algorithm} (K={args.band})")
     print(f"queries  : {result.total_cost}")
     print(f"band     : {len(result.skyband)} tuples")
     print(f"complete : {result.complete}")
+    _print_remote_telemetry(args, interface)
     return 0
 
 
@@ -134,6 +178,53 @@ def _cmd_algorithms(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .service import FaultConfig, HiddenDBServer
+
+    table = _build_table(args)
+    ranker = _build_ranker(args, table)
+    faults = None
+    if args.fault_rate > 0 or max(args.latency_ms) > 0:
+        faults = FaultConfig(
+            error_rate=args.fault_rate,
+            error_codes=tuple(args.fault_codes),
+            latency=(args.latency_ms[0] / 1000.0, args.latency_ms[1] / 1000.0),
+            seed=args.fault_seed,
+        )
+    server = HiddenDBServer(
+        table,
+        ranker,
+        k=args.k,
+        host=args.host,
+        port=args.port,
+        key_budget=args.key_budget,
+        faults=faults,
+        name=f"{args.dataset}-n{table.n}",
+    )
+    server.start()
+    # flush=True throughout: the URL line must reach a redirected/piped log
+    # immediately, or anything polling the log for the bound port hangs.
+    print(f"serving    : {args.dataset} (n={table.n}, k={args.k}) at {server.url}",
+          flush=True)
+    print(f"key budget : {args.key_budget if args.key_budget is not None else 'unlimited'}")
+    if faults is not None:
+        print(f"faults     : rate={faults.error_rate} codes={faults.error_codes} "
+              f"latency={args.latency_ms[0]}-{args.latency_ms[1]}ms")
+    print("endpoints  : GET /api/schema  POST /api/query  GET /api/stats  "
+          "POST /api/reset  GET /healthz")
+    print("crawl with : repro discover --url " + server.url, flush=True)
+    try:
+        server.wait(args.duration)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stats = server.stats()
+        server.stop()
+        print(f"served     : {stats.queries_total} queries "
+              f"({stats.faults_injected} faults injected)")
+    return 0
+
+
 def _cmd_figures(args) -> int:
     if args.list or not args.figures:
         for name, module in ALL_FIGURES.items():
@@ -157,22 +248,35 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
     algorithm_choices = ["auto"] + [spec.name for spec in all_algorithms()]
 
-    def add_common(sub: argparse.ArgumentParser) -> None:
-        sub.add_argument("--dataset", choices=sorted(DATASETS), required=True)
+    def add_dataset(sub: argparse.ArgumentParser, required: bool) -> None:
+        sub.add_argument("--dataset", choices=sorted(DATASETS),
+                         required=required)
         sub.add_argument("--n", type=int, default=10_000,
                          help="dataset size (default 10000)")
         sub.add_argument("--k", type=int, default=10,
                          help="top-k of the interface (default 10)")
         sub.add_argument("--seed", type=int, default=0)
-        sub.add_argument("--budget", type=int, default=None,
-                         help="query rate limit (anytime mode)")
         sub.add_argument("--price-ranking", action="store_true",
                          help="rank by the first attribute only "
                          "(the live sites' default)")
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        add_dataset(sub, required=False)
+        sub.add_argument("--budget", type=int, default=None,
+                         help="query rate limit (anytime mode)")
         sub.add_argument("--algorithm", choices=algorithm_choices,
                          default="auto",
                          help="registered algorithm to run "
                          "(default: auto-dispatch on the schema taxonomy)")
+        sub.add_argument("--url", default=None, metavar="URL",
+                         help="crawl a remote hidden-DB service instead of "
+                         "building one in-process (see 'repro serve'); "
+                         "--dataset/--n/--k/--seed are ignored")
+        sub.add_argument("--api-key", default="anonymous",
+                         help="billing identity for --url runs")
+        sub.add_argument("--cache", type=int, default=0, metavar="SIZE",
+                         help="client-side LRU query cache for --url runs "
+                         "(cache hits are not billed; default off)")
 
     sub = subparsers.add_parser("discover", help="discover the skyline")
     add_common(sub)
@@ -195,6 +299,30 @@ def build_parser() -> argparse.ArgumentParser:
         "algorithms", help="list the registered discovery algorithms"
     )
     sub.set_defaults(handler=_cmd_algorithms)
+
+    sub = subparsers.add_parser(
+        "serve", help="serve a dataset as a networked top-k search service"
+    )
+    add_dataset(sub, required=True)
+    sub.add_argument("--host", default="127.0.0.1")
+    sub.add_argument("--port", type=int, default=8080,
+                     help="bind port; 0 picks an ephemeral one (default 8080)")
+    sub.add_argument("--key-budget", type=int, default=None,
+                     help="per-API-key query budget (default unlimited)")
+    sub.add_argument("--fault-rate", type=float, default=0.0,
+                     help="probability of an injected retriable error "
+                     "per query (default 0)")
+    sub.add_argument("--fault-codes", type=int, nargs="+",
+                     default=[429, 503],
+                     help="HTTP codes injected faults draw from")
+    sub.add_argument("--latency-ms", type=float, nargs=2, default=[0.0, 0.0],
+                     metavar=("LO", "HI"),
+                     help="uniform latency jitter bounds in milliseconds")
+    sub.add_argument("--fault-seed", type=int, default=0)
+    sub.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                     help="stop after this many seconds "
+                     "(default: run until interrupted)")
+    sub.set_defaults(handler=_cmd_serve)
 
     sub = subparsers.add_parser("figures", help="figure experiments")
     sub.add_argument("figures", nargs="*", help="figure ids (e.g. fig13)")

@@ -21,8 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable
 
+from ..hiddendb.endpoint import SearchEndpoint
 from ..hiddendb.errors import QueryBudgetExceeded
-from ..hiddendb.interface import QueryResult, TopKInterface
+from ..hiddendb.interface import QueryResult
 from ..hiddendb.query import Query
 from ..hiddendb.table import Row
 from .dominance import skyline_of_rows
@@ -107,7 +108,10 @@ class DiscoverySession:
     Parameters
     ----------
     interface:
-        The hidden database's search endpoint.
+        The hidden database's search endpoint -- any
+        :class:`~repro.hiddendb.endpoint.SearchEndpoint`, in-process
+        (:class:`~repro.hiddendb.interface.TopKInterface`) or remote
+        (:class:`~repro.service.client.RemoteTopKInterface`).
     base_query:
         Optional predicates conjoined to *every* issued query.  This
         implements the paper's "skyline subject to filtering conditions"
@@ -127,7 +131,7 @@ class DiscoverySession:
 
     def __init__(
         self,
-        interface: TopKInterface,
+        interface: SearchEndpoint,
         base_query: Query | None = None,
         *,
         budget: int | None = None,
@@ -199,7 +203,7 @@ class DiscoverySession:
     @classmethod
     def from_config(
         cls,
-        interface: TopKInterface,
+        interface: SearchEndpoint,
         config: "DiscoveryConfig | None" = None,
     ) -> "DiscoverySession":
         """A session honouring a :class:`DiscoveryConfig` (``None`` = defaults)."""
@@ -259,7 +263,7 @@ class DiscoverySession:
 
 
 def run_with_budget_guard(
-    interface: TopKInterface,
+    interface: SearchEndpoint,
     algorithm_name: str,
     body: Callable[[DiscoverySession], None],
     base_query: Query | None = None,

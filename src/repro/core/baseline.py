@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..hiddendb.attributes import InterfaceKind
-from ..hiddendb.interface import TopKInterface
+from ..hiddendb.endpoint import SearchEndpoint
 from ..hiddendb.query import Query
 from .base import DiscoveryResult, DiscoverySession, run_with_budget_guard
 from .registry import DiscoveryConfig, register_algorithm
@@ -119,7 +119,7 @@ def _run_baseline(session: DiscoverySession, config: DiscoveryConfig) -> None:
 
 
 def baseline_skyline(
-    interface: TopKInterface, base_query: Query | None = None
+    interface: SearchEndpoint, base_query: Query | None = None
 ) -> DiscoveryResult:
     """Crawl the whole database and extract the skyline locally.
 

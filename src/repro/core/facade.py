@@ -33,7 +33,7 @@ from dataclasses import replace as _dc_replace
 from typing import Any
 
 from ..hiddendb.errors import QueryBudgetExceeded
-from ..hiddendb.interface import TopKInterface
+from ..hiddendb.endpoint import SearchEndpoint
 from . import baseline, mq, pq, pq2d, rq, sq  # noqa: F401  (self-registration)
 from .base import DiscoveryResult, DiscoverySession
 from .registry import (
@@ -89,7 +89,7 @@ class Discoverer:
     # ------------------------------------------------------------------
     def run(
         self,
-        interface: TopKInterface,
+        interface: SearchEndpoint,
         algorithm: str | None = None,
         *,
         config: DiscoveryConfig | None = None,
@@ -115,7 +115,7 @@ class Discoverer:
 
     def run_all(
         self,
-        interface: TopKInterface,
+        interface: SearchEndpoint,
         *,
         config: DiscoveryConfig | None = None,
         **overrides: Any,
@@ -136,7 +136,7 @@ class Discoverer:
 
     def skyband(
         self,
-        interface: TopKInterface,
+        interface: SearchEndpoint,
         band: int | None = None,
         algorithm: str | None = None,
         *,
@@ -172,7 +172,7 @@ class Discoverer:
 
     @staticmethod
     def _spec_for(
-        interface: TopKInterface, algorithm: str | None
+        interface: SearchEndpoint, algorithm: str | None
     ) -> AlgorithmSpec:
         schema = interface.schema
         if algorithm is None:
@@ -189,7 +189,7 @@ class Discoverer:
 
     @staticmethod
     def _skyband_spec_for(
-        interface: TopKInterface, algorithm: str | None
+        interface: SearchEndpoint, algorithm: str | None
     ) -> AlgorithmSpec:
         schema = interface.schema
         if algorithm is not None:
@@ -221,7 +221,7 @@ class Discoverer:
 
     @staticmethod
     def _session(
-        interface: TopKInterface, cfg: DiscoveryConfig
+        interface: SearchEndpoint, cfg: DiscoveryConfig
     ) -> DiscoverySession:
         return DiscoverySession.from_config(interface, cfg)
 
@@ -248,7 +248,7 @@ default_discoverer = Discoverer()
 
 
 def discover(
-    interface: TopKInterface,
+    interface: SearchEndpoint,
     algorithm: str | None = None,
     **overrides: Any,
 ) -> DiscoveryResult:

@@ -29,7 +29,7 @@ import warnings
 from typing import Sequence
 
 from ..hiddendb.attributes import InterfaceKind
-from ..hiddendb.interface import TopKInterface
+from ..hiddendb.endpoint import SearchEndpoint
 from ..hiddendb.query import Query
 from .base import DiscoveryResult, DiscoverySession, run_with_budget_guard
 from .pq import pq_db_sky
@@ -159,7 +159,7 @@ def _run_mq(session: DiscoverySession, config: DiscoveryConfig) -> None:
     mq_db_sky(session)
 
 
-def discover_mq(interface: TopKInterface) -> DiscoveryResult:
+def discover_mq(interface: SearchEndpoint) -> DiscoveryResult:
     """Discover the skyline of a mixed-interface database with MQ-DB-SKY.
 
     .. deprecated:: 2.0
@@ -174,7 +174,7 @@ def discover_mq(interface: TopKInterface) -> DiscoveryResult:
     return run_with_budget_guard(interface, ALGORITHM_NAME, mq_db_sky)
 
 
-def legacy_discover(interface: TopKInterface) -> DiscoveryResult:
+def legacy_discover(interface: SearchEndpoint) -> DiscoveryResult:
     """The pre-registry universal entry point: hand-rolled dispatch on the
     schema's interface taxonomy.
 

@@ -22,7 +22,8 @@ import warnings
 from typing import Sequence
 
 from ..hiddendb.attributes import InterfaceKind
-from ..hiddendb.interface import QueryResult, TopKInterface
+from ..hiddendb.endpoint import SearchEndpoint
+from ..hiddendb.interface import QueryResult
 from ..hiddendb.query import Query
 from .base import DiscoveryResult, DiscoverySession, run_with_budget_guard
 from .pqsub import PlaneState, explore_plane
@@ -217,7 +218,7 @@ def _run_pq(session: DiscoverySession, config: DiscoveryConfig) -> None:
 
 
 def discover_pq(
-    interface: TopKInterface,
+    interface: SearchEndpoint,
     plane_attributes: tuple[int, int] | None = None,
     plane_limit: int = DEFAULT_PLANE_LIMIT,
 ) -> DiscoveryResult:

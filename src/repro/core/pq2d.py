@@ -25,7 +25,7 @@ import warnings
 from dataclasses import dataclass
 
 from ..hiddendb.attributes import InterfaceKind
-from ..hiddendb.interface import TopKInterface
+from ..hiddendb.endpoint import SearchEndpoint
 from ..hiddendb.query import Query
 from .base import DiscoveryResult, DiscoverySession, run_with_budget_guard
 from .registry import DiscoveryConfig, register_algorithm
@@ -146,7 +146,7 @@ def _run_pq2d(session: DiscoverySession, config: DiscoveryConfig) -> None:
     pq_2d_sky(session)
 
 
-def discover_pq2d(interface: TopKInterface) -> DiscoveryResult:
+def discover_pq2d(interface: SearchEndpoint) -> DiscoveryResult:
     """Discover the skyline of a 2-D point-predicate database.
 
     .. deprecated:: 2.0

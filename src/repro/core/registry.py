@@ -34,7 +34,8 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 from ..hiddendb.attributes import InterfaceKind, Schema
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
-    from ..hiddendb.interface import QueryResult, TopKInterface
+    from ..hiddendb.endpoint import SearchEndpoint
+    from ..hiddendb.interface import QueryResult
     from ..hiddendb.query import Query
     from .base import DiscoverySession, TraceEntry
     from .skyband import SkybandResult
@@ -163,7 +164,7 @@ class AlgorithmSpec:
     priority: int = 0
     #: Schema-dependent display name (PQ-DB-SKY reports PQ-2D-SKY on m=2).
     display_for: Callable[[Schema], str] | None = None
-    skyband: "Callable[[TopKInterface, int, DiscoveryConfig], SkybandResult] | None" = None
+    skyband: "Callable[[SearchEndpoint, int, DiscoveryConfig], SkybandResult] | None" = None
     skyband_requires: Callable[[Schema], bool] | None = None
 
     def supports(self, schema: Schema) -> bool:

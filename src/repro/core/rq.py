@@ -32,7 +32,7 @@ import warnings
 from typing import Sequence
 
 from ..hiddendb.attributes import InterfaceKind
-from ..hiddendb.interface import TopKInterface
+from ..hiddendb.endpoint import SearchEndpoint
 from ..hiddendb.query import Query
 from ..hiddendb.table import Row
 from .base import DiscoveryResult, DiscoverySession, run_with_budget_guard
@@ -202,7 +202,7 @@ def _run_rq(session: DiscoverySession, config: DiscoveryConfig) -> None:
 
 
 def discover_rq(
-    interface: TopKInterface,
+    interface: SearchEndpoint,
     branch_attributes: Sequence[int] | None = None,
     two_ended: Sequence[int] | None = None,
     early_termination: bool = True,

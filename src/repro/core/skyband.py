@@ -32,7 +32,8 @@ import numpy as np
 
 from ..hiddendb.attributes import InterfaceKind
 from ..hiddendb.errors import QueryBudgetExceeded
-from ..hiddendb.interface import QueryResult, TopKInterface
+from ..hiddendb.endpoint import SearchEndpoint
+from ..hiddendb.interface import QueryResult
 from ..hiddendb.query import Query
 from ..hiddendb.table import Row
 from .base import DiscoverySession
@@ -144,7 +145,7 @@ def _domination_subspace_roots(row: Row, domain_sizes: tuple[int, ...]) -> list[
     ),
 )
 def rq_db_skyband(
-    interface: TopKInterface, band: int, config: DiscoveryConfig | None = None
+    interface: SearchEndpoint, band: int, config: DiscoveryConfig | None = None
 ) -> SkybandResult:
     """Discover the top-``band`` skyband through a two-ended range interface.
 
@@ -190,7 +191,7 @@ def _expansion_candidates(
 # ----------------------------------------------------------------------
 @attach_skyband("pq")
 def pq_db_skyband(
-    interface: TopKInterface, band: int, config: DiscoveryConfig | None = None
+    interface: SearchEndpoint, band: int, config: DiscoveryConfig | None = None
 ) -> SkybandResult:
     """Discover the top-``band`` skyband through a point-predicate interface.
 
@@ -215,7 +216,7 @@ def pq_db_skyband(
 # ----------------------------------------------------------------------
 @attach_skyband("sq")
 def sq_db_skyband(
-    interface: TopKInterface, band: int, config: DiscoveryConfig | None = None
+    interface: SearchEndpoint, band: int, config: DiscoveryConfig | None = None
 ) -> SkybandResult:
     """Best-effort top-``band`` skyband through a one-ended range interface.
 

@@ -21,7 +21,7 @@ from collections import deque
 from typing import Sequence
 
 from ..hiddendb.attributes import InterfaceKind
-from ..hiddendb.interface import TopKInterface
+from ..hiddendb.endpoint import SearchEndpoint
 from ..hiddendb.query import Query
 from .base import DiscoveryResult, DiscoverySession, run_with_budget_guard
 from .registry import DiscoveryConfig, register_algorithm
@@ -91,7 +91,7 @@ def _run_sq(session: DiscoverySession, config: DiscoveryConfig) -> None:
 
 
 def discover_sq(
-    interface: TopKInterface,
+    interface: SearchEndpoint,
     branch_attributes: Sequence[int] | None = None,
     base_query: Query | None = None,
 ) -> DiscoveryResult:

@@ -8,6 +8,7 @@ every issued query counted against an optional rate limit.
 """
 
 from .attributes import Attribute, InterfaceKind, Schema
+from .endpoint import SearchEndpoint
 from .errors import (
     HiddenDBError,
     InvalidDomainValueError,
@@ -15,7 +16,7 @@ from .errors import (
     UnknownAttributeError,
     UnsupportedQueryError,
 )
-from .interface import QueryResult, TopKInterface
+from .interface import KEEP_BUDGET, QueryResult, TopKInterface
 from .query import Interval, Query, predicates_from_strings
 from .ranking import (
     LexicographicRanker,
@@ -31,6 +32,7 @@ __all__ = [
     "InterfaceKind",
     "Interval",
     "InvalidDomainValueError",
+    "KEEP_BUDGET",
     "LexicographicRanker",
     "LinearRanker",
     "Query",
@@ -40,6 +42,7 @@ __all__ = [
     "Ranker",
     "Row",
     "Schema",
+    "SearchEndpoint",
     "Table",
     "TopKInterface",
     "UnknownAttributeError",

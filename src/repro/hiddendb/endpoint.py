@@ -1,0 +1,66 @@
+"""The :class:`SearchEndpoint` protocol -- the algorithms' data-access seam.
+
+Every discovery algorithm in :mod:`repro.core` touches the hidden database
+through exactly four members: the public ``schema`` of the search form, the
+top-``k`` output limit, the ``query()`` call and the ``queries_issued``
+counter (the paper's sole cost metric).  This protocol names that surface so
+alternative backends can stand in for the in-process simulator:
+
+* :class:`~repro.hiddendb.interface.TopKInterface` -- the canonical
+  in-process implementation over a :class:`~repro.hiddendb.table.Table`;
+* :class:`~repro.service.client.RemoteTopKInterface` -- the same surface
+  spoken over HTTP against a :mod:`repro.service.server`, with retry/backoff
+  and an optional client-side query cache.
+
+The :class:`~repro.core.base.DiscoverySession` and the
+:class:`~repro.core.facade.Discoverer` facade are typed against this
+protocol, so any conforming object -- including third-party adapters over
+real web search forms -- plugs into every registered algorithm unchanged.
+
+Implementations must preserve the paper's access-model contract:
+
+* ``query()`` answers a conjunctive :class:`~repro.hiddendb.query.Query`
+  with at most ``k`` tuples under a domination-consistent ranking;
+* queries the interface cannot express raise
+  :class:`~repro.hiddendb.errors.UnsupportedQueryError`;
+* an exhausted query allowance raises
+  :class:`~repro.hiddendb.errors.QueryBudgetExceeded` *without* charging
+  the rejected query;
+* ``queries_issued`` is monotone and counts exactly the billable queries
+  (a caching backend that answers from its cache must not advance it).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from .attributes import Schema
+from .interface import QueryResult
+from .query import Query
+
+
+@runtime_checkable
+class SearchEndpoint(Protocol):
+    """Structural type of a top-k hidden-database search endpoint."""
+
+    @property
+    def schema(self) -> Schema:
+        """The (public) schema of the search form."""
+        ...
+
+    @property
+    def k(self) -> int:
+        """Maximum number of tuples returned per query."""
+        ...
+
+    @property
+    def queries_issued(self) -> int:
+        """Billable queries issued so far -- the paper's cost metric."""
+        ...
+
+    def query(self, query: Query) -> QueryResult:
+        """Issue one conjunctive query and return its top-k answer."""
+        ...
+
+
+__all__ = ["SearchEndpoint"]

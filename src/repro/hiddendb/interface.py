@@ -25,6 +25,10 @@ from .query import Query
 from .ranking import LinearRanker, Ranker
 from .table import Row, Table
 
+#: Sentinel for :meth:`TopKInterface.reset`: distinguishes "keep the current
+#: budget" (the default) from an explicit ``budget=None`` (remove the limit).
+KEEP_BUDGET = object()
+
 
 @dataclass(frozen=True)
 class QueryResult:
@@ -165,12 +169,21 @@ class TopKInterface:
     # ------------------------------------------------------------------
     # experiment plumbing
     # ------------------------------------------------------------------
-    def reset(self, budget: int | None = None) -> None:
-        """Clear the query counter and log; optionally set a new budget."""
+    def reset(self, budget: int | None | object = KEEP_BUDGET) -> None:
+        """Clear the query counter and log; optionally change the budget.
+
+        ``reset()`` keeps the current budget, ``reset(budget=n)`` installs a
+        new one and ``reset(budget=None)`` removes the limit entirely (the
+        :data:`KEEP_BUDGET` sentinel is what makes ``None`` expressible).
+        """
         self._count = 0
         if self._log is not None:
             self._log = []
-        if budget is not None:
+        if budget is not KEEP_BUDGET:
+            if budget is not None and not isinstance(budget, int):
+                raise TypeError(f"budget must be an int or None, got {budget!r}")
+            if budget is not None and budget < 0:
+                raise ValueError(f"budget must be >= 0, got {budget}")
             self._budget = budget
 
     def __repr__(self) -> str:

@@ -1,0 +1,46 @@
+"""Networked hidden-database service: serve a table, crawl it remotely.
+
+The paper's algorithms target *real* web databases reached through
+rate-limited top-k search forms; this subpackage recreates those conditions
+for the in-process simulator so discovery can run over the wire:
+
+* :mod:`repro.service.server` -- :class:`HiddenDBServer`, a threaded stdlib
+  HTTP server exposing any :class:`~repro.hiddendb.table.Table` + ranker as
+  a JSON top-k search API with per-API-key query budgets and configurable
+  fault/latency injection;
+* :mod:`repro.service.client` -- :class:`RemoteTopKInterface`, a
+  :class:`~repro.hiddendb.endpoint.SearchEndpoint` over HTTP with
+  retry/backoff against injected faults and an optional LRU query cache
+  whose hits are free (they never reach the server's billing counter);
+* :mod:`repro.service.wire` -- the JSON wire format shared by both sides;
+* :mod:`repro.service.faults` -- deterministic, thread-safe fault/latency
+  injection used by the server.
+
+Because every discovery algorithm is written against the
+:class:`~repro.hiddendb.endpoint.SearchEndpoint` protocol, a
+``RemoteTopKInterface`` drops into :class:`repro.Discoverer` unchanged::
+
+    from repro import Discoverer
+    from repro.service import HiddenDBServer, RemoteTopKInterface
+
+    with HiddenDBServer(table, k=10) as server:
+        remote = RemoteTopKInterface(server.url, cache_size=1024)
+        result = Discoverer().run(remote)
+
+The CLI mirrors this: ``repro serve --dataset diamonds`` in one terminal,
+``repro discover --url http://127.0.0.1:8080`` in another.
+"""
+
+from .client import RemoteServiceError, RemoteTopKInterface
+from .faults import FaultConfig, FaultInjector
+from .server import HiddenDBServer, KeyUsage, ServerStats
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "HiddenDBServer",
+    "KeyUsage",
+    "RemoteServiceError",
+    "RemoteTopKInterface",
+    "ServerStats",
+]

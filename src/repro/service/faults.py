@@ -1,0 +1,101 @@
+"""Deterministic fault and latency injection for the hidden-DB server.
+
+Real hidden-web databases answer slowly and fail sporadically: scrapers see
+429s from rate limiters, 5xxs from overloaded backends, and latency jitter
+from everything in between.  :class:`FaultInjector` reproduces those
+conditions on the query endpoint so the client's retry/backoff logic (and
+any algorithm running over it) can be exercised reproducibly.
+
+The injector is seeded and draws from one :class:`random.Random` under a
+lock, so a given seed yields one deterministic fault sequence even when the
+threaded server interleaves requests (the *assignment* of faults to
+concurrent requests still depends on arrival order, as it would in the
+wild).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault/latency model applied to every query request.
+
+    Parameters
+    ----------
+    error_rate:
+        Probability in ``[0, 1]`` that a query request is answered with an
+        injected, retriable HTTP error instead of being executed.  Injected
+        errors are never billed against the caller's query budget.
+    error_codes:
+        HTTP status codes injected errors are drawn from (uniformly).
+    latency:
+        ``(lo, hi)`` bounds in seconds; every query request sleeps a uniform
+        draw from this interval before being processed.
+    seed:
+        Seed of the injector's private RNG.
+    """
+
+    error_rate: float = 0.0
+    error_codes: tuple[int, ...] = (429, 503)
+    latency: tuple[float, float] = (0.0, 0.0)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError(f"error_rate must be in [0, 1], got {self.error_rate}")
+        if self.error_rate > 0.0 and not self.error_codes:
+            raise ValueError("error_rate > 0 requires at least one error code")
+        lo, hi = self.latency
+        if lo < 0.0 or hi < lo:
+            raise ValueError(f"latency bounds must satisfy 0 <= lo <= hi, got {self.latency}")
+
+    @property
+    def active(self) -> bool:
+        """Whether this config injects anything at all."""
+        return self.error_rate > 0.0 or self.latency[1] > 0.0
+
+
+class FaultInjector:
+    """Thread-safe draw of ``(delay_seconds, error_code | None)`` pairs."""
+
+    def __init__(self, config: FaultConfig) -> None:
+        self._config = config
+        self._rng = random.Random(config.seed)
+        self._lock = threading.Lock()
+        self._injected = 0
+
+    @property
+    def config(self) -> FaultConfig:
+        """The fault model this injector draws from."""
+        return self._config
+
+    @property
+    def injected(self) -> int:
+        """Number of errors injected so far."""
+        return self._injected
+
+    def draw(self) -> tuple[float, int | None]:
+        """One fault decision: seconds to sleep, and an error code or ``None``.
+
+        The latency draw happens before the error draw so a fixed seed
+        produces the same decision sequence regardless of the configured
+        bounds.
+        """
+        config = self._config
+        with self._lock:
+            lo, hi = config.latency
+            delay = self._rng.uniform(lo, hi) if hi > 0.0 else 0.0
+            code: int | None = None
+            if config.error_rate > 0.0 and self._rng.random() < config.error_rate:
+                code = config.error_codes[
+                    self._rng.randrange(len(config.error_codes))
+                ]
+                self._injected += 1
+        return delay, code
+
+
+__all__ = ["FaultConfig", "FaultInjector"]

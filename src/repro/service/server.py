@@ -1,0 +1,540 @@
+"""HTTP server exposing a hidden database as a JSON top-k search API.
+
+:class:`HiddenDBServer` wraps any :class:`~repro.hiddendb.table.Table` plus a
+domination-consistent ranker in a stdlib :class:`ThreadingHTTPServer`, so the
+simulator can be crawled the way the paper's target sites are: over the
+network, through a rate-limited search form, by concurrent clients.
+
+Routes (all bodies JSON):
+
+=========================  =====================================================
+``GET  /api/schema``       public search-form metadata: schema, ``k``, name
+``POST /api/query``        one conjunctive query; billed per ``X-Api-Key``
+``GET  /api/stats``        billing counters (total, per key, faults injected)
+``POST /api/reset``        ops/test helper: clear billing counters
+``GET  /healthz``          liveness probe (used by the CI boot check)
+=========================  =====================================================
+
+The query endpoint reproduces the in-process
+:class:`~repro.hiddendb.interface.TopKInterface` contract exactly --
+validate first, then check the caller's budget, then bill and execute -- so
+a remote run is query-for-query identical to a local one.  Error responses
+carry ``{"error", "retriable"}``; injected faults (configured via
+:class:`~repro.service.faults.FaultConfig`) are retriable and never billed,
+while ``budget_exceeded`` (HTTP 429) and ``unsupported_query`` (HTTP 400)
+are terminal and map back onto the simulator's exceptions client-side.
+
+Billing is retry-safe: a request carrying an ``X-Request-Id`` header that
+was already billed gets its answer *replayed* instead of re-executed, so a
+client whose response was lost in transit (timeout, connection reset after
+the server charged the query) can retry without being billed twice.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Mapping
+
+from ..hiddendb.errors import UnsupportedQueryError
+from ..hiddendb.ranking import LinearRanker, Ranker
+from ..hiddendb.table import Table
+from .faults import FaultConfig, FaultInjector
+from .wire import decode_query, encode_answer, encode_schema
+
+logger = logging.getLogger("repro.service")
+
+#: Billing identity assumed when a request carries no ``X-Api-Key`` header.
+ANONYMOUS_KEY = "anonymous"
+
+#: Billed answers remembered for idempotent replay, per server.
+REPLAY_CAPACITY = 4096
+
+#: Longest a duplicate request waits for the in-flight original to finish
+#: before being processed as fresh (only reachable when injected latency
+#: exceeds the client's timeout).
+INFLIGHT_WAIT_SECONDS = 60.0
+
+
+@dataclass(frozen=True)
+class KeyUsage:
+    """Billing state of one API key."""
+
+    key: str
+    issued: int
+    budget: int | None
+
+    @property
+    def remaining(self) -> int | None:
+        """Queries left before 429s start (``None`` = unlimited)."""
+        if self.budget is None:
+            return None
+        return max(self.budget - self.issued, 0)
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Aggregate billing counters of a :class:`HiddenDBServer`."""
+
+    queries_total: int
+    faults_injected: int
+    keys: tuple[KeyUsage, ...]
+
+    def usage(self, key: str) -> KeyUsage | None:
+        """Usage record of ``key``, or ``None`` if it never queried."""
+        for usage in self.keys:
+            if usage.key == key:
+                return usage
+        return None
+
+
+class _Billing:
+    """Thread-safe per-key query counters with budget enforcement."""
+
+    def __init__(
+        self, default_budget: int | None, budgets: Mapping[str, int | None]
+    ) -> None:
+        self._default_budget = default_budget
+        self._budgets = dict(budgets)
+        self._issued: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def budget_of(self, key: str) -> int | None:
+        return self._budgets.get(key, self._default_budget)
+
+    def charge(self, key: str) -> int | None:
+        """Bill one query to ``key``; its 1-based sequence, or ``None`` when
+        the budget is exhausted (nothing is billed then)."""
+        budget = self.budget_of(key)
+        with self._lock:
+            issued = self._issued.get(key, 0)
+            if budget is not None and issued >= budget:
+                return None
+            self._issued[key] = issued + 1
+            return issued + 1
+
+    def reset(self, key: str | None = None) -> None:
+        with self._lock:
+            if key is None:
+                self._issued.clear()
+            else:
+                self._issued.pop(key, None)
+
+    def snapshot(self) -> tuple[int, tuple[KeyUsage, ...]]:
+        with self._lock:
+            issued = dict(self._issued)
+        keys = tuple(
+            KeyUsage(key=key, issued=count, budget=self.budget_of(key))
+            for key, count in sorted(issued.items())
+        )
+        return sum(issued.values()), keys
+
+
+class HiddenDBServer:
+    """Serve a table + ranker as a networked top-k search interface.
+
+    Parameters
+    ----------
+    table:
+        The hidden data.
+    ranker:
+        Domination-consistent ranking function (default: unit-weight SUM).
+    k:
+        Top-k output limit of the search form.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back from
+        :attr:`port` / :attr:`url` after :meth:`start`).
+    key_budget:
+        Default per-API-key query budget (``None`` = unlimited), mirroring
+        per-IP / per-API-key limits of real sites.
+    budgets:
+        Per-key overrides of ``key_budget``.
+    faults:
+        Optional :class:`FaultConfig` injecting latency jitter and retriable
+        429/5xx errors on the query endpoint.
+    validate:
+        Enforce the per-attribute interface taxonomy (leave on).
+    name:
+        Service name reported by ``/api/schema`` and ``/api/stats``.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        ranker: Ranker | None = None,
+        *,
+        k: int = 1,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        key_budget: int | None = None,
+        budgets: Mapping[str, int | None] | None = None,
+        faults: FaultConfig | None = None,
+        validate: bool = True,
+        name: str = "hidden-db",
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if key_budget is not None and key_budget < 0:
+            raise ValueError(f"key_budget must be >= 0, got {key_budget}")
+        self._table = table
+        self._ranker = ranker if ranker is not None else LinearRanker()
+        self._bound = self._ranker.bind(table)
+        self._k = k
+        self._host = host
+        self._requested_port = port
+        self._billing = _Billing(key_budget, budgets or {})
+        self._injector = (
+            FaultInjector(faults) if faults is not None and faults.active else None
+        )
+        self._validate = validate
+        self._name = name
+        self._schema_payload = encode_schema(table.schema)
+        self._bound_port: int | None = None
+        # Answers already billed, keyed by (api key, client request id): a
+        # client that lost the response retries the same id and gets the
+        # answer replayed instead of being billed twice.
+        self._replay: OrderedDict[
+            tuple[str, str], tuple[int, dict[str, Any], dict[str, str]]
+        ] = OrderedDict()
+        # Request ids currently being processed: a duplicate (client retry
+        # racing its own timed-out original) waits for the original instead
+        # of double-billing the query.
+        self._inflight: dict[tuple[str, str], threading.Event] = {}
+        self._replay_lock = threading.Lock()
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "HiddenDBServer":
+        """Bind the socket and serve from a daemon thread; returns ``self``."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer(
+            (self._host, self._requested_port), handler
+        )
+        self._bound_port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-service:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        logger.info("serving %s (n=%d, k=%d) at %s",
+                    self._name, self._table.n, self._k, self.url)
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and release the socket (idempotent)."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "HiddenDBServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Block the calling thread while the server runs (CLI foreground
+        mode); a ``timeout`` in seconds returns control after that long."""
+        if self._thread is None:
+            raise RuntimeError("server not started")
+        self._thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """Bind host."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """Actual bound port (resolves ``port=0`` once started; the last
+        bound port keeps being reported after :meth:`stop`)."""
+        if self._bound_port is not None:
+            return self._bound_port
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should connect to.
+
+        Wildcard binds (``0.0.0.0`` / ``::`` / ``""``) are advertised as
+        the loopback address -- a wildcard is not a routable destination.
+        """
+        host = self._host
+        if host in ("", "0.0.0.0", "::"):
+            host = "127.0.0.1"
+        elif ":" in host:  # bare IPv6 literal needs brackets in a URL
+            host = f"[{host}]"
+        return f"http://{host}:{self.port}"
+
+    @property
+    def k(self) -> int:
+        """Top-k output limit of the served search form."""
+        return self._k
+
+    @property
+    def name(self) -> str:
+        """Service name."""
+        return self._name
+
+    def stats(self) -> ServerStats:
+        """Current billing counters."""
+        total, keys = self._billing.snapshot()
+        injected = self._injector.injected if self._injector is not None else 0
+        return ServerStats(
+            queries_total=total, faults_injected=injected, keys=keys
+        )
+
+    def reset_billing(self, key: str | None = None) -> None:
+        """Clear billing counters (ops/test helper; all keys by default).
+
+        Also drops the matching request-id replay entries: after a reset,
+        a retried pre-reset id must be billed as a fresh query, not
+        replayed unbilled with a stale sequence number.
+        """
+        self._billing.reset(key)
+        with self._replay_lock:
+            if key is None:
+                self._replay.clear()
+            else:
+                for replay_key in [
+                    k for k in self._replay if k[0] == key
+                ]:
+                    del self._replay[replay_key]
+
+    # ------------------------------------------------------------------
+    # request handling (called from handler threads)
+    # ------------------------------------------------------------------
+    def _handle_schema(self) -> tuple[int, dict[str, Any], dict[str, str]]:
+        return (
+            200,
+            {"name": self._name, "k": self._k, "schema": self._schema_payload},
+            {},
+        )
+
+    def _handle_stats(self) -> tuple[int, dict[str, Any], dict[str, str]]:
+        stats = self.stats()
+        return (
+            200,
+            {
+                "name": self._name,
+                "queries_total": stats.queries_total,
+                "faults_injected": stats.faults_injected,
+                "keys": {
+                    usage.key: {
+                        "issued": usage.issued,
+                        "budget": usage.budget,
+                        "remaining": usage.remaining,
+                    }
+                    for usage in stats.keys
+                },
+            },
+            {},
+        )
+
+    def _handle_reset(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        self.reset_billing(payload.get("api_key"))
+        return self._handle_stats()
+
+    def _handle_query(
+        self,
+        payload: Mapping[str, Any],
+        api_key: str,
+        request_id: str | None = None,
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        if request_id is None:
+            return self._answer_query(payload, api_key, None)
+        replay_key = (api_key, request_id)
+        while True:
+            with self._replay_lock:
+                replayed = self._replay.get(replay_key)
+                if replayed is not None:
+                    return replayed
+                pending = self._inflight.get(replay_key)
+                if pending is None:
+                    self._inflight[replay_key] = threading.Event()
+                    break
+            # The original request is still being processed (e.g. sleeping
+            # in injected latency past the client's timeout): wait for it
+            # and replay its answer rather than billing a second time.
+            if not pending.wait(INFLIGHT_WAIT_SECONDS):
+                return (
+                    503,
+                    {"error": "in_flight_timeout", "retriable": True},
+                    {"Retry-After": "0"},
+                )
+        try:
+            return self._answer_query(payload, api_key, replay_key)
+        finally:
+            with self._replay_lock:
+                event = self._inflight.pop(replay_key, None)
+            if event is not None:
+                event.set()
+
+    def _answer_query(
+        self,
+        payload: Mapping[str, Any],
+        api_key: str,
+        replay_key: tuple[str, str] | None,
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        if self._injector is not None:
+            delay, code = self._injector.draw()
+            if delay > 0.0:
+                time.sleep(delay)
+            if code is not None:
+                return (
+                    code,
+                    {"error": "injected_fault", "retriable": True},
+                    {"Retry-After": "0"},
+                )
+        try:
+            query = decode_query(payload.get("query") or {})
+        except (KeyError, TypeError, ValueError) as exc:
+            return (
+                400,
+                {"error": "bad_request", "message": str(exc), "retriable": False},
+                {},
+            )
+        if self._validate:
+            try:
+                query.validate(self._table.schema)
+            except UnsupportedQueryError as exc:
+                return (
+                    400,
+                    {
+                        "error": "unsupported_query",
+                        "message": str(exc),
+                        "retriable": False,
+                    },
+                    {},
+                )
+        sequence = self._billing.charge(api_key)
+        if sequence is None:
+            limit = self._billing.budget_of(api_key)
+            return (
+                429,
+                {"error": "budget_exceeded", "limit": limit, "retriable": False},
+                {"X-Budget-Remaining": "0"},
+            )
+        matched = self._table.match_indices(query)
+        top = self._bound.top(matched, self._k)
+        rows = self._table.rows(top)
+        body = encode_answer(rows, overflow=len(rows) == self._k, sequence=sequence)
+        budget = self._billing.budget_of(api_key)
+        headers = {"X-Queries-Issued": str(sequence)}
+        if budget is not None:
+            headers["X-Budget-Remaining"] = str(max(budget - sequence, 0))
+        if replay_key is not None:
+            with self._replay_lock:
+                self._replay[replay_key] = (200, body, headers)
+                while len(self._replay) > REPLAY_CAPACITY:
+                    self._replay.popitem(last=False)
+        return 200, body, headers
+
+    def __repr__(self) -> str:
+        state = "running" if self._httpd is not None else "stopped"
+        return (
+            f"HiddenDBServer({self._name}: n={self._table.n}, k={self._k}, "
+            f"{state} at {self.url})"
+        )
+
+
+def _make_handler(server: HiddenDBServer) -> type[BaseHTTPRequestHandler]:
+    """Build the request-handler class bound to one :class:`HiddenDBServer`."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        # Small request/response pairs over keep-alive connections stall on
+        # Nagle + delayed ACK; send responses immediately.
+        disable_nagle_algorithm = True
+
+        # -- plumbing ---------------------------------------------------
+        def _reply(
+            self, status: int, body: dict[str, Any], headers: Mapping[str, str]
+        ) -> None:
+            encoded = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(encoded)))
+            for name, value in headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(encoded)
+
+        def _read_json(self) -> dict[str, Any] | None:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                payload = json.loads(raw.decode("utf-8") or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return None
+            return payload if isinstance(payload, dict) else None
+
+        def _api_key(self) -> str:
+            return self.headers.get("X-Api-Key") or ANONYMOUS_KEY
+
+        # -- routes -----------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            if self.path == "/api/schema":
+                self._reply(*server._handle_schema())
+            elif self.path == "/api/stats":
+                self._reply(*server._handle_stats())
+            elif self.path == "/healthz":
+                self._reply(200, {"status": "ok", "name": server.name}, {})
+            else:
+                self._reply(
+                    404, {"error": "not_found", "retriable": False}, {}
+                )
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+            payload = self._read_json()
+            if payload is None:
+                self._reply(
+                    400,
+                    {"error": "bad_request", "message": "invalid JSON body",
+                     "retriable": False},
+                    {},
+                )
+                return
+            if self.path == "/api/query":
+                self._reply(
+                    *server._handle_query(
+                        payload,
+                        self._api_key(),
+                        self.headers.get("X-Request-Id"),
+                    )
+                )
+            elif self.path == "/api/reset":
+                self._reply(*server._handle_reset(payload))
+            else:
+                self._reply(
+                    404, {"error": "not_found", "retriable": False}, {}
+                )
+
+        def log_message(self, format: str, *args: Any) -> None:
+            logger.debug("%s %s", self.address_string(), format % args)
+
+    return Handler
+
+
+__all__ = ["ANONYMOUS_KEY", "HiddenDBServer", "KeyUsage", "ServerStats"]

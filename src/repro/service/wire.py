@@ -1,0 +1,145 @@
+"""JSON wire format shared by the service server and the remote client.
+
+Keeps (de)serialisation in one place so the two sides cannot drift: the
+server encodes with the same functions the client decodes with, and the
+round-trip tests pin the format.  The format is deliberately plain JSON --
+no pickling, no numpy types -- so non-Python clients can speak it too.
+
+Schemas travel as ``{"attributes": [{name, domain_size, kind, labels?}]}``
+(``kind`` is the :class:`~repro.hiddendb.attributes.InterfaceKind` value
+string); queries as ``{"ranges": {"<index>": [lo, hi]}, "filters":
+{name: value}}``; answers as ``{"rows": [{rid, values}], "overflow",
+"sequence"}``.  Attribute ``labels`` are display-only and are dropped when
+they are not JSON-representable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from ..hiddendb.attributes import Attribute, InterfaceKind, Schema
+from ..hiddendb.query import Interval, Query
+from ..hiddendb.table import Row
+
+# ----------------------------------------------------------------------
+# schema
+# ----------------------------------------------------------------------
+
+
+def _encode_labels(attribute: Attribute) -> list | None:
+    if attribute.labels is None:
+        return None
+    try:
+        json.dumps(attribute.labels)
+    except (TypeError, ValueError):
+        return None
+    return list(attribute.labels)
+
+
+def encode_schema(schema: Schema) -> dict[str, Any]:
+    """Schema -> JSON-ready dict."""
+    attributes = []
+    for attribute in schema.attributes:
+        entry: dict[str, Any] = {
+            "name": attribute.name,
+            "domain_size": attribute.domain_size,
+            "kind": attribute.kind.value,
+        }
+        labels = _encode_labels(attribute)
+        if labels is not None:
+            entry["labels"] = labels
+        attributes.append(entry)
+    return {"attributes": attributes}
+
+
+def decode_schema(payload: Mapping[str, Any]) -> Schema:
+    """JSON dict -> Schema."""
+    attributes = []
+    for entry in payload["attributes"]:
+        labels = entry.get("labels")
+        attributes.append(
+            Attribute(
+                name=entry["name"],
+                domain_size=int(entry["domain_size"]),
+                kind=InterfaceKind(entry["kind"]),
+                labels=None if labels is None else tuple(labels),
+            )
+        )
+    return Schema(attributes)
+
+
+# ----------------------------------------------------------------------
+# queries
+# ----------------------------------------------------------------------
+
+
+def encode_query(query: Query) -> dict[str, Any]:
+    """Query -> JSON-ready dict (attribute indices become string keys)."""
+    return {
+        "ranges": {
+            str(index): [interval.lo, interval.hi]
+            for index, interval in query.ranges.items()
+        },
+        "filters": dict(query.filters),
+    }
+
+
+def decode_query(payload: Mapping[str, Any]) -> Query:
+    """JSON dict -> Query."""
+    ranges = {
+        int(index): Interval(int(bounds[0]), int(bounds[1]))
+        for index, bounds in (payload.get("ranges") or {}).items()
+    }
+    filters = {
+        str(name): int(value)
+        for name, value in (payload.get("filters") or {}).items()
+    }
+    return Query(ranges, filters)
+
+
+# ----------------------------------------------------------------------
+# rows and answers
+# ----------------------------------------------------------------------
+
+
+def encode_row(row: Row) -> dict[str, Any]:
+    """Row -> JSON-ready dict."""
+    return {"rid": row.rid, "values": list(row.values)}
+
+
+def decode_row(payload: Mapping[str, Any]) -> Row:
+    """JSON dict -> Row."""
+    return Row(int(payload["rid"]), tuple(int(v) for v in payload["values"]))
+
+
+def encode_answer(
+    rows: tuple[Row, ...], overflow: bool, sequence: int
+) -> dict[str, Any]:
+    """Query answer -> JSON-ready dict (the query itself is not echoed:
+    the client already holds it and reattaches it on decode)."""
+    return {
+        "rows": [encode_row(row) for row in rows],
+        "overflow": bool(overflow),
+        "sequence": int(sequence),
+    }
+
+
+def decode_answer(
+    payload: Mapping[str, Any],
+) -> tuple[tuple[Row, ...], bool, int]:
+    """JSON dict -> ``(rows, overflow, sequence)``."""
+    rows = tuple(decode_row(entry) for entry in payload["rows"])
+    return rows, bool(payload["overflow"]), int(payload["sequence"])
+
+
+__all__ = [
+    "decode_answer",
+    "decode_query",
+    "decode_row",
+    "decode_schema",
+    "encode_answer",
+    "encode_query",
+    "encode_row",
+    "encode_schema",
+]

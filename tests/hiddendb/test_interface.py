@@ -115,6 +115,32 @@ class TestBudget:
         interface.reset(budget=3)
         assert interface.budget_remaining == 3
 
+    def test_reset_without_budget_keeps_limit(self):
+        table = make_table([(1,)], domain=10)
+        interface = TopKInterface(table, k=1, budget=2)
+        interface.query(Query.select_all())
+        interface.reset()
+        assert interface.budget == 2
+        assert interface.budget_remaining == 2
+
+    def test_reset_budget_none_removes_limit(self):
+        table = make_table([(1,)], domain=10)
+        interface = TopKInterface(table, k=1, budget=1)
+        interface.query(Query.select_all())
+        interface.reset(budget=None)
+        assert interface.budget is None
+        # Formerly impossible: the old API read None as "keep the budget".
+        interface.query(Query.select_all())
+        interface.query(Query.select_all())
+        assert interface.queries_issued == 2
+
+    def test_reset_rejects_invalid_budget(self):
+        interface = TopKInterface(make_table([(1,)]), k=1)
+        with pytest.raises(ValueError):
+            interface.reset(budget=-1)
+        with pytest.raises(TypeError):
+            interface.reset(budget="many")
+
 
 class TestValidation:
     def test_rejects_unsupported_predicates(self):

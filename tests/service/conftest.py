@@ -1,0 +1,31 @@
+"""Fixtures for the networked hidden-database service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import HiddenDBServer
+
+
+@pytest.fixture
+def serve():
+    """Start :class:`HiddenDBServer` instances that are stopped on teardown.
+
+    Usage: ``server = serve(table, k=5, key_budget=100)``.
+    """
+    started: list[HiddenDBServer] = []
+
+    def _serve(table, **kwargs) -> HiddenDBServer:
+        server = HiddenDBServer(table, **kwargs).start()
+        started.append(server)
+        return server
+
+    yield _serve
+    for server in started:
+        server.stop()
+
+
+@pytest.fixture
+def no_sleep():
+    """A no-op backoff sleeper keeping retry tests instant."""
+    return lambda _seconds: None

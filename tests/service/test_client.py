@@ -1,0 +1,234 @@
+"""Tests of the resilient remote client: retries, caching, error mapping."""
+
+import pytest
+
+from repro.hiddendb import (
+    InterfaceKind,
+    Query,
+    QueryBudgetExceeded,
+    SearchEndpoint,
+    TopKInterface,
+    UnsupportedQueryError,
+)
+from repro.service import FaultConfig, RemoteServiceError, RemoteTopKInterface
+
+from ..conftest import make_table
+
+
+@pytest.fixture
+def table():
+    return make_table(
+        [(0, 9), (3, 3), (9, 0), (5, 5)], kinds=InterfaceKind.RQ, domain=10
+    )
+
+
+class TestEndpointSurface:
+    def test_implements_search_endpoint(self, serve, table):
+        server = serve(table, k=2)
+        remote = RemoteTopKInterface(server.url)
+        assert isinstance(remote, SearchEndpoint)
+        assert isinstance(TopKInterface(table, k=2), SearchEndpoint)
+
+    def test_schema_and_k_fetched_at_construction(self, serve, table):
+        server = serve(table, k=3, name="svc")
+        remote = RemoteTopKInterface(server.url)
+        assert remote.k == 3
+        assert remote.service_name == "svc"
+        assert remote.schema.m == table.schema.m
+        assert [a.kind for a in remote.schema.ranking_attributes] == \
+            [a.kind for a in table.schema.ranking_attributes]
+
+    def test_query_matches_in_process_answer(self, serve, table):
+        server = serve(table, k=2)
+        remote = RemoteTopKInterface(server.url)
+        local = TopKInterface(table, k=2)
+        query = Query.select_all().and_upper(0, 5)
+        remote_result = remote.query(query)
+        local_result = local.query(query)
+        assert remote_result.rows == local_result.rows
+        assert remote_result.overflow == local_result.overflow
+        assert remote_result.sequence == local_result.sequence
+        assert remote_result.query == query
+        assert remote.queries_issued == 1
+
+    def test_unreachable_service(self, no_sleep):
+        with pytest.raises(RemoteServiceError):
+            RemoteTopKInterface(
+                "http://127.0.0.1:9", max_retries=1, sleep=no_sleep, timeout=1.0
+            )
+
+
+class TestErrorMapping:
+    def test_budget_exceeded_maps_to_exception(self, serve, table):
+        server = serve(table, k=1, key_budget=2)
+        remote = RemoteTopKInterface(server.url, api_key="crawler")
+        remote.query(Query.select_all())
+        remote.query(Query.select_all())
+        with pytest.raises(QueryBudgetExceeded) as err:
+            remote.query(Query.select_all())
+        assert err.value.limit == 2
+        # The rejected query is charged neither locally nor server-side.
+        assert remote.queries_issued == 2
+        assert server.stats().usage("crawler").issued == 2
+
+    def test_unsupported_query_maps_to_exception(self, serve):
+        pq = make_table([(1, 1)], kinds=InterfaceKind.PQ, domain=10)
+        server = serve(pq, k=1)
+        remote = RemoteTopKInterface(server.url)
+        with pytest.raises(UnsupportedQueryError):
+            remote.query(Query.select_all().and_upper(0, 5))
+        assert remote.queries_issued == 0
+
+
+class TestRetries:
+    def test_retries_absorb_injected_faults(self, serve, table, no_sleep):
+        server = serve(
+            table, k=2, faults=FaultConfig(error_rate=0.5, seed=3)
+        )
+        remote = RemoteTopKInterface(
+            server.url, max_retries=50, sleep=no_sleep
+        )
+        local = TopKInterface(table, k=2)
+        for _ in range(10):
+            assert remote.query(Query.select_all()).rows == \
+                local.query(Query.select_all()).rows
+        assert remote.retries > 0
+        # Injected faults are never billed.
+        assert server.stats().queries_total == 10
+
+    def test_gives_up_after_max_retries(self, serve, table, no_sleep):
+        server = serve(table, faults=FaultConfig(error_rate=1.0, seed=0))
+        remote = RemoteTopKInterface(
+            server.url, max_retries=3, sleep=no_sleep
+        )
+        with pytest.raises(RemoteServiceError) as err:
+            remote.query(Query.select_all())
+        assert err.value.status in (429, 503)
+        assert remote.retries == 3
+
+    def test_retries_reuse_one_request_id_per_logical_query(
+        self, serve, table, no_sleep, monkeypatch
+    ):
+        # All attempts of one query() must share an X-Request-Id (so the
+        # server can dedup billing), and distinct queries must use new ids.
+        server = serve(table, k=2)
+        remote = RemoteTopKInterface(server.url, max_retries=5, sleep=no_sleep)
+        seen: list[str | None] = []
+        original = RemoteTopKInterface._send
+        failed_once = []
+
+        def flaky_send(self, method, path, body, request_id=None):
+            if path == "/api/query":
+                seen.append(request_id)
+                if not failed_once:
+                    failed_once.append(True)
+                    from repro.service.client import _Retriable
+
+                    raise _Retriable("simulated lost response", status=None)
+            return original(self, method, path, body, request_id)
+
+        monkeypatch.setattr(RemoteTopKInterface, "_send", flaky_send)
+        remote.query(Query.select_all())
+        remote.query(Query.select_all().and_upper(0, 5))
+        assert len(seen) == 3  # two attempts for query 1, one for query 2
+        assert seen[0] is not None and seen[0] == seen[1]
+        assert seen[2] is not None and seen[2] != seen[0]
+
+    def test_backoff_schedule_is_exponential_and_capped(self, serve, table):
+        server = serve(table, faults=FaultConfig(error_rate=1.0, seed=0))
+        slept: list[float] = []
+        remote = RemoteTopKInterface(
+            server.url, max_retries=5, backoff=0.1, backoff_cap=0.4,
+            sleep=slept.append,
+        )
+        with pytest.raises(RemoteServiceError):
+            remote.query(Query.select_all())
+        assert slept == [0.1, 0.2, 0.4, 0.4, 0.4]
+
+
+class TestQueryCache:
+    def test_cache_hits_are_free(self, serve, table):
+        server = serve(table, k=2)
+        remote = RemoteTopKInterface(server.url, cache_size=16)
+        query = Query.select_all().and_upper(0, 5)
+        first = remote.query(query)
+        second = remote.query(query)
+        assert second is first
+        assert remote.queries_issued == 1
+        assert remote.cache_hits == 1
+        assert server.stats().queries_total == 1
+
+    def test_distinct_queries_are_billed(self, serve, table):
+        server = serve(table, k=2)
+        remote = RemoteTopKInterface(server.url, cache_size=16)
+        remote.query(Query.select_all())
+        remote.query(Query.select_all().and_upper(0, 5))
+        assert remote.queries_issued == 2
+        assert remote.cache_hits == 0
+
+    def test_lru_eviction(self, serve, table):
+        server = serve(table, k=2)
+        remote = RemoteTopKInterface(server.url, cache_size=1)
+        a = Query.select_all()
+        b = Query.select_all().and_upper(0, 5)
+        remote.query(a)
+        remote.query(b)  # evicts a
+        remote.query(a)  # miss: billed again
+        assert remote.queries_issued == 3
+        assert remote.cache_hits == 0
+        remote.query(a)  # hit
+        assert remote.cache_hits == 1
+
+    def test_clear_cache(self, serve, table):
+        server = serve(table, k=2)
+        remote = RemoteTopKInterface(server.url, cache_size=16)
+        remote.query(Query.select_all())
+        remote.clear_cache()
+        remote.query(Query.select_all())
+        assert remote.queries_issued == 2
+
+    def test_cache_disabled_by_default(self, serve, table):
+        server = serve(table, k=2)
+        remote = RemoteTopKInterface(server.url)
+        remote.query(Query.select_all())
+        remote.query(Query.select_all())
+        assert remote.queries_issued == 2
+        assert remote.cache_hits == 0
+
+
+class TestTelemetry:
+    def test_budget_remaining_tracks_headers(self, serve, table):
+        server = serve(table, k=1, key_budget=3)
+        remote = RemoteTopKInterface(server.url)
+        assert remote.budget_remaining is None  # schema route has no header
+        remote.query(Query.select_all())
+        assert remote.budget_remaining == 2
+
+    def test_budget_remaining_reaches_zero_on_exhaustion(self, serve, table):
+        server = serve(table, k=1, key_budget=1)
+        remote = RemoteTopKInterface(server.url)
+        remote.query(Query.select_all())
+        with pytest.raises(QueryBudgetExceeded):
+            remote.query(Query.select_all())
+        # The 429 carries X-Budget-Remaining: 0; telemetry must not report
+        # leftover budget on an exhausted key.
+        assert remote.budget_remaining == 0
+
+    def test_server_stats_accessor(self, serve, table):
+        server = serve(table, k=1)
+        remote = RemoteTopKInterface(server.url, api_key="me")
+        remote.query(Query.select_all())
+        stats = remote.server_stats()
+        assert stats["keys"]["me"]["issued"] == 1
+
+    def test_connection_survives_close_and_context_manager(self, serve, table):
+        server = serve(table, k=1)
+        with RemoteTopKInterface(server.url) as remote:
+            remote.query(Query.select_all())
+            remote.close()  # next request transparently reconnects
+            remote.query(Query.select_all())
+            assert remote.queries_issued == 2
+
+    def test_rejects_malformed_url(self):
+        with pytest.raises(ValueError):
+            RemoteTopKInterface("127.0.0.1:8080")

@@ -1,0 +1,161 @@
+"""Remote-parity integration tests.
+
+For every algorithm in the registry, a run through
+:class:`RemoteTopKInterface` against a served table must be
+query-for-query identical to the in-process run: same discovered skyline
+(rids *and* values), same client-side cost, same server-side billing.
+With fault injection enabled the client must still converge, and a warm
+client cache must make a repeated crawl strictly cheaper.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Discoverer, TopKInterface
+from repro.core import all_algorithms
+from repro.hiddendb import InterfaceKind
+from repro.service import FaultConfig, RemoteTopKInterface
+
+from ..conftest import random_table
+
+SEED = 20160831  # the paper's VLDB year+date, any fixed value works
+
+#: One candidate table per interface-taxonomy shape the algorithms cover.
+KIND_MIXES = {
+    "sq3": (InterfaceKind.SQ,) * 3,
+    "rq3": (InterfaceKind.RQ,) * 3,
+    "pq2": (InterfaceKind.PQ,) * 2,
+    "pq3": (InterfaceKind.PQ,) * 3,
+    "mixed": (InterfaceKind.RQ, InterfaceKind.SQ, InterfaceKind.PQ),
+}
+
+
+def build_tables():
+    rng = np.random.default_rng(SEED)
+    return {
+        name: random_table(rng, kinds, n=250, domain=8, distinct=True)
+        for name, kinds in KIND_MIXES.items()
+    }
+
+
+TABLES = build_tables()
+
+
+def candidate_table(predicate):
+    """First table (stable order) whose schema satisfies ``predicate``."""
+    for name in sorted(TABLES):
+        if predicate(TABLES[name].schema):
+            return TABLES[name]
+    return None
+
+
+def run_params():
+    for spec in all_algorithms():
+        table = candidate_table(spec.supports)
+        assert table is not None, f"no candidate table for {spec.name}"
+        yield pytest.param(spec.name, table, id=spec.name)
+
+
+def skyband_params():
+    for spec in all_algorithms():
+        if spec.skyband is None:
+            continue
+        table = candidate_table(spec.supports_skyband)
+        assert table is not None, f"no skyband candidate for {spec.name}"
+        yield pytest.param(spec.name, table, id=spec.name)
+
+
+class TestRemoteParity:
+    @pytest.mark.parametrize("algorithm,table", run_params())
+    def test_every_algorithm_matches_in_process(
+        self, serve, algorithm, table
+    ):
+        local = TopKInterface(table, k=5)
+        local_result = Discoverer().run(local, algorithm)
+
+        server = serve(table, k=5)
+        remote = RemoteTopKInterface(server.url, api_key=algorithm)
+        remote_result = Discoverer().run(remote, algorithm)
+
+        # Byte-identical skylines: same rids, same values, same order.
+        assert remote_result.skyline == local_result.skyline
+        assert remote_result.retrieved == local_result.retrieved
+        assert remote_result.trace == local_result.trace
+        assert remote_result.complete == local_result.complete
+        # Identical costs, client- and server-side.
+        assert remote_result.total_cost == local_result.total_cost
+        assert remote.queries_issued == local.queries_issued
+        assert (
+            server.stats().usage(algorithm).issued == local.queries_issued
+        )
+
+    @pytest.mark.parametrize("algorithm,table", skyband_params())
+    def test_skyband_extensions_match_in_process(
+        self, serve, algorithm, table
+    ):
+        local = TopKInterface(table, k=5)
+        local_result = Discoverer().skyband(local, 2, algorithm)
+
+        server = serve(table, k=5)
+        remote = RemoteTopKInterface(server.url, api_key=algorithm)
+        remote_result = Discoverer().skyband(remote, 2, algorithm)
+
+        assert remote_result.skyband == local_result.skyband
+        assert remote_result.total_cost == local_result.total_cost
+        assert remote_result.complete == local_result.complete
+        assert (
+            server.stats().usage(algorithm).issued == local.queries_issued
+        )
+
+
+class TestFaultedConvergence:
+    def test_flaky_service_still_yields_exact_skyline(self, serve, no_sleep):
+        table = TABLES["rq3"]
+        local_result = Discoverer().run(TopKInterface(table, k=5))
+
+        server = serve(
+            table, k=5, faults=FaultConfig(error_rate=0.2, seed=7)
+        )
+        remote = RemoteTopKInterface(
+            server.url, max_retries=50, sleep=no_sleep
+        )
+        remote_result = Discoverer().run(remote)
+
+        assert remote_result.skyline == local_result.skyline
+        assert remote_result.total_cost == local_result.total_cost
+        assert remote.retries > 0
+        assert server.stats().faults_injected > 0
+        # Faults were retried, never billed.
+        assert server.stats().queries_total == local_result.total_cost
+
+
+class TestWarmCacheEconomy:
+    def test_recrawl_with_warm_cache_bills_strictly_less(self, serve):
+        table = TABLES["mixed"]
+        server = serve(table, k=5)
+        remote = RemoteTopKInterface(server.url, cache_size=4096)
+
+        first = Discoverer().run(remote)
+        cold_billed = remote.queries_issued
+        second = Discoverer().run(remote)
+        warm_billed = remote.queries_issued - cold_billed
+
+        assert second.skyline == first.skyline
+        assert warm_billed < cold_billed
+        assert remote.cache_hits > 0
+        # Server-side billing agrees with the client's billable count.
+        assert server.stats().queries_total == remote.queries_issued
+
+    def test_cache_does_not_change_discovery_cost_semantics(self, serve):
+        # A cached run reports the *billable* cost, which the anytime
+        # trace is keyed on -- cache hits appear at the cost level of the
+        # last billed query, never inflating it.
+        table = TABLES["rq3"]
+        server = serve(table, k=5)
+        local_result = Discoverer().run(TopKInterface(table, k=5))
+        remote = RemoteTopKInterface(server.url, cache_size=4096)
+        result = Discoverer().run(remote)
+        # First crawl has no repeated queries answered differently: the
+        # discovered skyline matches the reference exactly.
+        assert result.skyline == local_result.skyline
+        assert result.total_cost <= local_result.total_cost

@@ -1,0 +1,85 @@
+"""Round-trip tests pinning the JSON wire format."""
+
+import json
+
+import pytest
+
+from repro.hiddendb import Attribute, InterfaceKind, Interval, Query, Row, Schema
+from repro.service import wire
+
+
+class TestSchemaRoundTrip:
+    def test_kinds_and_domains_survive(self):
+        schema = Schema(
+            [
+                Attribute("price", 100, InterfaceKind.RQ),
+                Attribute("memory", 6, InterfaceKind.SQ),
+                Attribute("ports", 4, InterfaceKind.PQ),
+                Attribute("brand", 3, InterfaceKind.FILTER),
+            ]
+        )
+        decoded = wire.decode_schema(wire.encode_schema(schema))
+        assert [a.name for a in decoded.attributes] == [
+            "price", "memory", "ports", "brand",
+        ]
+        assert [a.kind for a in decoded.attributes] == [
+            InterfaceKind.RQ, InterfaceKind.SQ, InterfaceKind.PQ,
+            InterfaceKind.FILTER,
+        ]
+        assert decoded.domain_sizes == (100, 6, 4)
+        assert decoded.m == 3
+
+    def test_labels_survive(self):
+        schema = Schema([Attribute("cut", 3, InterfaceKind.PQ,
+                                   labels=("ideal", "good", "fair"))])
+        decoded = wire.decode_schema(wire.encode_schema(schema))
+        assert decoded["cut"].labels == ("ideal", "good", "fair")
+
+    def test_unserialisable_labels_dropped(self):
+        schema = Schema([Attribute("a", 2, InterfaceKind.RQ,
+                                   labels=(object(), object()))])
+        payload = wire.encode_schema(schema)
+        json.dumps(payload)  # must be pure JSON
+        assert wire.decode_schema(payload)["a"].labels is None
+
+    def test_payload_is_json(self):
+        schema = Schema([Attribute("a", 5, InterfaceKind.SQ)])
+        assert json.loads(json.dumps(wire.encode_schema(schema))) == \
+            wire.encode_schema(schema)
+
+
+class TestQueryRoundTrip:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            Query.select_all(),
+            Query({0: Interval(0, 3)}),
+            Query({0: Interval(2, 2), 2: Interval(1, 5)}, {"brand": 1}),
+            Query(filters={"store": 0, "brand": 2}),
+        ],
+    )
+    def test_round_trip_equality(self, query):
+        payload = json.loads(json.dumps(wire.encode_query(query)))
+        assert wire.decode_query(payload) == query
+
+    def test_round_trip_preserves_hash(self):
+        query = Query({1: Interval(3, 7)}, {"f": 4})
+        assert hash(wire.decode_query(wire.encode_query(query))) == hash(query)
+
+
+class TestAnswerRoundTrip:
+    def test_rows_overflow_sequence(self):
+        rows = (Row(3, (1, 2)), Row(9, (0, 5)))
+        payload = json.loads(json.dumps(wire.encode_answer(rows, True, 17)))
+        decoded_rows, overflow, sequence = wire.decode_answer(payload)
+        assert decoded_rows == rows
+        assert overflow is True
+        assert sequence == 17
+
+    def test_empty_answer(self):
+        rows, overflow, sequence = wire.decode_answer(
+            wire.encode_answer((), False, 1)
+        )
+        assert rows == ()
+        assert not overflow
+        assert sequence == 1

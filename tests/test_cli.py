@@ -85,3 +85,52 @@ class TestFiguresCommand:
     def test_run_analysis_figure(self, capsys):
         assert main(["figures", "fig04"]) == 0
         assert "Figure 4" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_runs_for_duration(self, capsys):
+        code = main(
+            ["serve", "--dataset", "uniform", "--n", "300", "--k", "5",
+             "--port", "0", "--duration", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving" in out
+        assert "http://127.0.0.1:" in out
+        assert "served" in out
+
+    def test_serve_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+
+class TestRemoteCommands:
+    @pytest.fixture
+    def server(self):
+        from repro.datagen import independent
+        from repro.service import HiddenDBServer
+
+        with HiddenDBServer(independent(400, 3, domain=20, seed=0), k=5) as srv:
+            yield srv
+
+    def test_discover_url(self, server, capsys):
+        code = main(["discover", "--url", server.url, "--cache", "256"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "remote, k=5" in out
+        assert "billable" in out
+        assert server.stats().queries_total > 0
+
+    def test_skyband_url(self, server, capsys):
+        code = main(["skyband", "--url", server.url, "--band", "2"])
+        assert code == 0
+        assert "band" in capsys.readouterr().out
+
+    def test_stats_url(self, server, capsys):
+        code = main(["stats", "--url", server.url])
+        assert code == 0
+        assert "total queries" in capsys.readouterr().out
+
+    def test_dataset_or_url_required(self, capsys):
+        assert main(["discover"]) == 2
+        assert "error" in capsys.readouterr().err
