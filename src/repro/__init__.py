@@ -84,6 +84,9 @@ from .core import (
     Discoverer,
     DiscoveryConfig,
     DiscoveryResult,
+    EngineStats,
+    PipelinedStrategy,
+    SerialStrategy,
     SkybandResult,
     algorithm_names,
     all_algorithms,
@@ -113,10 +116,12 @@ __all__ = [
     "Discoverer",
     "DiscoveryConfig",
     "DiscoveryResult",
+    "EngineStats",
     "InterfaceKind",
     "Interval",
     "LexicographicRanker",
     "LinearRanker",
+    "PipelinedStrategy",
     "Query",
     "QueryBudgetExceeded",
     "QueryResult",
@@ -125,6 +130,7 @@ __all__ = [
     "Row",
     "Schema",
     "SearchEndpoint",
+    "SerialStrategy",
     "SkybandResult",
     "Table",
     "TopKInterface",

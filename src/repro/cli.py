@@ -16,7 +16,11 @@ Everything routes through the :class:`repro.Discoverer` facade, so the
 registered by third-party plugins imported before the CLI runs).  The
 ``discover`` / ``skyband`` / ``stats`` commands accept ``--url`` to crawl a
 remote service through :class:`repro.service.RemoteTopKInterface` instead
-of building an in-process interface.
+of building an in-process interface, and expose the execution engine:
+``--workers N`` pipelines independent frontier queries (batched into
+``--batch-size`` sized ``/api/batch`` round trips against the service),
+``--dedup`` memoizes repeated identical queries within the run, and
+``discover --verbose`` prints the resulting engine counters.
 
 Examples::
 
@@ -31,8 +35,10 @@ Examples::
     repro serve --dataset diamonds --n 20000 --k 10 --port 8080 \
         --key-budget 5000 --fault-rate 0.1
 
-    # terminal 2: crawl it over the wire, with a client-side query cache
-    repro discover --url http://127.0.0.1:8080 --cache 4096
+    # terminal 2: crawl it over the wire -- 8 pipelined workers, 16
+    # queries per round trip, run-scoped dedup, engine telemetry
+    repro discover --url http://127.0.0.1:8080 --workers 8 --batch-size 16 \
+        --dedup --verbose
 """
 
 from __future__ import annotations
@@ -58,7 +64,7 @@ from .datagen import (
     independent,
 )
 from .experiments import ALL_FIGURES
-from .experiments.reporting import format_table
+from .experiments.reporting import format_engine_stats, format_table
 from .hiddendb import LinearRanker, Table, TopKInterface
 
 DATASETS: dict[str, Callable[[int, int], Table]] = {
@@ -111,7 +117,15 @@ def _print_remote_telemetry(args, interface) -> None:
 
 
 def _discoverer(args, **config_kwargs) -> Discoverer:
-    return Discoverer(DiscoveryConfig(budget=args.budget, **config_kwargs))
+    return Discoverer(
+        DiscoveryConfig(
+            budget=args.budget,
+            workers=getattr(args, "workers", 1),
+            batch_size=getattr(args, "batch_size", 16),
+            dedup=True if getattr(args, "dedup", False) else None,
+            **config_kwargs,
+        )
+    )
 
 
 def _algorithm_arg(args) -> str | None:
@@ -128,6 +142,8 @@ def _cmd_discover(args) -> int:
     print(f"skyline    : {result.skyline_size} tuples")
     print(f"complete   : {result.complete}")
     _print_remote_telemetry(args, interface)
+    if args.verbose:
+        print(format_engine_stats(result.stats))
     if result.skyline_size:
         print(f"cost/tuple : {result.total_cost / result.skyline_size:.2f}")
     if args.show_tuples:
@@ -277,6 +293,17 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--cache", type=int, default=0, metavar="SIZE",
                          help="client-side LRU query cache for --url runs "
                          "(cache hits are not billed; default off)")
+        sub.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="pipeline independent frontier queries over N "
+                         "concurrent dispatchers (default 1 = serial; "
+                         "skyline and query cost are unchanged)")
+        sub.add_argument("--batch-size", type=int, default=16, metavar="N",
+                         help="queries packed per batch round trip when the "
+                         "endpoint supports batching (default 16; needs "
+                         "--workers > 1)")
+        sub.add_argument("--dedup", action="store_true",
+                         help="memoize repeated identical queries within "
+                         "the run (hits are never billed)")
 
     sub = subparsers.add_parser("discover", help="discover the skyline")
     add_common(sub)
@@ -284,6 +311,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the first N skyline tuples")
     sub.add_argument("--curve", action="store_true",
                      help="print the anytime discovery curve")
+    sub.add_argument("--verbose", action="store_true",
+                     help="print execution-engine counters (dispatch "
+                     "strategy, dedup savings, batching)")
     sub.set_defaults(handler=_cmd_discover)
 
     sub = subparsers.add_parser("skyband", help="discover the top-K skyband")

@@ -39,6 +39,14 @@ from .dominance import (
     skyline_indices,
     skyline_of_rows,
 )
+from .engine import (
+    EngineStats,
+    ExecutionStrategy,
+    Frontier,
+    PipelinedStrategy,
+    QueryEngine,
+    SerialStrategy,
+)
 from .registry import (
     AlgorithmInfo,
     AlgorithmNotFoundError,
@@ -77,7 +85,13 @@ __all__ = [
     "DiscoveryResult",
     "DiscoverySession",
     "DuplicateAlgorithmError",
+    "EngineStats",
+    "ExecutionStrategy",
+    "Frontier",
+    "PipelinedStrategy",
     "PlaneState",
+    "QueryEngine",
+    "SerialStrategy",
     "QueryLogSummary",
     "SkybandResult",
     "TraceEntry",

@@ -18,6 +18,7 @@ the copies, so value-set equality is the right correctness criterion.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable
 
@@ -27,6 +28,14 @@ from ..hiddendb.interface import QueryResult
 from ..hiddendb.query import Query
 from ..hiddendb.table import Row
 from .dominance import skyline_of_rows
+from .engine import (
+    EngineStats,
+    ExecutionStrategy,
+    Frontier,
+    PipelinedStrategy,
+    QueryEngine,
+    SerialStrategy,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from .registry import AlgorithmInfo, DiscoveryConfig
@@ -62,6 +71,9 @@ class DiscoveryResult:
     info: "AlgorithmInfo | None" = None
     #: Full query/answer log (populated when ``config.record_log`` is set).
     query_log: tuple[QueryResult, ...] = field(default=(), repr=False)
+    #: Execution-engine counters of the run (dispatch strategy, billable
+    #: queries, memo hits, batching, peak concurrency).
+    stats: EngineStats | None = None
 
     @property
     def skyline_values(self) -> frozenset[tuple[int, ...]]:
@@ -127,6 +139,16 @@ class DiscoverySession:
     on_tuple:
         Hook invoked with a :class:`TraceEntry` whenever a distinct tuple is
         retrieved for the first time (the live anytime curve).
+    strategy:
+        :class:`~repro.core.engine.ExecutionStrategy` draining this
+        session's frontiers (default: :class:`SerialStrategy`, which is
+        bit-identical to the pre-engine implementations).
+    dedup:
+        Enable run-scoped query memoization: an identical query (after
+        merging with the base query) is answered from the memo and never
+        billed twice.  Off by default so default runs keep the historical
+        query counts; the skyband runners turn it on (their overlapping
+        subspace trees re-issue many identical queries).
     """
 
     def __init__(
@@ -137,6 +159,8 @@ class DiscoverySession:
         budget: int | None = None,
         on_query: Callable[[QueryResult], None] | None = None,
         on_tuple: Callable[[TraceEntry], None] | None = None,
+        strategy: ExecutionStrategy | None = None,
+        dedup: bool = False,
     ) -> None:
         if budget is not None and budget < 0:
             raise ValueError(f"budget must be >= 0, got {budget}")
@@ -149,6 +173,12 @@ class DiscoverySession:
         self._incomplete = False
         self._first_seen: dict[int, TraceEntry] = {}
         self._log: list[QueryResult] = []
+        self._engine = QueryEngine(interface, strategy=strategy, dedup=dedup)
+        # Budget accounting is reservation-based so it stays exact under
+        # concurrent dispatch: every transport claims a unit *before* it
+        # reaches the endpoint (from whichever thread runs it).
+        self._budget_used = 0
+        self._budget_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # interface passthrough
@@ -178,16 +208,75 @@ class DiscoverySession:
         """All query results observed by this session, in issue order."""
         return tuple(self._log)
 
-    def issue(self, query: Query) -> QueryResult:
-        """Issue ``query`` (conjoined with the base query) and record it."""
+    @property
+    def budget(self) -> int | None:
+        """Session-level query allowance (``None`` = unlimited)."""
+        return self._budget
+
+    @property
+    def engine(self) -> QueryEngine:
+        """The execution engine (memo, counters, strategy) of this session."""
+        return self._engine
+
+    @property
+    def engine_stats(self) -> EngineStats:
+        """Current execution counters (frozen snapshot)."""
+        return self._engine.snapshot()
+
+    def frontier(self, lifo: bool = False) -> Frontier:
+        """A fresh :class:`~repro.core.engine.Frontier` over this session."""
+        return Frontier(self, lifo=lifo)
+
+    def prepare(self, query: Query) -> Query:
+        """Conjoin ``query`` with the session base (the issued form)."""
         merged = self._base.merge(query)
         if merged is None:
             raise ValueError(
                 f"query {query!r} contradicts session base {self._base!r}"
             )
-        if self._budget is not None and self.cost >= self._budget:
-            raise QueryBudgetExceeded(self._budget)
-        result = self._interface.query(merged)
+        return merged
+
+    def reserve_budget(self) -> None:
+        """Claim one unit of the session allowance ahead of a transport.
+
+        Thread-safe (pipelined strategies reserve from worker threads) and
+        exact: issuing never exceeds the budget, and a budget sufficient
+        for a serial run is sufficient for a pipelined one (the strategies
+        issue the same query set).  Memoized answers never reserve --
+        dedup hits are free.
+        """
+        if self._budget is None:
+            return
+        with self._budget_lock:
+            if self._budget_used >= self._budget:
+                raise QueryBudgetExceeded(self._budget)
+            self._budget_used += 1
+
+    def release_budget(self, count: int = 1) -> None:
+        """Return reservations whose transport did not bill (failures)."""
+        if self._budget is None or count <= 0:
+            return
+        with self._budget_lock:
+            self._budget_used -= count
+
+    def issue(self, query: Query) -> QueryResult:
+        """Issue ``query`` (conjoined with the base query) and record it.
+
+        Routed through the engine: with dedup enabled a repeated identical
+        query is answered from the run-scoped memo without being billed
+        (and without a budget reservation -- memo hits are free).
+        """
+        result = self._engine.fetch(self.prepare(query), self)
+        self.record(result)
+        return result
+
+    def record(self, result: QueryResult) -> None:
+        """Fold one answer into the session bookkeeping (driver thread).
+
+        Split out of :meth:`issue` so concurrent strategies can transport
+        answers on worker threads and still record them here, in
+        deterministic merge order.
+        """
         cost = self.cost
         for row in result.rows:
             if row.rid not in self._first_seen:
@@ -198,23 +287,38 @@ class DiscoverySession:
         self._log.append(result)
         if self._on_query is not None:
             self._on_query(result)
-        return result
 
     @classmethod
     def from_config(
         cls,
         interface: SearchEndpoint,
         config: "DiscoveryConfig | None" = None,
+        *,
+        default_dedup: bool = False,
     ) -> "DiscoverySession":
-        """A session honouring a :class:`DiscoveryConfig` (``None`` = defaults)."""
+        """A session honouring a :class:`DiscoveryConfig` (``None`` = defaults).
+
+        ``default_dedup`` is the memoization default applied when the
+        config leaves ``dedup`` unset (skyband runners pass ``True``).
+        """
         if config is None:
-            return cls(interface)
+            return cls(interface, dedup=default_dedup)
+        strategy: ExecutionStrategy
+        if config.workers > 1:
+            strategy = PipelinedStrategy(
+                workers=config.workers, batch_size=config.batch_size
+            )
+        else:
+            strategy = SerialStrategy()
+        dedup = config.dedup if config.dedup is not None else default_dedup
         return cls(
             interface,
             config.base_query,
             budget=config.budget,
             on_query=config.on_query,
             on_tuple=config.on_tuple,
+            strategy=strategy,
+            dedup=dedup,
         )
 
     def mark_incomplete(self) -> None:
@@ -259,6 +363,7 @@ class DiscoverySession:
             total_cost=self.cost,
             retrieved=tuple(self.retrieved_rows),
             complete=complete and not self._incomplete,
+            stats=self._engine.snapshot(),
         )
 
 

@@ -35,23 +35,33 @@ def crawl_all(session: DiscoverySession, root: Query | None = None) -> bool:
     Returns ``True`` when the crawl is provably complete; ``False`` when some
     region could not be subdivided further (more than ``k`` tuples share one
     exact value combination, which the top-k interface cannot enumerate).
+
+    The region subdivisions are expanded through a LIFO
+    :class:`~repro.core.engine.Frontier`: each split depends only on its
+    own region's answer, so sibling regions crawl concurrently under a
+    pipelined strategy while the serial strategy reproduces the historical
+    depth-first stack order exactly.
     """
     schema = session.schema
     sizes = schema.domain_sizes
     kinds = [attribute.kind for attribute in schema.ranking_attributes]
-    complete = True
-    stack: list[Query] = [root if root is not None else Query.select_all()]
-    while stack:
-        query = stack.pop()
-        result = session.issue(query)
+    state = {"complete": True}
+    frontier = session.frontier(lifo=True)
+
+    def expand(query: Query, result) -> None:
         if not result.overflow:
-            continue
+            return
         split = _split_region(query, result, kinds, sizes)
         if split is None:
-            complete = False
-            continue
-        stack.extend(split)
-    return complete
+            state["complete"] = False
+            return
+        for piece in split:
+            frontier.add(piece, lambda res, q=piece: expand(q, res))
+
+    root_query = root if root is not None else Query.select_all()
+    frontier.add(root_query, lambda res: expand(root_query, res))
+    frontier.drain()
+    return state["complete"]
 
 
 def _split_region(

@@ -1,0 +1,598 @@
+"""Frontier execution engine: dedup'd, batched, concurrent query dispatch.
+
+Every DB-SKY algorithm is a *frontier expansion* over a query tree: a pool
+of pending queries plus a rule that turns one answer into new pending
+queries.  This module makes that structure explicit and pluggable:
+
+* :class:`Frontier` -- the pending pool.  An algorithm ``add()``\\ s queries
+  whose answers it can process independently of one another, each with an
+  expansion callback, and ``drain()``\\ s the pool; strictly sequential steps
+  (an expansion that must inspect *all* tuples retrieved so far before
+  deciding the next query, as in RQ-DB-SKY's seen-tuple check) go through
+  :meth:`Frontier.fetch` instead.
+* :class:`ExecutionStrategy` -- how a frontier is drained.
+  :class:`SerialStrategy` issues one query at a time in the frontier's
+  order, bit-identical to the pre-engine implementations (the parity
+  reference).  :class:`PipelinedStrategy` keeps a window of frontier
+  queries in flight on a thread pool -- packing them into
+  ``batch_query()`` round trips when the endpoint supports it -- while
+  *merging* answers strictly in dispatch order (sequence-numbered merge),
+  so every expansion callback observes exactly the session state it would
+  have observed under the serial strategy.
+* :class:`QueryEngine` -- per-session plumbing shared by both paths:
+  run-scoped query memoization (with dedup enabled, an identical query is
+  never billed twice) and the :class:`EngineStats` counters attached to
+  every result.
+
+Why the in-order merge gives cost/skyline parity
+------------------------------------------------
+Queries are only pooled in a frontier when their expansions depend on
+nothing but their own answer, so the *set* of issued queries is invariant
+under reordering; adaptive steps run synchronously inside merge callbacks,
+at which point the session has recorded precisely the answers the serial
+run would have recorded (in-flight answers are invisible until merged).
+Billable cost is therefore identical under both strategies -- with dedup
+enabled it equals the number of *distinct* issued queries, which is
+order-invariant -- and so is the retrieved-tuple set, hence the skyline.
+What may legitimately differ is the anytime *trace*: with several queries
+in flight, a tuple's first-retrieval cost can be stamped at a slightly
+different query count.
+
+Session-level budgets are reservation-based: every transport claims one
+unit of the allowance immediately before the endpoint is called (on
+whichever thread runs it), so a budgeted run never issues more than its
+allowance, and a budget that suffices serially also suffices pipelined --
+the strategies issue the same query set.  When the budget genuinely runs
+out mid-run, the exact prefix of queries that fits can differ from the
+serial prefix (both report ``complete=False``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..hiddendb.errors import HiddenDBError, QueryBudgetExceeded
+from ..hiddendb.interface import QueryResult
+from ..hiddendb.query import Query
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..hiddendb.endpoint import SearchEndpoint
+    from .base import DiscoverySession
+
+#: Default number of queries packed into one ``batch_query()`` round trip.
+DEFAULT_BATCH_SIZE = 16
+
+#: Default thread-pool width of :class:`PipelinedStrategy`.
+DEFAULT_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Execution counters of one discovery run (``result.stats``).
+
+    ``issued`` counts queries the engine sent to the endpoint (the billable
+    work); ``deduped`` counts queries answered for free from the run-scoped
+    memo; ``batched`` counts the subset of issued queries whose answers
+    arrived inside ``batch_query()`` round trips (``batches`` counts the
+    round trips started); ``max_in_flight`` is the peak number of queries
+    simultaneously awaiting an answer.
+    """
+
+    strategy: str = "serial"
+    workers: int = 1
+    issued: int = 0
+    deduped: int = 0
+    batched: int = 0
+    batches: int = 0
+    max_in_flight: int = 0
+
+    @property
+    def duplicate_queries(self) -> int:
+        """Queries identical to an earlier one of the same run (free)."""
+        return self.deduped
+
+    @property
+    def dedup_rate(self) -> float:
+        """Fraction of logical queries answered from the memo."""
+        total = self.issued + self.deduped
+        return self.deduped / total if total else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly view (benchmark records, experiment reporting)."""
+        return {
+            "strategy": self.strategy,
+            "workers": self.workers,
+            "issued": self.issued,
+            "deduped": self.deduped,
+            "batched": self.batched,
+            "batches": self.batches,
+            "max_in_flight": self.max_in_flight,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineStats({self.strategy} x{self.workers}: "
+            f"issued={self.issued}, deduped={self.deduped}, "
+            f"batched={self.batched}/{self.batches}, "
+            f"max_in_flight={self.max_in_flight})"
+        )
+
+
+class QueryEngine:
+    """Per-session dispatch plumbing: memo, counters, strategy.
+
+    All counter and memo mutation happens on the driver thread (the thread
+    running the algorithm); worker threads only ever call the endpoint's
+    ``query`` / ``batch_query``.
+    """
+
+    def __init__(
+        self,
+        interface: "SearchEndpoint",
+        strategy: "ExecutionStrategy | None" = None,
+        dedup: bool = False,
+    ) -> None:
+        self.interface = interface
+        self.strategy = strategy if strategy is not None else SerialStrategy()
+        self.dedup = dedup
+        # Endpoints with their own free query cache (the remote client's
+        # LRU) expose ``cached_answer``; the engine consults it before
+        # reserving budget or dispatching, since cache hits bill nothing.
+        self._peek = getattr(interface, "cached_answer", None)
+        self._memo: dict[Query, QueryResult] = {}
+        self._issued = 0
+        self._deduped = 0
+        self._batched = 0
+        self._batches = 0
+        self._in_flight = 0
+        self._max_in_flight = 0
+        #: Thread pool of the outermost active drain; nested drains (an
+        #: expansion callback running a sub-frontier) reuse it instead of
+        #: churning a fresh pool per recursion level.
+        self._drain_pool: "ThreadPoolExecutor | None" = None
+
+    # -- memo ----------------------------------------------------------
+    def lookup(self, query: Query) -> QueryResult | None:
+        """Memoized answer for ``query`` (``None`` unless dedup hit)."""
+        if not self.dedup:
+            return None
+        return self._memo.get(query)
+
+    def count_dedup(self) -> None:
+        """Record one memo hit."""
+        self._deduped += 1
+
+    def peek_cache(self, query: Query) -> QueryResult | None:
+        """The endpoint's own cached answer for ``query``, if it has one."""
+        if self._peek is None:
+            return None
+        return self._peek(query)
+
+    def note_answer(
+        self, query: Query, result: QueryResult, batched: bool = False
+    ) -> None:
+        """Record one billed answer (memoize it when dedup is on)."""
+        self._issued += 1
+        if batched:
+            self._batched += 1
+        if self.dedup:
+            self._memo[query] = result
+
+    # -- in-flight accounting (driver thread) --------------------------
+    def note_dispatch(self, count: int = 1) -> None:
+        self._in_flight += count
+        if self._in_flight > self._max_in_flight:
+            self._max_in_flight = self._in_flight
+
+    def note_done(self, count: int = 1) -> None:
+        self._in_flight -= count
+
+    def note_batch(self) -> None:
+        """Record one ``batch_query()`` round trip being started."""
+        self._batches += 1
+
+    # -- sequential fetch (the Frontier.fetch / session.issue path) ----
+    def fetch(
+        self, query: Query, session: "DiscoverySession | None" = None
+    ) -> QueryResult:
+        """Answer one query: memo first, endpoint otherwise.
+
+        The session's budget is reserved only when the query is actually
+        about to be billed -- memo hits are free -- and released again if
+        the transport fails without an answer.
+        """
+        hit = self.lookup(query)
+        if hit is not None:
+            self.count_dedup()
+            return hit
+        cached = self.peek_cache(query)
+        if cached is not None:
+            # An endpoint-cache hit is free: no budget reservation, no
+            # billable ``issued`` count (matching queries_issued).
+            if self.dedup:
+                self._memo[query] = cached
+            return cached
+        if session is not None:
+            session.reserve_budget()
+        self.note_dispatch()
+        try:
+            result = self.interface.query(query)
+        except BaseException:
+            if session is not None:
+                session.release_budget()
+            raise
+        finally:
+            self.note_done()
+        self.note_answer(query, result)
+        return result
+
+    def snapshot(self) -> EngineStats:
+        """Frozen view of the counters."""
+        return EngineStats(
+            strategy=self.strategy.name,
+            workers=self.strategy.workers,
+            issued=self._issued,
+            deduped=self._deduped,
+            batched=self._batched,
+            batches=self._batches,
+            max_in_flight=self._max_in_flight,
+        )
+
+
+@dataclass
+class _Entry:
+    """One pending frontier query."""
+
+    seq: int
+    query: Query
+    on_result: Callable[[QueryResult], None] | None = None
+
+
+class Frontier:
+    """Pending independent queries of one expansion, plus their callbacks.
+
+    Entries added through :meth:`add` may be issued concurrently by the
+    active strategy; their ``on_result`` callbacks always run on the
+    driver thread, in dispatch order, after the answer has been recorded
+    in the session.  A callback may ``add`` further entries (the expansion
+    rule), call :meth:`fetch` for an adaptive sub-step, or run a whole
+    nested frontier -- the in-order merge guarantees it sees exactly the
+    session state a serial run would.
+
+    ``lifo=True`` makes the serial strategy pop the most recently added
+    entry first, preserving the depth-first order of the pre-engine stack
+    implementations (BASELINE, PQ-2D-SKY).
+    """
+
+    def __init__(self, session: "DiscoverySession", lifo: bool = False) -> None:
+        self._session = session
+        self._lifo = lifo
+        self._pending: deque[_Entry] = deque()
+        self._seq = 0
+
+    @property
+    def pending(self) -> int:
+        """Number of queries waiting to be dispatched."""
+        return len(self._pending)
+
+    def add(
+        self,
+        query: Query,
+        on_result: Callable[[QueryResult], None] | None = None,
+    ) -> None:
+        """Queue an independent query; ``on_result`` is its expansion."""
+        self._pending.append(_Entry(self._seq, query, on_result))
+        self._seq += 1
+
+    def pop(self) -> _Entry:
+        """Next entry in this frontier's order (strategy use)."""
+        return self._pending.pop() if self._lifo else self._pending.popleft()
+
+    def fetch(self, query: Query) -> QueryResult:
+        """Issue one query synchronously through the engine.
+
+        The sequential seam for state-dependent expansions: identical to
+        ``session.issue`` (memo, stats and budget all apply), provided so
+        algorithms route *every* query through their frontier.
+        """
+        return self._session.issue(query)
+
+    def drain(self) -> None:
+        """Issue every pending query (and whatever their callbacks add)."""
+        self._session.engine.strategy.drain(self, self._session)
+
+
+class ExecutionStrategy:
+    """How a :class:`Frontier` is drained."""
+
+    name = "abstract"
+    workers = 1
+
+    def drain(self, frontier: Frontier, session: "DiscoverySession") -> None:
+        raise NotImplementedError
+
+
+class SerialStrategy(ExecutionStrategy):
+    """One query at a time, in frontier order -- the parity reference.
+
+    With dedup off this is bit-identical to the pre-engine
+    implementations: same queries, same order, same costs, same traces.
+    """
+
+    name = "serial"
+    workers = 1
+
+    def drain(self, frontier: Frontier, session: "DiscoverySession") -> None:
+        while frontier.pending:
+            entry = frontier.pop()
+            result = session.issue(entry.query)
+            if entry.on_result is not None:
+                entry.on_result(result)
+
+
+@dataclass
+class _Dispatched:
+    """One dispatched entry awaiting its in-order merge.
+
+    Exactly one answer source is set: a future (per-query task, or a
+    ``(future, batch_index)`` pair into a batch task), a memo key (dedup:
+    the answer is -- or by this entry's merge turn will be -- memoized),
+    or a direct ``result`` (endpoint-cache hit at dispatch time).
+    """
+
+    entry: _Entry
+    query: Query | None = None  #: merged query (transported entries only)
+    future: Future | None = None
+    batch_index: int | None = None
+    memo_key: Query | None = None
+    result: QueryResult | None = None
+
+    @property
+    def transported(self) -> bool:
+        return self.query is not None
+
+    def resolve(self, engine: QueryEngine) -> QueryResult:
+        if self.result is not None:
+            return self.result
+        if self.memo_key is not None:
+            engine.count_dedup()
+            return engine._memo[self.memo_key]
+        assert self.future is not None
+        try:
+            outcome = self.future.result()
+        except HiddenDBError as exc:
+            # A terminal failure inside a batch carries every answer that
+            # was actually obtained/billed (``partial_results``, aligned
+            # with the batch, ``None`` holes marking unbilled items):
+            # entries with an answer still merge normally, only the holes
+            # raise.  Billed answers are never discarded.
+            partial = getattr(exc, "partial_results", None)
+            if (
+                self.batch_index is not None
+                and partial is not None
+                and self.batch_index < len(partial)
+            ):
+                answered = partial[self.batch_index]
+                if answered is not None:
+                    return answered
+            raise
+        if self.batch_index is not None:
+            outcome = outcome[self.batch_index]
+        return outcome
+
+
+class PipelinedStrategy(ExecutionStrategy):
+    """Windowed concurrent dispatch with deterministic in-order merge.
+
+    A window of frontier queries is kept in flight on a thread pool of
+    ``workers`` threads; when the endpoint offers ``batch_query()`` the
+    window widens to ``workers * batch_size`` queries, packed up to
+    ``batch_size`` per task so each task is a single round trip (one POST
+    against the networked service).  Answers are merged -- recorded into
+    the session and handed to expansion callbacks -- strictly in dispatch
+    order, which is what makes pipelined runs produce the same skyline and
+    billable cost as serial ones (see the module docstring).
+    """
+
+    name = "pipelined"
+
+    def __init__(
+        self,
+        workers: int = DEFAULT_WORKERS,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.workers = workers
+        self.batch_size = batch_size
+
+    def drain(self, frontier: Frontier, session: "DiscoverySession") -> None:
+        engine = session.engine
+        interface = engine.interface
+        batch_query = (
+            getattr(interface, "batch_query", None)
+            if self.batch_size > 1
+            else None
+        )
+        per_task = self.batch_size if batch_query is not None else 1
+        capacity = self.workers * per_task
+        waiting: deque[_Dispatched] = deque()
+        inflight_keys: set[Query] = set()  # dispatched, not yet merged
+        outstanding = 0  # transported entries not yet merged (this drain)
+
+        # Nested drains (a callback running a sub-frontier mid-merge)
+        # share the outermost drain's pool instead of churning one
+        # executor per recursion level.  Only transports run on the pool,
+        # never drains, so reuse cannot deadlock the driver.
+        owns_pool = engine._drain_pool is None
+        if owns_pool:
+            pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-engine"
+            )
+            engine._drain_pool = pool
+        else:
+            pool = engine._drain_pool
+        try:
+            while frontier.pending or waiting:
+                # Fill the dispatch window, one chunk (= one task) at a
+                # time so merges stay responsive.
+                while frontier.pending and outstanding < capacity:
+                    chunk: list[_Dispatched] = []
+                    limit = min(per_task, capacity - outstanding)
+                    while frontier.pending and len(chunk) < limit:
+                        entry = frontier.pop()
+                        merged = session.prepare(entry.query)
+                        if engine.dedup and (
+                            merged in engine._memo
+                            or merged in inflight_keys
+                        ):
+                            # Answered (or about to be) by the memo:
+                            # resolve there at merge time, bill nothing.
+                            waiting.append(
+                                _Dispatched(entry, memo_key=merged)
+                            )
+                            continue
+                        cached = engine.peek_cache(merged)
+                        if cached is not None:
+                            # Endpoint-cache hit: free, no dispatch.
+                            if engine.dedup:
+                                engine._memo[merged] = cached
+                            waiting.append(
+                                _Dispatched(entry, result=cached)
+                            )
+                            continue
+                        item = _Dispatched(entry, query=merged)
+                        chunk.append(item)
+                        waiting.append(item)
+                        inflight_keys.add(merged)
+                        outstanding += 1
+                    self._submit(chunk, pool, session, batch_query, engine)
+                if not waiting:
+                    continue
+                # Merge the oldest dispatched entry.
+                head = waiting.popleft()
+                try:
+                    result = head.resolve(engine)
+                finally:
+                    if head.transported:
+                        inflight_keys.discard(head.query)
+                        engine.note_done()
+                        outstanding -= 1
+                if head.transported:
+                    engine.note_answer(
+                        head.query, result,
+                        batched=head.batch_index is not None,
+                    )
+                session.record(result)
+                if head.entry.on_result is not None:
+                    head.entry.on_result(result)
+        except BaseException:
+            # Don't issue work the algorithm will never see: queued tasks
+            # are cancelled, running ones finish harmlessly (workers never
+            # touch session state).
+            for item in waiting:
+                if item.future is not None:
+                    item.future.cancel()
+            raise
+        finally:
+            if owns_pool:
+                engine._drain_pool = None
+                pool.shutdown(wait=True)
+
+    @classmethod
+    def _submit(cls, chunk, pool, session, batch_query, engine) -> None:
+        """Put a chunk of prepared entries on the wire as one task.
+
+        Session-budget reservation happens inside the transport wrappers,
+        on the worker thread, immediately before each query is billed --
+        never speculatively -- so a budget that suffices for a serial run
+        also suffices pipelined (both issue the same query set).
+        """
+        if not chunk:
+            return
+        interface = engine.interface
+        queries = [item.query for item in chunk]
+        engine.note_dispatch(len(chunk))
+        if batch_query is not None and len(chunk) > 1:
+            engine.note_batch()
+            future = pool.submit(
+                cls._transport_batch, session, batch_query, queries
+            )
+            for index, item in enumerate(chunk):
+                item.future = future
+                item.batch_index = index
+        else:
+            for item, query in zip(chunk, queries):
+                item.future = pool.submit(
+                    cls._transport_one, session, interface, query
+                )
+
+    @staticmethod
+    def _transport_one(session, interface, query) -> QueryResult:
+        """One guarded single-query transport (worker thread)."""
+        session.reserve_budget()
+        try:
+            return interface.query(query)
+        except BaseException:
+            session.release_budget()
+            raise
+
+    @staticmethod
+    def _transport_batch(session, batch_query, queries):
+        """One guarded batch transport (worker thread).
+
+        Reserves budget per item and only sends the affordable prefix; a
+        shortfall (or a terminal mid-batch failure from the endpoint)
+        surfaces as an exception carrying ``partial_results`` so already
+        billed answers still reach their entries' merges.
+        """
+        reserved = 0
+        budget_error: QueryBudgetExceeded | None = None
+        for _ in queries:
+            try:
+                session.reserve_budget()
+            except QueryBudgetExceeded as exc:
+                budget_error = exc
+                break
+            reserved += 1
+        allowed = queries[:reserved]
+        results: tuple[QueryResult, ...] = ()
+        try:
+            if allowed:
+                results = tuple(batch_query(allowed))
+        except HiddenDBError as exc:
+            # Normalise partial_results to a tuple aligned with the sent
+            # prefix; ``None`` holes are exactly the unbilled items, whose
+            # reservations are returned.
+            outcomes = tuple(getattr(exc, "partial_results", ()) or ())
+            outcomes = outcomes[:reserved]
+            outcomes += (None,) * (reserved - len(outcomes))
+            session.release_budget(
+                sum(1 for outcome in outcomes if outcome is None)
+            )
+            exc.partial_results = outcomes
+            raise
+        except BaseException:
+            session.release_budget(reserved)
+            raise
+        if budget_error is not None:
+            budget_error.partial_results = results
+            raise budget_error
+        return results
+
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_WORKERS",
+    "EngineStats",
+    "ExecutionStrategy",
+    "Frontier",
+    "PipelinedStrategy",
+    "QueryEngine",
+    "SerialStrategy",
+]

@@ -83,7 +83,13 @@ def mq_db_sky(session: DiscoverySession) -> None:
         return
 
     # Phase 2: chase range-dominated skyline tuples through the point
-    # attributes, under the pruning predicate P of Eq. (17).
+    # attributes, under the pruning predicate P of Eq. (17).  The
+    # enumeration is unconditional -- every ``P AND B_i = v`` query below
+    # the per-attribute ceiling is issued regardless of the others'
+    # answers -- so the whole sweep goes through one frontier and a
+    # pipelined strategy overlaps the point probes; only the *resolution*
+    # of an overflowing probe (which ends in a state-dependent range tree)
+    # runs synchronously inside its expansion callback.
     domain_sizes = schema.domain_sizes
     pruning = Query.select_all()
     for attribute in rq_attrs:
@@ -92,15 +98,22 @@ def mq_db_sky(session: DiscoverySession) -> None:
             refined = pruning.and_lower(attribute, floor, domain_sizes[attribute])
             assert refined is not None  # floor is within the domain
             pruning = refined
+    frontier = session.frontier()
     for point_attribute in pq_attrs:
         ceiling = max(row.values[point_attribute] for row in discovered)
+        free = tuple(p for p in pq_attrs if p != point_attribute)
         for value in range(ceiling):
             query = pruning.and_point(point_attribute, value)
             assert query is not None  # pruning never touches point attributes
-            result = session.issue(query)
-            if result.overflow:
-                free = tuple(p for p in pq_attrs if p != point_attribute)
-                _resolve_overflow(session, query, free, range_attrs, rq_attrs)
+
+            def on_probe(result, query=query, free=free) -> None:
+                if result.overflow:
+                    _resolve_overflow(
+                        session, query, free, range_attrs, rq_attrs
+                    )
+
+            frontier.add(query, on_probe)
+    frontier.drain()
 
 
 def _resolve_overflow(
@@ -122,15 +135,23 @@ def _resolve_overflow(
         next_attribute = free_point_attrs[0]
         remaining = free_point_attrs[1:]
         domain = session.schema.ranking_attributes[next_attribute].domain_size
+        # Value enumeration is unconditional at every level, so each level
+        # gets its own (nested) frontier; deeper recursion stays inside the
+        # expansion callbacks, preserving the serial refinement order.
+        frontier = session.frontier()
         for value in range(domain):
             refined = query.and_point(next_attribute, value)
             if refined is None:
                 continue
-            result = session.issue(refined)
-            if result.overflow:
-                _resolve_overflow(
-                    session, refined, remaining, range_attrs, rq_attrs
-                )
+
+            def on_refined(result, refined=refined) -> None:
+                if result.overflow:
+                    _resolve_overflow(
+                        session, refined, remaining, range_attrs, rq_attrs
+                    )
+
+            frontier.add(refined, on_refined)
+        frontier.drain()
         return
     if range_attrs:
         rq_db_sky(

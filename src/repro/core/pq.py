@@ -12,6 +12,13 @@ a linear extension of the dominance order over combinations -- so every
 potential dominator of a plane's tuples lives in an earlier plane.  This
 ordering both maximises pruning and gives the *anytime* property: a plane
 tuple that survives the already-discovered set is on the final skyline.
+
+Execution-engine note: the plane sweep is inherently sequential -- whether
+a plane is explored at all, and which line query its exploration issues
+next, depend on the tuples retrieved from *earlier* planes (the witness /
+domination pruning rules), so no two queries are independent and the
+frontier degenerates to synchronous fetches.  The engine's memoization,
+stats and budget handling still apply to every issued query.
 """
 
 from __future__ import annotations

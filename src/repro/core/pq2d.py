@@ -79,24 +79,44 @@ def pq_2d_sky(session: DiscoverySession) -> None:
     # The remaining candidate space splits into two disconnected rectangles:
     # strictly better on x (worse on y), and strictly better on y (worse on
     # x).  Everything else is either provably empty (it would dominate the
-    # returned top tuple) or dominated by it.
+    # returned top tuple) or dominated by it.  Each rectangle's exploration
+    # is a self-contained chain of line queries (a step inspects only its
+    # own rectangle plus its own answer), so the two chains are routed as
+    # independent callback chains through one LIFO frontier: the serial
+    # strategy finishes the second rectangle first -- the historical stack
+    # order -- while a pipelined strategy keeps one line query of *each*
+    # rectangle in flight.
     rectangles = [
         _Rect(0, x1 - 1, y1 + 1, y_max),
         _Rect(x1 + 1, x_max, 0, y1 - 1),
     ]
-    stack = [rect for rect in rectangles if rect.alive]
-    while stack:
-        rect = stack.pop()
-        while rect.alive:
-            if rect.width < rect.height:
-                _step_column(session, rect)
-            else:
-                _step_row(session, rect)
+    frontier = session.frontier(lifo=True)
+    for rect in rectangles:
+        if rect.alive:
+            _advance(frontier, rect)
+    frontier.drain()
 
 
-def _step_column(session: DiscoverySession, rect: _Rect) -> None:
-    """Issue ``x = rect.x_lo`` and shrink ``rect`` from the answer."""
-    result = session.issue(Query.from_point({0: rect.x_lo}))
+def _advance(frontier, rect: _Rect) -> None:
+    """Queue the next line query of ``rect``'s chain (if it is still alive)."""
+    if not rect.alive:
+        return
+    if rect.width < rect.height:
+        query = Query.from_point({0: rect.x_lo})
+        fold = _fold_column
+    else:
+        query = Query.from_point({1: rect.y_lo})
+        fold = _fold_row
+
+    def continue_chain(result, fold=fold) -> None:
+        fold(rect, result)
+        _advance(frontier, rect)
+
+    frontier.add(query, continue_chain)
+
+
+def _fold_column(rect: _Rect, result) -> None:
+    """Shrink ``rect`` from the answer to its ``x = rect.x_lo`` query."""
     if result.is_empty:
         rect.x_lo += 1
         return
@@ -114,9 +134,8 @@ def _step_column(session: DiscoverySession, rect: _Rect) -> None:
     rect.y_hi = y_found - 1
 
 
-def _step_row(session: DiscoverySession, rect: _Rect) -> None:
-    """Issue ``y = rect.y_lo`` and shrink ``rect`` from the answer."""
-    result = session.issue(Query.from_point({1: rect.y_lo}))
+def _fold_row(rect: _Rect, result) -> None:
+    """Shrink ``rect`` from the answer to its ``y = rect.y_lo`` query."""
     if result.is_empty:
         rect.y_lo += 1
         return

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field, replace as _dc_replace
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 from ..hiddendb.attributes import InterfaceKind, Schema
+from .engine import DEFAULT_BATCH_SIZE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..hiddendb.endpoint import SearchEndpoint
@@ -86,6 +87,24 @@ class DiscoveryConfig:
     record_log:
         Attach the full query/answer log to the returned result
         (``result.query_log``), for :func:`repro.core.stats.summarize_log`.
+    workers:
+        Execution-engine concurrency: ``1`` (the default) drains frontiers
+        with the bit-identical :class:`~repro.core.engine.SerialStrategy`;
+        ``> 1`` switches to the
+        :class:`~repro.core.engine.PipelinedStrategy`, which keeps up to
+        this many dispatch tasks in flight while merging answers in
+        deterministic order (same skyline, same billable cost).
+    batch_size:
+        Queries packed per round trip when the endpoint supports
+        ``batch_query()`` (the networked service does); only meaningful
+        with ``workers > 1``.
+    dedup:
+        Run-scoped query memoization: an identical query is never billed
+        twice within one run (hits show up as ``result.stats.deduped``).
+        ``None`` (the default) keeps each entry point's own default --
+        *off* for plain discovery runs (historical query counts), *on* for
+        the skyband runners (their overlapping subspace trees repeat many
+        queries).
     options:
         Algorithm-specific knobs forwarded to the registered runner
         (e.g. ``early_termination`` for RQ-DB-SKY, ``plane_attributes`` /
@@ -98,6 +117,9 @@ class DiscoveryConfig:
     on_query: "Callable[[QueryResult], None] | None" = None
     on_tuple: "Callable[[TraceEntry], None] | None" = None
     record_log: bool = False
+    workers: int = 1
+    batch_size: int = DEFAULT_BATCH_SIZE
+    dedup: bool | None = None
     options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -105,6 +127,12 @@ class DiscoveryConfig:
             raise ValueError(f"budget must be >= 0, got {self.budget}")
         if self.band < 1:
             raise ValueError(f"band must be >= 1, got {self.band}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
 
     def replace(self, **changes: Any) -> "DiscoveryConfig":
         """A copy of this config with ``changes`` applied."""

@@ -117,6 +117,16 @@ def rq_db_sky(
     base = root if root is not None else Query.select_all()
     # Depth-first preorder via an explicit stack; children are pushed in
     # reverse so branch 1 is explored first, matching the paper's traversal.
+    #
+    # Unlike SQ-DB-SKY's overlapping tree, this traversal is inherently
+    # sequential: which form a node issues (q or its exclusive counterpart
+    # R(q)) and which tuple it branches on depend on *all* tuples retrieved
+    # so far, so no two node queries are independent.  The frontier
+    # therefore degenerates to synchronous :meth:`Frontier.fetch` calls --
+    # the engine's memo, stats and budget still apply (which is what makes
+    # the skyband extension's repeated subspace trees dedupe), but a
+    # pipelined strategy gains no concurrency here by design.
+    frontier = session.frontier()
     stack: list[tuple[Query, Query]] = [(base, base)]
     while stack:
         sq_query, rq_query = stack.pop()
@@ -127,13 +137,13 @@ def rq_db_sky(
             # No retrieved tuple matches q: issue the one-ended query itself.
             # Its region is downward-closed, so the top tuple is on the
             # skyline and is a safe branching pivot.
-            result = session.issue(sq_query)
+            result = frontier.fetch(sq_query)
             if result.is_empty or not result.overflow:
                 continue
             pivot = result.top
         else:
             # q provably returns nothing new at the top; issue R(q) instead.
-            result = session.issue(rq_query)
+            result = frontier.fetch(rq_query)
             if result.is_empty:
                 continue  # early termination: the whole subtree is redundant
             if not result.overflow:

@@ -24,7 +24,6 @@ dominator of a band tuple lies in a lower band and is therefore retrieved.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -44,6 +43,7 @@ from .rq import rq_db_sky
 from . import sq as _sq  # noqa: F401  (registers "sq" before attachment)
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from .engine import EngineStats
     from .registry import AlgorithmInfo
 
 
@@ -63,6 +63,9 @@ class SkybandResult:
     info: "AlgorithmInfo | None" = None
     #: Full query/answer log (populated when ``config.record_log`` is set).
     query_log: tuple[QueryResult, ...] = field(default=(), repr=False)
+    #: Execution-engine counters of the run; ``stats.duplicate_queries``
+    #: reports how many cross-subspace repeats the shared memoizer absorbed.
+    stats: "EngineStats | None" = None
 
     @property
     def skyband_values(self) -> frozenset[tuple[int, ...]]:
@@ -77,7 +80,19 @@ class SkybandResult:
         )
 
 
-_session = DiscoverySession.from_config
+def _session(
+    interface: SearchEndpoint, config: DiscoveryConfig | None
+) -> DiscoverySession:
+    """A skyband session: run-scoped memoization defaults to *on*.
+
+    The extensions below re-root their discovery trees once per band tuple
+    (RQ) or per plane (PQ), and overlapping subspaces re-derive many
+    syntactically identical queries; the shared memoizer answers the
+    repeats for free, so each distinct query is billed exactly once per
+    run.  ``DiscoveryConfig(dedup=False)`` restores the historical
+    re-billing behaviour.
+    """
+    return DiscoverySession.from_config(interface, config, default_dedup=True)
 
 
 def _finish(
@@ -101,6 +116,7 @@ def _finish(
         retrieved=tuple(retrieved),
         complete=complete,
         query_log=session.log if config is not None and config.record_log else (),
+        stats=session.engine_stats,
     )
 
 
@@ -230,26 +246,31 @@ def sq_db_skyband(
     if band < 1:
         raise ValueError(f"band must be >= 1, got {band}")
     session = _session(interface, config)
-    complete = True
+    state = {"complete": True}
     m = interface.schema.m
+    # Like SQ-DB-SKY, the branching pivot depends only on the node's own
+    # answer, so the tree expands through a parallel-friendly frontier.
+    frontier = session.frontier()
+
+    def expand(query: Query, result) -> None:
+        if result.is_empty or not result.overflow:
+            return
+        pivot = _band_pivot(result.rows, band)
+        if pivot is None:
+            state["complete"] = False
+            return
+        for attribute in range(m):
+            child = query.and_upper(attribute, pivot[attribute] - 1)
+            if child is not None:
+                frontier.add(child, lambda res, q=child: expand(q, res))
+
     try:
-        queue: deque[Query] = deque([Query.select_all()])
-        while queue:
-            query = queue.popleft()
-            result = session.issue(query)
-            if result.is_empty or not result.overflow:
-                continue
-            pivot = _band_pivot(result.rows, band)
-            if pivot is None:
-                complete = False
-                continue
-            for attribute in range(m):
-                child = query.and_upper(attribute, pivot[attribute] - 1)
-                if child is not None:
-                    queue.append(child)
+        root = Query.select_all()
+        frontier.add(root, lambda res: expand(root, res))
+        frontier.drain()
     except QueryBudgetExceeded:
-        complete = False
-    return _finish(session, "SQ-DB-SKYBAND", band, complete, config)
+        state["complete"] = False
+    return _finish(session, "SQ-DB-SKYBAND", band, state["complete"], config)
 
 
 def _band_pivot(rows: tuple[Row, ...], band: int) -> Row | None:

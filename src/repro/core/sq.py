@@ -17,7 +17,6 @@ expected under the random-ranking model (§3.2); see
 from __future__ import annotations
 
 import warnings
-from collections import deque
 from typing import Sequence
 
 from ..hiddendb.attributes import InterfaceKind
@@ -53,24 +52,35 @@ def sq_db_sky(
     Children whose appended predicate is syntactically empty (``A_i < 0``,
     i.e. "better than the best domain value") are skipped without being
     issued -- a real search form cannot even express them.
+
+    The tree is expanded through a :class:`~repro.core.engine.Frontier`: a
+    node's children depend only on that node's own answer (its pivot), so
+    every queued query is independent of its siblings and a pipelined
+    strategy may hold a whole wave of them in flight.  The FIFO frontier
+    order reproduces the breadth-first traversal of Algorithm 1 exactly.
     """
     schema = session.schema
     if branch_attributes is None:
         branch_attributes = range(schema.m)
     branch_attributes = tuple(branch_attributes)
-    queue: deque[Query] = deque([root if root is not None else Query.select_all()])
-    while queue:
-        query = queue.popleft()
-        result = session.issue(query)
+    frontier = session.frontier()
+
+    def expand(query: Query, result) -> None:
         if result.is_empty or not result.overflow:
             # Valid or underflowing answer: leaf node.  All matching tuples
             # were returned (Section 2.1), nothing below to explore.
-            continue
+            return
         pivot = result.top
         for attribute in branch_attributes:
             child = query.and_upper(attribute, pivot[attribute] - 1)
             if child is not None:
-                queue.append(child)
+                frontier.add(
+                    child, lambda res, q=child: expand(q, res)
+                )
+
+    root_query = root if root is not None else Query.select_all()
+    frontier.add(root_query, lambda res: expand(root_query, res))
+    frontier.drain()
 
 
 @register_algorithm(

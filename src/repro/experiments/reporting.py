@@ -48,6 +48,27 @@ def print_experiment(title: str, rows: Sequence[Mapping[str, object]]) -> None:
     print()
 
 
+def format_engine_stats(stats) -> str:
+    """One-line rendering of a result's :class:`~repro.core.engine.EngineStats`.
+
+    Used by ``repro discover --verbose`` and available to experiment
+    runners that want to report execution-engine behaviour (dispatch
+    strategy, dedup savings, batching) next to their query counts.
+    """
+    if stats is None:
+        return "engine     : (no engine statistics recorded)"
+    line = (
+        f"engine     : {stats.strategy} (workers={stats.workers}) "
+        f"issued={stats.issued} deduped={stats.deduped}"
+    )
+    if stats.deduped:
+        line += f" ({stats.dedup_rate:.0%} of logical queries free)"
+    if stats.batches:
+        line += f" batched={stats.batched} in {stats.batches} round trips"
+    line += f" max-in-flight={stats.max_in_flight}"
+    return line
+
+
 def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean, tolerant of empty input (returns 0)."""
     product = 1.0

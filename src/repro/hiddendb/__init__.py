@@ -8,7 +8,7 @@ every issued query counted against an optional rate limit.
 """
 
 from .attributes import Attribute, InterfaceKind, Schema
-from .endpoint import SearchEndpoint
+from .endpoint import BatchSearchEndpoint, SearchEndpoint
 from .errors import (
     HiddenDBError,
     InvalidDomainValueError,
@@ -28,6 +28,7 @@ from .table import Row, Table
 
 __all__ = [
     "Attribute",
+    "BatchSearchEndpoint",
     "HiddenDBError",
     "InterfaceKind",
     "Interval",

@@ -28,11 +28,22 @@ Implementations must preserve the paper's access-model contract:
   the rejected query;
 * ``queries_issued`` is monotone and counts exactly the billable queries
   (a caching backend that answers from its cache must not advance it).
+
+An endpoint may additionally offer the **optional** ``batch_query()``
+member (:class:`BatchSearchEndpoint`): several independent queries
+answered in one call -- billed, validated and fault-injected *per item*,
+but paying transport overhead (one HTTP round trip against the networked
+service) only once.  The execution engine's
+:class:`~repro.core.engine.PipelinedStrategy` discovers the member by
+duck-typing and packs frontier waves into batches; endpoints without it
+are served with per-query dispatch.  Endpoints that implement
+``batch_query`` (or that are driven with ``workers > 1``) must tolerate
+concurrent ``query()`` calls from multiple threads.
 """
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Protocol, Sequence, runtime_checkable
 
 from .attributes import Schema
 from .interface import QueryResult
@@ -63,4 +74,24 @@ class SearchEndpoint(Protocol):
         ...
 
 
-__all__ = ["SearchEndpoint"]
+@runtime_checkable
+class BatchSearchEndpoint(SearchEndpoint, Protocol):
+    """A search endpoint that also answers batches in one round trip."""
+
+    def batch_query(self, queries: Sequence[Query]) -> tuple[QueryResult, ...]:
+        """Answer several independent queries in one call.
+
+        Semantically equivalent to ``tuple(self.query(q) for q in
+        queries)`` -- per-item billing, validation and failure mapping --
+        but implementations amortise transport overhead across the batch.
+        The first terminal per-item failure (exhausted budget, unsupported
+        query) is raised with every answer actually obtained attached as
+        ``exc.partial_results``: a tuple aligned with the batch (or a
+        prefix of it) whose ``None`` holes mark exactly the items that
+        were neither answered nor billed.  Callers never lose answers they
+        paid for.
+        """
+        ...
+
+
+__all__ = ["BatchSearchEndpoint", "SearchEndpoint"]

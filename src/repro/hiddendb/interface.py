@@ -18,9 +18,11 @@ real scraper has: a query *may* have more matches exactly when it returned
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
+from typing import Sequence
 
-from .errors import QueryBudgetExceeded
+from .errors import HiddenDBError, QueryBudgetExceeded
 from .query import Query
 from .ranking import LinearRanker, Ranker
 from .table import Row, Table
@@ -97,6 +99,9 @@ class TopKInterface:
         self._validate = validate
         self._count = 0
         self._log: list[QueryResult] | None = [] if record_log else None
+        # Billing (check budget, then charge) must be atomic: the execution
+        # engine's pipelined strategy issues queries from worker threads.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # metadata visible to a client
@@ -150,9 +155,11 @@ class TopKInterface:
         """
         if self._validate:
             query.validate(self._table.schema)
-        if self._budget is not None and self._count >= self._budget:
-            raise QueryBudgetExceeded(self._budget)
-        self._count += 1
+        with self._lock:
+            if self._budget is not None and self._count >= self._budget:
+                raise QueryBudgetExceeded(self._budget)
+            self._count += 1
+            sequence = self._count
         matched = self._table.match_indices(query)
         top = self._bound.top(matched, self._k)
         rows = self._table.rows(top)
@@ -160,11 +167,33 @@ class TopKInterface:
             query=query,
             rows=rows,
             overflow=len(rows) == self._k,
-            sequence=self._count,
+            sequence=sequence,
         )
         if self._log is not None:
-            self._log.append(result)
+            with self._lock:
+                self._log.append(result)
         return result
+
+    def batch_query(self, queries: Sequence[Query]) -> tuple[QueryResult, ...]:
+        """Answer several independent queries in one call.
+
+        The in-process simulator has no transport overhead to amortise, so
+        this is a plain per-item loop -- it exists so the execution
+        engine's batched dispatch path can be exercised (and parity-tested)
+        without a network, with identical per-item billing and failure
+        semantics: the first exhausted-budget or unsupported-query error
+        aborts the remainder of the batch, carrying the answers billed
+        before it as ``exc.partial_results`` (the
+        :class:`~repro.hiddendb.endpoint.BatchSearchEndpoint` convention).
+        """
+        results: list[QueryResult] = []
+        for query in queries:
+            try:
+                results.append(self.query(query))
+            except HiddenDBError as exc:
+                exc.partial_results = tuple(results)
+                raise
+        return tuple(results)
 
     # ------------------------------------------------------------------
     # experiment plumbing

@@ -22,6 +22,14 @@ scraper needs on a flaky, rate-limited connection:
   which is a genuine query-cost optimisation under the paper's cost metric
   (the divide-and-conquer algorithms re-issue structurally shared queries,
   and a repeated crawl with a warm cache pays strictly less).
+
+For the execution engine's pipelined dispatch the client additionally
+offers **batched round trips** and **thread safety**: ``batch_query()``
+sends a whole frontier wave as one ``POST /api/batch`` (per-item billing,
+per-item fault retries with stable request ids, falling back to per-query
+dispatch against servers that do not advertise the capability), and every
+connection is thread-local while counters and the cache are lock-guarded,
+so ``workers > 1`` strategies may drive one client from several threads.
 """
 
 from __future__ import annotations
@@ -29,11 +37,12 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import threading
 import time
 import urllib.parse
 import uuid
 from collections import OrderedDict
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 from ..hiddendb.attributes import Schema
 from ..hiddendb.errors import (
@@ -43,8 +52,14 @@ from ..hiddendb.errors import (
 )
 from ..hiddendb.interface import QueryResult
 from ..hiddendb.query import Query
-from .server import ANONYMOUS_KEY
-from .wire import decode_answer, decode_schema, encode_query
+from .server import ANONYMOUS_KEY, MAX_BATCH_ITEMS
+from .wire import (
+    decode_answer,
+    decode_batch_answer,
+    decode_schema,
+    encode_batch_request,
+    encode_query,
+)
 
 
 class RemoteServiceError(HiddenDBError):
@@ -109,7 +124,13 @@ class RemoteTopKInterface:
             raise ValueError(f"url must be http(s)://host[:port], got {url!r}")
         self._scheme = split.scheme
         self._netloc = split.netloc
-        self._conn: http.client.HTTPConnection | None = None
+        # Connections are thread-local (HTTPConnection is not thread-safe;
+        # pipelined strategies call query() from several worker threads);
+        # every opened connection is also tracked for close().
+        self._local = threading.local()
+        self._conns: list[http.client.HTTPConnection] = []
+        #: Guards the billable/cache/retry counters and the LRU cache.
+        self._lock = threading.Lock()
         self._api_key = api_key
         self._timeout = timeout
         self._max_retries = max_retries
@@ -126,6 +147,8 @@ class RemoteTopKInterface:
         self._schema = decode_schema(metadata["schema"])
         self._k = int(metadata["k"])
         self._service_name = str(metadata.get("name", ""))
+        self._supports_batch = bool(metadata.get("batch", False))
+        self._max_batch = int(metadata.get("max_batch", MAX_BATCH_ITEMS))
 
     # ------------------------------------------------------------------
     # SearchEndpoint surface
@@ -157,12 +180,9 @@ class RemoteTopKInterface:
         RemoteServiceError
             The service stayed unreachable/faulty past ``max_retries``.
         """
-        if self._cache_size:
-            cached = self._cache.get(query)
-            if cached is not None:
-                self._cache.move_to_end(query)
-                self._cache_hits += 1
-                return cached
+        cached = self._cache_lookup(query)
+        if cached is not None:
+            return cached
         # One request id per *logical* query, reused across retries: the
         # server replays an already-billed answer for a seen id, so a
         # response lost after billing is never billed twice.
@@ -173,15 +193,150 @@ class RemoteTopKInterface:
             request_id=uuid.uuid4().hex,
         )
         rows, overflow, sequence = decode_answer(payload)
-        self._count += 1
+        with self._lock:
+            self._count += 1
         result = QueryResult(
             query=query, rows=rows, overflow=overflow, sequence=sequence
         )
-        if self._cache_size:
+        self._cache_store(query, result)
+        return result
+
+    def batch_query(self, queries: Sequence[Query]) -> tuple[QueryResult, ...]:
+        """Answer several independent queries in one ``/api/batch`` trip.
+
+        Per-item semantics match :meth:`query` exactly: cache hits are
+        free, each billed item advances :attr:`queries_issued` by one, and
+        items that draw injected faults are retried (in ever smaller
+        follow-up batches) under stable request ids so the server never
+        bills an item twice.  Against a server that does not advertise the
+        batch capability this degrades to per-query dispatch.
+
+        Raises the first terminal per-item failure by batch position, with
+        every answer obtained (and billed) attached as
+        ``exc.partial_results`` -- a tuple aligned with ``queries`` whose
+        ``None`` holes mark the items that were *not* answered or billed
+        -- so callers can still account for what they paid for.
+        """
+        queries = list(queries)
+        if not queries:
+            return ()
+        results: list[QueryResult | None] = [None] * len(queries)
+        pending: list[int] = []
+        for index, query in enumerate(queries):
+            cached = self._cache_lookup(query)
+            if cached is not None:
+                results[index] = cached
+            else:
+                pending.append(index)
+        if pending and not self._supports_batch:
+            try:
+                for index in pending:
+                    results[index] = self.query(queries[index])
+            except HiddenDBError as exc:
+                exc.partial_results = tuple(results)
+                raise
+            return tuple(results)
+        ids = {index: uuid.uuid4().hex for index in pending}
+        failures: dict[int, Exception] = {}
+        attempt = 0
+        while pending:
+            retry: list[int] = []
+            for start in range(0, len(pending), self._max_batch):
+                chunk = pending[start : start + self._max_batch]
+                try:
+                    payload = self._request(
+                        "POST",
+                        "/api/batch",
+                        encode_batch_request(
+                            [queries[i] for i in chunk],
+                            [ids[i] for i in chunk],
+                        ),
+                    )
+                    outcomes = decode_batch_answer(payload, len(chunk))
+                except HiddenDBError as exc:
+                    # Transport failed terminally for this chunk; answers
+                    # from earlier chunks/rounds were already folded into
+                    # ``results`` and must not be lost.
+                    exc.partial_results = tuple(results)
+                    raise
+                except ValueError as exc:
+                    wrapped = RemoteServiceError(
+                        f"malformed batch answer: {exc}"
+                    )
+                    wrapped.partial_results = tuple(results)
+                    raise wrapped from None
+                for index, (status, body) in zip(chunk, outcomes):
+                    if status < 400:
+                        rows, overflow, sequence = decode_answer(body)
+                        result = QueryResult(
+                            query=queries[index],
+                            rows=rows,
+                            overflow=overflow,
+                            sequence=sequence,
+                        )
+                        with self._lock:
+                            self._count += 1
+                        self._cache_store(queries[index], result)
+                        results[index] = result
+                        continue
+                    exc = self._classify_payload(status, body)
+                    if isinstance(exc, _Retriable):
+                        retry.append(index)
+                    else:
+                        failures[index] = exc
+            if not retry:
+                break
+            if attempt >= self._max_retries:
+                for index in retry:
+                    failures[index] = RemoteServiceError(
+                        f"batch item still failing after "
+                        f"{self._max_retries} retries",
+                    )
+                break
+            with self._lock:
+                self._retries += 1
+            self._sleep(min(self._backoff * 2**attempt, self._backoff_cap))
+            attempt += 1
+            pending = retry
+        if failures:
+            exc = failures[min(failures)]
+            # Aligned-with-holes: billed answers (including ones *after*
+            # the first failing position) stay attached; failed or unsent
+            # items stay None and are the only unbilled slots.
+            exc.partial_results = tuple(results)
+            raise exc
+        return tuple(results)  # type: ignore[return-value]
+
+    def cached_answer(self, query: Query) -> QueryResult | None:
+        """This client's cached answer for ``query``, or ``None``.
+
+        Consulted by the execution engine before it reserves session
+        budget: cache hits are free under the paper's cost metric (they
+        advance no billing counter), so they must not consume a run's
+        query allowance either.  A hit counts toward :attr:`cache_hits`.
+        """
+        return self._cache_lookup(query)
+
+    # ------------------------------------------------------------------
+    # cache plumbing (lock-guarded: workers share one client)
+    # ------------------------------------------------------------------
+    def _cache_lookup(self, query: Query) -> QueryResult | None:
+        if not self._cache_size:
+            return None
+        with self._lock:
+            cached = self._cache.get(query)
+            if cached is not None:
+                self._cache.move_to_end(query)
+                self._cache_hits += 1
+            return cached
+
+    def _cache_store(self, query: Query, result: QueryResult) -> None:
+        if not self._cache_size:
+            return
+        with self._lock:
             self._cache[query] = result
             if len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
-        return result
 
     # ------------------------------------------------------------------
     # client-side telemetry
@@ -221,9 +376,15 @@ class RemoteTopKInterface:
         """Server-reported remaining budget (``None`` until known/unlimited)."""
         return self._budget_remaining
 
+    @property
+    def supports_batch(self) -> bool:
+        """Whether the service advertises the ``/api/batch`` capability."""
+        return self._supports_batch
+
     def clear_cache(self) -> None:
         """Drop every cached answer (hit statistics are kept)."""
-        self._cache.clear()
+        with self._lock:
+            self._cache.clear()
 
     def server_stats(self) -> dict[str, Any]:
         """The service's ``/api/stats`` payload (billing counters)."""
@@ -243,7 +404,8 @@ class RemoteTopKInterface:
         last_reason = "unknown error"
         for attempt in range(self._max_retries + 1):
             if attempt:
-                self._retries += 1
+                with self._lock:
+                    self._retries += 1
                 self._sleep(
                     min(self._backoff * 2 ** (attempt - 1), self._backoff_cap)
                 )
@@ -259,13 +421,16 @@ class RemoteTopKInterface:
         )
 
     def _connection(self) -> http.client.HTTPConnection:
-        """The persistent keep-alive connection (opened lazily).
+        """This thread's persistent keep-alive connection (opened lazily).
 
-        One crawl issues thousands of sequential queries; reusing a single
-        HTTP/1.1 connection avoids paying connect/teardown per query (the
-        server keeps connections alive for exactly this reason).
+        One crawl issues thousands of sequential queries; reusing one
+        HTTP/1.1 connection per thread avoids paying connect/teardown per
+        query (the server keeps connections alive for exactly this
+        reason).  Connections are thread-local because pipelined
+        strategies issue queries from several worker threads at once.
         """
-        if self._conn is None:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
             factory = (
                 http.client.HTTPSConnection
                 if self._scheme == "https"
@@ -279,17 +444,27 @@ class RemoteTopKInterface:
             conn.sock.setsockopt(
                 socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
             )
-            self._conn = conn
-        return self._conn
+            self._local.conn = conn
+            with self._lock:
+                self._conns.append(conn)
+        return conn
 
     def _drop_connection(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
+            with self._lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
 
     def close(self) -> None:
-        """Close the underlying connection (reopened on the next request)."""
-        self._drop_connection()
+        """Close every opened connection (reopened on the next request)."""
+        self._local.conn = None
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            conn.close()
 
     def __enter__(self) -> "RemoteTopKInterface":
         return self
@@ -342,6 +517,13 @@ class RemoteTopKInterface:
             payload = json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, ValueError):
             payload = {}
+        return self._classify_payload(status, payload)
+
+    def _classify_payload(
+        self, status: int, payload: Mapping[str, Any]
+    ) -> Exception:
+        """Decoded error body -> retry / simulator exception (shared by the
+        transport layer and the per-item handling of batch answers)."""
         error = payload.get("error", "")
         if error == "budget_exceeded":
             limit = payload.get("limit")
@@ -362,9 +544,11 @@ class RemoteTopKInterface:
         remaining = headers.get("X-Budget-Remaining")
         if remaining is not None:
             try:
-                self._budget_remaining = int(remaining)
+                value = int(remaining)
             except ValueError:
-                pass
+                return
+            with self._lock:
+                self._budget_remaining = value
 
     def __repr__(self) -> str:
         return (

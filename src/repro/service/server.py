@@ -10,6 +10,10 @@ Routes (all bodies JSON):
 =========================  =====================================================
 ``GET  /api/schema``       public search-form metadata: schema, ``k``, name
 ``POST /api/query``        one conjunctive query; billed per ``X-Api-Key``
+``POST /api/batch``        up to ``MAX_BATCH_ITEMS`` queries in one round
+                           trip; billed, validated and fault-injected per
+                           item (latency is drawn per item but slept once,
+                           at the per-batch maximum -- one round trip)
 ``GET  /api/stats``        billing counters (total, per key, faults injected)
 ``POST /api/reset``        ops/test helper: clear billing counters
 ``GET  /healthz``          liveness probe (used by the CI boot check)
@@ -45,7 +49,7 @@ from ..hiddendb.errors import UnsupportedQueryError
 from ..hiddendb.ranking import LinearRanker, Ranker
 from ..hiddendb.table import Table
 from .faults import FaultConfig, FaultInjector
-from .wire import decode_query, encode_answer, encode_schema
+from .wire import decode_query, encode_answer, encode_batch_item, encode_schema
 
 logger = logging.getLogger("repro.service")
 
@@ -59,6 +63,9 @@ REPLAY_CAPACITY = 4096
 #: before being processed as fresh (only reachable when injected latency
 #: exceeds the client's timeout).
 INFLIGHT_WAIT_SECONDS = 60.0
+
+#: Most queries accepted in one ``/api/batch`` round trip.
+MAX_BATCH_ITEMS = 256
 
 
 @dataclass(frozen=True)
@@ -326,7 +333,15 @@ class HiddenDBServer:
     def _handle_schema(self) -> tuple[int, dict[str, Any], dict[str, str]]:
         return (
             200,
-            {"name": self._name, "k": self._k, "schema": self._schema_payload},
+            {
+                "name": self._name,
+                "k": self._k,
+                "schema": self._schema_payload,
+                # Capability advertisement: clients that see this pack
+                # frontier waves into /api/batch round trips.
+                "batch": True,
+                "max_batch": MAX_BATCH_ITEMS,
+            },
             {},
         )
 
@@ -361,9 +376,10 @@ class HiddenDBServer:
         payload: Mapping[str, Any],
         api_key: str,
         request_id: str | None = None,
+        inject: bool = True,
     ) -> tuple[int, dict[str, Any], dict[str, str]]:
         if request_id is None:
-            return self._answer_query(payload, api_key, None)
+            return self._answer_query(payload, api_key, None, inject=inject)
         replay_key = (api_key, request_id)
         while True:
             with self._replay_lock:
@@ -384,20 +400,109 @@ class HiddenDBServer:
                     {"Retry-After": "0"},
                 )
         try:
-            return self._answer_query(payload, api_key, replay_key)
+            return self._answer_query(payload, api_key, replay_key, inject=inject)
         finally:
             with self._replay_lock:
                 event = self._inflight.pop(replay_key, None)
             if event is not None:
                 event.set()
 
+    def _peek_replay(
+        self, api_key: str, request_id: str | None
+    ) -> tuple[int, dict[str, Any], dict[str, str]] | None:
+        """Already-billed answer for ``request_id``, if one is cached."""
+        if request_id is None:
+            return None
+        with self._replay_lock:
+            return self._replay.get((api_key, request_id))
+
+    def _handle_batch(
+        self, payload: Mapping[str, Any], api_key: str
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """Answer a batch of queries in one round trip.
+
+        Every item goes through the same pipeline as ``/api/query`` --
+        replay for already-billed request ids, per-item fault draws,
+        per-item validation and billing -- but injected *latency* is slept
+        once at the per-batch maximum: a batch models one round trip whose
+        items the upstream site processes concurrently, which is exactly
+        the economy batching exists to exploit.
+        """
+        items = payload.get("items")
+        if not isinstance(items, list) or not items:
+            return (
+                400,
+                {"error": "bad_request", "message": "items must be a "
+                 "non-empty list", "retriable": False},
+                {},
+            )
+        if len(items) > MAX_BATCH_ITEMS:
+            return (
+                400,
+                {"error": "batch_too_large", "limit": MAX_BATCH_ITEMS,
+                 "retriable": False},
+                {},
+            )
+        outcomes: list[tuple[int, dict[str, Any], dict[str, str]] | None] = (
+            [None] * len(items)
+        )
+        fresh: list[int] = []
+        max_delay = 0.0
+        for index, item in enumerate(items):
+            if not isinstance(item, Mapping):
+                outcomes[index] = (
+                    400,
+                    {"error": "bad_request", "message": "item must be an "
+                     "object", "retriable": False},
+                    {},
+                )
+                continue
+            request_id = item.get("id")
+            request_id = str(request_id) if request_id is not None else None
+            replayed = self._peek_replay(api_key, request_id)
+            if replayed is not None:
+                # Replays (client retries of billed items) neither redraw
+                # faults nor pay latency again.
+                outcomes[index] = replayed
+                continue
+            if self._injector is not None:
+                delay, code = self._injector.draw()
+                max_delay = max(max_delay, delay)
+                if code is not None:
+                    outcomes[index] = (
+                        code,
+                        {"error": "injected_fault", "retriable": True},
+                        {"Retry-After": "0"},
+                    )
+                    continue
+            fresh.append(index)
+        if max_delay > 0.0:
+            time.sleep(max_delay)
+        for index in fresh:
+            item = items[index]
+            request_id = item.get("id")
+            outcomes[index] = self._handle_query(
+                {"query": item.get("query")},
+                api_key,
+                str(request_id) if request_id is not None else None,
+                inject=False,
+            )
+        body = {
+            "items": [
+                encode_batch_item(status, item_body)
+                for status, item_body, _headers in outcomes
+            ]
+        }
+        return 200, body, {}
+
     def _answer_query(
         self,
         payload: Mapping[str, Any],
         api_key: str,
         replay_key: tuple[str, str] | None,
+        inject: bool = True,
     ) -> tuple[int, dict[str, Any], dict[str, str]]:
-        if self._injector is not None:
+        if inject and self._injector is not None:
             delay, code = self._injector.draw()
             if delay > 0.0:
                 time.sleep(delay)
@@ -524,6 +629,8 @@ def _make_handler(server: HiddenDBServer) -> type[BaseHTTPRequestHandler]:
                         self.headers.get("X-Request-Id"),
                     )
                 )
+            elif self.path == "/api/batch":
+                self._reply(*server._handle_batch(payload, self._api_key()))
             elif self.path == "/api/reset":
                 self._reply(*server._handle_reset(payload))
             else:
@@ -537,4 +644,10 @@ def _make_handler(server: HiddenDBServer) -> type[BaseHTTPRequestHandler]:
     return Handler
 
 
-__all__ = ["ANONYMOUS_KEY", "HiddenDBServer", "KeyUsage", "ServerStats"]
+__all__ = [
+    "ANONYMOUS_KEY",
+    "HiddenDBServer",
+    "KeyUsage",
+    "MAX_BATCH_ITEMS",
+    "ServerStats",
+]

@@ -11,12 +11,19 @@ string); queries as ``{"ranges": {"<index>": [lo, hi]}, "filters":
 {name: value}}``; answers as ``{"rows": [{rid, values}], "overflow",
 "sequence"}``.  Attribute ``labels`` are display-only and are dropped when
 they are not JSON-representable.
+
+Batches (``POST /api/batch``) travel as ``{"items": [{"id": <request id>,
+"query": {...}}]}`` and come back as ``{"items": [{"status": <HTTP-style
+int>, "body": {...answer or error...}}]}``, aligned by position.  Each
+item carries its own request id so a retried item replays its
+already-billed answer instead of being charged twice, exactly like the
+``X-Request-Id`` header of the single-query endpoint.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from ..hiddendb.attributes import Attribute, InterfaceKind, Schema
 from ..hiddendb.query import Interval, Query
@@ -133,12 +140,56 @@ def decode_answer(
     return rows, bool(payload["overflow"]), int(payload["sequence"])
 
 
+# ----------------------------------------------------------------------
+# batches
+# ----------------------------------------------------------------------
+
+
+def encode_batch_request(
+    queries: Sequence[Query], ids: Sequence[str]
+) -> dict[str, Any]:
+    """Queries + per-item request ids -> the ``/api/batch`` body."""
+    if len(queries) != len(ids):
+        raise ValueError(
+            f"{len(queries)} queries but {len(ids)} request ids"
+        )
+    return {
+        "items": [
+            {"id": request_id, "query": encode_query(query)}
+            for query, request_id in zip(queries, ids)
+        ]
+    }
+
+
+def encode_batch_item(status: int, body: Mapping[str, Any]) -> dict[str, Any]:
+    """One per-item outcome of a batch answer."""
+    return {"status": int(status), "body": dict(body)}
+
+
+def decode_batch_answer(
+    payload: Mapping[str, Any], expected: int
+) -> list[tuple[int, dict[str, Any]]]:
+    """The ``/api/batch`` response -> ``[(status, body), ...]`` by position."""
+    items = payload.get("items")
+    if not isinstance(items, list) or len(items) != expected:
+        raise ValueError(
+            f"batch answer carries {len(items) if isinstance(items, list) else 'no'} "
+            f"items, expected {expected}"
+        )
+    return [
+        (int(item["status"]), dict(item["body"])) for item in items
+    ]
+
+
 __all__ = [
     "decode_answer",
+    "decode_batch_answer",
     "decode_query",
     "decode_row",
     "decode_schema",
     "encode_answer",
+    "encode_batch_item",
+    "encode_batch_request",
     "encode_query",
     "encode_row",
     "encode_schema",

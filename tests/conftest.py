@@ -84,6 +84,54 @@ def random_table(
     return Table(schema, matrix)
 
 
+# ----------------------------------------------------------------------
+# parity-suite fixtures: one candidate table per interface-taxonomy shape
+# (shared by tests/service/test_parity.py, tests/service/test_batch.py and
+# tests/core/test_engine.py so the suites cannot drift apart)
+# ----------------------------------------------------------------------
+
+PARITY_SEED = 20160831  # the paper's VLDB year+date, any fixed value works
+
+PARITY_KIND_MIXES = {
+    "sq3": (InterfaceKind.SQ,) * 3,
+    "rq3": (InterfaceKind.RQ,) * 3,
+    "pq2": (InterfaceKind.PQ,) * 2,
+    "pq3": (InterfaceKind.PQ,) * 3,
+    "mixed": (InterfaceKind.RQ, InterfaceKind.SQ, InterfaceKind.PQ),
+}
+
+
+def build_parity_tables() -> dict[str, Table]:
+    """Fresh copies of the parity candidate tables (deterministic)."""
+    rng = np.random.default_rng(PARITY_SEED)
+    return {
+        name: random_table(rng, kinds, n=250, domain=8, distinct=True)
+        for name, kinds in PARITY_KIND_MIXES.items()
+    }
+
+
+PARITY_TABLES = build_parity_tables()
+
+
+def parity_candidate_table(predicate) -> Table | None:
+    """First parity table (stable order) whose schema satisfies ``predicate``."""
+    for name in sorted(PARITY_TABLES):
+        if predicate(PARITY_TABLES[name].schema):
+            return PARITY_TABLES[name]
+    return None
+
+
+def parity_run_params():
+    """``(algorithm name, table)`` pytest params for every registered
+    algorithm, each paired with a parity table it supports."""
+    from repro.core import all_algorithms
+
+    for spec in all_algorithms():
+        table = parity_candidate_table(spec.supports)
+        assert table is not None, f"no candidate table for {spec.name}"
+        yield pytest.param(spec.name, table, id=spec.name)
+
+
 @pytest.fixture
 def simple_table() -> Table:
     """The paper's running example (Figure 2): four 3-D tuples."""

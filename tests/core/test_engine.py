@@ -1,0 +1,341 @@
+"""Tests for the frontier execution engine (repro.core.engine)."""
+
+import numpy as np
+import pytest
+
+from repro import Discoverer, DiscoveryConfig, TopKInterface
+from repro.core import all_algorithms
+from repro.core.base import DiscoverySession
+from repro.core.engine import (
+    EngineStats,
+    PipelinedStrategy,
+    SerialStrategy,
+)
+from repro.datagen import diamonds_table
+from repro.hiddendb import InterfaceKind, Query
+
+from ..conftest import (
+    PARITY_TABLES as TABLES,
+    parity_run_params as run_params,
+    random_table,
+    truth_band_values,
+    truth_values,
+)
+
+SQ = InterfaceKind.SQ
+RQ = InterfaceKind.RQ
+PQ = InterfaceKind.PQ
+
+
+class TestEngineStats:
+    def test_serial_run_attaches_stats(self):
+        table = TABLES["rq3"]
+        result = Discoverer().run(TopKInterface(table, k=5))
+        assert isinstance(result.stats, EngineStats)
+        assert result.stats.strategy == "serial"
+        assert result.stats.workers == 1
+        assert result.stats.issued == result.total_cost
+        assert result.stats.deduped == 0
+        assert result.stats.batched == 0
+        assert result.stats.max_in_flight == 1
+
+    def test_pipelined_run_reports_strategy_and_concurrency(self):
+        table = TABLES["rq3"]
+        result = Discoverer(DiscoveryConfig(workers=4)).run(
+            TopKInterface(table, k=5), "baseline"
+        )
+        assert result.stats.strategy == "pipelined"
+        assert result.stats.workers == 4
+        assert result.stats.issued == result.total_cost
+        # The crawl's region splits are independent waves: concurrency and
+        # batching (TopKInterface.batch_query) must both show up.
+        assert result.stats.max_in_flight > 1
+        assert result.stats.batches > 0
+        assert result.stats.batched <= result.stats.issued
+
+    def test_stats_helpers(self):
+        stats = EngineStats(issued=6, deduped=2, batched=4, batches=2)
+        assert stats.duplicate_queries == 2
+        assert stats.dedup_rate == pytest.approx(0.25)
+        assert stats.as_dict()["issued"] == 6
+        assert EngineStats().dedup_rate == 0.0
+
+
+class TestPipelinedParity:
+    """Satellite: serial <-> pipelined parity for every algorithm.
+
+    At every worker count the skyline value set and the billable query
+    cost must be identical (the remote half lives in tests/service).
+    """
+
+    @pytest.mark.parametrize("algorithm,table", run_params())
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_in_process_parity(self, algorithm, table, workers):
+        serial = Discoverer().run(TopKInterface(table, k=5), algorithm)
+        piped = Discoverer(DiscoveryConfig(workers=workers)).run(
+            TopKInterface(table, k=5), algorithm
+        )
+        assert piped.skyline_values == serial.skyline_values
+        assert piped.total_cost == serial.total_cost
+        assert piped.complete == serial.complete
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_parity_with_dedup(self, workers):
+        table = TABLES["sq3"]
+        serial = Discoverer(DiscoveryConfig(dedup=True)).run(
+            TopKInterface(table, k=5), "sq"
+        )
+        piped = Discoverer(DiscoveryConfig(dedup=True, workers=workers)).run(
+            TopKInterface(table, k=5), "sq"
+        )
+        assert piped.skyline_values == serial.skyline_values
+        assert piped.total_cost == serial.total_cost
+        assert piped.stats.deduped == serial.stats.deduped
+
+    def test_pipelined_skyband_parity(self):
+        table = TABLES["sq3"]
+        serial = Discoverer().skyband(TopKInterface(table, k=5), 2, "sq")
+        piped = Discoverer(DiscoveryConfig(workers=4)).skyband(
+            TopKInterface(table, k=5), 2, "sq"
+        )
+        assert piped.skyband_values == serial.skyband_values
+        assert piped.total_cost == serial.total_cost
+
+
+class TestDedup:
+    def test_dedup_preserves_results_and_splits_cost(self):
+        # SQ's overlapping tree re-derives identical queries through
+        # different branch orders; with dedup on each distinct query is
+        # billed once and the repeats surface as stats.deduped.
+        table = diamonds_table(150, seed=3)
+        plain = Discoverer().run(TopKInterface(table, k=10), "sq")
+        deduped = Discoverer(DiscoveryConfig(dedup=True)).run(
+            TopKInterface(table, k=10), "sq"
+        )
+        assert deduped.skyline_values == plain.skyline_values
+        assert deduped.stats.deduped > 0
+        assert (
+            deduped.total_cost + deduped.stats.deduped == plain.total_cost
+        )
+
+    def test_dedup_off_by_default_for_discovery(self):
+        table = TABLES["sq3"]
+        result = Discoverer().run(TopKInterface(table, k=5), "sq")
+        assert result.stats.deduped == 0
+
+    def test_memo_hits_do_not_consume_budget(self):
+        table = diamonds_table(150, seed=3)
+        reference = Discoverer(DiscoveryConfig(dedup=True)).run(
+            TopKInterface(table, k=10), "sq"
+        )
+        # A budget of exactly the deduped billable cost completes: memo
+        # hits are free and must not trip the session allowance.
+        result = Discoverer(
+            DiscoveryConfig(dedup=True, budget=reference.total_cost)
+        ).run(TopKInterface(table, k=10), "sq")
+        assert result.complete
+        assert result.total_cost == reference.total_cost
+
+
+class TestSkybandSharedMemo:
+    """Satellite regression: overlapping subspace roots dedupe.
+
+    RQ-DB-SKYBAND re-runs the range tree over the domination subspace of
+    every band tuple; neighbouring subspaces overlap and re-derive many
+    identical queries.  The session-shared memoizer must count each
+    distinct query once.
+    """
+
+    @pytest.fixture(scope="class")
+    def diamonds(self):
+        # Large enough that value collisions across domination subspaces
+        # produce syntactically identical queries (the price/carat domains
+        # are huge, so small catalogues never repeat a query).
+        return diamonds_table(800, seed=3)
+
+    def test_diamonds_band3_dedupes_cross_subspace_queries(self, diamonds):
+        interface = TopKInterface(diamonds, k=10)
+        result = Discoverer().skyband(interface, 3)
+        assert result.algorithm == "RQ-DB-SKYBAND"
+        assert result.stats.duplicate_queries > 0
+        assert result.total_cost == result.stats.issued
+
+    def test_dedup_savings_do_not_change_the_band(self, diamonds):
+        deduped = Discoverer().skyband(TopKInterface(diamonds, k=10), 3)
+        rebilled = Discoverer(DiscoveryConfig(dedup=False)).skyband(
+            TopKInterface(diamonds, k=10), 3
+        )
+        assert deduped.skyband_values == rebilled.skyband_values
+        assert deduped.skyband_values == truth_band_values(diamonds, 3)
+        # Every absorbed duplicate is a query the un-memoized run re-bills.
+        assert rebilled.stats.deduped == 0
+        assert (
+            deduped.total_cost + deduped.stats.duplicate_queries
+            == rebilled.total_cost
+        )
+        assert deduped.total_cost < rebilled.total_cost
+
+
+class TestFrontierOrdering:
+    def test_serial_fifo_preserves_submission_order(self):
+        table = TABLES["rq3"]
+        session = DiscoverySession(TopKInterface(table, k=5))
+        seen = []
+        frontier = session.frontier()
+        for value in (3, 5, 7):
+            query = Query.select_all().and_upper(0, value)
+            frontier.add(query, lambda r, v=value: seen.append(v))
+        frontier.drain()
+        assert seen == [3, 5, 7]
+
+    def test_serial_lifo_pops_latest_first(self):
+        table = TABLES["rq3"]
+        session = DiscoverySession(TopKInterface(table, k=5))
+        seen = []
+        frontier = session.frontier(lifo=True)
+        for value in (3, 5, 7):
+            query = Query.select_all().and_upper(0, value)
+            frontier.add(query, lambda r, v=value: seen.append(v))
+        frontier.drain()
+        assert seen == [7, 5, 3]
+
+    def test_pipelined_merges_in_dispatch_order(self):
+        table = TABLES["rq3"]
+        session = DiscoverySession(
+            TopKInterface(table, k=5), strategy=PipelinedStrategy(workers=4)
+        )
+        seen = []
+        frontier = session.frontier()
+        for value in range(8):
+            query = Query.select_all().and_upper(0, value)
+            frontier.add(query, lambda r, v=value: seen.append(v))
+        frontier.drain()
+        assert seen == list(range(8))
+
+    def test_callbacks_may_extend_the_frontier(self):
+        table = TABLES["rq3"]
+        session = DiscoverySession(
+            TopKInterface(table, k=5), strategy=PipelinedStrategy(workers=2)
+        )
+        seen = []
+        frontier = session.frontier()
+
+        def chain(depth):
+            def on_result(result):
+                seen.append(depth)
+                if depth < 4:
+                    frontier.add(
+                        Query.select_all().and_upper(0, depth + 2),
+                        chain(depth + 1),
+                    )
+
+            return on_result
+
+        frontier.add(Query.select_all().and_upper(0, 1), chain(0))
+        frontier.drain()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_fetch_routes_through_the_engine(self):
+        table = TABLES["rq3"]
+        session = DiscoverySession(TopKInterface(table, k=5), dedup=True)
+        frontier = session.frontier()
+        first = frontier.fetch(Query.select_all())
+        again = frontier.fetch(Query.select_all())
+        assert again is first  # memo replay
+        assert session.engine_stats.deduped == 1
+        assert session.cost == 1
+
+
+class TestStrategyValidation:
+    def test_pipelined_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PipelinedStrategy(workers=0)
+        with pytest.raises(ValueError):
+            PipelinedStrategy(batch_size=0)
+
+    def test_config_validates_engine_fields(self):
+        with pytest.raises(ValueError):
+            DiscoveryConfig(workers=0)
+        with pytest.raises(ValueError):
+            DiscoveryConfig(batch_size=0)
+
+    def test_config_selects_strategy(self):
+        table = TABLES["rq3"]
+        serial = DiscoverySession.from_config(
+            TopKInterface(table, k=5), DiscoveryConfig()
+        )
+        piped = DiscoverySession.from_config(
+            TopKInterface(table, k=5), DiscoveryConfig(workers=3)
+        )
+        assert isinstance(serial.engine.strategy, SerialStrategy)
+        assert isinstance(piped.engine.strategy, PipelinedStrategy)
+        assert piped.engine.strategy.workers == 3
+
+
+class TestPipelinedBudgets:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_session_budget_never_overshoots(self, workers):
+        rng = np.random.default_rng(3)
+        table = random_table(rng, [RQ, RQ, RQ], 400, 12)
+        full = Discoverer(DiscoveryConfig(workers=workers)).run(
+            TopKInterface(table, k=1), "baseline"
+        )
+        budget = full.total_cost // 3
+        partial = Discoverer(
+            DiscoveryConfig(workers=workers, budget=budget)
+        ).run(TopKInterface(table, k=1), "baseline")
+        assert not partial.complete
+        assert partial.total_cost <= budget
+
+    def test_interface_budget_yields_partial_result(self):
+        table = diamonds_table(150, seed=3)
+        interface = TopKInterface(table, k=10, budget=50)
+        result = Discoverer(DiscoveryConfig(workers=4)).run(interface, "sq")
+        assert not result.complete
+        assert result.total_cost <= 50
+
+    def test_sufficient_budget_completes_pipelined_too(self):
+        # Regression: budget accounting must not double-count in-flight
+        # queries -- a budget that provably suffices for the serial run
+        # (it equals the serial cost) must also complete pipelined, since
+        # both strategies issue the same query set.
+        table = diamonds_table(150, seed=3)
+        serial = Discoverer().run(TopKInterface(table, k=10), "sq")
+        piped = Discoverer(
+            DiscoveryConfig(workers=4, budget=serial.total_cost)
+        ).run(TopKInterface(table, k=10), "sq")
+        assert piped.complete
+        assert piped.total_cost == serial.total_cost
+        assert piped.skyline_values == serial.skyline_values
+
+    def test_mid_batch_budget_failure_keeps_billed_answers(self):
+        # Regression: when the interface budget dies inside one
+        # batch_query round trip, the answers billed before the failure
+        # must still be recorded (partial_results), not discarded.
+        table = diamonds_table(150, seed=3)
+        interface = TopKInterface(table, k=10, budget=10)
+        result = Discoverer(
+            DiscoveryConfig(workers=1, batch_size=16)
+        ).run(interface, "sq")
+        assert not result.complete
+        assert interface.queries_issued == 10
+        assert result.total_cost == 10
+        assert len(result.retrieved) > 0
+
+    def test_correct_skyline_found_within_partial_runs(self):
+        # The pipelined partial prefix may differ from the serial one, but
+        # every retrieved tuple must still come from real answers.
+        rng = np.random.default_rng(7)
+        table = random_table(rng, [RQ, RQ], 300, 12)
+        truth = truth_values(table)
+        result = Discoverer(DiscoveryConfig(workers=4, budget=5)).run(
+            TopKInterface(table, k=3), "sq"
+        )
+        table_values = {
+            tuple(int(v) for v in row) for row in table.matrix
+        }
+        assert set(result.skyline_values) <= table_values
+        full = Discoverer(DiscoveryConfig(workers=4)).run(
+            TopKInterface(table, k=3), "sq"
+        )
+        assert full.skyline_values == truth

@@ -8,52 +8,17 @@ With fault injection enabled the client must still converge, and a warm
 client cache must make a repeated crawl strictly cheaper.
 """
 
-import numpy as np
 import pytest
 
 from repro import Discoverer, TopKInterface
 from repro.core import all_algorithms
-from repro.hiddendb import InterfaceKind
 from repro.service import FaultConfig, RemoteTopKInterface
 
-from ..conftest import random_table
-
-SEED = 20160831  # the paper's VLDB year+date, any fixed value works
-
-#: One candidate table per interface-taxonomy shape the algorithms cover.
-KIND_MIXES = {
-    "sq3": (InterfaceKind.SQ,) * 3,
-    "rq3": (InterfaceKind.RQ,) * 3,
-    "pq2": (InterfaceKind.PQ,) * 2,
-    "pq3": (InterfaceKind.PQ,) * 3,
-    "mixed": (InterfaceKind.RQ, InterfaceKind.SQ, InterfaceKind.PQ),
-}
-
-
-def build_tables():
-    rng = np.random.default_rng(SEED)
-    return {
-        name: random_table(rng, kinds, n=250, domain=8, distinct=True)
-        for name, kinds in KIND_MIXES.items()
-    }
-
-
-TABLES = build_tables()
-
-
-def candidate_table(predicate):
-    """First table (stable order) whose schema satisfies ``predicate``."""
-    for name in sorted(TABLES):
-        if predicate(TABLES[name].schema):
-            return TABLES[name]
-    return None
-
-
-def run_params():
-    for spec in all_algorithms():
-        table = candidate_table(spec.supports)
-        assert table is not None, f"no candidate table for {spec.name}"
-        yield pytest.param(spec.name, table, id=spec.name)
+from ..conftest import (
+    PARITY_TABLES as TABLES,
+    parity_candidate_table as candidate_table,
+    parity_run_params as run_params,
+)
 
 
 def skyband_params():

@@ -50,6 +50,40 @@ class TestDiscoverCommand:
         assert code == 0
         assert "skyline" in capsys.readouterr().out
 
+    def test_verbose_prints_engine_counters(self, capsys):
+        code = main(
+            ["discover", "--dataset", "uniform", "--n", "400", "--k", "5",
+             "--workers", "4", "--batch-size", "8", "--verbose"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine" in out
+        assert "pipelined" in out
+        assert "issued=" in out
+
+    def test_workers_do_not_change_reported_cost(self, capsys):
+        args = ["discover", "--dataset", "diamonds", "--n", "500", "--k",
+                "10", "--algorithm", "baseline"]
+        assert main(args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(args + ["--workers", "4"]) == 0
+        piped_out = capsys.readouterr().out
+        pick = lambda out, field: [
+            line for line in out.splitlines() if line.startswith(field)
+        ]
+        assert pick(serial_out, "queries") == pick(piped_out, "queries")
+        assert pick(serial_out, "skyline") == pick(piped_out, "skyline")
+
+    def test_dedup_flag_reports_savings(self, capsys):
+        code = main(
+            ["discover", "--dataset", "diamonds", "--n", "200", "--k", "10",
+             "--algorithm", "sq", "--dedup", "--verbose"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deduped=" in out
+        assert "deduped=0 " not in out
+
 
 class TestSkybandCommand:
     def test_small_run(self, capsys):
