@@ -1,0 +1,122 @@
+"""Durable crawl-store trajectory records: BENCH_store.json.
+
+Measures what the persistent query ledger buys on the diamonds catalogue
+and writes the numbers via :mod:`_record`:
+
+* ``baseline_diamonds_cold_vs_warm`` -- wall time and billed queries of a
+  cold remote crawl (fresh store) vs a warm-ledger re-crawl of the same
+  endpoint (acceptance bar: the warm crawl bills **zero** queries and,
+  with injected wide-area latency, runs far faster than the cold one);
+* ``resume_after_partial_crawl`` -- a budget-truncated crawl resumed from
+  the store must complete at exactly the uninterrupted cost (no answer
+  ever billed twice).
+
+Run explicitly (benchmarks/ is not in the default testpaths)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_store_records.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+from _record import record
+
+from repro import CrawlStore, Discoverer, DiscoveryConfig, TopKInterface
+from repro.datagen import diamonds_table
+from repro.service import FaultConfig, HiddenDBServer, RemoteTopKInterface
+
+N = 2_000
+K = 10
+SEED = 1
+WORKERS = 4
+BATCH_SIZE = 16
+#: Injected per-query latency (seconds): wide-area conditions under which
+#: every ledger hit saves a real round trip.  Deliberately generous so the
+#: cold/warm ratio is latency-dominated (the warm crawl never touches the
+#: network) and the >= 2x assertion stays far from flaking on loaded CI
+#: runners (measured locally: ~3-5x).
+LATENCY = (0.004, 0.008)
+
+
+def test_record_cold_vs_warm_ledger_crawl(tmp_path):
+    table = diamonds_table(N, seed=SEED)
+    reference = Discoverer().run(TopKInterface(table, k=K), "baseline")
+
+    store = CrawlStore(tmp_path / "bench.db")
+    with HiddenDBServer(
+        table, k=K, name=f"diamonds-n{N}", faults=FaultConfig(latency=LATENCY, seed=5)
+    ) as server:
+        config = DiscoveryConfig(
+            store=store, workers=WORKERS, batch_size=BATCH_SIZE
+        )
+        start = time.perf_counter()
+        cold = Discoverer(config).run(
+            RemoteTopKInterface(server.url, api_key="cold"), "baseline"
+        )
+        cold_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = Discoverer(config).run(
+            RemoteTopKInterface(server.url, api_key="warm"), "baseline"
+        )
+        warm_wall = time.perf_counter() - start
+
+    # Acceptance: identical skyline; the warm crawl is entirely pre-paid.
+    assert cold.skyline_values == reference.skyline_values
+    assert warm.skyline_values == reference.skyline_values
+    assert cold.total_cost == reference.total_cost
+    assert warm.total_cost == 0
+    assert warm.stats.ledger_hits == cold.total_cost
+    speedup = cold_wall / warm_wall
+    assert speedup >= 2.0, f"warm-ledger speedup only {speedup:.2f}x"
+
+    record(
+        "store",
+        f"baseline_diamonds_n{N}_k{K}_cold_vs_warm",
+        cold_wall_seconds=cold_wall,
+        warm_wall_seconds=warm_wall,
+        speedup=speedup,
+        cold_billed_queries=cold.total_cost,
+        warm_billed_queries=warm.total_cost,
+        warm_ledger_hits=warm.stats.ledger_hits,
+        skyline=cold.skyline_size,
+        workers=WORKERS,
+        batch_size=BATCH_SIZE,
+        injected_latency_ms=[LATENCY[0] * 1000, LATENCY[1] * 1000],
+    )
+
+
+def test_record_resume_after_partial_crawl(tmp_path):
+    table = diamonds_table(N, seed=SEED)
+    interface = TopKInterface(table, k=K, name=f"diamonds-n{N}")
+    reference = Discoverer().run(TopKInterface(table, k=K), "baseline")
+
+    store = CrawlStore(tmp_path / "resume.db")
+    truncated_budget = reference.total_cost // 3
+    partial = Discoverer(
+        DiscoveryConfig(store=store, budget=truncated_budget)
+    ).run(interface, "baseline")
+    assert not partial.complete
+    assert partial.total_cost == truncated_budget
+
+    resumed = Discoverer(DiscoveryConfig(store=store, resume=True)).run(
+        TopKInterface(table, k=K, name=f"diamonds-n{N}"), "baseline"
+    )
+    assert resumed.complete
+    assert resumed.skyline_values == reference.skyline_values
+    # The exact durability contract: resuming costs precisely what was
+    # still unpaid, never re-billing the truncated run's answers.
+    assert resumed.total_cost == reference.total_cost
+    assert resumed.stats.ledger_hits == truncated_budget
+
+    record(
+        "store",
+        f"baseline_diamonds_n{N}_k{K}_resume",
+        uninterrupted_cost=reference.total_cost,
+        budget_truncated_at=truncated_budget,
+        resumed_total_cost=resumed.total_cost,
+        resumed_new_billed=resumed.stats.issued,
+        replayed_from_ledger=resumed.stats.ledger_hits,
+        skyline=resumed.skyline_size,
+    )

@@ -57,6 +57,17 @@ search API with per-API-key budgets and fault injection, and
     with HiddenDBServer(table, k=10) as server:
         remote = RemoteTopKInterface(server.url, cache_size=1024)
         result = Discoverer().run(remote)
+
+Crawls become *durable* by mounting a :class:`CrawlStore`
+(:mod:`repro.store`): every billed answer lands in a persistent query
+ledger, progress is checkpointed, and a killed run resumed with
+``resume=True`` replays the paid-for prefix instead of re-billing it::
+
+    store = CrawlStore("crawl.db")
+    Discoverer(DiscoveryConfig(store=store)).run(remote)       # cold crawl
+    Discoverer(DiscoveryConfig(store=store)).run(remote)       # warm: free
+    # after a kill -9 / deploy / budget exhaustion:
+    Discoverer(DiscoveryConfig(store=store, resume=True)).run(remote)
 """
 
 from .hiddendb import (
@@ -105,6 +116,7 @@ from .core import (
     rq_db_skyband,
     sq_db_skyband,
 )
+from .store import CrawlStore, QueryLedger, StoreError, StoreMismatchError
 
 __version__ = "2.0.0"
 
@@ -113,6 +125,7 @@ __all__ = [
     "AlgorithmNotFoundError",
     "AlgorithmSpec",
     "Attribute",
+    "CrawlStore",
     "Discoverer",
     "DiscoveryConfig",
     "DiscoveryResult",
@@ -124,6 +137,7 @@ __all__ = [
     "PipelinedStrategy",
     "Query",
     "QueryBudgetExceeded",
+    "QueryLedger",
     "QueryResult",
     "RandomSkylineRanker",
     "Ranker",
@@ -132,6 +146,8 @@ __all__ = [
     "SearchEndpoint",
     "SerialStrategy",
     "SkybandResult",
+    "StoreError",
+    "StoreMismatchError",
     "Table",
     "TopKInterface",
     "UnsupportedQueryError",

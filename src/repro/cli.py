@@ -1,15 +1,20 @@
 """Command-line interface: ``repro`` (or ``python -m repro.cli``).
 
-Six subcommands, all running against the bundled generators so the paper's
+Eight subcommands, all running against the bundled generators so the paper's
 system can be exercised without writing any code:
 
 * ``discover``   -- run skyline discovery over a generated dataset;
+* ``crawl``      -- durable discovery against a :mod:`repro.store` crawl
+  store: every billed answer is ledgered, progress is checkpointed, and
+  ``--resume`` picks a killed crawl back up with zero double billing;
 * ``skyband``    -- run top-K skyband discovery;
 * ``stats``      -- query-log statistics of a discovery run;
 * ``algorithms`` -- list the registered discovery algorithms;
 * ``figures``    -- list or run the figure-reproduction experiments;
 * ``serve``      -- stand a generated dataset up as a networked top-k
-  search service (:mod:`repro.service`).
+  search service (:mod:`repro.service`);
+* ``store``      -- inspect and maintain a crawl store
+  (``ls`` / ``show`` / ``gc``).
 
 Everything routes through the :class:`repro.Discoverer` facade, so the
 ``--algorithm`` flag accepts any name in the registry (including algorithms
@@ -39,6 +44,12 @@ Examples::
     # queries per round trip, run-scoped dedup, engine telemetry
     repro discover --url http://127.0.0.1:8080 --workers 8 --batch-size 16 \
         --dedup --verbose
+
+    # durable crawl: kill -9 it mid-run, rerun with --resume, and the
+    # ledger replays every answer already paid for
+    repro crawl --url http://127.0.0.1:8080 --store crawl.db --workers 8
+    repro crawl --url http://127.0.0.1:8080 --store crawl.db --resume
+    repro store ls --store crawl.db
 """
 
 from __future__ import annotations
@@ -66,6 +77,7 @@ from .datagen import (
 from .experiments import ALL_FIGURES
 from .experiments.reporting import format_engine_stats, format_table
 from .hiddendb import LinearRanker, Table, TopKInterface
+from .store import CrawlStore, StoreError
 
 DATASETS: dict[str, Callable[[int, int], Table]] = {
     "diamonds": lambda n, seed: diamonds_table(n, seed=seed),
@@ -90,6 +102,19 @@ def _build_ranker(args, table: Table) -> LinearRanker | None:
     return None
 
 
+def _dataset_label(args) -> str:
+    """Endpoint identity of a locally generated dataset.
+
+    Feeds the crawl store's fingerprint, so it must pin everything that
+    determines the answers: dataset, size, seed and ranking choice (the
+    schema and ``k`` are fingerprinted separately).
+    """
+    label = f"{args.dataset}-n{args.n}-s{args.seed}"
+    if args.price_ranking:
+        label += "-price"
+    return label
+
+
 def _build_interface(args):
     if getattr(args, "url", None):
         from .service import RemoteTopKInterface
@@ -100,7 +125,12 @@ def _build_interface(args):
             cache_size=args.cache or None,
         )
     table = _build_table(args)
-    return TopKInterface(table, ranker=_build_ranker(args, table), k=args.k)
+    return TopKInterface(
+        table,
+        ranker=_build_ranker(args, table),
+        k=args.k,
+        name=_dataset_label(args),
+    )
 
 
 def _source_label(args, interface) -> str:
@@ -114,6 +144,28 @@ def _print_remote_telemetry(args, interface) -> None:
         return
     print(f"billable   : {interface.queries_issued} "
           f"(cache hits {interface.cache_hits}, retries {interface.retries})")
+
+
+def _print_result_header(args, interface, result, queries_suffix="") -> None:
+    """The summary block shared by ``discover`` and ``crawl``."""
+    print(f"dataset    : {_source_label(args, interface)}")
+    print(f"algorithm  : {result.algorithm}")
+    print(f"queries    : {result.total_cost}{queries_suffix}")
+    print(f"skyline    : {result.skyline_size} tuples")
+    print(f"complete   : {result.complete}")
+
+
+def _print_result_details(args, interface, result) -> None:
+    """Telemetry/engine/tuple output shared by the discovery commands."""
+    _print_remote_telemetry(args, interface)
+    if args.verbose:
+        print(format_engine_stats(result.stats))
+    if args.show_tuples:
+        rows = getattr(result, "skyline", None)
+        if rows is None:
+            rows = result.skyband
+        for row in rows[: args.show_tuples]:
+            print(f"  {row.values}")
 
 
 def _discoverer(args, **config_kwargs) -> Discoverer:
@@ -136,23 +188,51 @@ def _algorithm_arg(args) -> str | None:
 def _cmd_discover(args) -> int:
     interface = _build_interface(args)
     result = _discoverer(args).run(interface, _algorithm_arg(args))
-    print(f"dataset    : {_source_label(args, interface)}")
-    print(f"algorithm  : {result.algorithm}")
-    print(f"queries    : {result.total_cost}")
-    print(f"skyline    : {result.skyline_size} tuples")
-    print(f"complete   : {result.complete}")
-    _print_remote_telemetry(args, interface)
-    if args.verbose:
-        print(format_engine_stats(result.stats))
+    _print_result_header(args, interface, result)
     if result.skyline_size:
         print(f"cost/tuple : {result.total_cost / result.skyline_size:.2f}")
-    if args.show_tuples:
-        for row in result.skyline[: args.show_tuples]:
-            print(f"  {row.values}")
+    _print_result_details(args, interface, result)
     if args.curve:
         print("\nanytime curve (cost, discovered):")
         for cost, count in result.discovery_curve():
             print(f"  {cost:6d}  {count}")
+    return 0
+
+
+def _cmd_crawl(args) -> int:
+    with CrawlStore(args.store) as store:
+        return _run_crawl(args, store)
+
+
+def _run_crawl(args, store: CrawlStore) -> int:
+    interface = _build_interface(args)
+    result = _discoverer(
+        args,
+        store=store,
+        resume=args.resume,
+        checkpoint_every=args.checkpoint_every,
+    ).run(interface, _algorithm_arg(args))
+    # Report the session THIS run billed under (result.store_session),
+    # re-read for its final billed counter -- another crawl sharing the
+    # store may have finished in between.
+    record = result.store_session
+    session = store.session(record.session_id) or record
+    endpoint = next(
+        e for e in store.endpoints() if e.fingerprint == record.fingerprint
+    )
+    prior = session.billed - (result.stats.issued if result.stats else 0)
+    _print_result_header(
+        args, interface, result,
+        queries_suffix=f" ({prior} billed before resume)" if prior > 0 else "",
+    )
+    print(f"store      : {store.path}")
+    print(f"session    : {session.session_id} "
+          f"({'resumed' if record.resumed else 'new'}, "
+          f"billed={session.billed})")
+    print(f"ledger     : {endpoint.ledger_entries} answers owned for "
+          f"endpoint {endpoint.name or '<unnamed>'} "
+          f"[{endpoint.fingerprint[:8]}]")
+    _print_result_details(args, interface, result)
     return 0
 
 
@@ -166,7 +246,7 @@ def _cmd_skyband(args) -> int:
     print(f"queries  : {result.total_cost}")
     print(f"band     : {len(result.skyband)} tuples")
     print(f"complete : {result.complete}")
-    _print_remote_telemetry(args, interface)
+    _print_result_details(args, interface, result)
     return 0
 
 
@@ -215,7 +295,10 @@ def _cmd_serve(args) -> int:
         port=args.port,
         key_budget=args.key_budget,
         faults=faults,
-        name=f"{args.dataset}-n{table.n}",
+        # The name is the served dataset's identity: crawl stores fold it
+        # into their endpoint fingerprint, so serving different data under
+        # the same name would wrongly share a ledger.
+        name=_dataset_label(args),
     )
     server.start()
     # flush=True throughout: the URL line must reach a redirected/piped log
@@ -238,6 +321,76 @@ def _cmd_serve(args) -> int:
         server.stop()
         print(f"served     : {stats.queries_total} queries "
               f"({stats.faults_injected} faults injected)")
+    return 0
+
+
+def _cmd_store_ls(args) -> int:
+    with CrawlStore(args.store) as store:
+        endpoints = store.endpoints()
+        print(f"store      : {store.path}")
+        if not endpoints:
+            print("(empty store)")
+            return 0
+        print(format_table([
+            {
+                "endpoint": e.name or "<unnamed>",
+                "schema": e.fingerprint[:8],
+                "k": e.k,
+                "ledger": e.ledger_entries,
+            }
+            for e in endpoints
+        ]))
+        sessions = store.sessions()
+        if sessions:
+            print()
+            print(format_table([
+                {
+                    "session": s.session_id,
+                    "algorithm": s.algorithm or "-",
+                    "status": s.status,
+                    "billed": s.billed,
+                    "cost": (s.result or {}).get("total_cost", ""),
+                    "skyline": (s.result or s.checkpoint or {}).get(
+                        "skyline_size", ""
+                    ),
+                }
+                for s in sessions
+            ]))
+    return 0
+
+
+def _cmd_store_show(args) -> int:
+    import json as _json
+
+    with CrawlStore(args.store) as store:
+        session = store.session(args.session)
+        if session is None:
+            print(f"error: no session {args.session!r} in {store.path}",
+                  file=sys.stderr)
+            return 2
+        print(f"session    : {session.session_id}")
+        print(f"endpoint   : {session.fingerprint}")
+        print(f"algorithm  : {session.algorithm or '-'}")
+        print(f"status     : {session.status}")
+        print(f"billed     : {session.billed}")
+        if session.checkpoint:
+            print("checkpoint :",
+                  _json.dumps(dict(session.checkpoint), indent=2))
+        if session.result is not None:
+            print("result     :",
+                  _json.dumps(dict(session.result), indent=2))
+    return 0
+
+
+def _cmd_store_gc(args) -> int:
+    with CrawlStore(args.store) as store:
+        report = store.gc()
+        print(f"store      : {store.path}")
+        print(f"pruned     : {report.endpoints_pruned} endpoints, "
+              f"{report.ledger_pruned} ledger entries, "
+              f"{report.sessions_pruned} sessions")
+        if not report.total:
+            print("(nothing stale)")
     return 0
 
 
@@ -305,20 +458,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="memoize repeated identical queries within "
                          "the run (hits are never billed)")
 
+    def add_output_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--show-tuples", type=int, default=0, metavar="N",
+                         help="print the first N skyline tuples")
+        sub.add_argument("--verbose", action="store_true",
+                         help="print execution-engine counters (dispatch "
+                         "strategy, dedup/ledger savings, batching)")
+
     sub = subparsers.add_parser("discover", help="discover the skyline")
     add_common(sub)
-    sub.add_argument("--show-tuples", type=int, default=0, metavar="N",
-                     help="print the first N skyline tuples")
+    add_output_flags(sub)
     sub.add_argument("--curve", action="store_true",
                      help="print the anytime discovery curve")
-    sub.add_argument("--verbose", action="store_true",
-                     help="print execution-engine counters (dispatch "
-                     "strategy, dedup savings, batching)")
     sub.set_defaults(handler=_cmd_discover)
+
+    sub = subparsers.add_parser(
+        "crawl",
+        help="durable skyline discovery against a crawl store "
+        "(resumable; never re-bills an owned answer)",
+    )
+    add_common(sub)
+    sub.add_argument("--store", required=True, metavar="PATH",
+                     help="SQLite crawl store holding the query ledger, "
+                     "session checkpoints and result catalog")
+    sub.add_argument("--resume", action="store_true",
+                     help="pick up the most recent unfinished crawl of "
+                     "this endpoint+algorithm instead of starting fresh")
+    sub.add_argument("--checkpoint-every", type=int, default=32, metavar="N",
+                     help="answers between progress checkpoints "
+                     "(default 32; the billed counter is always exact)")
+    add_output_flags(sub)
+    sub.set_defaults(handler=_cmd_crawl)
 
     sub = subparsers.add_parser("skyband", help="discover the top-K skyband")
     add_common(sub)
     sub.add_argument("--band", type=int, default=2, help="K (default 2)")
+    add_output_flags(sub)
     sub.set_defaults(handler=_cmd_skyband)
 
     sub = subparsers.add_parser("stats", help="query-log statistics of a run")
@@ -354,6 +529,34 @@ def build_parser() -> argparse.ArgumentParser:
                      "(default: run until interrupted)")
     sub.set_defaults(handler=_cmd_serve)
 
+    sub = subparsers.add_parser(
+        "store", help="inspect and maintain a crawl store"
+    )
+    actions = sub.add_subparsers(dest="action", required=True)
+
+    def add_store_path(action: argparse.ArgumentParser) -> None:
+        action.add_argument("--store", required=True, metavar="PATH",
+                            help="crawl store database file")
+
+    action = actions.add_parser(
+        "ls", help="list registered endpoints and crawl sessions"
+    )
+    add_store_path(action)
+    action.set_defaults(handler=_cmd_store_ls)
+
+    action = actions.add_parser(
+        "show", help="show one crawl session (checkpoint and result)"
+    )
+    action.add_argument("session", help="session id (see 'repro store ls')")
+    add_store_path(action)
+    action.set_defaults(handler=_cmd_store_show)
+
+    action = actions.add_parser(
+        "gc", help="prune stale endpoints, ledger entries and sessions"
+    )
+    add_store_path(action)
+    action.set_defaults(handler=_cmd_store_gc)
+
     sub = subparsers.add_parser("figures", help="figure experiments")
     sub.add_argument("figures", nargs="*", help="figure ids (e.g. fig13)")
     sub.add_argument("--list", action="store_true", help="list figures")
@@ -366,8 +569,9 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.handler(args)
-    except (AlgorithmNotFoundError, ValueError) as exc:
-        # e.g. --algorithm rq on a point-predicate dataset
+    except (AlgorithmNotFoundError, StoreError, ValueError) as exc:
+        # e.g. --algorithm rq on a point-predicate dataset, or --store
+        # pointing at a ledger built against a different dataset/k
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -22,12 +22,14 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable
 
+import numpy as np
+
 from ..hiddendb.endpoint import SearchEndpoint
 from ..hiddendb.errors import QueryBudgetExceeded
 from ..hiddendb.interface import QueryResult
 from ..hiddendb.query import Query
 from ..hiddendb.table import Row
-from .dominance import skyline_of_rows
+from .dominance import incremental_skyline_update, skyline_of_rows
 from .engine import (
     EngineStats,
     ExecutionStrategy,
@@ -38,7 +40,9 @@ from .engine import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..store import CrawlStore, SessionRecord
     from .registry import AlgorithmInfo, DiscoveryConfig
+    from .skyband import SkybandResult
 
 
 @dataclass(frozen=True)
@@ -74,6 +78,9 @@ class DiscoveryResult:
     #: Execution-engine counters of the run (dispatch strategy, billable
     #: queries, memo hits, batching, peak concurrency).
     stats: EngineStats | None = None
+    #: Crawl-store session this run was billed under (durable runs only;
+    #: ``resumed`` tells whether it continued a crashed incarnation).
+    store_session: "SessionRecord | None" = field(default=None, repr=False)
 
     @property
     def skyline_values(self) -> frozenset[tuple[int, ...]]:
@@ -179,6 +186,20 @@ class DiscoverySession:
         # reaches the endpoint (from whichever thread runs it).
         self._budget_used = 0
         self._budget_lock = threading.Lock()
+        # Durable-crawl state (bound by ``attach_store``; all None/0 for
+        # plain in-memory runs).
+        self._store: "CrawlStore | None" = None
+        self._store_session: "SessionRecord | None" = None
+        self._checkpoint_every = 0
+        self._records_since_checkpoint = 0
+        #: Queries billed by earlier (crashed) incarnations of this crawl
+        #: session, carried into :attr:`cost` so a resumed run reports the
+        #: cumulative billed total.
+        self._prior_cost = 0
+        #: Incrementally maintained skyline-so-far value vectors (durable
+        #: runs only): checkpoints snapshot it in O(|skyline|) instead of
+        #: recomputing the skyline of everything retrieved.
+        self._sky_values: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # interface passthrough
@@ -200,8 +221,14 @@ class DiscoverySession:
 
     @property
     def cost(self) -> int:
-        """Queries issued through this session so far."""
-        return self._interface.queries_issued - self._start
+        """Billed queries of this crawl so far.
+
+        Counts queries issued through this session, plus -- for a resumed
+        durable crawl -- the queries already billed by the crashed
+        incarnations it continues (so ``result.total_cost`` reports what
+        the whole crawl actually paid).
+        """
+        return self._interface.queries_issued - self._start + self._prior_cost
 
     @property
     def log(self) -> tuple[QueryResult, ...]:
@@ -282,11 +309,17 @@ class DiscoverySession:
             if row.rid not in self._first_seen:
                 entry = TraceEntry(cost, row)
                 self._first_seen[row.rid] = entry
+                if self._store is not None:
+                    self._track_skyline(row)
                 if self._on_tuple is not None:
                     self._on_tuple(entry)
         self._log.append(result)
         if self._on_query is not None:
             self._on_query(result)
+        if self._store is not None:
+            self._records_since_checkpoint += 1
+            if self._records_since_checkpoint >= self._checkpoint_every:
+                self.save_checkpoint()
 
     @classmethod
     def from_config(
@@ -295,11 +328,14 @@ class DiscoverySession:
         config: "DiscoveryConfig | None" = None,
         *,
         default_dedup: bool = False,
+        algorithm: str | None = None,
     ) -> "DiscoverySession":
         """A session honouring a :class:`DiscoveryConfig` (``None`` = defaults).
 
         ``default_dedup`` is the memoization default applied when the
         config leaves ``dedup`` unset (skyband runners pass ``True``).
+        ``algorithm`` labels the crawl session when ``config.store`` is
+        set (resume matches on endpoint + algorithm).
         """
         if config is None:
             return cls(interface, dedup=default_dedup)
@@ -311,7 +347,7 @@ class DiscoverySession:
         else:
             strategy = SerialStrategy()
         dedup = config.dedup if config.dedup is not None else default_dedup
-        return cls(
+        session = cls(
             interface,
             config.base_query,
             budget=config.budget,
@@ -320,6 +356,133 @@ class DiscoverySession:
             strategy=strategy,
             dedup=dedup,
         )
+        if config.store is not None:
+            session.attach_store(
+                config.store,
+                algorithm=algorithm or "",
+                resume=config.resume,
+                checkpoint_every=config.checkpoint_every,
+            )
+        return session
+
+    # ------------------------------------------------------------------
+    # durable-crawl plumbing (crawl store)
+    # ------------------------------------------------------------------
+    def attach_store(
+        self,
+        store: "CrawlStore",
+        *,
+        algorithm: str = "",
+        resume: bool = False,
+        checkpoint_every: int = 32,
+    ) -> None:
+        """Make this run durable against ``store``.
+
+        Registers the endpoint (refusing, via
+        :class:`~repro.store.StoreMismatchError`, a ledger built against a
+        different dataset/``k``), begins -- or with ``resume=True`` picks
+        back up -- a crawl session, and mounts the endpoint's query ledger
+        on the execution engine so already-paid-for answers replay free
+        and every billed answer is persisted.  Remote endpoints that
+        support it additionally get the session's deterministic replay
+        nonce, so queries billed by a crashed incarnation but never
+        persisted (lost in flight) are replayed by the server instead of
+        billed twice.
+        """
+        name = getattr(self._interface, "service_name", "") or getattr(
+            self._interface, "name", ""
+        )
+        fingerprint = store.register_endpoint(
+            self.schema,
+            self.k,
+            name=name,
+            ranking=getattr(self._interface, "ranking_label", ""),
+        )
+        record = store.begin_session(fingerprint, algorithm, resume=resume)
+        self._store = store
+        self._store_session = record
+        self._checkpoint_every = max(int(checkpoint_every), 1)
+        self._prior_cost = record.billed if record.resumed else 0
+        self._engine.bind_ledger(store.ledger(fingerprint, record.session_id))
+        set_nonce = getattr(self._interface, "set_replay_nonce", None)
+        if set_nonce is not None:
+            set_nonce(record.nonce)
+
+    @property
+    def store_session(self) -> "SessionRecord | None":
+        """The crawl-store session backing this run, if durable."""
+        return self._store_session
+
+    def _track_skyline(self, row: Row) -> None:
+        """Fold one newly retrieved row into the skyline-so-far tracker."""
+        updated = incremental_skyline_update(
+            self._sky_values, np.asarray(row.values, dtype=np.int64)
+        )
+        if updated is not None:
+            self._sky_values = updated
+
+    def _skyline_snapshot(self) -> list[list[int]]:
+        """Distinct skyline-so-far value vectors, sorted (checkpoint view)."""
+        if self._sky_values is None:
+            return []
+        distinct = np.unique(self._sky_values, axis=0)
+        return [[int(v) for v in row] for row in distinct]
+
+    def save_checkpoint(self) -> None:
+        """Snapshot the crawl's progress into the store (no-op otherwise)."""
+        if self._store is None or self._store_session is None:
+            return
+        self._records_since_checkpoint = 0
+        skyline = self._skyline_snapshot()
+        self._store.save_checkpoint(
+            self._store_session.session_id,
+            {
+                "billed": self.cost,
+                "retrieved": len(self._first_seen),
+                "answers": len(self._log),
+                "skyline_size": len(skyline),
+                "skyline": skyline,
+            },
+        )
+
+    def finish_store(
+        self, result: "DiscoveryResult | SkybandResult"
+    ) -> None:
+        """File ``result`` in the store's crawl catalog (no-op otherwise).
+
+        Only *complete* results finish the crawl session.  A partial run
+        (budget exhaustion, the anytime mode) checkpoints its final state
+        but stays ``running``: rerunning with ``resume=True`` -- e.g.
+        after the per-key budget refreshes -- replays the paid-for prefix
+        and finishes the discovery without re-billing a single query.
+        """
+        if self._store is None or self._store_session is None:
+            return
+        # The session's deterministic replay nonce must not leak into
+        # later non-durable runs on the same client (their repeats would
+        # be server-replayed unbilled while still counted as issued).
+        set_nonce = getattr(self._interface, "set_replay_nonce", None)
+        if set_nonce is not None:
+            set_nonce(None)
+        if not result.complete:
+            self.save_checkpoint()
+            return
+        rows = getattr(result, "skyline", None)
+        if rows is None:
+            rows = getattr(result, "skyband", ())
+        payload: dict = {
+            "algorithm": result.algorithm,
+            "total_cost": int(result.total_cost),
+            "complete": bool(result.complete),
+            "skyline_size": len(rows),
+            "skyline": [[int(v) for v in row.values] for row in rows],
+            "stats": result.stats.as_dict() if result.stats is not None else None,
+        }
+        band = getattr(result, "band", None)
+        if band is not None:
+            payload["band"] = int(band)
+        self.save_checkpoint()
+        self._store.finish_session(self._store_session.session_id, payload)
 
     def mark_incomplete(self) -> None:
         """Flag the run as provably partial (e.g. an unsplittable crawl

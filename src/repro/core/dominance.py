@@ -120,6 +120,31 @@ def skyline_indices(matrix: np.ndarray) -> np.ndarray:
     return np.flatnonzero(unique_is_skyline[inverse])
 
 
+def incremental_skyline_update(
+    skyline_values: np.ndarray | None, values: np.ndarray
+) -> np.ndarray | None:
+    """Fold one value vector into an incrementally maintained skyline.
+
+    ``skyline_values`` is the current skyline's (s, m) distinct-vector
+    matrix (``None`` when empty); returns the updated matrix, or ``None``
+    when nothing changed (``values`` is dominated by -- or ties -- a kept
+    vector).  Sound because domination is transitive: a vector dominated
+    now can never re-enter, and identical vectors do not dominate each
+    other, so one copy represents every tie.  O(s * m) per call.
+    """
+    if skyline_values is None:
+        return values[None, :]
+    # A kept vector weakly dominating ``values`` means ``values`` is
+    # either strictly dominated or an exact tie; both are already covered.
+    if bool(np.any(np.all(skyline_values <= values, axis=1))):
+        return None
+    keep = ~(
+        np.all(values <= skyline_values, axis=1)
+        & np.any(values < skyline_values, axis=1)
+    )
+    return np.vstack([skyline_values[keep], values[None, :]])
+
+
 def skyline_of_rows(rows: Sequence[Row]) -> list[Row]:
     """Skyline of an explicit row collection, preserving input order."""
     if not rows:

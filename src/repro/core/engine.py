@@ -75,16 +75,19 @@ class EngineStats:
 
     ``issued`` counts queries the engine sent to the endpoint (the billable
     work); ``deduped`` counts queries answered for free from the run-scoped
-    memo; ``batched`` counts the subset of issued queries whose answers
-    arrived inside ``batch_query()`` round trips (``batches`` counts the
-    round trips started); ``max_in_flight`` is the peak number of queries
-    simultaneously awaiting an answer.
+    memo; ``ledger_hits`` counts queries answered for free from a mounted
+    persistent crawl-store ledger (answers paid for by an *earlier* run or
+    a crashed incarnation of this one); ``batched`` counts the subset of
+    issued queries whose answers arrived inside ``batch_query()`` round
+    trips (``batches`` counts the round trips started); ``max_in_flight``
+    is the peak number of queries simultaneously awaiting an answer.
     """
 
     strategy: str = "serial"
     workers: int = 1
     issued: int = 0
     deduped: int = 0
+    ledger_hits: int = 0
     batched: int = 0
     batches: int = 0
     max_in_flight: int = 0
@@ -97,8 +100,14 @@ class EngineStats:
     @property
     def dedup_rate(self) -> float:
         """Fraction of logical queries answered from the memo."""
-        total = self.issued + self.deduped
+        total = self.issued + self.deduped + self.ledger_hits
         return self.deduped / total if total else 0.0
+
+    @property
+    def ledger_rate(self) -> float:
+        """Fraction of logical queries answered from the persistent ledger."""
+        total = self.issued + self.deduped + self.ledger_hits
+        return self.ledger_hits / total if total else 0.0
 
     def as_dict(self) -> dict[str, object]:
         """JSON-friendly view (benchmark records, experiment reporting)."""
@@ -107,6 +116,8 @@ class EngineStats:
             "workers": self.workers,
             "issued": self.issued,
             "deduped": self.deduped,
+            "dedup_rate": self.dedup_rate,
+            "ledger_hits": self.ledger_hits,
             "batched": self.batched,
             "batches": self.batches,
             "max_in_flight": self.max_in_flight,
@@ -116,6 +127,7 @@ class EngineStats:
         return (
             f"EngineStats({self.strategy} x{self.workers}: "
             f"issued={self.issued}, deduped={self.deduped}, "
+            f"ledger_hits={self.ledger_hits}, "
             f"batched={self.batched}/{self.batches}, "
             f"max_in_flight={self.max_in_flight})"
         )
@@ -142,9 +154,16 @@ class QueryEngine:
         # LRU) expose ``cached_answer``; the engine consults it before
         # reserving budget or dispatching, since cache hits bill nothing.
         self._peek = getattr(interface, "cached_answer", None)
-        self._memo: dict[Query, QueryResult] = {}
+        # The memo is keyed by the canonical query key (the scheme shared
+        # with the remote cache and the crawl-store ledger), so layers can
+        # never disagree about query identity.
+        self._memo: dict[str, QueryResult] = {}
+        #: Optional persistent ledger (crawl store): answered queries are
+        #: free across runs/processes, and every billed answer is persisted.
+        self._ledger = None
         self._issued = 0
         self._deduped = 0
+        self._ledger_hits = 0
         self._batched = 0
         self._batches = 0
         self._in_flight = 0
@@ -154,16 +173,48 @@ class QueryEngine:
         #: churning a fresh pool per recursion level.
         self._drain_pool: "ThreadPoolExecutor | None" = None
 
-    # -- memo ----------------------------------------------------------
+    # -- memo and ledger -----------------------------------------------
+    def bind_ledger(self, ledger) -> None:
+        """Mount a persistent query ledger (crawl-store view).
+
+        Ledgered answers are free exactly like dedup hits -- no budget
+        reservation, no billing -- and every billed answer is written
+        through, which is what makes a crawl resumable: a restarted run
+        replays the already-paid-for prefix from the ledger and only bills
+        genuinely new queries.
+        """
+        self._ledger = ledger
+
+    @property
+    def ledger(self):
+        """The mounted persistent ledger, if any."""
+        return self._ledger
+
     def lookup(self, query: Query) -> QueryResult | None:
         """Memoized answer for ``query`` (``None`` unless dedup hit)."""
         if not self.dedup:
             return None
-        return self._memo.get(query)
+        return self._memo.get(query.canonical_key())
 
     def count_dedup(self) -> None:
         """Record one memo hit."""
         self._deduped += 1
+
+    def ledger_lookup(self, query: Query) -> QueryResult | None:
+        """Persisted answer for ``query`` from the mounted ledger, if any.
+
+        A hit is counted in ``ledger_hits`` and memoized (when dedup is
+        on) so later repeats within the run resolve from RAM.
+        """
+        if self._ledger is None:
+            return None
+        hit = self._ledger.get(query)
+        if hit is None:
+            return None
+        self._ledger_hits += 1
+        if self.dedup:
+            self._memo[query.canonical_key()] = hit
+        return hit
 
     def peek_cache(self, query: Query) -> QueryResult | None:
         """The endpoint's own cached answer for ``query``, if it has one."""
@@ -174,12 +225,14 @@ class QueryEngine:
     def note_answer(
         self, query: Query, result: QueryResult, batched: bool = False
     ) -> None:
-        """Record one billed answer (memoize it when dedup is on)."""
+        """Record one billed answer (memoize and ledger it)."""
         self._issued += 1
         if batched:
             self._batched += 1
         if self.dedup:
-            self._memo[query] = result
+            self._memo[query.canonical_key()] = result
+        if self._ledger is not None:
+            self._ledger.put(query, result)
 
     # -- in-flight accounting (driver thread) --------------------------
     def note_dispatch(self, count: int = 1) -> None:
@@ -208,12 +261,17 @@ class QueryEngine:
         if hit is not None:
             self.count_dedup()
             return hit
+        ledgered = self.ledger_lookup(query)
+        if ledgered is not None:
+            # A ledger hit is an answer an earlier run already paid for:
+            # free, like a dedup hit.
+            return ledgered
         cached = self.peek_cache(query)
         if cached is not None:
             # An endpoint-cache hit is free: no budget reservation, no
             # billable ``issued`` count (matching queries_issued).
             if self.dedup:
-                self._memo[query] = cached
+                self._memo[query.canonical_key()] = cached
             return cached
         if session is not None:
             session.reserve_budget()
@@ -236,6 +294,7 @@ class QueryEngine:
             workers=self.strategy.workers,
             issued=self._issued,
             deduped=self._deduped,
+            ledger_hits=self._ledger_hits,
             batched=self._batched,
             batches=self._batches,
             max_in_flight=self._max_in_flight,
@@ -340,14 +399,19 @@ class _Dispatched:
     Exactly one answer source is set: a future (per-query task, or a
     ``(future, batch_index)`` pair into a batch task), a memo key (dedup:
     the answer is -- or by this entry's merge turn will be -- memoized),
-    or a direct ``result`` (endpoint-cache hit at dispatch time).
+    or a direct ``result`` (endpoint-cache or ledger hit at dispatch time).
     """
 
     entry: _Entry
     query: Query | None = None  #: merged query (transported entries only)
+    key: str | None = None  #: canonical key of ``query``
     future: Future | None = None
     batch_index: int | None = None
-    memo_key: Query | None = None
+    memo_key: str | None = None
+    #: Dedup-off duplicate of an in-flight query with a ledger mounted:
+    #: resolved from the ledger at merge time (the original's in-order
+    #: merge has written it by then), billed nothing.
+    ledger_query: Query | None = None
     result: QueryResult | None = None
 
     @property
@@ -360,6 +424,14 @@ class _Dispatched:
         if self.memo_key is not None:
             engine.count_dedup()
             return engine._memo[self.memo_key]
+        if self.ledger_query is not None:
+            answer = engine.ledger_lookup(self.ledger_query)
+            if answer is None:  # pragma: no cover - merge order guarantees it
+                raise RuntimeError(
+                    f"in-flight duplicate {self.ledger_query!r} missing from "
+                    f"the ledger at merge time"
+                )
+            return answer
         assert self.future is not None
         try:
             outcome = self.future.result()
@@ -422,7 +494,7 @@ class PipelinedStrategy(ExecutionStrategy):
         per_task = self.batch_size if batch_query is not None else 1
         capacity = self.workers * per_task
         waiting: deque[_Dispatched] = deque()
-        inflight_keys: set[Query] = set()  # dispatched, not yet merged
+        inflight_keys: set[str] = set()  # dispatched, not yet merged
         outstanding = 0  # transported entries not yet merged (this drain)
 
         # Nested drains (a callback running a sub-frontier mid-merge)
@@ -447,29 +519,52 @@ class PipelinedStrategy(ExecutionStrategy):
                     while frontier.pending and len(chunk) < limit:
                         entry = frontier.pop()
                         merged = session.prepare(entry.query)
+                        ckey = merged.canonical_key()
                         if engine.dedup and (
-                            merged in engine._memo
-                            or merged in inflight_keys
+                            ckey in engine._memo
+                            or ckey in inflight_keys
                         ):
                             # Answered (or about to be) by the memo:
                             # resolve there at merge time, bill nothing.
                             waiting.append(
-                                _Dispatched(entry, memo_key=merged)
+                                _Dispatched(entry, memo_key=ckey)
+                            )
+                            continue
+                        if (
+                            engine.ledger is not None
+                            and ckey in inflight_keys
+                        ):
+                            # Dedup is off but a ledger is mounted: the
+                            # in-flight original will have ledgered its
+                            # answer by this entry's merge turn, and a
+                            # serial run would have answered the repeat
+                            # from the ledger for free -- dispatching it
+                            # would double-bill an owned answer.
+                            waiting.append(
+                                _Dispatched(entry, ledger_query=merged)
+                            )
+                            continue
+                        ledgered = engine.ledger_lookup(merged)
+                        if ledgered is not None:
+                            # Already paid for by an earlier run: free,
+                            # no dispatch.
+                            waiting.append(
+                                _Dispatched(entry, result=ledgered)
                             )
                             continue
                         cached = engine.peek_cache(merged)
                         if cached is not None:
                             # Endpoint-cache hit: free, no dispatch.
                             if engine.dedup:
-                                engine._memo[merged] = cached
+                                engine._memo[ckey] = cached
                             waiting.append(
                                 _Dispatched(entry, result=cached)
                             )
                             continue
-                        item = _Dispatched(entry, query=merged)
+                        item = _Dispatched(entry, query=merged, key=ckey)
                         chunk.append(item)
                         waiting.append(item)
-                        inflight_keys.add(merged)
+                        inflight_keys.add(ckey)
                         outstanding += 1
                     self._submit(chunk, pool, session, batch_query, engine)
                 if not waiting:
@@ -480,7 +575,7 @@ class PipelinedStrategy(ExecutionStrategy):
                     result = head.resolve(engine)
                 finally:
                     if head.transported:
-                        inflight_keys.discard(head.query)
+                        inflight_keys.discard(head.key)
                         engine.note_done()
                         outstanding -= 1
                 if head.transported:

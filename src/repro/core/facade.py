@@ -104,14 +104,24 @@ class Discoverer:
         """
         cfg = self._effective(config, overrides)
         spec = self._spec_for(interface, algorithm)
-        session = self._session(interface, cfg)
+        session = self._session(interface, cfg, spec.name)
         complete = True
         try:
             spec.run(session, cfg)
         except QueryBudgetExceeded:
             complete = False
+        finally:
+            # However the run ends -- including a mid-run crash raising
+            # past us -- the durable session's deterministic replay nonce
+            # must not leak into later runs on the same client.
+            self._clear_replay_nonce(interface, cfg)
         result = session.result(spec.display(interface.schema), complete)
-        return self._decorate(result, spec, cfg, session)
+        result = self._decorate(result, spec, cfg, session)
+        # Durable runs file their outcome in the store's crawl catalog;
+        # a run that *raises* instead leaves its session 'running', i.e.
+        # resumable with DiscoveryConfig(resume=True).
+        session.finish_store(result)
+        return result
 
     def run_all(
         self,
@@ -153,7 +163,10 @@ class Discoverer:
         if band is not None:
             cfg = cfg.replace(band=band)
         spec = self._skyband_spec_for(interface, algorithm)
-        result = spec.skyband(interface, cfg.band, cfg)
+        try:
+            result = spec.skyband(interface, cfg.band, cfg)
+        finally:
+            self._clear_replay_nonce(interface, cfg)
         return _dc_replace(result, config=cfg, info=spec.info())
 
     # ------------------------------------------------------------------
@@ -221,9 +234,24 @@ class Discoverer:
 
     @staticmethod
     def _session(
-        interface: SearchEndpoint, cfg: DiscoveryConfig
+        interface: SearchEndpoint, cfg: DiscoveryConfig, algorithm: str = ""
     ) -> DiscoverySession:
-        return DiscoverySession.from_config(interface, cfg)
+        return DiscoverySession.from_config(interface, cfg, algorithm=algorithm)
+
+    @staticmethod
+    def _clear_replay_nonce(
+        interface: SearchEndpoint, cfg: DiscoveryConfig
+    ) -> None:
+        """Drop the durable session's replay nonce from a shared client.
+
+        Only durable runs set one, so only they clear it -- an explicitly
+        user-configured ``replay_nonce`` on a plain run is left alone.
+        """
+        if cfg.store is None:
+            return
+        set_nonce = getattr(interface, "set_replay_nonce", None)
+        if set_nonce is not None:
+            set_nonce(None)
 
     @staticmethod
     def _decorate(
@@ -237,6 +265,7 @@ class Discoverer:
             config=cfg,
             info=spec.info(),
             query_log=session.log if cfg.record_log else (),
+            store_session=session.store_session,
         )
 
     def __repr__(self) -> str:

@@ -38,6 +38,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..hiddendb.endpoint import SearchEndpoint
     from ..hiddendb.interface import QueryResult
     from ..hiddendb.query import Query
+    from ..store import CrawlStore
     from .base import DiscoverySession, TraceEntry
     from .skyband import SkybandResult
 
@@ -105,6 +106,23 @@ class DiscoveryConfig:
         *off* for plain discovery runs (historical query counts), *on* for
         the skyband runners (their overlapping subspace trees repeat many
         queries).
+    store:
+        Optional :class:`~repro.store.CrawlStore` making the run durable:
+        every billed answer is persisted in the store's query ledger
+        (shared across runs and processes; ledgered answers are free, like
+        dedup hits), the session checkpoints its progress every
+        ``checkpoint_every`` answers, and the finished result is filed in
+        the store's crawl catalog.
+    resume:
+        Pick up the most recent unfinished crawl session of this
+        endpoint + algorithm from ``store`` instead of starting fresh: the
+        run replays the already-paid-for query prefix from the ledger and
+        carries the crashed incarnation's billed count forward into
+        ``result.total_cost``.  Requires ``store``.
+    checkpoint_every:
+        Recorded answers between session checkpoints (progress snapshots
+        in the store; the exact billed counter is updated transactionally
+        with every ledger write regardless).
     options:
         Algorithm-specific knobs forwarded to the registered runner
         (e.g. ``early_termination`` for RQ-DB-SKY, ``plane_attributes`` /
@@ -120,6 +138,9 @@ class DiscoveryConfig:
     workers: int = 1
     batch_size: int = DEFAULT_BATCH_SIZE
     dedup: bool | None = None
+    store: "CrawlStore | None" = None
+    resume: bool = False
+    checkpoint_every: int = 32
     options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -133,6 +154,12 @@ class DiscoveryConfig:
             raise ValueError(
                 f"batch_size must be >= 1, got {self.batch_size}"
             )
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.resume and self.store is None:
+            raise ValueError("resume=True requires a store")
 
     def replace(self, **changes: Any) -> "DiscoveryConfig":
         """A copy of this config with ``changes`` applied."""

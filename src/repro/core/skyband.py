@@ -81,7 +81,9 @@ class SkybandResult:
 
 
 def _session(
-    interface: SearchEndpoint, config: DiscoveryConfig | None
+    interface: SearchEndpoint,
+    config: DiscoveryConfig | None,
+    algorithm: str = "",
 ) -> DiscoverySession:
     """A skyband session: run-scoped memoization defaults to *on*.
 
@@ -90,9 +92,12 @@ def _session(
     syntactically identical queries; the shared memoizer answers the
     repeats for free, so each distinct query is billed exactly once per
     run.  ``DiscoveryConfig(dedup=False)`` restores the historical
-    re-billing behaviour.
+    re-billing behaviour.  ``algorithm`` labels the crawl session when the
+    config mounts a :class:`~repro.store.CrawlStore`.
     """
-    return DiscoverySession.from_config(interface, config, default_dedup=True)
+    return DiscoverySession.from_config(
+        interface, config, default_dedup=True, algorithm=algorithm
+    )
 
 
 def _finish(
@@ -103,7 +108,7 @@ def _finish(
     config: DiscoveryConfig | None = None,
 ) -> SkybandResult:
     retrieved = session.retrieved_rows
-    return SkybandResult(
+    result = SkybandResult(
         algorithm=algorithm,
         band=band,
         skyband=tuple(
@@ -118,6 +123,8 @@ def _finish(
         query_log=session.log if config is not None and config.record_log else (),
         stats=session.engine_stats,
     )
+    session.finish_store(result)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -172,7 +179,7 @@ def rq_db_skyband(
     """
     if band < 1:
         raise ValueError(f"band must be >= 1, got {band}")
-    session = _session(interface, config)
+    session = _session(interface, config, "rq:skyband")
     domain_sizes = interface.schema.domain_sizes
     complete = True
     try:
@@ -218,7 +225,7 @@ def pq_db_skyband(
     """
     if band < 1:
         raise ValueError(f"band must be >= 1, got {band}")
-    session = _session(interface, config)
+    session = _session(interface, config, "pq:skyband")
     complete = True
     try:
         pq_db_sky(session, band=band)
@@ -245,7 +252,7 @@ def sq_db_skyband(
     """
     if band < 1:
         raise ValueError(f"band must be >= 1, got {band}")
-    session = _session(interface, config)
+    session = _session(interface, config, "sq:skyband")
     state = {"complete": True}
     m = interface.schema.m
     # Like SQ-DB-SKY, the branching pivot depends only on the node's own

@@ -63,6 +63,11 @@ def format_engine_stats(stats) -> str:
     )
     if stats.deduped:
         line += f" ({stats.dedup_rate:.0%} of logical queries free)"
+    if stats.ledger_hits:
+        line += (
+            f" ledger={stats.ledger_hits} "
+            f"({stats.ledger_rate:.0%} pre-paid by earlier runs)"
+        )
     if stats.batches:
         line += f" batched={stats.batched} in {stats.batches} round trips"
     line += f" max-in-flight={stats.max_in_flight}"

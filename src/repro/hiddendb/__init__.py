@@ -17,7 +17,13 @@ from .errors import (
     UnsupportedQueryError,
 )
 from .interface import KEEP_BUDGET, QueryResult, TopKInterface
-from .query import Interval, Query, predicates_from_strings
+from .query import (
+    Interval,
+    Query,
+    predicates_from_strings,
+    query_fingerprint,
+    query_key,
+)
 from .ranking import (
     LexicographicRanker,
     LinearRanker,
@@ -49,4 +55,6 @@ __all__ = [
     "UnknownAttributeError",
     "UnsupportedQueryError",
     "predicates_from_strings",
+    "query_fingerprint",
+    "query_key",
 ]

@@ -76,6 +76,11 @@ class TopKInterface:
         Keep every :class:`QueryResult` in :attr:`log` (needed by the PQ
         plane-pruning rules and by debugging tools; off by default to keep
         large experiments lean).
+    name:
+        Optional label identifying the dataset behind this interface.  It
+        feeds the crawl store's endpoint fingerprint, so two same-shaped
+        interfaces over *different* data (e.g. regenerated datasets) do
+        not share a query ledger.
     """
 
     def __init__(
@@ -86,6 +91,7 @@ class TopKInterface:
         budget: int | None = None,
         validate: bool = True,
         record_log: bool = False,
+        name: str = "",
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -97,6 +103,7 @@ class TopKInterface:
         self._k = k
         self._budget = budget
         self._validate = validate
+        self._name = name
         self._count = 0
         self._log: list[QueryResult] | None = [] if record_log else None
         # Billing (check budget, then charge) must be atomic: the execution
@@ -115,6 +122,21 @@ class TopKInterface:
     def k(self) -> int:
         """The top-k output limit."""
         return self._k
+
+    @property
+    def name(self) -> str:
+        """Dataset label of this interface (crawl-store endpoint identity)."""
+        return self._name
+
+    @property
+    def ranking_label(self) -> str:
+        """Stable label of the bound ranking function.
+
+        Part of the crawl-store endpoint identity: the same table ranked
+        differently returns different top-k answers, so the two must
+        never share a query ledger.
+        """
+        return self._ranker.describe()
 
     @property
     def queries_issued(self) -> int:

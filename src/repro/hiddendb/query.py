@@ -28,6 +28,7 @@ their divide-and-conquer trees.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence, TYPE_CHECKING
 
@@ -87,7 +88,7 @@ class Query:
     The empty query is the paper's ``SELECT * FROM D``.
     """
 
-    __slots__ = ("_ranges", "_filters", "_key")
+    __slots__ = ("_ranges", "_filters", "_key", "_canonical")
 
     def __init__(
         self,
@@ -100,6 +101,7 @@ class Query:
             tuple(sorted(self._ranges.items(), key=lambda kv: kv[0])),
             tuple(sorted(self._filters.items())),
         )
+        self._canonical: str | None = None  # canonical_key(), lazily built
 
     # ------------------------------------------------------------------
     # constructors
@@ -276,6 +278,36 @@ class Query:
                 )
 
     # ------------------------------------------------------------------
+    # canonical identity
+    # ------------------------------------------------------------------
+    def canonical_key(self) -> str:
+        """The canonical string identity of this query.
+
+        Two queries with the same predicates produce the same key no
+        matter how they were built: attribute order, ``numpy`` integer
+        scalars, integral floats and tuple-vs-list inputs all normalise
+        away.  This is the *one* key scheme shared by every layer that
+        identifies queries -- the execution engine's dedup memo, the
+        remote client's LRU cache, the crawl store's query ledger and the
+        billing-safe ``X-Request-Id`` replay ids -- so those layers can
+        never disagree about whether two queries are the same.
+
+        Built once per instance (it sits on the per-query hot path: memo
+        lookups, ledger gets and puts all key on it).
+        """
+        if self._canonical is None:
+            parts = [
+                f"r{int(index)}:{int(interval.lo)}-{int(interval.hi)}"
+                for index, interval in sorted(self._ranges.items())
+            ]
+            parts.extend(
+                f"f{name}={int(value)}"
+                for name, value in sorted(self._filters.items())
+            )
+            self._canonical = "&".join(parts) if parts else "*"
+        return self._canonical
+
+    # ------------------------------------------------------------------
     # dunder
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
@@ -292,6 +324,22 @@ class Query:
         if not parts:
             return "Query(SELECT *)"
         return "Query(" + " & ".join(parts) + ")"
+
+
+def query_key(query: Query) -> str:
+    """Canonical string identity of ``query`` (see :meth:`Query.canonical_key`)."""
+    return query.canonical_key()
+
+
+def query_fingerprint(query: Query) -> str:
+    """Short stable hex digest of a query's canonical key.
+
+    Used where the key must be fixed-width and transport-safe: the
+    deterministic component of ``X-Request-Id`` replay ids (so a crawl
+    resumed after a crash re-presents the id of an already-billed query
+    and gets its answer replayed for free) and compact ledger diagnostics.
+    """
+    return hashlib.sha1(query.canonical_key().encode("utf-8")).hexdigest()[:20]
 
 
 def predicates_from_strings(

@@ -47,6 +47,16 @@ class Ranker(abc.ABC):
     def bind(self, table: Table) -> BoundRanker:
         """Precompute per-row state for ``table`` and return a bound ranker."""
 
+    def describe(self) -> str:
+        """Stable label of this ranking function's identity.
+
+        Two rankers with the same label must rank identically: the label
+        feeds the crawl store's endpoint fingerprint, so interfaces over
+        the same table with *different* rankings never share a query
+        ledger.  Subclasses with parameters must fold them in.
+        """
+        return type(self).__name__
+
 
 def _lexicographic_top(
     matrix: np.ndarray,
@@ -126,6 +136,11 @@ class LinearRanker(Ranker):
         weights[index] = 1.0
         return cls(weights)
 
+    def describe(self) -> str:
+        if self._weights is None:
+            return "LinearRanker"
+        return f"LinearRanker(weights={list(self._weights)})"
+
 
 class _BoundLexicographic(BoundRanker):
     def __init__(self, matrix: np.ndarray, priority: tuple[int, ...]) -> None:
@@ -166,6 +181,11 @@ class LexicographicRanker(Ranker):
         # total (plus the row-id key added by the bound ranker).
         full = priority + tuple(i for i in range(table.m) if i not in seen)
         return _BoundLexicographic(table.matrix, full)
+
+    def describe(self) -> str:
+        if self._priority is None:
+            return "LexicographicRanker"
+        return f"LexicographicRanker(priority={list(self._priority)})"
 
 
 class _BoundRandomSkyline(BoundRanker):
@@ -210,6 +230,12 @@ class RandomSkylineRanker(Ranker):
     def bind(self, table: Table) -> BoundRanker:
         rng = np.random.default_rng(self._seed)
         return _BoundRandomSkyline(table.matrix, self._fallback.bind(table), rng)
+
+    def describe(self) -> str:
+        return (
+            f"RandomSkylineRanker(seed={self._seed}, "
+            f"fallback={self._fallback.describe()})"
+        )
 
 
 def is_domination_consistent_order(matrix: np.ndarray, order: np.ndarray) -> bool:

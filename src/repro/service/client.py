@@ -51,7 +51,7 @@ from ..hiddendb.errors import (
     UnsupportedQueryError,
 )
 from ..hiddendb.interface import QueryResult
-from ..hiddendb.query import Query
+from ..hiddendb.query import Query, query_fingerprint
 from .server import ANONYMOUS_KEY, MAX_BATCH_ITEMS
 from .wire import (
     decode_answer,
@@ -98,6 +98,20 @@ class RemoteTopKInterface:
     cache_size:
         Capacity of the client-side LRU query cache; ``None`` or ``0``
         disables caching (the default -- parity runs must bill every query).
+    ledger:
+        Optional persistent query ledger (a
+        :class:`~repro.store.QueryLedger` view of a crawl store) mounted
+        as this client's durable never-billed cache: where the LRU forgets
+        on restart, ledgered answers survive process restarts and are
+        shared across clients.  Hits are free exactly like LRU hits; every
+        billed answer is written through.
+    replay_nonce:
+        When set, ``X-Request-Id`` values are derived deterministically
+        from this nonce plus the query's canonical key instead of drawn at
+        random.  A crawl resumed after a crash re-presents the ids of
+        queries billed but lost in flight, and the server *replays* those
+        answers instead of billing them twice.  Durable sessions set this
+        via :meth:`set_replay_nonce`.
     sleep:
         Injection point for the backoff sleeper (tests pass a no-op).
     """
@@ -112,6 +126,8 @@ class RemoteTopKInterface:
         backoff: float = 0.05,
         backoff_cap: float = 2.0,
         cache_size: int | None = None,
+        ledger=None,
+        replay_nonce: str | None = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if max_retries < 0:
@@ -137,16 +153,23 @@ class RemoteTopKInterface:
         self._backoff = backoff
         self._backoff_cap = backoff_cap
         self._cache_size = cache_size or 0
-        self._cache: OrderedDict[Query, QueryResult] = OrderedDict()
+        # Keyed by the canonical query key -- the same scheme as the
+        # engine memo and the crawl-store ledger, so the layers can never
+        # disagree about query identity.
+        self._cache: OrderedDict[str, QueryResult] = OrderedDict()
+        self._ledger = ledger
+        self._replay_nonce = replay_nonce or None
         self._sleep = sleep
         self._count = 0
         self._cache_hits = 0
+        self._ledger_hits = 0
         self._retries = 0
         self._budget_remaining: int | None = None
         metadata = self._request("GET", "/api/schema")
         self._schema = decode_schema(metadata["schema"])
         self._k = int(metadata["k"])
         self._service_name = str(metadata.get("name", ""))
+        self._ranking_label = str(metadata.get("ranking", ""))
         self._supports_batch = bool(metadata.get("batch", False))
         self._max_batch = int(metadata.get("max_batch", MAX_BATCH_ITEMS))
 
@@ -185,12 +208,14 @@ class RemoteTopKInterface:
             return cached
         # One request id per *logical* query, reused across retries: the
         # server replays an already-billed answer for a seen id, so a
-        # response lost after billing is never billed twice.
+        # response lost after billing is never billed twice.  Durable
+        # crawls derive the id from the session nonce + canonical query
+        # key, extending the same guarantee across process restarts.
         payload = self._request(
             "POST",
             "/api/query",
             {"query": encode_query(query)},
-            request_id=uuid.uuid4().hex,
+            request_id=self._request_id(query),
         )
         rows, overflow, sequence = decode_answer(payload)
         with self._lock:
@@ -236,7 +261,7 @@ class RemoteTopKInterface:
                 exc.partial_results = tuple(results)
                 raise
             return tuple(results)
-        ids = {index: uuid.uuid4().hex for index in pending}
+        ids = {index: self._request_id(queries[index]) for index in pending}
         failures: dict[int, Exception] = {}
         attempt = 0
         while pending:
@@ -318,23 +343,59 @@ class RemoteTopKInterface:
         return self._cache_lookup(query)
 
     # ------------------------------------------------------------------
-    # cache plumbing (lock-guarded: workers share one client)
+    # replay ids and cache plumbing (lock-guarded: workers share one client)
     # ------------------------------------------------------------------
+    def set_replay_nonce(self, nonce: str | None) -> None:
+        """Derive ``X-Request-Id`` deterministically from ``nonce`` + query.
+
+        Called by a durable :class:`~repro.core.base.DiscoverySession`
+        with its crawl session's persistent nonce: a resumed crawl then
+        re-presents the exact ids of its crashed incarnation, and queries
+        the server billed whose answers never reached the store are
+        replayed free instead of billed twice.  ``None`` restores random
+        per-query ids.
+        """
+        with self._lock:
+            self._replay_nonce = nonce or None
+
+    def _request_id(self, query: Query) -> str:
+        nonce = self._replay_nonce
+        if nonce is None:
+            return uuid.uuid4().hex
+        return f"{nonce}-{query_fingerprint(query)}"
+
     def _cache_lookup(self, query: Query) -> QueryResult | None:
-        if not self._cache_size:
+        if not self._cache_size and self._ledger is None:
+            return None
+        key = query.canonical_key()
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._cache_hits += 1
+                return cached
+        if self._ledger is None:
+            return None
+        # Durable cache: an answer some earlier run/process paid for.
+        persisted = self._ledger.get(query)
+        if persisted is None:
             return None
         with self._lock:
-            cached = self._cache.get(query)
-            if cached is not None:
-                self._cache.move_to_end(query)
-                self._cache_hits += 1
-            return cached
+            self._ledger_hits += 1
+            self._cache_hits += 1
+            if self._cache_size:
+                self._cache[key] = persisted
+                if len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        return persisted
 
     def _cache_store(self, query: Query, result: QueryResult) -> None:
+        if self._ledger is not None:
+            self._ledger.put(query, result)
         if not self._cache_size:
             return
         with self._lock:
-            self._cache[query] = result
+            self._cache[query.canonical_key()] = result
             if len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
 
@@ -357,9 +418,19 @@ class RemoteTopKInterface:
         return self._service_name
 
     @property
+    def ranking_label(self) -> str:
+        """Ranking-function label the service reported (endpoint identity)."""
+        return self._ranking_label
+
+    @property
     def cache_hits(self) -> int:
-        """Queries answered from the local cache (never billed)."""
+        """Queries answered from the local cache or ledger (never billed)."""
         return self._cache_hits
+
+    @property
+    def ledger_hits(self) -> int:
+        """Subset of :attr:`cache_hits` answered by the persistent ledger."""
+        return self._ledger_hits
 
     @property
     def cache_size(self) -> int:

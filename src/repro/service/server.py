@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import logging
+import sys
 import threading
 import time
 from collections import OrderedDict
@@ -66,6 +67,24 @@ INFLIGHT_WAIT_SECONDS = 60.0
 
 #: Most queries accepted in one ``/api/batch`` round trip.
 MAX_BATCH_ITEMS = 256
+
+
+class _QuietThreadingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that doesn't traceback on client disconnects.
+
+    A crawler that is killed (or times out) mid-request resets its
+    sockets; the stdlib default prints a full traceback per connection,
+    which buries real errors.  Disconnects are routine for this service
+    -- the durable-crawl tests SIGKILL clients on purpose -- so they are
+    logged at debug level instead.
+    """
+
+    def handle_error(self, request, client_address) -> None:  # noqa: D102
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            logger.debug("client %s disconnected: %s", client_address, exc)
+            return
+        super().handle_error(request, client_address)
 
 
 @dataclass(frozen=True)
@@ -224,7 +243,7 @@ class HiddenDBServer:
         if self._httpd is not None:
             raise RuntimeError("server already started")
         handler = _make_handler(self)
-        self._httpd = ThreadingHTTPServer(
+        self._httpd = _QuietThreadingHTTPServer(
             (self._host, self._requested_port), handler
         )
         self._bound_port = self._httpd.server_address[1]
@@ -337,6 +356,10 @@ class HiddenDBServer:
                 "name": self._name,
                 "k": self._k,
                 "schema": self._schema_payload,
+                # Ranking identity: folded into crawl-store endpoint
+                # fingerprints so differently-ranked services never share
+                # a query ledger.
+                "ranking": self._ranker.describe(),
                 # Capability advertisement: clients that see this pack
                 # frontier waves into /api/batch round trips.
                 "batch": True,

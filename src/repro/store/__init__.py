@@ -1,0 +1,47 @@
+"""Durable crawl persistence: query ledger, checkpointed sessions, catalog.
+
+:class:`CrawlStore` is the subsystem that turns discovery runs into
+restartable crawls: every billed ``Query -> QueryResult`` pair is persisted
+in a canonical-keyed ledger shared across runs and processes, sessions
+checkpoint their progress as they go, and finished results are filed in a
+catalog queryable from the CLI (``repro store ls / show / gc``).
+
+Mount a store through the facade and crawls become durable::
+
+    from repro import CrawlStore, Discoverer, DiscoveryConfig
+
+    store = CrawlStore("crawl.db")
+    disc = Discoverer(DiscoveryConfig(store=store))
+    disc.run(interface)           # every billed answer lands in the ledger
+    disc.run(interface)           # warm: 0 billed queries, all ledger hits
+
+    # after a crash (kill -9, deploy, budget exhaustion):
+    Discoverer(DiscoveryConfig(store=store, resume=True)).run(interface)
+    # replays the paid-for prefix free, finishes at <= the uninterrupted cost
+
+See :mod:`repro.store.crawlstore` for the full model.
+"""
+
+from .crawlstore import (
+    CrawlStore,
+    EndpointRecord,
+    GcReport,
+    QueryLedger,
+    SessionRecord,
+    StoreError,
+    StoreMismatchError,
+    endpoint_descriptor,
+    endpoint_fingerprint,
+)
+
+__all__ = [
+    "CrawlStore",
+    "EndpointRecord",
+    "GcReport",
+    "QueryLedger",
+    "SessionRecord",
+    "StoreError",
+    "StoreMismatchError",
+    "endpoint_descriptor",
+    "endpoint_fingerprint",
+]

@@ -1,0 +1,683 @@
+"""The durable crawl store: ledger, checkpoints and catalog in one SQLite file.
+
+Under the paper's cost model every answered top-k query is *paid for*; a
+real hidden-web crawl runs for hours against per-key budgets, and a crash
+or restart that throws those answers away re-bills them.  :class:`CrawlStore`
+makes crawls durable by persisting three things:
+
+* the **query ledger** -- canonically-keyed ``Query -> QueryResult``
+  records, shared across runs, processes and client restarts.  The
+  execution engine consults the ledger before dispatching a query, so a
+  ledgered answer is free exactly like a dedup hit (it advances neither
+  ``queries_issued`` nor any billing counter) and is counted in
+  ``EngineStats.ledger_hits``;
+* **session checkpoints** -- periodic snapshots of a
+  :class:`~repro.core.base.DiscoverySession`'s progress (cumulative billed
+  queries, retrieved-tuple and skyline-so-far counts).  The billed counter
+  is additionally bumped transactionally with every ledger write, so it is
+  exact even at a ``kill -9``;
+* the **crawl catalog** -- finished results (algorithm, skyline, cost,
+  engine stats), queryable from the CLI via ``repro store ls / show``.
+
+Resume is *replay-driven*: the ledger doubles as the fetch log of the
+state-dependent RQ/PQ paths.  A resumed run simply re-executes its
+(deterministic) algorithm; every query whose answer is already owned --
+including the strictly sequential ``frontier.fetch`` steps -- is answered
+from the ledger without being billed, so the run replays to the exact
+pre-crash state and then continues paying only for genuinely new queries.
+Kill a crawl mid-run, rerun the same command, and discovery completes with
+the same skyline at no more than the uninterrupted cost; a warm second run
+over an unchanged endpoint bills zero queries.
+
+Endpoint identity is a **fingerprint** over the schema, ``k`` and service
+name.  Mounting a store against an endpoint whose fingerprint does not
+match any registration raises :class:`StoreMismatchError` (stale answers
+from a different dataset/k must never be replayed), and :meth:`CrawlStore.gc`
+prunes registrations whose stored schema no longer hashes to their
+fingerprint, superseded same-name registrations, and orphaned rows.
+
+The store is a single SQLite file in WAL mode (durable across ``kill -9``),
+or fully in-memory via :meth:`CrawlStore.memory` for tests.  All operations
+are thread-safe: pipelined strategies read the ledger from worker threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from ..hiddendb.attributes import Schema
+from ..hiddendb.interface import QueryResult
+from ..hiddendb.query import Query
+from ..service.wire import decode_answer, encode_answer, encode_query
+
+#: Bump when the on-disk layout changes incompatibly.
+STORE_VERSION = 1
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS endpoints (
+    fingerprint  TEXT PRIMARY KEY,
+    name         TEXT NOT NULL DEFAULT '',
+    k            INTEGER NOT NULL,
+    descriptor   TEXT NOT NULL,
+    created_at   REAL NOT NULL,
+    last_seen    REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS ledger (
+    fingerprint  TEXT NOT NULL,
+    qkey         TEXT NOT NULL,
+    query_json   TEXT NOT NULL,
+    answer_json  TEXT NOT NULL,
+    billed_at    REAL NOT NULL,
+    PRIMARY KEY (fingerprint, qkey)
+);
+CREATE TABLE IF NOT EXISTS sessions (
+    session_id       TEXT PRIMARY KEY,
+    fingerprint      TEXT NOT NULL,
+    algorithm        TEXT NOT NULL DEFAULT '',
+    status           TEXT NOT NULL DEFAULT 'running',
+    nonce            TEXT NOT NULL,
+    billed           INTEGER NOT NULL DEFAULT 0,
+    checkpoint_json  TEXT NOT NULL DEFAULT '{}',
+    result_json      TEXT,
+    created_at       REAL NOT NULL,
+    updated_at       REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS sessions_by_endpoint
+    ON sessions (fingerprint, algorithm, status, updated_at);
+"""
+
+
+class StoreError(RuntimeError):
+    """A crawl-store operation failed."""
+
+
+class StoreMismatchError(StoreError):
+    """The store's ledger was built against a different endpoint.
+
+    Raised when a crawl tries to mount a store whose registered endpoint
+    (dataset, ``k``, schema) does not match the endpoint being crawled:
+    replaying answers across datasets would silently corrupt discovery.
+    """
+
+
+def endpoint_descriptor(
+    schema: Schema, k: int, name: str = "", ranking: str = ""
+) -> str:
+    """Canonical JSON descriptor of an endpoint's public identity.
+
+    Covers exactly what determines whether a ledgered answer is reusable:
+    the ranking/filtering attribute layout (names, domain sizes, interface
+    kinds -- display labels excluded), the top-``k`` limit, the service
+    name and the ranking-function label (the same table ranked differently
+    returns different answers).  The fingerprint is a hash of this string,
+    and :meth:`CrawlStore.gc` re-derives it to detect tampered or stale
+    registrations.
+    """
+    return json.dumps(
+        {
+            "attributes": [
+                {
+                    "name": attribute.name,
+                    "domain_size": int(attribute.domain_size),
+                    "kind": attribute.kind.value,
+                }
+                for attribute in schema.attributes
+            ],
+            "k": int(k),
+            "name": name,
+            "ranking": ranking,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _fingerprint_of(descriptor: str) -> str:
+    return hashlib.sha256(descriptor.encode("utf-8")).hexdigest()[:16]
+
+
+def endpoint_fingerprint(
+    schema: Schema, k: int, name: str = "", ranking: str = ""
+) -> str:
+    """Stable identity hash of an endpoint (schema + ``k`` + name + ranking)."""
+    return _fingerprint_of(endpoint_descriptor(schema, k, name, ranking))
+
+
+@dataclass(frozen=True)
+class EndpointRecord:
+    """One registered endpoint of a store."""
+
+    fingerprint: str
+    name: str
+    k: int
+    ledger_entries: int
+    created_at: float
+    last_seen: float
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """One crawl session (running, finished or failed)."""
+
+    session_id: str
+    fingerprint: str
+    algorithm: str
+    status: str
+    nonce: str
+    billed: int
+    checkpoint: Mapping[str, Any] = field(default_factory=dict)
+    result: Mapping[str, Any] | None = None
+    created_at: float = 0.0
+    updated_at: float = 0.0
+    #: Whether :meth:`CrawlStore.begin_session` picked this session back up
+    #: (a resumed crawl) rather than creating it fresh.
+    resumed: bool = False
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What one :meth:`CrawlStore.gc` pass removed."""
+
+    endpoints_pruned: int
+    ledger_pruned: int
+    sessions_pruned: int
+
+    @property
+    def total(self) -> int:
+        return self.endpoints_pruned + self.ledger_pruned + self.sessions_pruned
+
+
+class QueryLedger:
+    """The ledger of one endpoint, as seen by an engine or client.
+
+    ``get`` answers a query from the persisted ledger (``None`` on a miss);
+    ``put`` records one billed answer.  When the view is bound to a crawl
+    session, every ``put`` also bumps that session's billed counter in the
+    same transaction, keeping crash-time accounting exact.
+    """
+
+    def __init__(
+        self,
+        store: "CrawlStore",
+        fingerprint: str,
+        session_id: str | None = None,
+    ) -> None:
+        self._store = store
+        self._fingerprint = fingerprint
+        self._session_id = session_id
+
+    @property
+    def fingerprint(self) -> str:
+        """Endpoint fingerprint this view reads/writes under."""
+        return self._fingerprint
+
+    def get(self, query: Query) -> QueryResult | None:
+        """The ledgered answer for ``query``, or ``None``."""
+        return self._store.ledger_get(self._fingerprint, query)
+
+    def put(self, query: Query, result: QueryResult) -> None:
+        """Persist one billed answer (idempotent per canonical key)."""
+        self._store.ledger_put(
+            self._fingerprint, query, result, session_id=self._session_id
+        )
+
+    def __len__(self) -> int:
+        return self._store.ledger_size(self._fingerprint)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryLedger({self._fingerprint}, entries={len(self)}, "
+            f"session={self._session_id or '-'})"
+        )
+
+
+class CrawlStore:
+    """SQLite-backed persistence for crawls: ledger, sessions, catalog.
+
+    Parameters
+    ----------
+    path:
+        Database file.  Created (with parents) if missing.  Pass
+        ``":memory:"`` -- or use :meth:`memory` -- for the in-memory
+        variant used by tests (same API, nothing touches disk).
+
+    One store may serve several crawls; one file holds one *endpoint*
+    unless further endpoints are registered explicitly with
+    ``register_endpoint(..., allow_new=True)`` -- an implicit second
+    endpoint raises :class:`StoreMismatchError`, which is what makes
+    ``repro crawl --store`` refuse a ledger built against a different
+    dataset or ``k``.
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self._path = str(path)
+        self._memory = self._path == ":memory:"
+        if not self._memory:
+            Path(self._path).parent.mkdir(parents=True, exist_ok=True)
+        # One shared connection, serialised by an RLock: ledger lookups
+        # happen on the driver thread, but a ledger mounted as a remote
+        # client's cache is read from pipelined worker threads too.
+        self._conn = sqlite3.connect(
+            self._path, check_same_thread=False, isolation_level=None
+        )
+        self._lock = threading.RLock()
+        with self._lock:
+            self._conn.execute("PRAGMA busy_timeout=5000")
+            if not self._memory:
+                # WAL + NORMAL: a committed ledger write survives kill -9
+                # without paying a full fsync per query.
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
+            version = int(
+                self._conn.execute("PRAGMA user_version").fetchone()[0]
+            )
+            if version not in (0, STORE_VERSION):
+                self._conn.close()
+                raise StoreError(
+                    f"store {self._path!r} has on-disk layout version "
+                    f"{version}; this build reads version {STORE_VERSION}. "
+                    f"Use a fresh --store (or the matching build)."
+                )
+            self._conn.executescript(_DDL)
+            self._conn.execute(f"PRAGMA user_version={STORE_VERSION}")
+
+    @classmethod
+    def memory(cls) -> "CrawlStore":
+        """A fresh in-memory store (tests; nothing persists past close)."""
+        return cls(":memory:")
+
+    @property
+    def path(self) -> str:
+        """Database location (``":memory:"`` for the in-memory variant)."""
+        return self._path
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "CrawlStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def register_endpoint(
+        self,
+        schema: Schema,
+        k: int,
+        name: str = "",
+        ranking: str = "",
+        *,
+        allow_new: bool = False,
+    ) -> str:
+        """Register (or re-verify) an endpoint; returns its fingerprint.
+
+        A fingerprint already registered is simply touched.  The first
+        endpoint of an empty store is always accepted.  A *different*
+        endpoint in a non-empty store raises :class:`StoreMismatchError`
+        unless ``allow_new=True`` -- stale cross-dataset replays are the
+        one thing a ledger must never do.
+        """
+        descriptor = endpoint_descriptor(schema, k, name, ranking)
+        fingerprint = _fingerprint_of(descriptor)
+        now = time.time()
+        with self._lock:
+            # BEGIN IMMEDIATE serialises the check-then-insert against
+            # concurrent *processes* sharing the store file (the RLock
+            # only covers threads of this one); INSERT OR IGNORE makes
+            # the race loser equivalent to the already-registered path.
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    "SELECT 1 FROM endpoints WHERE fingerprint=?",
+                    (fingerprint,),
+                ).fetchone()
+                if row is not None:
+                    self._conn.execute(
+                        "UPDATE endpoints SET last_seen=? WHERE fingerprint=?",
+                        (now, fingerprint),
+                    )
+                    self._conn.execute("COMMIT")
+                    return fingerprint
+                existing = self._conn.execute(
+                    "SELECT name, k, fingerprint FROM endpoints "
+                    "ORDER BY last_seen DESC"
+                ).fetchall()
+                if existing and not allow_new:
+                    others = ", ".join(
+                        f"{other_name or '<unnamed>'} (k={other_k}, "
+                        f"schema hash {other_fp[:8]})"
+                        for other_name, other_k, other_fp in existing
+                    )
+                    raise StoreMismatchError(
+                        f"store {self._path!r} holds a ledger for {others}; "
+                        f"the current endpoint {name or '<unnamed>'} (k={k}, "
+                        f"schema hash {fingerprint[:8]}) does not match. "
+                        f"Use a fresh --store, or prune stale endpoints with "
+                        f"'repro store gc'."
+                    )
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO endpoints "
+                    "(fingerprint, name, k, descriptor, created_at, last_seen) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (fingerprint, name, int(k), descriptor, now, now),
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return fingerprint
+
+    def endpoints(self) -> tuple[EndpointRecord, ...]:
+        """Registered endpoints, most recently used first."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT e.fingerprint, e.name, e.k, e.created_at, e.last_seen, "
+                "       (SELECT COUNT(*) FROM ledger l "
+                "        WHERE l.fingerprint = e.fingerprint) "
+                "FROM endpoints e ORDER BY e.last_seen DESC"
+            ).fetchall()
+        return tuple(
+            EndpointRecord(
+                fingerprint=fp,
+                name=name,
+                k=k,
+                ledger_entries=entries,
+                created_at=created,
+                last_seen=seen,
+            )
+            for fp, name, k, created, seen, entries in rows
+        )
+
+    # ------------------------------------------------------------------
+    # ledger
+    # ------------------------------------------------------------------
+    def ledger(
+        self, fingerprint: str, session_id: str | None = None
+    ) -> QueryLedger:
+        """A :class:`QueryLedger` view over one endpoint's entries.
+
+        Bind ``session_id`` when the view backs a crawl session so billed
+        writes also advance that session's exact billed counter.
+        """
+        return QueryLedger(self, fingerprint, session_id)
+
+    def ledger_get(self, fingerprint: str, query: Query) -> QueryResult | None:
+        """The persisted answer for ``query`` under ``fingerprint``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT answer_json FROM ledger WHERE fingerprint=? AND qkey=?",
+                (fingerprint, query.canonical_key()),
+            ).fetchone()
+        if row is None:
+            return None
+        rows, overflow, sequence = decode_answer(json.loads(row[0]))
+        return QueryResult(
+            query=query, rows=rows, overflow=overflow, sequence=sequence
+        )
+
+    def ledger_put(
+        self,
+        fingerprint: str,
+        query: Query,
+        result: QueryResult,
+        session_id: str | None = None,
+    ) -> None:
+        """Persist one billed answer; atomically bump the session's billed
+        counter when ``session_id`` is given (exact even at ``kill -9``)."""
+        qkey = query.canonical_key()
+        answer = json.dumps(
+            encode_answer(result.rows, result.overflow, result.sequence),
+            separators=(",", ":"),
+        )
+        query_json = json.dumps(encode_query(query), separators=(",", ":"))
+        now = time.time()
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO ledger "
+                    "(fingerprint, qkey, query_json, answer_json, billed_at) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (fingerprint, qkey, query_json, answer, now),
+                )
+                if session_id is not None:
+                    self._conn.execute(
+                        "UPDATE sessions SET billed=billed+1, updated_at=? "
+                        "WHERE session_id=?",
+                        (now, session_id),
+                    )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def ledger_size(self, fingerprint: str | None = None) -> int:
+        """Number of ledgered answers (for one endpoint, or overall)."""
+        with self._lock:
+            if fingerprint is None:
+                row = self._conn.execute("SELECT COUNT(*) FROM ledger").fetchone()
+            else:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM ledger WHERE fingerprint=?",
+                    (fingerprint,),
+                ).fetchone()
+        return int(row[0])
+
+    def ledger_keys(self, fingerprint: str) -> Iterator[str]:
+        """Canonical keys of every ledgered query (diagnostics)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT qkey FROM ledger WHERE fingerprint=? ORDER BY billed_at",
+                (fingerprint,),
+            ).fetchall()
+        return iter(key for (key,) in rows)
+
+    # ------------------------------------------------------------------
+    # sessions and catalog
+    # ------------------------------------------------------------------
+    def begin_session(
+        self, fingerprint: str, algorithm: str = "", *, resume: bool = False
+    ) -> SessionRecord:
+        """Start (or, with ``resume=True``, pick back up) a crawl session.
+
+        Resume returns the most recently updated *running* session of the
+        same endpoint + algorithm -- the one a crash left behind -- with
+        its exact billed counter, checkpoint and replay nonce; when none
+        exists a fresh session is begun instead.
+        """
+        now = time.time()
+        with self._lock:
+            if resume:
+                row = self._conn.execute(
+                    "SELECT session_id, nonce, billed, checkpoint_json, "
+                    "       created_at "
+                    "FROM sessions "
+                    "WHERE fingerprint=? AND algorithm=? AND status='running' "
+                    "ORDER BY updated_at DESC, rowid DESC LIMIT 1",
+                    (fingerprint, algorithm),
+                ).fetchone()
+                if row is not None:
+                    session_id, nonce, billed, checkpoint_json, created = row
+                    self._conn.execute(
+                        "UPDATE sessions SET updated_at=? WHERE session_id=?",
+                        (now, session_id),
+                    )
+                    return SessionRecord(
+                        session_id=session_id,
+                        fingerprint=fingerprint,
+                        algorithm=algorithm,
+                        status="running",
+                        nonce=nonce,
+                        billed=int(billed),
+                        checkpoint=json.loads(checkpoint_json),
+                        created_at=created,
+                        updated_at=now,
+                        resumed=True,
+                    )
+            session_id = uuid.uuid4().hex[:12]
+            nonce = uuid.uuid4().hex[:16]
+            self._conn.execute(
+                "INSERT INTO sessions "
+                "(session_id, fingerprint, algorithm, status, nonce, billed, "
+                " checkpoint_json, created_at, updated_at) "
+                "VALUES (?, ?, ?, 'running', ?, 0, '{}', ?, ?)",
+                (session_id, fingerprint, algorithm, nonce, now, now),
+            )
+        return SessionRecord(
+            session_id=session_id,
+            fingerprint=fingerprint,
+            algorithm=algorithm,
+            status="running",
+            nonce=nonce,
+            billed=0,
+            checkpoint={},
+            created_at=now,
+            updated_at=now,
+        )
+
+    def save_checkpoint(
+        self, session_id: str, checkpoint: Mapping[str, Any]
+    ) -> None:
+        """Overwrite a session's progress snapshot."""
+        with self._lock:
+            self._conn.execute(
+                "UPDATE sessions SET checkpoint_json=?, updated_at=? "
+                "WHERE session_id=?",
+                (json.dumps(dict(checkpoint)), time.time(), session_id),
+            )
+
+    def finish_session(
+        self, session_id: str, result: Mapping[str, Any]
+    ) -> None:
+        """Mark a session finished and file its result in the catalog."""
+        with self._lock:
+            self._conn.execute(
+                "UPDATE sessions SET status='finished', result_json=?, "
+                "updated_at=? WHERE session_id=?",
+                (json.dumps(dict(result)), time.time(), session_id),
+            )
+
+    def session(self, session_id: str) -> SessionRecord | None:
+        """Full record of one session, or ``None``."""
+        records = self._sessions("WHERE session_id=?", (session_id,))
+        return records[0] if records else None
+
+    def sessions(self, fingerprint: str | None = None) -> tuple[SessionRecord, ...]:
+        """All sessions (optionally of one endpoint), newest first."""
+        if fingerprint is None:
+            return self._sessions("", ())
+        return self._sessions("WHERE fingerprint=?", (fingerprint,))
+
+    def catalog(self) -> tuple[SessionRecord, ...]:
+        """Finished crawls with their filed results, newest first."""
+        return self._sessions("WHERE status='finished'", ())
+
+    def _sessions(self, where: str, params: tuple) -> tuple[SessionRecord, ...]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT session_id, fingerprint, algorithm, status, nonce, "
+                "       billed, checkpoint_json, result_json, created_at, "
+                "       updated_at "
+                f"FROM sessions {where} ORDER BY updated_at DESC, rowid DESC",
+                params,
+            ).fetchall()
+        return tuple(
+            SessionRecord(
+                session_id=sid,
+                fingerprint=fp,
+                algorithm=algorithm,
+                status=status,
+                nonce=nonce,
+                billed=int(billed),
+                checkpoint=json.loads(checkpoint_json or "{}"),
+                result=json.loads(result_json) if result_json else None,
+                created_at=created,
+                updated_at=updated,
+            )
+            for sid, fp, algorithm, status, nonce, billed, checkpoint_json,
+                result_json, created, updated in rows
+        )
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+    def gc(self) -> GcReport:
+        """Prune stale state; returns what was removed.
+
+        Three sweeps: (1) endpoint registrations whose stored descriptor
+        no longer hashes to their fingerprint (tampered or written by an
+        incompatible version) are dropped; (2) *named* registrations
+        superseded by a newer registration of the same name -- the served
+        dataset or ``k`` changed -- are dropped; (3) ledger entries and
+        sessions whose endpoint registration is gone (including ones
+        orphaned by sweeps 1-2) are dropped.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT fingerprint, name, descriptor, last_seen FROM endpoints"
+            ).fetchall()
+            prune: set[str] = {
+                fp
+                for fp, _name, descriptor, _seen in rows
+                if _fingerprint_of(descriptor) != fp
+            }
+            newest_by_name: dict[str, tuple[float, str]] = {}
+            for fp, name, _descriptor, seen in rows:
+                if not name or fp in prune:
+                    continue
+                best = newest_by_name.get(name)
+                if best is None or seen > best[0]:
+                    newest_by_name[name] = (seen, fp)
+            for fp, name, _descriptor, _seen in rows:
+                if name and fp not in prune and newest_by_name[name][1] != fp:
+                    prune.add(fp)
+            for fp in prune:
+                self._conn.execute(
+                    "DELETE FROM endpoints WHERE fingerprint=?", (fp,)
+                )
+            ledger_pruned = self._conn.execute(
+                "DELETE FROM ledger WHERE fingerprint NOT IN "
+                "(SELECT fingerprint FROM endpoints)"
+            ).rowcount
+            sessions_pruned = self._conn.execute(
+                "DELETE FROM sessions WHERE fingerprint NOT IN "
+                "(SELECT fingerprint FROM endpoints)"
+            ).rowcount
+        return GcReport(
+            endpoints_pruned=len(prune),
+            ledger_pruned=int(ledger_pruned),
+            sessions_pruned=int(sessions_pruned),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CrawlStore({self._path!r}: "
+            f"{len(self.endpoints())} endpoints, "
+            f"{self.ledger_size()} ledgered answers)"
+        )
+
+
+__all__ = [
+    "CrawlStore",
+    "EndpointRecord",
+    "GcReport",
+    "QueryLedger",
+    "SessionRecord",
+    "StoreError",
+    "StoreMismatchError",
+    "endpoint_descriptor",
+    "endpoint_fingerprint",
+]

@@ -1,0 +1,334 @@
+"""Crash/resume parity: the durable crawl acceptance suite.
+
+Every registered algorithm, in-process and over the wire, serial and
+pipelined, is killed after N answers and resumed from the store.  The
+resumed run must reproduce the uninterrupted run's skyline at no more
+than its billed cost (exactly its cost in the serial case), and a warm
+re-run over an unchanged endpoint must bill zero queries.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import CrawlStore, Discoverer, DiscoveryConfig, TopKInterface
+from repro.datagen import diamonds_table
+from repro.service import FaultConfig, HiddenDBServer, RemoteTopKInterface
+
+from ..conftest import parity_run_params
+
+K = 5
+
+#: Materialised once: the same parameter list feeds both the in-process
+#: and the remote variant of the parity class below.
+ALGORITHM_PARAMS = list(parity_run_params())
+
+
+class SimulatedCrash(Exception):
+    """Stand-in for a mid-run process death (raised from on_query)."""
+
+
+def _crash_config(store, workers: int, crash_after: int) -> DiscoveryConfig:
+    state = {"seen": 0}
+
+    def bomb(_result) -> None:
+        state["seen"] += 1
+        if state["seen"] >= crash_after:
+            raise SimulatedCrash
+
+    return DiscoveryConfig(store=store, workers=workers, on_query=bomb)
+
+
+def _assert_crash_resume_parity(make_interface, algorithm, workers):
+    """The shared body: uninterrupted vs crash+resume vs warm re-run."""
+    reference = Discoverer(
+        DiscoveryConfig(store=CrawlStore.memory(), workers=workers)
+    ).run(make_interface(), algorithm)
+
+    store = CrawlStore.memory()
+    crash_after = max(1, reference.total_cost // 2)
+    with pytest.raises(SimulatedCrash):
+        Discoverer(_crash_config(store, workers, crash_after)).run(
+            make_interface(), algorithm
+        )
+    crashed = store.sessions()[0]
+    assert crashed.status == "running"
+    assert 0 < crashed.billed
+
+    resumed = Discoverer(
+        DiscoveryConfig(store=store, workers=workers, resume=True)
+    ).run(make_interface(), algorithm)
+    assert resumed.skyline_values == reference.skyline_values
+    assert resumed.complete == reference.complete
+    assert resumed.stats.ledger_hits > 0  # the paid-for prefix replayed free
+    # The crawl never pays more than an uninterrupted run; serially the
+    # replay is exact, so the cumulative billed cost is identical.
+    assert resumed.total_cost <= reference.total_cost
+    if workers == 1:
+        assert resumed.total_cost == reference.total_cost
+    assert store.sessions()[0].status == "finished"
+
+    warm = Discoverer(DiscoveryConfig(store=store, workers=workers)).run(
+        make_interface(), algorithm
+    )
+    assert warm.total_cost == 0
+    assert warm.stats.issued == 0
+    assert warm.skyline_values == reference.skyline_values
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+@pytest.mark.parametrize("algorithm,table", ALGORITHM_PARAMS)
+class TestCrashResumeParity:
+    def test_in_process(self, algorithm, table, workers):
+        _assert_crash_resume_parity(
+            lambda: TopKInterface(table, k=K, name=f"parity-{algorithm}"),
+            algorithm,
+            workers,
+        )
+
+    def test_remote(self, algorithm, table, workers):
+        with HiddenDBServer(table, k=K, name=f"parity-{algorithm}") as server:
+            _assert_crash_resume_parity(
+                lambda: RemoteTopKInterface(server.url),
+                algorithm,
+                workers,
+            )
+
+
+class TestSkybandResume:
+    def test_skyband_warm_rerun_is_free(self):
+        table = diamonds_table(300, seed=4)
+        store = CrawlStore.memory()
+        cold = Discoverer(DiscoveryConfig(store=store)).skyband(
+            TopKInterface(table, k=K, name="d300"), 2
+        )
+        warm = Discoverer(DiscoveryConfig(store=store)).skyband(
+            TopKInterface(table, k=K, name="d300"), 2
+        )
+        assert warm.skyband_values == cold.skyband_values
+        assert warm.total_cost == 0
+        assert warm.stats.ledger_hits > 0
+        catalog = store.catalog()
+        assert {entry.algorithm for entry in catalog} == {"rq:skyband"}
+        assert catalog[0].result["band"] == 2
+
+
+class TestLedgerBilling:
+    def test_in_window_duplicates_bill_once(self):
+        """Dedup off + ledger mounted: an identical query dispatched while
+        its twin is still in flight must resolve from the ledger at merge
+        time, pipelined exactly like serial."""
+        from repro.core.base import DiscoverySession
+        from repro.core.engine import PipelinedStrategy, SerialStrategy
+        from repro.hiddendb import Query
+
+        table = diamonds_table(200, seed=1)
+        query = Query.select_all().and_upper(0, 3)
+        for strategy in (SerialStrategy(), PipelinedStrategy(workers=4)):
+            store = CrawlStore.memory()
+            session = DiscoverySession(
+                TopKInterface(table, k=K, name="dup"),
+                strategy=strategy,
+                dedup=False,
+            )
+            session.attach_store(store, algorithm="dup")
+            frontier = session.frontier()
+            frontier.add(query)
+            frontier.add(query)
+            frontier.drain()
+            stats = session.engine_stats
+            assert stats.issued == 1, strategy.name
+            assert stats.ledger_hits == 1, strategy.name
+            assert store.sessions()[0].billed == 1, strategy.name
+
+    def test_skyline_tracker_stays_distinct_under_ties(self):
+        """Rows tying an existing skyline vector must not bloat the
+        incremental tracker (one copy represents them all)."""
+        from repro.core.base import DiscoverySession
+        from repro.hiddendb import Row
+
+        from ..conftest import make_table
+
+        table = make_table([(1, 2), (1, 2), (1, 2), (2, 1)], domain=5)
+        session = DiscoverySession(TopKInterface(table, k=4, name="ties"))
+        session.attach_store(CrawlStore.memory(), algorithm="ties")
+        for rid in range(8):
+            session._track_skyline(Row(rid, (1, 2)))
+        session._track_skyline(Row(99, (2, 1)))
+        assert session._sky_values.shape[0] == 2
+        assert {tuple(v) for v in session._skyline_snapshot()} == {
+            (1, 2), (2, 1)
+        }
+
+    def test_different_rankers_never_share_a_ledger(self):
+        """The endpoint fingerprint pins the ranking function: same table,
+        different ranker, same store -> refusal, not a stale replay."""
+        from repro import LinearRanker, StoreMismatchError
+
+        table = diamonds_table(100, seed=1)
+        store = CrawlStore.memory()
+        Discoverer(DiscoveryConfig(store=store)).run(
+            TopKInterface(table, k=K, name="d100")
+        )
+        price = LinearRanker.single_attribute(0, table.schema.m)
+        with pytest.raises(StoreMismatchError):
+            Discoverer(DiscoveryConfig(store=store)).run(
+                TopKInterface(table, ranker=price, k=K, name="d100")
+            )
+
+    def test_replay_nonce_cleared_after_durable_run(self):
+        """A finished durable run must not leave its deterministic request
+        ids on the shared client: later plain runs have to bill repeats."""
+        table = diamonds_table(100, seed=2)
+        with HiddenDBServer(table, k=K, name="d100") as server:
+            client = RemoteTopKInterface(server.url, api_key="shared")
+            Discoverer(DiscoveryConfig(store=CrawlStore.memory())).run(client)
+            assert client._replay_nonce is None
+            # A repeated query on the plain client is billed again (random
+            # ids), keeping parity/benchmark accounting honest.
+            from repro.hiddendb import Query
+
+            before = server.stats().usage("shared").issued
+            client.query(Query.select_all())
+            client.query(Query.select_all())
+            assert server.stats().usage("shared").issued == before + 2
+
+    def test_replay_nonce_cleared_when_durable_run_crashes(self):
+        """The nonce is dropped even when the run dies with an arbitrary
+        exception (not just budget exhaustion)."""
+        table = diamonds_table(100, seed=2)
+        with HiddenDBServer(table, k=K, name="d100") as server:
+            client = RemoteTopKInterface(server.url)
+            with pytest.raises(SimulatedCrash):
+                Discoverer(_crash_config(CrawlStore.memory(), 1, 2)).run(
+                    client
+                )
+            assert client._replay_nonce is None
+
+
+class TestClientLedger:
+    """The remote client's durable never-billed cache (ledger mount)."""
+
+    def test_ledger_survives_client_restarts(self):
+        table = diamonds_table(250, seed=2)
+        with HiddenDBServer(table, k=K, name="d250") as server:
+            store = CrawlStore.memory()
+            probe = RemoteTopKInterface(server.url)
+            fingerprint = store.register_endpoint(
+                probe.schema, probe.k, probe.service_name
+            )
+            ledger = store.ledger(fingerprint)
+
+            first = RemoteTopKInterface(server.url, ledger=ledger)
+            cold = Discoverer().run(first)
+            billed = server.stats().queries_total
+            assert billed == cold.total_cost > 0
+
+            # A brand-new client (fresh process, RAM cache empty) answers
+            # everything from the ledger: nothing billed anywhere.
+            second = RemoteTopKInterface(server.url, ledger=ledger)
+            warm = Discoverer().run(second)
+            assert warm.skyline_values == cold.skyline_values
+            assert warm.total_cost == 0
+            assert second.queries_issued == 0
+            assert second.ledger_hits == cold.total_cost
+            assert second.cache_hits == cold.total_cost
+            assert server.stats().queries_total == billed
+
+    def test_replay_nonce_makes_reissues_free(self):
+        from repro.hiddendb import Query
+
+        table = diamonds_table(100, seed=2)
+        with HiddenDBServer(table, k=K) as server:
+            client = RemoteTopKInterface(
+                server.url, api_key="nonced", replay_nonce="resume-nonce"
+            )
+            first = client.query(Query.select_all())
+            again = client.query(Query.select_all())
+            assert again.rows == first.rows
+            # Same nonce + same canonical key -> same X-Request-Id: the
+            # server replays the billed answer instead of charging twice.
+            assert server.stats().usage("nonced").issued == 1
+
+
+class TestSigkillAcceptance:
+    """Acceptance: SIGKILL a pipelined remote crawl, resume, pay <= once."""
+
+    def test_sigkill_mid_crawl_then_resume(self, tmp_path):
+        table = diamonds_table(1200, seed=2)
+        reference = Discoverer().run(TopKInterface(table, k=10), "baseline")
+
+        db = tmp_path / "crawl.db"
+        faults = FaultConfig(latency=(0.002, 0.004), seed=7)
+        with HiddenDBServer(
+            table, k=10, name="diamonds-sigkill", faults=faults
+        ) as server:
+            repo_root = Path(__file__).resolve().parents[2]
+            env = dict(os.environ)
+            env["PYTHONPATH"] = (
+                str(repo_root / "src")
+                + os.pathsep
+                + env.get("PYTHONPATH", "")
+            ).rstrip(os.pathsep)
+            child = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.cli", "crawl",
+                    "--url", server.url, "--store", str(db),
+                    "--algorithm", "baseline",
+                    "--workers", "4", "--batch-size", "8",
+                    "--checkpoint-every", "16",
+                ],
+                env=env,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            try:
+                # Wait for real progress (ledgered answers), then kill -9.
+                deadline = time.time() + 60
+                store = CrawlStore(db)
+                while time.time() < deadline:
+                    if store.ledger_size() >= 40:
+                        break
+                    time.sleep(0.05)
+                else:
+                    pytest.fail("crawl subprocess made no ledger progress")
+                os.kill(child.pid, signal.SIGKILL)
+            finally:
+                child.wait(timeout=30)
+            store.close()
+
+            store = CrawlStore(db)
+            prefix = store.ledger_size()
+            assert 0 < prefix < reference.total_cost
+            assert store.sessions()[0].status == "running"
+
+            resumed = Discoverer(
+                DiscoveryConfig(
+                    store=store, resume=True, workers=4, batch_size=8
+                )
+            ).run(RemoteTopKInterface(server.url), "baseline")
+
+            assert resumed.complete
+            assert resumed.skyline_values == reference.skyline_values
+            assert resumed.stats.ledger_hits >= prefix
+            # Zero double billing: everything the dead crawl paid for was
+            # either ledgered (replayed from the store) or replayed free
+            # by the server under the session's deterministic request ids,
+            # so the total server-side bill across both incarnations never
+            # exceeds the uninterrupted cost.
+            assert server.stats().queries_total <= reference.total_cost
+            assert resumed.total_cost <= reference.total_cost
+
+            # Warm re-run over the unchanged endpoint: zero new billing.
+            billed_before = server.stats().queries_total
+            warm = Discoverer(DiscoveryConfig(store=store, workers=4)).run(
+                RemoteTopKInterface(server.url), "baseline"
+            )
+            assert warm.total_cost == 0
+            assert warm.skyline_values == reference.skyline_values
+            assert server.stats().queries_total == billed_before

@@ -94,6 +94,89 @@ class TestSkybandCommand:
         assert code == 0
         assert "band" in capsys.readouterr().out
 
+    def test_verbose_prints_engine_counters(self, capsys):
+        # Satellite: --verbose stats rendering extends to skyband (the
+        # runners dedup their overlapping subspace trees by default).
+        code = main(
+            ["skyband", "--dataset", "diamonds", "--n", "300", "--k", "10",
+             "--band", "2", "--verbose"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine" in out
+        assert "issued=" in out
+
+
+class TestCrawlCommand:
+    def test_cold_then_warm_crawl(self, tmp_path, capsys):
+        args = ["crawl", "--dataset", "diamonds", "--n", "400", "--k", "10",
+                "--store", str(tmp_path / "crawl.db"), "--verbose"]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        assert "store" in cold and "session" in cold and "ledger" in cold
+        # Warm re-run over the unchanged endpoint: zero billed queries.
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "queries    : 0" in warm
+        assert "ledger=" in warm
+
+    def test_store_refuses_different_dataset(self, tmp_path, capsys):
+        db = str(tmp_path / "crawl.db")
+        base = ["--n", "300", "--k", "10", "--store", db]
+        assert main(["crawl", "--dataset", "diamonds"] + base) == 0
+        capsys.readouterr()
+        # Same store, different dataset/k: clear refusal, exit 2.
+        assert main(["crawl", "--dataset", "uniform"] + base) == 2
+        err = capsys.readouterr().err
+        assert "does not match" in err
+        assert main(["crawl", "--dataset", "diamonds", "--n", "300",
+                     "--k", "7", "--store", db]) == 2
+
+    def test_resume_flag_runs(self, tmp_path, capsys):
+        db = str(tmp_path / "crawl.db")
+        args = ["crawl", "--dataset", "uniform", "--n", "300", "--k", "5",
+                "--store", db]
+        assert main(args) == 0
+        capsys.readouterr()
+        # Nothing crashed, so --resume simply starts fresh and rides the
+        # warm ledger.
+        assert main(args + ["--resume"]) == 0
+        assert "queries    : 0" in capsys.readouterr().out
+
+
+class TestStoreCommands:
+    @pytest.fixture
+    def populated(self, tmp_path, capsys):
+        db = str(tmp_path / "crawl.db")
+        assert main(["crawl", "--dataset", "uniform", "--n", "300",
+                     "--k", "5", "--store", db]) == 0
+        capsys.readouterr()
+        return db
+
+    def test_ls(self, populated, capsys):
+        assert main(["store", "ls", "--store", populated]) == 0
+        out = capsys.readouterr().out
+        assert "uniform-n300-s0" in out
+        assert "finished" in out
+
+    def test_show(self, populated, capsys):
+        from repro.store import CrawlStore
+
+        with CrawlStore(populated) as store:
+            session_id = store.sessions()[0].session_id
+        assert main(["store", "show", session_id, "--store", populated]) == 0
+        out = capsys.readouterr().out
+        assert session_id in out
+        assert "total_cost" in out
+
+    def test_show_unknown_session(self, populated, capsys):
+        assert main(["store", "show", "nope", "--store", populated]) == 2
+        assert "no session" in capsys.readouterr().err
+
+    def test_gc_empty_then_prunes(self, populated, capsys):
+        assert main(["store", "gc", "--store", populated]) == 0
+        assert "nothing stale" in capsys.readouterr().out
+
 
 class TestStatsCommand:
     def test_small_run(self, capsys):
