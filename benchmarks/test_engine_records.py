@@ -79,6 +79,8 @@ def test_record_remote_pipelined_speedup():
         batches=piped.stats.batches,
         batched_queries=piped.stats.batched,
         max_in_flight=piped.stats.max_in_flight,
+        engine_wall_time_s=piped.stats.wall_time_s,
+        engine_queries_per_sec=piped.stats.queries_per_sec,
         injected_latency_ms=[LATENCY[0] * 1000, LATENCY[1] * 1000],
     )
 
@@ -100,6 +102,8 @@ def test_record_sq_dedup_rate():
         dedup_hit_rate=deduped.stats.dedup_rate,
         rebilled_cost_without_memo=plain.total_cost,
         skyline=deduped.skyline_size,
+        engine_wall_time_s=deduped.stats.wall_time_s,
+        engine_queries_per_sec=deduped.stats.queries_per_sec,
     )
 
 
@@ -115,4 +119,6 @@ def test_record_skyband_shared_memo():
         duplicate_queries=result.stats.duplicate_queries,
         dedup_hit_rate=result.stats.dedup_rate,
         band_size=len(result.skyband),
+        engine_wall_time_s=result.stats.wall_time_s,
+        engine_queries_per_sec=result.stats.queries_per_sec,
     )

@@ -42,6 +42,8 @@ def test_record_core_throughput():
         queries=result.total_cost,
         queries_per_second=result.total_cost / wall,
         skyline=result.skyline_size,
+        engine_wall_time_s=result.stats.wall_time_s,
+        engine_queries_per_sec=result.stats.queries_per_sec,
     )
 
 
@@ -75,5 +77,7 @@ def test_record_service_throughput_and_cache():
             cache_hits=remote.cache_hits,
             cache_hit_rate=remote.cache_hits / total_lookups,
             retries=remote.retries,
+            engine_wall_time_s=cold.stats.wall_time_s,
+            engine_queries_per_sec=cold.stats.queries_per_sec,
         )
         assert warm_billed < cold_billed

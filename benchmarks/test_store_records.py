@@ -83,6 +83,8 @@ def test_record_cold_vs_warm_ledger_crawl(tmp_path):
         skyline=cold.skyline_size,
         workers=WORKERS,
         batch_size=BATCH_SIZE,
+        engine_wall_time_s=cold.stats.wall_time_s,
+        engine_queries_per_sec=cold.stats.queries_per_sec,
         injected_latency_ms=[LATENCY[0] * 1000, LATENCY[1] * 1000],
     )
 
@@ -119,4 +121,6 @@ def test_record_resume_after_partial_crawl(tmp_path):
         resumed_new_billed=resumed.stats.issued,
         replayed_from_ledger=resumed.stats.ledger_hits,
         skyline=resumed.skyline_size,
+        engine_wall_time_s=resumed.stats.wall_time_s,
+        engine_queries_per_sec=resumed.stats.queries_per_sec,
     )

@@ -88,10 +88,12 @@ from .hiddendb import (
     TopKInterface,
     UnsupportedQueryError,
 )
+from .hiddendb import AsyncSearchEndpoint
 from .core import (
     AlgorithmInfo,
     AlgorithmNotFoundError,
     AlgorithmSpec,
+    AsyncStrategy,
     Discoverer,
     DiscoveryConfig,
     DiscoveryResult,
@@ -124,6 +126,8 @@ __all__ = [
     "AlgorithmInfo",
     "AlgorithmNotFoundError",
     "AlgorithmSpec",
+    "AsyncSearchEndpoint",
+    "AsyncStrategy",
     "Attribute",
     "CrawlStore",
     "Discoverer",

@@ -45,6 +45,11 @@ Examples::
     repro discover --url http://127.0.0.1:8080 --workers 8 --batch-size 16 \
         --dedup --verbose
 
+    # same crawl on the asyncio data plane: one event loop, 32 queries
+    # in flight on non-blocking sockets (no thread per worker)
+    repro discover --url http://127.0.0.1:8080 --strategy async \
+        --workers 32 --verbose
+
     # durable crawl: kill -9 it mid-run, rerun with --resume, and the
     # ledger replays every answer already paid for
     repro crawl --url http://127.0.0.1:8080 --store crawl.db --workers 8
@@ -59,6 +64,7 @@ import sys
 from typing import Callable
 
 from .core import (
+    STRATEGY_NAMES,
     AlgorithmNotFoundError,
     Discoverer,
     DiscoveryConfig,
@@ -77,6 +83,7 @@ from .datagen import (
 from .experiments import ALL_FIGURES
 from .experiments.reporting import format_engine_stats, format_table
 from .hiddendb import LinearRanker, Table, TopKInterface
+from .service.server import ServiceStartupError
 from .store import CrawlStore, StoreError
 
 DATASETS: dict[str, Callable[[int, int], Table]] = {
@@ -168,10 +175,29 @@ def _print_result_details(args, interface, result) -> None:
             print(f"  {row.values}")
 
 
+def _build_interface_for(args, strategy: str | None):
+    """Build the endpoint, matching the client flavour to the strategy.
+
+    Remote crawls under ``--strategy async`` get the non-blocking
+    :class:`~repro.service.aclient.AsyncRemoteTopKInterface` (pooled
+    event-loop sockets); everything else keeps the blocking client.
+    """
+    if getattr(args, "url", None) and strategy == "async":
+        from .service import AsyncRemoteTopKInterface
+
+        return AsyncRemoteTopKInterface(
+            args.url,
+            api_key=args.api_key,
+            cache_size=args.cache or None,
+        )
+    return _build_interface(args)
+
+
 def _discoverer(args, **config_kwargs) -> Discoverer:
     return Discoverer(
         DiscoveryConfig(
             budget=args.budget,
+            strategy=getattr(args, "strategy", None),
             workers=getattr(args, "workers", 1),
             batch_size=getattr(args, "batch_size", 16),
             dedup=True if getattr(args, "dedup", False) else None,
@@ -186,7 +212,7 @@ def _algorithm_arg(args) -> str | None:
 
 
 def _cmd_discover(args) -> int:
-    interface = _build_interface(args)
+    interface = _build_interface_for(args, getattr(args, "strategy", None))
     result = _discoverer(args).run(interface, _algorithm_arg(args))
     _print_result_header(args, interface, result)
     if result.skyline_size:
@@ -205,7 +231,7 @@ def _cmd_crawl(args) -> int:
 
 
 def _run_crawl(args, store: CrawlStore) -> int:
-    interface = _build_interface(args)
+    interface = _build_interface_for(args, getattr(args, "strategy", None))
     result = _discoverer(
         args,
         store=store,
@@ -237,7 +263,7 @@ def _run_crawl(args, store: CrawlStore) -> int:
 
 
 def _cmd_skyband(args) -> int:
-    interface = _build_interface(args)
+    interface = _build_interface_for(args, getattr(args, "strategy", None))
     result = _discoverer(args).skyband(
         interface, args.band, _algorithm_arg(args)
     )
@@ -251,7 +277,7 @@ def _cmd_skyband(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    interface = _build_interface(args)
+    interface = _build_interface_for(args, getattr(args, "strategy", None))
     result = _discoverer(args, record_log=True).run(
         interface, _algorithm_arg(args)
     )
@@ -446,10 +472,22 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--cache", type=int, default=0, metavar="SIZE",
                          help="client-side LRU query cache for --url runs "
                          "(cache hits are not billed; default off)")
+        sub.add_argument("--strategy", choices=list(STRATEGY_NAMES),
+                         default=None,
+                         help="execution strategy draining the query "
+                         "frontier: 'serial' (one query at a time, the "
+                         "parity reference), 'pipelined' (a thread pool of "
+                         "--workers blocking dispatchers) or 'async' (an "
+                         "event loop keeping --workers queries in flight "
+                         "on non-blocking sockets; remote runs get the "
+                         "asyncio client).  Default: pipelined when "
+                         "--workers > 1, serial otherwise (the historical "
+                         "behaviour).  All strategies produce the same "
+                         "skyline and billed cost")
         sub.add_argument("--workers", type=int, default=1, metavar="N",
-                         help="pipeline independent frontier queries over N "
-                         "concurrent dispatchers (default 1 = serial; "
-                         "skyline and query cost are unchanged)")
+                         help="dispatch-window width: how many independent "
+                         "frontier queries are kept in flight (default 1 = "
+                         "serial; skyline and query cost are unchanged)")
         sub.add_argument("--batch-size", type=int, default=16, metavar="N",
                          help="queries packed per batch round trip when the "
                          "endpoint supports batching (default 16; needs "
@@ -570,8 +608,14 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.handler(args)
     except (AlgorithmNotFoundError, StoreError, ValueError) as exc:
-        # e.g. --algorithm rq on a point-predicate dataset, or --store
-        # pointing at a ledger built against a different dataset/k
+        # e.g. --algorithm rq on a point-predicate dataset, --strategy
+        # serial with --workers 8, or --store pointing at a ledger built
+        # against a different dataset/k
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ServiceStartupError as exc:
+        # e.g. 'repro serve --port 8080' while another server holds 8080:
+        # one actionable line instead of an OSError traceback
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -40,12 +40,15 @@ from .dominance import (
     skyline_of_rows,
 )
 from .engine import (
+    STRATEGY_NAMES,
+    AsyncStrategy,
     EngineStats,
     ExecutionStrategy,
     Frontier,
     PipelinedStrategy,
     QueryEngine,
     SerialStrategy,
+    make_strategy,
 )
 from .registry import (
     AlgorithmInfo,
@@ -77,9 +80,11 @@ from .facade import Discoverer, default_discoverer, discover
 from .stats import QueryLogSummary, summarize_log, summarize_session
 
 __all__ = [
+    "STRATEGY_NAMES",
     "AlgorithmInfo",
     "AlgorithmNotFoundError",
     "AlgorithmSpec",
+    "AsyncStrategy",
     "Discoverer",
     "DiscoveryConfig",
     "DiscoveryResult",
@@ -115,6 +120,7 @@ __all__ = [
     "dominator_counts",
     "explore_plane",
     "get_algorithm",
+    "make_strategy",
     "mq_db_sky",
     "pq_2d_sky",
     "pq_db_sky",

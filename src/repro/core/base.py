@@ -34,9 +34,8 @@ from .engine import (
     EngineStats,
     ExecutionStrategy,
     Frontier,
-    PipelinedStrategy,
     QueryEngine,
-    SerialStrategy,
+    make_strategy,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -339,13 +338,11 @@ class DiscoverySession:
         """
         if config is None:
             return cls(interface, dedup=default_dedup)
-        strategy: ExecutionStrategy
-        if config.workers > 1:
-            strategy = PipelinedStrategy(
-                workers=config.workers, batch_size=config.batch_size
-            )
-        else:
-            strategy = SerialStrategy()
+        strategy = make_strategy(
+            config.strategy,
+            workers=config.workers,
+            batch_size=config.batch_size,
+        )
         dedup = config.dedup if config.dedup is not None else default_dedup
         session = cls(
             interface,

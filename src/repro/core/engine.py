@@ -10,16 +10,26 @@ queries.  This module makes that structure explicit and pluggable:
   (an expansion that must inspect *all* tuples retrieved so far before
   deciding the next query, as in RQ-DB-SKY's seen-tuple check) go through
   :meth:`Frontier.fetch` instead.
-* :class:`ExecutionStrategy` -- how a frontier is drained.
-  :class:`SerialStrategy` issues one query at a time in the frontier's
-  order, bit-identical to the pre-engine implementations (the parity
-  reference).  :class:`PipelinedStrategy` keeps a window of frontier
-  queries in flight on a thread pool -- packing them into
-  ``batch_query()`` round trips when the endpoint supports it -- while
-  *merging* answers strictly in dispatch order (sequence-numbered merge),
-  so every expansion callback observes exactly the session state it would
-  have observed under the serial strategy.
-* :class:`QueryEngine` -- per-session plumbing shared by both paths:
+* :class:`ExecutionStrategy` -- how a frontier is drained.  All concrete
+  strategies run the **same windowed drain core** (:class:`_DrainCore`):
+  query preparation, the memo / ledger / endpoint-cache consult chain,
+  in-flight duplicate suppression, billing and the dispatch-order merge
+  live in exactly one place, so determinism (identical skyline and billed
+  cost at any concurrency) cannot drift between strategies.  A strategy
+  contributes only *transport* -- how a chunk of prepared queries is put
+  on the wire:
+
+  - :class:`SerialStrategy` transports one query at a time, inline, in
+    the frontier's order -- bit-identical to the pre-engine
+    implementations (the parity reference).
+  - :class:`PipelinedStrategy` keeps a window of queries in flight on a
+    thread pool of blocking transports, packing them into
+    ``batch_query()`` round trips when the endpoint supports it.
+  - :class:`AsyncStrategy` keeps the same bounded window in flight on an
+    asyncio event loop (one daemon thread, non-blocking sockets against
+    an async endpoint): a "worker" is just an in-flight slot, not an OS
+    thread, so very wide windows cost nothing to stand up.
+* :class:`QueryEngine` -- per-session plumbing shared by all paths:
   run-scoped query memoization (with dedup enabled, an identical query is
   never billed twice) and the :class:`EngineStats` counters attached to
   every result.
@@ -31,7 +41,7 @@ nothing but their own answer, so the *set* of issued queries is invariant
 under reordering; adaptive steps run synchronously inside merge callbacks,
 at which point the session has recorded precisely the answers the serial
 run would have recorded (in-flight answers are invisible until merged).
-Billable cost is therefore identical under both strategies -- with dedup
+Billable cost is therefore identical under every strategy -- with dedup
 enabled it equals the number of *distinct* issued queries, which is
 order-invariant -- and so is the retrieved-tuple set, hence the skyline.
 What may legitimately differ is the anytime *trace*: with several queries
@@ -41,19 +51,21 @@ different query count.
 Session-level budgets are reservation-based: every transport claims one
 unit of the allowance immediately before the endpoint is called (on
 whichever thread runs it), so a budgeted run never issues more than its
-allowance, and a budget that suffices serially also suffices pipelined --
-the strategies issue the same query set.  When the budget genuinely runs
-out mid-run, the exact prefix of queries that fits can differ from the
-serial prefix (both report ``complete=False``).
+allowance, and a budget that suffices serially also suffices concurrently
+-- the strategies issue the same query set.  When the budget genuinely
+runs out mid-run, the exact prefix of queries that fits can differ from
+the serial prefix (both report ``complete=False``).
 """
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
+from ..hiddendb.endpoint import EventLoopRunner, as_async_endpoint
 from ..hiddendb.errors import HiddenDBError, QueryBudgetExceeded
 from ..hiddendb.interface import QueryResult
 from ..hiddendb.query import Query
@@ -68,6 +80,10 @@ DEFAULT_BATCH_SIZE = 16
 #: Default thread-pool width of :class:`PipelinedStrategy`.
 DEFAULT_WORKERS = 4
 
+#: Registered execution-strategy names (the CLI / ``DiscoveryConfig``
+#: currency; resolve one with :func:`make_strategy`).
+STRATEGY_NAMES = ("serial", "pipelined", "async")
+
 
 @dataclass(frozen=True)
 class EngineStats:
@@ -80,7 +96,10 @@ class EngineStats:
     a crashed incarnation of this one); ``batched`` counts the subset of
     issued queries whose answers arrived inside ``batch_query()`` round
     trips (``batches`` counts the round trips started); ``max_in_flight``
-    is the peak number of queries simultaneously awaiting an answer.
+    is the peak number of queries simultaneously awaiting an answer;
+    ``wall_time_s`` is the elapsed wall-clock time of the run (session
+    creation to snapshot), from which :attr:`queries_per_sec` derives the
+    billable throughput.
     """
 
     strategy: str = "serial"
@@ -91,6 +110,7 @@ class EngineStats:
     batched: int = 0
     batches: int = 0
     max_in_flight: int = 0
+    wall_time_s: float = 0.0
 
     @property
     def duplicate_queries(self) -> int:
@@ -109,6 +129,13 @@ class EngineStats:
         total = self.issued + self.deduped + self.ledger_hits
         return self.ledger_hits / total if total else 0.0
 
+    @property
+    def queries_per_sec(self) -> float:
+        """Billable queries per wall-clock second of the run."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.issued / self.wall_time_s
+
     def as_dict(self) -> dict[str, object]:
         """JSON-friendly view (benchmark records, experiment reporting)."""
         return {
@@ -121,6 +148,8 @@ class EngineStats:
             "batched": self.batched,
             "batches": self.batches,
             "max_in_flight": self.max_in_flight,
+            "wall_time_s": self.wall_time_s,
+            "queries_per_sec": self.queries_per_sec,
         }
 
     def __repr__(self) -> str:
@@ -129,7 +158,8 @@ class EngineStats:
             f"issued={self.issued}, deduped={self.deduped}, "
             f"ledger_hits={self.ledger_hits}, "
             f"batched={self.batched}/{self.batches}, "
-            f"max_in_flight={self.max_in_flight})"
+            f"max_in_flight={self.max_in_flight}, "
+            f"wall={self.wall_time_s:.3f}s)"
         )
 
 
@@ -137,8 +167,8 @@ class QueryEngine:
     """Per-session dispatch plumbing: memo, counters, strategy.
 
     All counter and memo mutation happens on the driver thread (the thread
-    running the algorithm); worker threads only ever call the endpoint's
-    ``query`` / ``batch_query``.
+    running the algorithm); worker threads and the event loop only ever
+    call the endpoint's transport members.
     """
 
     def __init__(
@@ -168,10 +198,14 @@ class QueryEngine:
         self._batches = 0
         self._in_flight = 0
         self._max_in_flight = 0
-        #: Thread pool of the outermost active drain; nested drains (an
-        #: expansion callback running a sub-frontier) reuse it instead of
-        #: churning a fresh pool per recursion level.
+        self._started = time.perf_counter()
+        #: Thread pool of the outermost active pipelined drain; nested
+        #: drains (an expansion callback running a sub-frontier) reuse it
+        #: instead of churning a fresh pool per recursion level.
         self._drain_pool: "ThreadPoolExecutor | None" = None
+        #: Event-loop runner of the outermost active async drain (same
+        #: reuse rule as the thread pool).
+        self._async_runner: "EventLoopRunner | None" = None
 
     # -- memo and ledger -----------------------------------------------
     def bind_ledger(self, ledger) -> None:
@@ -222,6 +256,32 @@ class QueryEngine:
             return None
         return self._peek(query)
 
+    def consult(self, query: Query) -> QueryResult | None:
+        """The free-answer consult chain: memo, then ledger, then endpoint
+        cache -- in that order, the same order every dispatch path uses.
+
+        Returns ``None`` when the query genuinely has to be transported
+        (and billed).  Counter side effects (dedup / ledger hits, memo
+        write-back of cache hits) are applied here.
+        """
+        hit = self.lookup(query)
+        if hit is not None:
+            self.count_dedup()
+            return hit
+        ledgered = self.ledger_lookup(query)
+        if ledgered is not None:
+            # A ledger hit is an answer an earlier run already paid for:
+            # free, like a dedup hit.
+            return ledgered
+        cached = self.peek_cache(query)
+        if cached is not None:
+            # An endpoint-cache hit is free: no budget reservation, no
+            # billable ``issued`` count (matching queries_issued).
+            if self.dedup:
+                self._memo[query.canonical_key()] = cached
+            return cached
+        return None
+
     def note_answer(
         self, query: Query, result: QueryResult, batched: bool = False
     ) -> None:
@@ -251,28 +311,16 @@ class QueryEngine:
     def fetch(
         self, query: Query, session: "DiscoverySession | None" = None
     ) -> QueryResult:
-        """Answer one query: memo first, endpoint otherwise.
+        """Answer one query: the consult chain first, endpoint otherwise.
 
-        The session's budget is reserved only when the query is actually
-        about to be billed -- memo hits are free -- and released again if
-        the transport fails without an answer.
+        The sequential seam for state-dependent expansions.  The session's
+        budget is reserved only when the query is actually about to be
+        billed -- consult hits are free -- and released again if the
+        transport fails without an answer.
         """
-        hit = self.lookup(query)
+        hit = self.consult(query)
         if hit is not None:
-            self.count_dedup()
             return hit
-        ledgered = self.ledger_lookup(query)
-        if ledgered is not None:
-            # A ledger hit is an answer an earlier run already paid for:
-            # free, like a dedup hit.
-            return ledgered
-        cached = self.peek_cache(query)
-        if cached is not None:
-            # An endpoint-cache hit is free: no budget reservation, no
-            # billable ``issued`` count (matching queries_issued).
-            if self.dedup:
-                self._memo[query.canonical_key()] = cached
-            return cached
         if session is not None:
             session.reserve_budget()
         self.note_dispatch()
@@ -298,6 +346,7 @@ class QueryEngine:
             batched=self._batched,
             batches=self._batches,
             max_in_flight=self._max_in_flight,
+            wall_time_s=time.perf_counter() - self._started,
         )
 
 
@@ -364,34 +413,6 @@ class Frontier:
         self._session.engine.strategy.drain(self, self._session)
 
 
-class ExecutionStrategy:
-    """How a :class:`Frontier` is drained."""
-
-    name = "abstract"
-    workers = 1
-
-    def drain(self, frontier: Frontier, session: "DiscoverySession") -> None:
-        raise NotImplementedError
-
-
-class SerialStrategy(ExecutionStrategy):
-    """One query at a time, in frontier order -- the parity reference.
-
-    With dedup off this is bit-identical to the pre-engine
-    implementations: same queries, same order, same costs, same traces.
-    """
-
-    name = "serial"
-    workers = 1
-
-    def drain(self, frontier: Frontier, session: "DiscoverySession") -> None:
-        while frontier.pending:
-            entry = frontier.pop()
-            result = session.issue(entry.query)
-            if entry.on_result is not None:
-                entry.on_result(result)
-
-
 @dataclass
 class _Dispatched:
     """One dispatched entry awaiting its in-order merge.
@@ -456,17 +477,374 @@ class _Dispatched:
         return outcome
 
 
-class PipelinedStrategy(ExecutionStrategy):
-    """Windowed concurrent dispatch with deterministic in-order merge.
+class _DrainCore:
+    """The strategy-agnostic half of a windowed frontier drain.
+
+    Owns everything that makes a drain deterministic regardless of
+    concurrency -- and owns it *once*, for every strategy:
+
+    * **classification** (:meth:`next_chunk`): each popped entry is merged
+      with the session base and run through the consult chain in the
+      serial order -- memo (including queries still in the window, which
+      will be memoized by their merge turn), in-flight-duplicate ledger
+      deferral, persistent ledger, endpoint cache -- and only genuinely
+      new queries become transport work;
+    * **billing and bookkeeping** (:meth:`merge_head`): answers are
+      recorded into the session and billed (``note_answer``) strictly in
+      dispatch order, and expansion callbacks run on the driver thread
+      against exactly the session state a serial run would show them.
+
+    A strategy's only job is to attach a future to each transported entry
+    of the chunks this core hands out (inline call, thread-pool task, or
+    event-loop task).
+    """
+
+    def __init__(
+        self,
+        frontier: Frontier,
+        session: "DiscoverySession",
+        capacity: int,
+        per_task: int,
+    ) -> None:
+        self._frontier = frontier
+        self._session = session
+        self._engine = session.engine
+        self._capacity = capacity
+        self._per_task = per_task
+        self._waiting: deque[_Dispatched] = deque()
+        self._inflight_keys: set[str] = set()  # dispatched, not yet merged
+        self._outstanding = 0  # transported entries not yet merged
+
+    @property
+    def busy(self) -> bool:
+        """Whether the drain still has pending or unmerged work."""
+        return bool(self._frontier.pending or self._waiting)
+
+    @property
+    def window_open(self) -> bool:
+        """Whether another chunk may be dispatched right now."""
+        return bool(self._frontier.pending) and self._outstanding < self._capacity
+
+    @property
+    def waiting(self) -> int:
+        """Dispatched entries not yet merged."""
+        return len(self._waiting)
+
+    def next_chunk(self, max_pops: int | None = None) -> list[_Dispatched]:
+        """Pop and classify entries until one transport task is full.
+
+        Entries answered for free (memo, in-flight duplicate, ledger,
+        endpoint cache) are queued for their merge turn directly and never
+        reach the returned chunk; the chunk holds only entries that must
+        be transported, already counted in the in-flight window.
+        ``max_pops`` caps how many frontier entries are consumed (the
+        serial strategy classifies one entry per merge round).
+        """
+        engine = self._engine
+        session = self._session
+        chunk: list[_Dispatched] = []
+        pops = 0
+        limit = min(self._per_task, self._capacity - self._outstanding)
+        while self._frontier.pending and len(chunk) < limit:
+            if max_pops is not None and pops >= max_pops:
+                break
+            entry = self._frontier.pop()
+            pops += 1
+            merged = session.prepare(entry.query)
+            ckey = merged.canonical_key()
+            if engine.dedup and (
+                ckey in engine._memo or ckey in self._inflight_keys
+            ):
+                # Answered (or about to be) by the memo: resolve there at
+                # merge time, bill nothing.
+                self._waiting.append(_Dispatched(entry, memo_key=ckey))
+                continue
+            if engine.ledger is not None and ckey in self._inflight_keys:
+                # Dedup is off but a ledger is mounted: the in-flight
+                # original will have ledgered its answer by this entry's
+                # merge turn, and a serial run would have answered the
+                # repeat from the ledger for free -- dispatching it would
+                # double-bill an owned answer.
+                self._waiting.append(_Dispatched(entry, ledger_query=merged))
+                continue
+            ledgered = engine.ledger_lookup(merged)
+            if ledgered is not None:
+                # Already paid for by an earlier run: free, no dispatch.
+                self._waiting.append(_Dispatched(entry, result=ledgered))
+                continue
+            cached = engine.peek_cache(merged)
+            if cached is not None:
+                # Endpoint-cache hit: free, no dispatch.
+                if engine.dedup:
+                    engine._memo[ckey] = cached
+                self._waiting.append(_Dispatched(entry, result=cached))
+                continue
+            item = _Dispatched(entry, query=merged, key=ckey)
+            chunk.append(item)
+            self._waiting.append(item)
+            self._inflight_keys.add(ckey)
+            self._outstanding += 1
+        if chunk:
+            engine.note_dispatch(len(chunk))
+        return chunk
+
+    def merge_head(self) -> None:
+        """Merge the oldest dispatched entry (billing, record, callback)."""
+        engine = self._engine
+        head = self._waiting.popleft()
+        try:
+            result = head.resolve(engine)
+        finally:
+            if head.transported:
+                self._inflight_keys.discard(head.key)
+                engine.note_done()
+                self._outstanding -= 1
+        if head.transported:
+            engine.note_answer(
+                head.query, result, batched=head.batch_index is not None
+            )
+        self._session.record(result)
+        if head.entry.on_result is not None:
+            head.entry.on_result(result)
+
+    def cancel(self) -> None:
+        """Cancel unmerged transports (don't issue work the algorithm
+        will never see); queued tasks die, running ones finish harmlessly
+        (transports never touch session state)."""
+        for item in self._waiting:
+            if item.future is not None:
+                item.future.cancel()
+
+
+class ExecutionStrategy:
+    """How a :class:`Frontier` is drained.
+
+    Concrete strategies subclass :class:`_WindowedStrategy`, which runs
+    the shared :class:`_DrainCore` and leaves only the transport hooks
+    (``_open`` / ``_submit`` / ``_close``) to the subclass.
+    """
+
+    name = "abstract"
+    workers = 1
+
+    def drain(self, frontier: Frontier, session: "DiscoverySession") -> None:
+        raise NotImplementedError
+
+
+class _WindowedStrategy(ExecutionStrategy):
+    """Shared drain loop over :class:`_DrainCore`; subclasses transport.
+
+    The loop is identical for every strategy: keep the dispatch window
+    full one chunk (= one transport task) at a time so merges stay
+    responsive, then merge the oldest dispatched entry.  A ``stepwise``
+    strategy (serial) classifies exactly one entry per round and merges
+    it immediately, reproducing the pre-engine pop/issue/callback
+    interleaving bit for bit even when free answers (memo, ledger,
+    endpoint cache) mix with transported ones.
+    """
+
+    batch_size = 1
+    stepwise = False
+
+    # -- transport hooks (subclass responsibility) ---------------------
+    def _open(self, engine: QueryEngine):
+        """Per-drain transport context (pool, loop, batch callable)."""
+        raise NotImplementedError
+
+    def _close(self, engine: QueryEngine, context) -> None:
+        """Release the transport context acquired by :meth:`_open`."""
+
+    def _submit(
+        self,
+        context,
+        chunk: list[_Dispatched],
+        session: "DiscoverySession",
+        engine: QueryEngine,
+    ) -> None:
+        """Attach a future to every entry of a non-empty ``chunk``."""
+        raise NotImplementedError
+
+    def drain(self, frontier: Frontier, session: "DiscoverySession") -> None:
+        engine = session.engine
+        context = self._open(engine)
+        per_task = (
+            self.batch_size if context.batch_query is not None else 1
+        )
+        core = _DrainCore(
+            frontier, session, capacity=self.workers * per_task,
+            per_task=per_task,
+        )
+        try:
+            while core.busy:
+                while core.window_open:
+                    chunk = core.next_chunk(
+                        max_pops=1 if self.stepwise else None
+                    )
+                    if chunk:
+                        self._submit(context, chunk, session, engine)
+                    if self.stepwise:
+                        break
+                if core.waiting:
+                    core.merge_head()
+        except BaseException:
+            core.cancel()
+            raise
+        finally:
+            self._close(engine, context)
+
+
+class _TransportContext:
+    """Per-drain transport state handed between the strategy hooks."""
+
+    __slots__ = ("batch_query", "endpoint", "pool", "runner", "owns")
+
+    def __init__(
+        self, batch_query=None, endpoint=None, pool=None, runner=None,
+        owns=False,
+    ) -> None:
+        self.batch_query = batch_query
+        self.endpoint = endpoint
+        self.pool = pool
+        self.runner = runner
+        self.owns = owns
+
+
+def _transport_one(session, interface, query) -> QueryResult:
+    """One guarded single-query transport (any transport thread).
+
+    Session-budget reservation happens here, immediately before the query
+    is billed -- never speculatively -- so a budget that suffices for a
+    serial run also suffices concurrently (the strategies issue the same
+    query set).
+    """
+    session.reserve_budget()
+    try:
+        return interface.query(query)
+    except BaseException:
+        session.release_budget()
+        raise
+
+
+def _reserve_batch(session, queries: Sequence[Query]):
+    """Reserve budget per item; ``(reserved count, pending budget error)``."""
+    reserved = 0
+    budget_error: QueryBudgetExceeded | None = None
+    for _ in queries:
+        try:
+            session.reserve_budget()
+        except QueryBudgetExceeded as exc:
+            budget_error = exc
+            break
+        reserved += 1
+    return reserved, budget_error
+
+
+def _release_partial(exc: HiddenDBError, session, reserved: int) -> None:
+    """Normalise ``exc.partial_results`` to the sent prefix and return the
+    reservations of its ``None`` holes (exactly the unbilled items)."""
+    outcomes = tuple(getattr(exc, "partial_results", ()) or ())
+    outcomes = outcomes[:reserved]
+    outcomes += (None,) * (reserved - len(outcomes))
+    session.release_budget(sum(1 for outcome in outcomes if outcome is None))
+    exc.partial_results = outcomes
+
+
+def _transport_batch(session, batch_query, queries):
+    """One guarded batch transport (worker thread).
+
+    Reserves budget per item and only sends the affordable prefix; a
+    shortfall (or a terminal mid-batch failure from the endpoint)
+    surfaces as an exception carrying ``partial_results`` so already
+    billed answers still reach their entries' merges.
+    """
+    reserved, budget_error = _reserve_batch(session, queries)
+    allowed = queries[:reserved]
+    results: tuple[QueryResult, ...] = ()
+    try:
+        if allowed:
+            results = tuple(batch_query(allowed))
+    except HiddenDBError as exc:
+        _release_partial(exc, session, reserved)
+        raise
+    except BaseException:
+        session.release_budget(reserved)
+        raise
+    if budget_error is not None:
+        budget_error.partial_results = results
+        raise budget_error
+    return results
+
+
+async def _transport_one_async(session, endpoint, query) -> QueryResult:
+    """Async twin of :func:`_transport_one` (event-loop thread)."""
+    session.reserve_budget()
+    try:
+        return await endpoint.aquery(query)
+    except BaseException:
+        session.release_budget()
+        raise
+
+
+async def _transport_batch_async(session, abatch_query, queries):
+    """Async twin of :func:`_transport_batch` (event-loop thread)."""
+    reserved, budget_error = _reserve_batch(session, queries)
+    allowed = queries[:reserved]
+    results: tuple[QueryResult, ...] = ()
+    try:
+        if allowed:
+            results = tuple(await abatch_query(allowed))
+    except HiddenDBError as exc:
+        _release_partial(exc, session, reserved)
+        raise
+    except BaseException:
+        session.release_budget(reserved)
+        raise
+    if budget_error is not None:
+        budget_error.partial_results = results
+        raise budget_error
+    return results
+
+
+class SerialStrategy(_WindowedStrategy):
+    """One query at a time, in frontier order -- the parity reference.
+
+    With dedup off this is bit-identical to the pre-engine
+    implementations: same queries, same order, same costs, same traces.
+    Runs the shared drain core with a window of one, transporting inline
+    on the driver thread.
+    """
+
+    name = "serial"
+    workers = 1
+    batch_size = 1
+    stepwise = True
+
+    def _open(self, engine: QueryEngine) -> _TransportContext:
+        return _TransportContext()
+
+    def _submit(self, context, chunk, session, engine) -> None:
+        for item in chunk:  # window of one: at most a single entry
+            future: Future = Future()
+            item.future = future
+            try:
+                result = _transport_one(session, engine.interface, item.query)
+            except BaseException as exc:
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+
+
+class PipelinedStrategy(_WindowedStrategy):
+    """Windowed concurrent dispatch on a thread pool of blocking calls.
 
     A window of frontier queries is kept in flight on a thread pool of
     ``workers`` threads; when the endpoint offers ``batch_query()`` the
     window widens to ``workers * batch_size`` queries, packed up to
     ``batch_size`` per task so each task is a single round trip (one POST
-    against the networked service).  Answers are merged -- recorded into
-    the session and handed to expansion callbacks -- strictly in dispatch
-    order, which is what makes pipelined runs produce the same skyline and
-    billable cost as serial ones (see the module docstring).
+    against the networked service).  Answers are merged by the shared
+    drain core strictly in dispatch order, which is what makes pipelined
+    runs produce the same skyline and billable cost as serial ones (see
+    the module docstring).
     """
 
     name = "pipelined"
@@ -483,211 +861,183 @@ class PipelinedStrategy(ExecutionStrategy):
         self.workers = workers
         self.batch_size = batch_size
 
-    def drain(self, frontier: Frontier, session: "DiscoverySession") -> None:
-        engine = session.engine
-        interface = engine.interface
-        batch_query = (
-            getattr(interface, "batch_query", None)
-            if self.batch_size > 1
-            else None
-        )
-        per_task = self.batch_size if batch_query is not None else 1
-        capacity = self.workers * per_task
-        waiting: deque[_Dispatched] = deque()
-        inflight_keys: set[str] = set()  # dispatched, not yet merged
-        outstanding = 0  # transported entries not yet merged (this drain)
-
+    def _open(self, engine: QueryEngine) -> _TransportContext:
         # Nested drains (a callback running a sub-frontier mid-merge)
         # share the outermost drain's pool instead of churning one
         # executor per recursion level.  Only transports run on the pool,
         # never drains, so reuse cannot deadlock the driver.
-        owns_pool = engine._drain_pool is None
-        if owns_pool:
+        owns = engine._drain_pool is None
+        if owns:
             pool = ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="repro-engine"
             )
             engine._drain_pool = pool
         else:
             pool = engine._drain_pool
-        try:
-            while frontier.pending or waiting:
-                # Fill the dispatch window, one chunk (= one task) at a
-                # time so merges stay responsive.
-                while frontier.pending and outstanding < capacity:
-                    chunk: list[_Dispatched] = []
-                    limit = min(per_task, capacity - outstanding)
-                    while frontier.pending and len(chunk) < limit:
-                        entry = frontier.pop()
-                        merged = session.prepare(entry.query)
-                        ckey = merged.canonical_key()
-                        if engine.dedup and (
-                            ckey in engine._memo
-                            or ckey in inflight_keys
-                        ):
-                            # Answered (or about to be) by the memo:
-                            # resolve there at merge time, bill nothing.
-                            waiting.append(
-                                _Dispatched(entry, memo_key=ckey)
-                            )
-                            continue
-                        if (
-                            engine.ledger is not None
-                            and ckey in inflight_keys
-                        ):
-                            # Dedup is off but a ledger is mounted: the
-                            # in-flight original will have ledgered its
-                            # answer by this entry's merge turn, and a
-                            # serial run would have answered the repeat
-                            # from the ledger for free -- dispatching it
-                            # would double-bill an owned answer.
-                            waiting.append(
-                                _Dispatched(entry, ledger_query=merged)
-                            )
-                            continue
-                        ledgered = engine.ledger_lookup(merged)
-                        if ledgered is not None:
-                            # Already paid for by an earlier run: free,
-                            # no dispatch.
-                            waiting.append(
-                                _Dispatched(entry, result=ledgered)
-                            )
-                            continue
-                        cached = engine.peek_cache(merged)
-                        if cached is not None:
-                            # Endpoint-cache hit: free, no dispatch.
-                            if engine.dedup:
-                                engine._memo[ckey] = cached
-                            waiting.append(
-                                _Dispatched(entry, result=cached)
-                            )
-                            continue
-                        item = _Dispatched(entry, query=merged, key=ckey)
-                        chunk.append(item)
-                        waiting.append(item)
-                        inflight_keys.add(ckey)
-                        outstanding += 1
-                    self._submit(chunk, pool, session, batch_query, engine)
-                if not waiting:
-                    continue
-                # Merge the oldest dispatched entry.
-                head = waiting.popleft()
-                try:
-                    result = head.resolve(engine)
-                finally:
-                    if head.transported:
-                        inflight_keys.discard(head.key)
-                        engine.note_done()
-                        outstanding -= 1
-                if head.transported:
-                    engine.note_answer(
-                        head.query, result,
-                        batched=head.batch_index is not None,
-                    )
-                session.record(result)
-                if head.entry.on_result is not None:
-                    head.entry.on_result(result)
-        except BaseException:
-            # Don't issue work the algorithm will never see: queued tasks
-            # are cancelled, running ones finish harmlessly (workers never
-            # touch session state).
-            for item in waiting:
-                if item.future is not None:
-                    item.future.cancel()
-            raise
-        finally:
-            if owns_pool:
-                engine._drain_pool = None
-                pool.shutdown(wait=True)
+        batch_query = (
+            getattr(engine.interface, "batch_query", None)
+            if self.batch_size > 1
+            else None
+        )
+        return _TransportContext(batch_query=batch_query, pool=pool, owns=owns)
 
-    @classmethod
-    def _submit(cls, chunk, pool, session, batch_query, engine) -> None:
-        """Put a chunk of prepared entries on the wire as one task.
+    def _close(self, engine: QueryEngine, context) -> None:
+        if context.owns:
+            engine._drain_pool = None
+            context.pool.shutdown(wait=True)
 
-        Session-budget reservation happens inside the transport wrappers,
-        on the worker thread, immediately before each query is billed --
-        never speculatively -- so a budget that suffices for a serial run
-        also suffices pipelined (both issue the same query set).
-        """
-        if not chunk:
-            return
-        interface = engine.interface
+    def _submit(self, context, chunk, session, engine) -> None:
         queries = [item.query for item in chunk]
-        engine.note_dispatch(len(chunk))
-        if batch_query is not None and len(chunk) > 1:
+        if context.batch_query is not None and len(chunk) > 1:
             engine.note_batch()
-            future = pool.submit(
-                cls._transport_batch, session, batch_query, queries
+            future = context.pool.submit(
+                _transport_batch, session, context.batch_query, queries
             )
             for index, item in enumerate(chunk):
                 item.future = future
                 item.batch_index = index
         else:
             for item, query in zip(chunk, queries):
-                item.future = pool.submit(
-                    cls._transport_one, session, interface, query
+                item.future = context.pool.submit(
+                    _transport_one, session, engine.interface, query
                 )
 
-    @staticmethod
-    def _transport_one(session, interface, query) -> QueryResult:
-        """One guarded single-query transport (worker thread)."""
-        session.reserve_budget()
-        try:
-            return interface.query(query)
-        except BaseException:
-            session.release_budget()
-            raise
 
-    @staticmethod
-    def _transport_batch(session, batch_query, queries):
-        """One guarded batch transport (worker thread).
+class AsyncStrategy(_WindowedStrategy):
+    """Windowed concurrent dispatch on an asyncio event loop.
 
-        Reserves budget per item and only sends the affordable prefix; a
-        shortfall (or a terminal mid-batch failure from the endpoint)
-        surfaces as an exception carrying ``partial_results`` so already
-        billed answers still reach their entries' merges.
-        """
-        reserved = 0
-        budget_error: QueryBudgetExceeded | None = None
-        for _ in queries:
-            try:
-                session.reserve_budget()
-            except QueryBudgetExceeded as exc:
-                budget_error = exc
-                break
-            reserved += 1
-        allowed = queries[:reserved]
-        results: tuple[QueryResult, ...] = ()
-        try:
-            if allowed:
-                results = tuple(batch_query(allowed))
-        except HiddenDBError as exc:
-            # Normalise partial_results to a tuple aligned with the sent
-            # prefix; ``None`` holes are exactly the unbilled items, whose
-            # reservations are returned.
-            outcomes = tuple(getattr(exc, "partial_results", ()) or ())
-            outcomes = outcomes[:reserved]
-            outcomes += (None,) * (reserved - len(outcomes))
-            session.release_budget(
-                sum(1 for outcome in outcomes if outcome is None)
+    The same bounded in-flight window and dispatch-order merge as
+    :class:`PipelinedStrategy`, but transports are coroutines on one
+    event-loop thread instead of blocking calls on ``workers`` OS
+    threads: ``workers`` here is just the window width, so very wide
+    windows (hundreds of queries in flight against a remote service) cost
+    no thread stand-up, no per-thread connections and no GIL-contended
+    context switching.
+
+    Endpoints that speak async natively (``aquery`` /
+    ``abatch_query``, e.g.
+    :class:`~repro.service.aclient.AsyncRemoteTopKInterface`) are awaited
+    directly over non-blocking sockets; plain blocking endpoints are
+    adapted via
+    :func:`~repro.hiddendb.endpoint.as_async_endpoint` and run on the
+    loop's thread executor, so ``DiscoveryConfig(strategy="async")``
+    works against any endpoint.
+    """
+
+    name = "async"
+
+    def __init__(
+        self,
+        workers: int = DEFAULT_WORKERS,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.workers = workers
+        self.batch_size = batch_size
+
+    def _open(self, engine: QueryEngine) -> _TransportContext:
+        endpoint = as_async_endpoint(engine.interface)
+        # An async-native endpoint with its own event loop (the asyncio
+        # remote client) runs transports *on that loop*: one thread hop
+        # per query instead of two (strategy loop -> endpoint loop), and
+        # the endpoint's pooled connections are already loop-affine.
+        shared = getattr(endpoint, "aio_runner", None)
+        if shared is not None:
+            return _TransportContext(
+                batch_query=(
+                    getattr(endpoint, "abatch_query", None)
+                    if self.batch_size > 1
+                    else None
+                ),
+                endpoint=endpoint,
+                runner=shared,
+                owns=False,
             )
-            exc.partial_results = outcomes
-            raise
-        except BaseException:
-            session.release_budget(reserved)
-            raise
-        if budget_error is not None:
-            budget_error.partial_results = results
-            raise budget_error
-        return results
+        owns = engine._async_runner is None
+        if owns:
+            runner = EventLoopRunner(name="repro-async")
+            engine._async_runner = runner
+        else:
+            runner = engine._async_runner
+        batch_query = (
+            getattr(endpoint, "abatch_query", None)
+            if self.batch_size > 1
+            else None
+        )
+        return _TransportContext(
+            batch_query=batch_query, endpoint=endpoint, runner=runner,
+            owns=owns,
+        )
+
+    def _close(self, engine: QueryEngine, context) -> None:
+        if context.owns:
+            engine._async_runner = None
+            context.runner.close()
+
+    def _submit(self, context, chunk, session, engine) -> None:
+        queries = [item.query for item in chunk]
+        if context.batch_query is not None and len(chunk) > 1:
+            engine.note_batch()
+            future = context.runner.submit(
+                _transport_batch_async(session, context.batch_query, queries)
+            )
+            for index, item in enumerate(chunk):
+                item.future = future
+                item.batch_index = index
+        else:
+            for item, query in zip(chunk, queries):
+                item.future = context.runner.submit(
+                    _transport_one_async(session, context.endpoint, query)
+                )
+
+
+def make_strategy(
+    name: str | None,
+    workers: int = 1,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> ExecutionStrategy:
+    """Resolve a strategy name into an :class:`ExecutionStrategy`.
+
+    ``None`` keeps the historical implicit switch: ``workers > 1`` means
+    pipelined, otherwise serial.  Explicit names (``"serial"``,
+    ``"pipelined"``, ``"async"`` -- see :data:`STRATEGY_NAMES`) pin the
+    strategy regardless of the worker count, except that ``"serial"``
+    with ``workers > 1`` is rejected as contradictory.
+    """
+    if name is None:
+        if workers > 1:
+            return PipelinedStrategy(workers=workers, batch_size=batch_size)
+        return SerialStrategy()
+    if name == "serial":
+        if workers > 1:
+            raise ValueError(
+                f"strategy 'serial' is single-worker; drop workers={workers} "
+                f"or pick 'pipelined' / 'async'"
+            )
+        return SerialStrategy()
+    if name == "pipelined":
+        return PipelinedStrategy(workers=workers, batch_size=batch_size)
+    if name == "async":
+        return AsyncStrategy(workers=workers, batch_size=batch_size)
+    raise ValueError(
+        f"unknown execution strategy {name!r}; "
+        f"pick one of {', '.join(STRATEGY_NAMES)}"
+    )
 
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_WORKERS",
+    "STRATEGY_NAMES",
+    "AsyncStrategy",
     "EngineStats",
     "ExecutionStrategy",
     "Frontier",
     "PipelinedStrategy",
     "QueryEngine",
     "SerialStrategy",
+    "make_strategy",
 ]

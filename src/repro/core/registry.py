@@ -32,7 +32,7 @@ from dataclasses import dataclass, field, replace as _dc_replace
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 from ..hiddendb.attributes import InterfaceKind, Schema
-from .engine import DEFAULT_BATCH_SIZE
+from .engine import DEFAULT_BATCH_SIZE, STRATEGY_NAMES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..hiddendb.endpoint import SearchEndpoint
@@ -88,13 +88,23 @@ class DiscoveryConfig:
     record_log:
         Attach the full query/answer log to the returned result
         (``result.query_log``), for :func:`repro.core.stats.summarize_log`.
+    strategy:
+        Execution-strategy name: ``"serial"``, ``"pipelined"`` or
+        ``"async"`` (see :data:`~repro.core.engine.STRATEGY_NAMES`).
+        ``None`` (the default) keeps the historical implicit switch --
+        ``workers > 1`` means pipelined, otherwise serial.  All
+        strategies run the same shared drain core, so the skyline and
+        billed cost are identical; only wall time differs.
     workers:
-        Execution-engine concurrency: ``1`` (the default) drains frontiers
-        with the bit-identical :class:`~repro.core.engine.SerialStrategy`;
+        Execution-engine concurrency: the dispatch-window width.  With
+        the (default) implicit strategy, ``1`` drains frontiers with the
+        bit-identical :class:`~repro.core.engine.SerialStrategy` and
         ``> 1`` switches to the
         :class:`~repro.core.engine.PipelinedStrategy`, which keeps up to
         this many dispatch tasks in flight while merging answers in
-        deterministic order (same skyline, same billable cost).
+        deterministic order (same skyline, same billable cost).  Under
+        ``strategy="async"`` a worker is just an in-flight slot on the
+        event loop, not an OS thread, so wide windows are cheap.
     batch_size:
         Queries packed per round trip when the endpoint supports
         ``batch_query()`` (the networked service does); only meaningful
@@ -135,6 +145,7 @@ class DiscoveryConfig:
     on_query: "Callable[[QueryResult], None] | None" = None
     on_tuple: "Callable[[TraceEntry], None] | None" = None
     record_log: bool = False
+    strategy: str | None = None
     workers: int = 1
     batch_size: int = DEFAULT_BATCH_SIZE
     dedup: bool | None = None
@@ -150,6 +161,16 @@ class DiscoveryConfig:
             raise ValueError(f"band must be >= 1, got {self.band}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.strategy is not None and self.strategy not in STRATEGY_NAMES:
+            raise ValueError(
+                f"unknown execution strategy {self.strategy!r}; "
+                f"pick one of {', '.join(STRATEGY_NAMES)}"
+            )
+        if self.strategy == "serial" and self.workers > 1:
+            raise ValueError(
+                f"strategy 'serial' is single-worker; drop "
+                f"workers={self.workers} or pick 'pipelined' / 'async'"
+            )
         if self.batch_size < 1:
             raise ValueError(
                 f"batch_size must be >= 1, got {self.batch_size}"

@@ -71,6 +71,11 @@ def format_engine_stats(stats) -> str:
     if stats.batches:
         line += f" batched={stats.batched} in {stats.batches} round trips"
     line += f" max-in-flight={stats.max_in_flight}"
+    if stats.wall_time_s > 0:
+        line += (
+            f" wall={stats.wall_time_s:.2f}s"
+            f" ({stats.queries_per_sec:,.0f} q/s)"
+        )
     return line
 
 

@@ -8,7 +8,17 @@ every issued query counted against an optional rate limit.
 """
 
 from .attributes import Attribute, InterfaceKind, Schema
-from .endpoint import BatchSearchEndpoint, SearchEndpoint
+from .endpoint import (
+    AsyncBatchSearchEndpoint,
+    AsyncEndpointAdapter,
+    AsyncSearchEndpoint,
+    BatchSearchEndpoint,
+    EventLoopRunner,
+    SearchEndpoint,
+    SyncEndpointAdapter,
+    as_async_endpoint,
+    as_sync_endpoint,
+)
 from .errors import (
     HiddenDBError,
     InvalidDomainValueError,
@@ -33,8 +43,15 @@ from .ranking import (
 from .table import Row, Table
 
 __all__ = [
+    "AsyncBatchSearchEndpoint",
+    "AsyncEndpointAdapter",
+    "AsyncSearchEndpoint",
     "Attribute",
     "BatchSearchEndpoint",
+    "EventLoopRunner",
+    "SyncEndpointAdapter",
+    "as_async_endpoint",
+    "as_sync_endpoint",
     "HiddenDBError",
     "InterfaceKind",
     "Interval",

@@ -43,7 +43,10 @@ concurrent ``query()`` calls from multiple threads.
 
 from __future__ import annotations
 
-from typing import Protocol, Sequence, runtime_checkable
+import asyncio
+import threading
+from concurrent.futures import Future
+from typing import Awaitable, Coroutine, Protocol, Sequence, runtime_checkable
 
 from .attributes import Schema
 from .interface import QueryResult
@@ -94,4 +97,243 @@ class BatchSearchEndpoint(SearchEndpoint, Protocol):
         ...
 
 
-__all__ = ["BatchSearchEndpoint", "SearchEndpoint"]
+@runtime_checkable
+class AsyncSearchEndpoint(Protocol):
+    """Structural type of a *non-blocking* top-k search endpoint.
+
+    The async twin of :class:`SearchEndpoint`: same metadata surface
+    (``schema`` / ``k`` / ``queries_issued``) and the same access-model
+    contract per query, but ``aquery()`` is a coroutine, so an event-loop
+    execution strategy can keep hundreds of queries in flight on one
+    thread.  :class:`~repro.service.aclient.AsyncRemoteTopKInterface` is
+    the canonical implementation; any blocking endpoint can be adapted
+    with :func:`as_async_endpoint` (and any async endpoint made blocking
+    with :func:`as_sync_endpoint`), so the two worlds compose freely.
+    """
+
+    @property
+    def schema(self) -> Schema:
+        """The (public) schema of the search form."""
+        ...
+
+    @property
+    def k(self) -> int:
+        """Maximum number of tuples returned per query."""
+        ...
+
+    @property
+    def queries_issued(self) -> int:
+        """Billable queries issued so far -- the paper's cost metric."""
+        ...
+
+    async def aquery(self, query: Query) -> QueryResult:
+        """Issue one conjunctive query without blocking the event loop."""
+        ...
+
+
+@runtime_checkable
+class AsyncBatchSearchEndpoint(AsyncSearchEndpoint, Protocol):
+    """An async endpoint that also answers batches in one round trip.
+
+    ``abatch_query`` carries the exact ``partial_results`` contract of
+    :meth:`BatchSearchEndpoint.batch_query`.
+    """
+
+    async def abatch_query(
+        self, queries: Sequence[Query]
+    ) -> tuple[QueryResult, ...]:
+        """Answer several independent queries in one non-blocking call."""
+        ...
+
+
+class EventLoopRunner:
+    """An asyncio event loop on a daemon thread, fed from other threads.
+
+    The bridge both directions of the sync/async seam stand on: the async
+    execution strategy submits transport coroutines here and receives
+    :class:`concurrent.futures.Future`\\ s (the same currency thread-pool
+    transports use), and :class:`SyncEndpointAdapter` runs an async
+    endpoint's coroutines here to present a blocking surface.  One runner
+    owns one loop for its whole lifetime, so loop-affine resources
+    (pooled connections) stay valid across calls.
+    """
+
+    def __init__(self, name: str = "repro-aio") -> None:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name=name, daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The runner's event loop (for loop-affine resource keying)."""
+        return self._loop
+
+    def submit(self, coro: Coroutine) -> Future:
+        """Schedule ``coro`` on the loop; a thread-safe future of it."""
+        return asyncio.run_coroutine_threadsafe(coro, self._loop)
+
+    def run(self, coro: Coroutine):
+        """Run ``coro`` to completion and return its result (blocking)."""
+        return self.submit(coro).result()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Cancel leftover tasks, stop the loop, join the thread."""
+
+        async def _shutdown() -> None:
+            loop = asyncio.get_running_loop()
+            tasks = [
+                task
+                for task in asyncio.all_tasks(loop)
+                if task is not asyncio.current_task()
+            ]
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            await loop.shutdown_asyncgens()
+            await loop.shutdown_default_executor()
+
+        if self._loop.is_closed():
+            return
+        try:
+            self.submit(_shutdown()).result(timeout=timeout)
+        except Exception:
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+        if not self._loop.is_running():
+            self._loop.close()
+
+    def __enter__(self) -> "EventLoopRunner":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AsyncEndpointAdapter:
+    """Async view of a blocking :class:`SearchEndpoint`.
+
+    ``aquery`` (and ``abatch_query``, when the wrapped endpoint batches)
+    run the blocking call on the event loop's thread executor, so a plain
+    endpoint -- the in-process simulator, the blocking HTTP client -- can
+    be driven by the async execution strategy unchanged.  Everything else
+    (schema, counters, caches, replay nonces) is delegated verbatim.
+    """
+
+    def __init__(self, endpoint: SearchEndpoint) -> None:
+        self._endpoint = endpoint
+        if hasattr(endpoint, "batch_query"):
+            # Instance attribute, found before __getattr__: the batch
+            # member only exists when the wrapped endpoint has one, so
+            # duck-typed capability checks stay truthful.
+            self.abatch_query = self._abatch_query
+
+    def __getattr__(self, name: str):
+        return getattr(self._endpoint, name)
+
+    @property
+    def wrapped(self) -> SearchEndpoint:
+        """The underlying blocking endpoint."""
+        return self._endpoint
+
+    async def aquery(self, query: Query) -> QueryResult:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self._endpoint.query, query)
+
+    async def _abatch_query(
+        self, queries: Sequence[Query]
+    ) -> tuple[QueryResult, ...]:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, self._endpoint.batch_query, list(queries)
+        )
+
+
+class SyncEndpointAdapter:
+    """Blocking view of an :class:`AsyncSearchEndpoint`.
+
+    Runs the endpoint's coroutines on a private :class:`EventLoopRunner`
+    (started lazily, closed via :meth:`close`), so an async-native
+    endpoint drops into serial/pipelined strategies and every other
+    blocking call site.
+    """
+
+    def __init__(self, endpoint: AsyncSearchEndpoint) -> None:
+        self._endpoint = endpoint
+        self._runner: EventLoopRunner | None = None
+        self._runner_lock = threading.Lock()
+        if hasattr(endpoint, "abatch_query"):
+            self.batch_query = self._batch_query
+
+    def __getattr__(self, name: str):
+        return getattr(self._endpoint, name)
+
+    @property
+    def wrapped(self) -> AsyncSearchEndpoint:
+        """The underlying async endpoint."""
+        return self._endpoint
+
+    def _run(self, coro: Coroutine):
+        with self._runner_lock:
+            if self._runner is None:
+                self._runner = EventLoopRunner(name="repro-sync-adapter")
+            runner = self._runner
+        return runner.run(coro)
+
+    def query(self, query: Query) -> QueryResult:
+        return self._run(self._endpoint.aquery(query))
+
+    def _batch_query(
+        self, queries: Sequence[Query]
+    ) -> tuple[QueryResult, ...]:
+        return self._run(self._endpoint.abatch_query(list(queries)))
+
+    def close(self) -> None:
+        with self._runner_lock:
+            runner, self._runner = self._runner, None
+        if runner is not None:
+            runner.close()
+        close = getattr(self._endpoint, "close", None)
+        if close is not None:
+            outcome = close()
+            if isinstance(outcome, Awaitable):  # async close coroutines
+                EventLoopRunner(name="repro-close").run(outcome)  # pragma: no cover
+
+    def __enter__(self) -> "SyncEndpointAdapter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def as_async_endpoint(endpoint) -> "AsyncSearchEndpoint":
+    """``endpoint`` itself if it already speaks async, adapted otherwise."""
+    if hasattr(endpoint, "aquery"):
+        return endpoint
+    return AsyncEndpointAdapter(endpoint)
+
+
+def as_sync_endpoint(endpoint) -> "SearchEndpoint":
+    """``endpoint`` itself if it already blocks, adapted otherwise."""
+    if hasattr(endpoint, "query"):
+        return endpoint
+    return SyncEndpointAdapter(endpoint)
+
+
+__all__ = [
+    "AsyncBatchSearchEndpoint",
+    "AsyncEndpointAdapter",
+    "AsyncSearchEndpoint",
+    "BatchSearchEndpoint",
+    "EventLoopRunner",
+    "SearchEndpoint",
+    "SyncEndpointAdapter",
+    "as_async_endpoint",
+    "as_sync_endpoint",
+]

@@ -12,6 +12,11 @@ for the in-process simulator so discovery can run over the wire:
   :class:`~repro.hiddendb.endpoint.SearchEndpoint` over HTTP with
   retry/backoff against injected faults and an optional LRU query cache
   whose hits are free (they never reach the server's billing counter);
+* :mod:`repro.service.aclient` -- :class:`AsyncRemoteTopKInterface`, the
+  asyncio twin of the client: the same wire format, billing semantics,
+  cache/ledger mount and replay ids, but over non-blocking pooled
+  connections on one event loop, built for
+  ``DiscoveryConfig(strategy="async")``'s very wide dispatch windows;
 * :mod:`repro.service.wire` -- the JSON wire format shared by both sides;
 * :mod:`repro.service.faults` -- deterministic, thread-safe fault/latency
   injection used by the server.
@@ -31,16 +36,25 @@ The CLI mirrors this: ``repro serve --dataset diamonds`` in one terminal,
 ``repro discover --url http://127.0.0.1:8080`` in another.
 """
 
-from .client import RemoteServiceError, RemoteTopKInterface
+from .aclient import AsyncRemoteTopKInterface
+from .client import QueryClientCore, RemoteServiceError, RemoteTopKInterface
 from .faults import FaultConfig, FaultInjector
-from .server import HiddenDBServer, KeyUsage, ServerStats
+from .server import (
+    HiddenDBServer,
+    KeyUsage,
+    ServerStats,
+    ServiceStartupError,
+)
 
 __all__ = [
+    "AsyncRemoteTopKInterface",
     "FaultConfig",
     "FaultInjector",
     "HiddenDBServer",
     "KeyUsage",
+    "QueryClientCore",
     "RemoteServiceError",
     "RemoteTopKInterface",
     "ServerStats",
+    "ServiceStartupError",
 ]

@@ -76,7 +76,279 @@ class RemoteServiceError(HiddenDBError):
         self.status = status
 
 
-class RemoteTopKInterface:
+class QueryClientCore:
+    """Transport-independent half of a remote hidden-DB client.
+
+    Everything that must behave *identically* whether the wire is driven
+    by blocking sockets (:class:`RemoteTopKInterface`) or an asyncio
+    event loop (:class:`~repro.service.aclient.AsyncRemoteTopKInterface`)
+    lives here, once: the never-billed LRU query cache and crawl-store
+    ledger mount, deterministic ``X-Request-Id`` replay derivation, error
+    classification, budget-header tracking and the telemetry counters.
+    Subclasses contribute only transport (``_request`` / ``_arequest``).
+    """
+
+    def _init_core(
+        self,
+        url: str,
+        *,
+        api_key: str,
+        timeout: float,
+        max_retries: int,
+        backoff: float,
+        backoff_cap: float,
+        cache_size: int | None,
+        ledger,
+        replay_nonce: str | None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if cache_size is not None and cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self._url = url.rstrip("/")
+        split = urllib.parse.urlsplit(self._url)
+        if split.scheme not in ("http", "https") or not split.hostname:
+            raise ValueError(f"url must be http(s)://host[:port], got {url!r}")
+        self._scheme = split.scheme
+        self._netloc = split.netloc
+        self._host = split.hostname
+        self._port = split.port or (443 if split.scheme == "https" else 80)
+        #: Guards the billable/cache/retry counters and the LRU cache.
+        self._lock = threading.Lock()
+        self._api_key = api_key
+        self._timeout = timeout
+        self._max_retries = max_retries
+        self._backoff = backoff
+        self._backoff_cap = backoff_cap
+        self._cache_size = cache_size or 0
+        # Keyed by the canonical query key -- the same scheme as the
+        # engine memo and the crawl-store ledger, so the layers can never
+        # disagree about query identity.
+        self._cache: OrderedDict[str, QueryResult] = OrderedDict()
+        self._ledger = ledger
+        self._replay_nonce = replay_nonce or None
+        self._count = 0
+        self._cache_hits = 0
+        self._ledger_hits = 0
+        self._retries = 0
+        self._budget_remaining: int | None = None
+        self._schema: Schema | None = None
+        self._k = 0
+        self._service_name = ""
+        self._ranking_label = ""
+        self._supports_batch = False
+        self._max_batch = MAX_BATCH_ITEMS
+
+    def _apply_metadata(self, metadata: Mapping[str, Any]) -> None:
+        """Fold the ``/api/schema`` bootstrap payload into the client."""
+        self._schema = decode_schema(metadata["schema"])
+        self._k = int(metadata["k"])
+        self._service_name = str(metadata.get("name", ""))
+        self._ranking_label = str(metadata.get("ranking", ""))
+        self._supports_batch = bool(metadata.get("batch", False))
+        self._max_batch = int(metadata.get("max_batch", MAX_BATCH_ITEMS))
+
+    # ------------------------------------------------------------------
+    # SearchEndpoint metadata surface
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        """The served search form's schema (fetched at construction)."""
+        assert self._schema is not None
+        return self._schema
+
+    @property
+    def k(self) -> int:
+        """Top-k output limit of the remote search form."""
+        return self._k
+
+    @property
+    def queries_issued(self) -> int:
+        """Billable queries this client sent (cache hits are free)."""
+        return self._count
+
+    def cached_answer(self, query: Query) -> QueryResult | None:
+        """This client's cached answer for ``query``, or ``None``.
+
+        Consulted by the execution engine before it reserves session
+        budget: cache hits are free under the paper's cost metric (they
+        advance no billing counter), so they must not consume a run's
+        query allowance either.  A hit counts toward :attr:`cache_hits`.
+        """
+        return self._cache_lookup(query)
+
+    # ------------------------------------------------------------------
+    # replay ids and cache plumbing (lock-guarded: workers share one client)
+    # ------------------------------------------------------------------
+    def set_replay_nonce(self, nonce: str | None) -> None:
+        """Derive ``X-Request-Id`` deterministically from ``nonce`` + query.
+
+        Called by a durable :class:`~repro.core.base.DiscoverySession`
+        with its crawl session's persistent nonce: a resumed crawl then
+        re-presents the exact ids of its crashed incarnation, and queries
+        the server billed whose answers never reached the store are
+        replayed free instead of billed twice.  ``None`` restores random
+        per-query ids.
+        """
+        with self._lock:
+            self._replay_nonce = nonce or None
+
+    def _request_id(self, query: Query) -> str:
+        nonce = self._replay_nonce
+        if nonce is None:
+            return uuid.uuid4().hex
+        return f"{nonce}-{query_fingerprint(query)}"
+
+    def _cache_lookup(self, query: Query) -> QueryResult | None:
+        if not self._cache_size and self._ledger is None:
+            return None
+        key = query.canonical_key()
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._cache_hits += 1
+                return cached
+        if self._ledger is None:
+            return None
+        # Durable cache: an answer some earlier run/process paid for.
+        persisted = self._ledger.get(query)
+        if persisted is None:
+            return None
+        with self._lock:
+            self._ledger_hits += 1
+            self._cache_hits += 1
+            if self._cache_size:
+                self._cache[key] = persisted
+                if len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        return persisted
+
+    def _cache_store(self, query: Query, result: QueryResult) -> None:
+        if self._ledger is not None:
+            self._ledger.put(query, result)
+        if not self._cache_size:
+            return
+        with self._lock:
+            self._cache[query.canonical_key()] = result
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+
+    def _count_billed(self) -> None:
+        with self._lock:
+            self._count += 1
+
+    def _count_retry(self) -> None:
+        with self._lock:
+            self._retries += 1
+
+    def _note_budget(self, headers: Mapping[str, str]) -> None:
+        remaining = headers.get("X-Budget-Remaining")
+        if remaining is None:
+            remaining = headers.get("x-budget-remaining")
+        if remaining is not None:
+            try:
+                value = int(remaining)
+            except ValueError:
+                return
+            with self._lock:
+                self._budget_remaining = value
+
+    def _classify_payload(
+        self, status: int, payload: Mapping[str, Any]
+    ) -> Exception:
+        """Decoded error body -> retry / simulator exception (shared by the
+        transport layer and the per-item handling of batch answers)."""
+        error = payload.get("error", "")
+        if error == "budget_exceeded":
+            limit = payload.get("limit")
+            return QueryBudgetExceeded(int(limit) if limit is not None else 0)
+        if error == "unsupported_query":
+            return UnsupportedQueryError(
+                payload.get("message", f"HTTP {status}")
+            )
+        if payload.get("retriable") or status in (429, 502, 503, 504):
+            return _Retriable(f"HTTP {status} ({error or 'no detail'})",
+                              status=status)
+        return RemoteServiceError(
+            f"HTTP {status}: {payload.get('message', error) or 'unexpected error'}",
+            status=status,
+        )
+
+    def _classify(self, status: int, raw: bytes) -> Exception:
+        """Map an HTTP error response onto retry / simulator semantics."""
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            payload = {}
+        return self._classify_payload(status, payload)
+
+    # ------------------------------------------------------------------
+    # client-side telemetry
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """Base URL of the remote service."""
+        return self._url
+
+    @property
+    def api_key(self) -> str:
+        """Billing identity this client queries under."""
+        return self._api_key
+
+    @property
+    def service_name(self) -> str:
+        """Name the service reported at construction."""
+        return self._service_name
+
+    @property
+    def ranking_label(self) -> str:
+        """Ranking-function label the service reported (endpoint identity)."""
+        return self._ranking_label
+
+    @property
+    def cache_hits(self) -> int:
+        """Queries answered from the local cache or ledger (never billed)."""
+        return self._cache_hits
+
+    @property
+    def ledger_hits(self) -> int:
+        """Subset of :attr:`cache_hits` answered by the persistent ledger."""
+        return self._ledger_hits
+
+    @property
+    def cache_size(self) -> int:
+        """Configured cache capacity (0 = caching disabled)."""
+        return self._cache_size
+
+    @property
+    def retries(self) -> int:
+        """Transport retries performed so far (a health signal, not a cost)."""
+        return self._retries
+
+    @property
+    def budget_remaining(self) -> int | None:
+        """Server-reported remaining budget (``None`` until known/unlimited)."""
+        return self._budget_remaining
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether the service advertises the ``/api/batch`` capability."""
+        return self._supports_batch
+
+    def clear_cache(self) -> None:
+        """Drop every cached answer (hit statistics are kept)."""
+        with self._lock:
+            self._cache.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self._url}, key={self._api_key!r}, "
+            f"issued={self._count}, cache_hits={self._cache_hits})"
+        )
+
+
+class RemoteTopKInterface(QueryClientCore):
     """A :class:`SearchEndpoint` speaking HTTP to a hidden-DB service.
 
     Parameters
@@ -130,67 +402,28 @@ class RemoteTopKInterface:
         replay_nonce: str | None = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
-        if max_retries < 0:
-            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
-        if cache_size is not None and cache_size < 0:
-            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
-        self._url = url.rstrip("/")
-        split = urllib.parse.urlsplit(self._url)
-        if split.scheme not in ("http", "https") or not split.hostname:
-            raise ValueError(f"url must be http(s)://host[:port], got {url!r}")
-        self._scheme = split.scheme
-        self._netloc = split.netloc
+        self._init_core(
+            url,
+            api_key=api_key,
+            timeout=timeout,
+            max_retries=max_retries,
+            backoff=backoff,
+            backoff_cap=backoff_cap,
+            cache_size=cache_size,
+            ledger=ledger,
+            replay_nonce=replay_nonce,
+        )
         # Connections are thread-local (HTTPConnection is not thread-safe;
         # pipelined strategies call query() from several worker threads);
         # every opened connection is also tracked for close().
         self._local = threading.local()
         self._conns: list[http.client.HTTPConnection] = []
-        #: Guards the billable/cache/retry counters and the LRU cache.
-        self._lock = threading.Lock()
-        self._api_key = api_key
-        self._timeout = timeout
-        self._max_retries = max_retries
-        self._backoff = backoff
-        self._backoff_cap = backoff_cap
-        self._cache_size = cache_size or 0
-        # Keyed by the canonical query key -- the same scheme as the
-        # engine memo and the crawl-store ledger, so the layers can never
-        # disagree about query identity.
-        self._cache: OrderedDict[str, QueryResult] = OrderedDict()
-        self._ledger = ledger
-        self._replay_nonce = replay_nonce or None
         self._sleep = sleep
-        self._count = 0
-        self._cache_hits = 0
-        self._ledger_hits = 0
-        self._retries = 0
-        self._budget_remaining: int | None = None
-        metadata = self._request("GET", "/api/schema")
-        self._schema = decode_schema(metadata["schema"])
-        self._k = int(metadata["k"])
-        self._service_name = str(metadata.get("name", ""))
-        self._ranking_label = str(metadata.get("ranking", ""))
-        self._supports_batch = bool(metadata.get("batch", False))
-        self._max_batch = int(metadata.get("max_batch", MAX_BATCH_ITEMS))
+        self._apply_metadata(self._request("GET", "/api/schema"))
 
     # ------------------------------------------------------------------
     # SearchEndpoint surface
     # ------------------------------------------------------------------
-    @property
-    def schema(self) -> Schema:
-        """The served search form's schema (fetched at construction)."""
-        return self._schema
-
-    @property
-    def k(self) -> int:
-        """Top-k output limit of the remote search form."""
-        return self._k
-
-    @property
-    def queries_issued(self) -> int:
-        """Billable queries this client sent (cache hits are free)."""
-        return self._count
-
     def query(self, query: Query) -> QueryResult:
         """Issue one query over the wire (or answer it from the cache).
 
@@ -332,131 +565,6 @@ class RemoteTopKInterface:
             raise exc
         return tuple(results)  # type: ignore[return-value]
 
-    def cached_answer(self, query: Query) -> QueryResult | None:
-        """This client's cached answer for ``query``, or ``None``.
-
-        Consulted by the execution engine before it reserves session
-        budget: cache hits are free under the paper's cost metric (they
-        advance no billing counter), so they must not consume a run's
-        query allowance either.  A hit counts toward :attr:`cache_hits`.
-        """
-        return self._cache_lookup(query)
-
-    # ------------------------------------------------------------------
-    # replay ids and cache plumbing (lock-guarded: workers share one client)
-    # ------------------------------------------------------------------
-    def set_replay_nonce(self, nonce: str | None) -> None:
-        """Derive ``X-Request-Id`` deterministically from ``nonce`` + query.
-
-        Called by a durable :class:`~repro.core.base.DiscoverySession`
-        with its crawl session's persistent nonce: a resumed crawl then
-        re-presents the exact ids of its crashed incarnation, and queries
-        the server billed whose answers never reached the store are
-        replayed free instead of billed twice.  ``None`` restores random
-        per-query ids.
-        """
-        with self._lock:
-            self._replay_nonce = nonce or None
-
-    def _request_id(self, query: Query) -> str:
-        nonce = self._replay_nonce
-        if nonce is None:
-            return uuid.uuid4().hex
-        return f"{nonce}-{query_fingerprint(query)}"
-
-    def _cache_lookup(self, query: Query) -> QueryResult | None:
-        if not self._cache_size and self._ledger is None:
-            return None
-        key = query.canonical_key()
-        with self._lock:
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._cache.move_to_end(key)
-                self._cache_hits += 1
-                return cached
-        if self._ledger is None:
-            return None
-        # Durable cache: an answer some earlier run/process paid for.
-        persisted = self._ledger.get(query)
-        if persisted is None:
-            return None
-        with self._lock:
-            self._ledger_hits += 1
-            self._cache_hits += 1
-            if self._cache_size:
-                self._cache[key] = persisted
-                if len(self._cache) > self._cache_size:
-                    self._cache.popitem(last=False)
-        return persisted
-
-    def _cache_store(self, query: Query, result: QueryResult) -> None:
-        if self._ledger is not None:
-            self._ledger.put(query, result)
-        if not self._cache_size:
-            return
-        with self._lock:
-            self._cache[query.canonical_key()] = result
-            if len(self._cache) > self._cache_size:
-                self._cache.popitem(last=False)
-
-    # ------------------------------------------------------------------
-    # client-side telemetry
-    # ------------------------------------------------------------------
-    @property
-    def url(self) -> str:
-        """Base URL of the remote service."""
-        return self._url
-
-    @property
-    def api_key(self) -> str:
-        """Billing identity this client queries under."""
-        return self._api_key
-
-    @property
-    def service_name(self) -> str:
-        """Name the service reported at construction."""
-        return self._service_name
-
-    @property
-    def ranking_label(self) -> str:
-        """Ranking-function label the service reported (endpoint identity)."""
-        return self._ranking_label
-
-    @property
-    def cache_hits(self) -> int:
-        """Queries answered from the local cache or ledger (never billed)."""
-        return self._cache_hits
-
-    @property
-    def ledger_hits(self) -> int:
-        """Subset of :attr:`cache_hits` answered by the persistent ledger."""
-        return self._ledger_hits
-
-    @property
-    def cache_size(self) -> int:
-        """Configured cache capacity (0 = caching disabled)."""
-        return self._cache_size
-
-    @property
-    def retries(self) -> int:
-        """Transport retries performed so far (a health signal, not a cost)."""
-        return self._retries
-
-    @property
-    def budget_remaining(self) -> int | None:
-        """Server-reported remaining budget (``None`` until known/unlimited)."""
-        return self._budget_remaining
-
-    @property
-    def supports_batch(self) -> bool:
-        """Whether the service advertises the ``/api/batch`` capability."""
-        return self._supports_batch
-
-    def clear_cache(self) -> None:
-        """Drop every cached answer (hit statistics are kept)."""
-        with self._lock:
-            self._cache.clear()
-
     def server_stats(self) -> dict[str, Any]:
         """The service's ``/api/stats`` payload (billing counters)."""
         return self._request("GET", "/api/stats")
@@ -582,52 +690,6 @@ class RemoteTopKInterface:
                 status=status,
             ) from None
 
-    def _classify(self, status: int, raw: bytes) -> Exception:
-        """Map an HTTP error response onto retry / simulator semantics."""
-        try:
-            payload = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, ValueError):
-            payload = {}
-        return self._classify_payload(status, payload)
-
-    def _classify_payload(
-        self, status: int, payload: Mapping[str, Any]
-    ) -> Exception:
-        """Decoded error body -> retry / simulator exception (shared by the
-        transport layer and the per-item handling of batch answers)."""
-        error = payload.get("error", "")
-        if error == "budget_exceeded":
-            limit = payload.get("limit")
-            return QueryBudgetExceeded(int(limit) if limit is not None else 0)
-        if error == "unsupported_query":
-            return UnsupportedQueryError(
-                payload.get("message", f"HTTP {status}")
-            )
-        if payload.get("retriable") or status in (429, 502, 503, 504):
-            return _Retriable(f"HTTP {status} ({error or 'no detail'})",
-                              status=status)
-        return RemoteServiceError(
-            f"HTTP {status}: {payload.get('message', error) or 'unexpected error'}",
-            status=status,
-        )
-
-    def _note_budget(self, headers: Mapping[str, str]) -> None:
-        remaining = headers.get("X-Budget-Remaining")
-        if remaining is not None:
-            try:
-                value = int(remaining)
-            except ValueError:
-                return
-            with self._lock:
-                self._budget_remaining = value
-
-    def __repr__(self) -> str:
-        return (
-            f"RemoteTopKInterface({self._url}, key={self._api_key!r}, "
-            f"issued={self._count}, cache_hits={self._cache_hits})"
-        )
-
-
 class _Retriable(Exception):
     """Internal: a failure worth another attempt."""
 
@@ -637,4 +699,4 @@ class _Retriable(Exception):
         self.status = status
 
 
-__all__ = ["RemoteServiceError", "RemoteTopKInterface"]
+__all__ = ["QueryClientCore", "RemoteServiceError", "RemoteTopKInterface"]

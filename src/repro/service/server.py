@@ -36,6 +36,7 @@ the server charged the query) can retry without being billed twice.
 
 from __future__ import annotations
 
+import errno
 import json
 import logging
 import sys
@@ -46,7 +47,7 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 
-from ..hiddendb.errors import UnsupportedQueryError
+from ..hiddendb.errors import HiddenDBError, UnsupportedQueryError
 from ..hiddendb.ranking import LinearRanker, Ranker
 from ..hiddendb.table import Table
 from .faults import FaultConfig, FaultInjector
@@ -69,15 +70,30 @@ INFLIGHT_WAIT_SECONDS = 60.0
 MAX_BATCH_ITEMS = 256
 
 
-class _QuietThreadingHTTPServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer that doesn't traceback on client disconnects.
+class ServiceStartupError(HiddenDBError):
+    """The service could not start (e.g. its port is already taken).
 
-    A crawler that is killed (or times out) mid-request resets its
-    sockets; the stdlib default prints a full traceback per connection,
-    which buries real errors.  Disconnects are routine for this service
-    -- the durable-crawl tests SIGKILL clients on purpose -- so they are
-    logged at debug level instead.
+    Maps low-level socket errors at bind time onto one actionable
+    message, instead of a raw ``OSError`` traceback.
     """
+
+
+class _QuietThreadingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer tuned for crawler traffic.
+
+    * no tracebacks on client disconnects: a crawler that is killed (or
+      times out) mid-request resets its sockets; the stdlib default
+      prints a full traceback per connection, which buries real errors.
+      Disconnects are routine for this service -- the durable-crawl tests
+      SIGKILL clients on purpose -- so they are logged at debug level;
+    * a deep listen backlog (``request_queue_size``): wide-window async
+      clients open dozens to hundreds of connections in one burst, and
+      the stdlib default backlog of 5 would refuse the overflow
+      (handler threads are already daemonic via the stdlib base class).
+    """
+
+    #: Listen backlog -- sized for a wide-window async client's connect burst.
+    request_queue_size = 128
 
     def handle_error(self, request, client_address) -> None:  # noqa: D102
         exc = sys.exc_info()[1]
@@ -243,9 +259,23 @@ class HiddenDBServer:
         if self._httpd is not None:
             raise RuntimeError("server already started")
         handler = _make_handler(self)
-        self._httpd = _QuietThreadingHTTPServer(
-            (self._host, self._requested_port), handler
-        )
+        try:
+            self._httpd = _QuietThreadingHTTPServer(
+                (self._host, self._requested_port), handler
+            )
+        except OSError as exc:
+            if exc.errno in (errno.EADDRINUSE, errno.EACCES):
+                reason = (
+                    "already in use"
+                    if exc.errno == errno.EADDRINUSE
+                    else "not permitted"
+                )
+                raise ServiceStartupError(
+                    f"port {self._requested_port} on {self._host or '*'} is "
+                    f"{reason}; pick another --port (0 chooses a free one) "
+                    f"or stop the process bound to it"
+                ) from None
+            raise
         self._bound_port = self._httpd.server_address[1]
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
@@ -673,4 +703,5 @@ __all__ = [
     "KeyUsage",
     "MAX_BATCH_ITEMS",
     "ServerStats",
+    "ServiceStartupError",
 ]

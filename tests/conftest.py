@@ -132,6 +132,56 @@ def parity_run_params():
         yield pytest.param(spec.name, table, id=spec.name)
 
 
+# ----------------------------------------------------------------------
+# execution-strategy axis: every parity suite runs each algorithm under
+# every registered strategy (serial is the reference; pipelined and async
+# must produce the identical skyline and billed cost, in-process and
+# over the wire)
+# ----------------------------------------------------------------------
+
+#: Window/batch shape used by the strategy-parity suites: small enough to
+#: stay fast, wide enough that batching and concurrency genuinely engage.
+PARITY_WORKERS = 4
+PARITY_BATCH_SIZE = 8
+
+
+def strategy_configs(workers: int = PARITY_WORKERS,
+                     batch_size: int = PARITY_BATCH_SIZE):
+    """One ``DiscoveryConfig`` per registered execution strategy."""
+    from repro.core import STRATEGY_NAMES, DiscoveryConfig
+
+    configs = {}
+    for name in STRATEGY_NAMES:
+        if name == "serial":
+            configs[name] = DiscoveryConfig(strategy="serial")
+        else:
+            configs[name] = DiscoveryConfig(
+                strategy=name, workers=workers, batch_size=batch_size
+            )
+    return configs
+
+
+def parity_strategy_params(workers: int = PARITY_WORKERS,
+                           batch_size: int = PARITY_BATCH_SIZE):
+    """``(strategy name, DiscoveryConfig)`` pytest params, one per
+    registered execution strategy."""
+    for name, config in strategy_configs(workers, batch_size).items():
+        yield pytest.param(name, config, id=name)
+
+
+def parity_run_strategy_params():
+    """``(algorithm, table, strategy, config)`` params: the full
+    algorithm x strategy parity grid."""
+    for algo_param in parity_run_params():
+        algorithm, table = algo_param.values
+        for strat_param in parity_strategy_params():
+            strategy, config = strat_param.values
+            yield pytest.param(
+                algorithm, table, strategy, config,
+                id=f"{algorithm}-{strategy}",
+            )
+
+
 @pytest.fixture
 def simple_table() -> Table:
     """The paper's running example (Figure 2): four 3-D tuples."""

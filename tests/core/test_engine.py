@@ -7,9 +7,11 @@ from repro import Discoverer, DiscoveryConfig, TopKInterface
 from repro.core import all_algorithms
 from repro.core.base import DiscoverySession
 from repro.core.engine import (
+    AsyncStrategy,
     EngineStats,
     PipelinedStrategy,
     SerialStrategy,
+    make_strategy,
 )
 from repro.datagen import diamonds_table
 from repro.hiddendb import InterfaceKind, Query
@@ -17,6 +19,8 @@ from repro.hiddendb import InterfaceKind, Query
 from ..conftest import (
     PARITY_TABLES as TABLES,
     parity_run_params as run_params,
+    parity_run_strategy_params,
+    parity_strategy_params,
     random_table,
     truth_band_values,
     truth_values,
@@ -60,46 +64,62 @@ class TestEngineStats:
         assert stats.as_dict()["issued"] == 6
         assert EngineStats().dedup_rate == 0.0
 
+    def test_wall_time_and_throughput(self):
+        table = TABLES["rq3"]
+        result = Discoverer().run(TopKInterface(table, k=5))
+        stats = result.stats
+        assert stats.wall_time_s > 0.0
+        assert stats.queries_per_sec == pytest.approx(
+            stats.issued / stats.wall_time_s
+        )
+        payload = stats.as_dict()
+        assert payload["wall_time_s"] == stats.wall_time_s
+        assert payload["queries_per_sec"] == stats.queries_per_sec
+        # Degenerate stats never divide by zero.
+        assert EngineStats().queries_per_sec == 0.0
 
-class TestPipelinedParity:
-    """Satellite: serial <-> pipelined parity for every algorithm.
 
-    At every worker count the skyline value set and the billable query
-    cost must be identical (the remote half lives in tests/service).
+class TestStrategyParity:
+    """Satellite: every algorithm x every strategy, identical results.
+
+    Serial, pipelined and async all run the shared drain core, so the
+    skyline value set and the billable query cost must be identical under
+    every strategy (the remote half lives in tests/service).
     """
 
-    @pytest.mark.parametrize("algorithm,table", run_params())
-    @pytest.mark.parametrize("workers", [1, 4])
-    def test_in_process_parity(self, algorithm, table, workers):
+    @pytest.mark.parametrize(
+        "algorithm,table,strategy,config", parity_run_strategy_params()
+    )
+    def test_in_process_parity(self, algorithm, table, strategy, config):
         serial = Discoverer().run(TopKInterface(table, k=5), algorithm)
-        piped = Discoverer(DiscoveryConfig(workers=workers)).run(
-            TopKInterface(table, k=5), algorithm
-        )
-        assert piped.skyline_values == serial.skyline_values
-        assert piped.total_cost == serial.total_cost
-        assert piped.complete == serial.complete
+        result = Discoverer(config).run(TopKInterface(table, k=5), algorithm)
+        assert result.stats.strategy == strategy
+        assert result.skyline_values == serial.skyline_values
+        assert result.total_cost == serial.total_cost
+        assert result.complete == serial.complete
 
-    @pytest.mark.parametrize("workers", [1, 4])
-    def test_parity_with_dedup(self, workers):
+    @pytest.mark.parametrize("strategy,config", parity_strategy_params())
+    def test_parity_with_dedup(self, strategy, config):
         table = TABLES["sq3"]
         serial = Discoverer(DiscoveryConfig(dedup=True)).run(
             TopKInterface(table, k=5), "sq"
         )
-        piped = Discoverer(DiscoveryConfig(dedup=True, workers=workers)).run(
+        result = Discoverer(config.replace(dedup=True)).run(
             TopKInterface(table, k=5), "sq"
         )
-        assert piped.skyline_values == serial.skyline_values
-        assert piped.total_cost == serial.total_cost
-        assert piped.stats.deduped == serial.stats.deduped
+        assert result.skyline_values == serial.skyline_values
+        assert result.total_cost == serial.total_cost
+        assert result.stats.deduped == serial.stats.deduped
 
-    def test_pipelined_skyband_parity(self):
+    @pytest.mark.parametrize("strategy,config", parity_strategy_params())
+    def test_skyband_parity(self, strategy, config):
         table = TABLES["sq3"]
         serial = Discoverer().skyband(TopKInterface(table, k=5), 2, "sq")
-        piped = Discoverer(DiscoveryConfig(workers=4)).skyband(
+        result = Discoverer(config).skyband(
             TopKInterface(table, k=5), 2, "sq"
         )
-        assert piped.skyband_values == serial.skyband_values
-        assert piped.total_cost == serial.total_cost
+        assert result.skyband_values == serial.skyband_values
+        assert result.total_cost == serial.total_cost
 
 
 class TestDedup:
@@ -199,11 +219,14 @@ class TestFrontierOrdering:
         frontier.drain()
         assert seen == [7, 5, 3]
 
-    def test_pipelined_merges_in_dispatch_order(self):
+    @pytest.mark.parametrize(
+        "strategy",
+        [PipelinedStrategy(workers=4), AsyncStrategy(workers=4)],
+        ids=["pipelined", "async"],
+    )
+    def test_concurrent_strategies_merge_in_dispatch_order(self, strategy):
         table = TABLES["rq3"]
-        session = DiscoverySession(
-            TopKInterface(table, k=5), strategy=PipelinedStrategy(workers=4)
-        )
+        session = DiscoverySession(TopKInterface(table, k=5), strategy=strategy)
         seen = []
         frontier = session.frontier()
         for value in range(8):
@@ -252,12 +275,22 @@ class TestStrategyValidation:
             PipelinedStrategy(workers=0)
         with pytest.raises(ValueError):
             PipelinedStrategy(batch_size=0)
+        with pytest.raises(ValueError):
+            AsyncStrategy(workers=0)
+        with pytest.raises(ValueError):
+            AsyncStrategy(batch_size=0)
 
     def test_config_validates_engine_fields(self):
         with pytest.raises(ValueError):
             DiscoveryConfig(workers=0)
         with pytest.raises(ValueError):
             DiscoveryConfig(batch_size=0)
+        with pytest.raises(ValueError):
+            DiscoveryConfig(strategy="warp-drive")
+        # Serial is single-worker by definition; asking for more is a
+        # contradiction, not a silent downgrade.
+        with pytest.raises(ValueError):
+            DiscoveryConfig(strategy="serial", workers=4)
 
     def test_config_selects_strategy(self):
         table = TABLES["rq3"]
@@ -267,9 +300,29 @@ class TestStrategyValidation:
         piped = DiscoverySession.from_config(
             TopKInterface(table, k=5), DiscoveryConfig(workers=3)
         )
+        explicit = DiscoverySession.from_config(
+            TopKInterface(table, k=5), DiscoveryConfig(strategy="async", workers=6)
+        )
         assert isinstance(serial.engine.strategy, SerialStrategy)
         assert isinstance(piped.engine.strategy, PipelinedStrategy)
         assert piped.engine.strategy.workers == 3
+        assert isinstance(explicit.engine.strategy, AsyncStrategy)
+        assert explicit.engine.strategy.workers == 6
+
+    def test_make_strategy_resolution(self):
+        # None keeps the historical workers switch (back compat).
+        assert isinstance(make_strategy(None, workers=1), SerialStrategy)
+        assert isinstance(make_strategy(None, workers=2), PipelinedStrategy)
+        assert isinstance(make_strategy("serial"), SerialStrategy)
+        piped = make_strategy("pipelined", workers=1, batch_size=4)
+        assert isinstance(piped, PipelinedStrategy) and piped.workers == 1
+        asy = make_strategy("async", workers=16, batch_size=4)
+        assert isinstance(asy, AsyncStrategy)
+        assert asy.workers == 16 and asy.batch_size == 4
+        with pytest.raises(ValueError):
+            make_strategy("serial", workers=2)
+        with pytest.raises(ValueError):
+            make_strategy("nope")
 
 
 class TestPipelinedBudgets:
@@ -283,6 +336,19 @@ class TestPipelinedBudgets:
         budget = full.total_cost // 3
         partial = Discoverer(
             DiscoveryConfig(workers=workers, budget=budget)
+        ).run(TopKInterface(table, k=1), "baseline")
+        assert not partial.complete
+        assert partial.total_cost <= budget
+
+    def test_async_session_budget_never_overshoots(self):
+        rng = np.random.default_rng(3)
+        table = random_table(rng, [RQ, RQ, RQ], 400, 12)
+        full = Discoverer(DiscoveryConfig(strategy="async", workers=4)).run(
+            TopKInterface(table, k=1), "baseline"
+        )
+        budget = full.total_cost // 3
+        partial = Discoverer(
+            DiscoveryConfig(strategy="async", workers=4, budget=budget)
         ).run(TopKInterface(table, k=1), "baseline")
         assert not partial.complete
         assert partial.total_cost <= budget

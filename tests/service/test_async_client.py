@@ -1,0 +1,177 @@
+"""Tests for the asyncio remote client (repro.service.aclient).
+
+The async client must be billing-for-billing identical to the blocking
+client: same wire format, same retry/replay semantics, same never-billed
+cache and ledger mount -- just driven by an event loop instead of
+blocking sockets.
+"""
+
+import pytest
+
+from repro import CrawlStore, Discoverer, DiscoveryConfig, TopKInterface
+from repro.hiddendb import Query, as_sync_endpoint
+from repro.hiddendb.endpoint import EventLoopRunner
+from repro.service import (
+    AsyncRemoteTopKInterface,
+    FaultConfig,
+    RemoteServiceError,
+)
+
+from ..conftest import PARITY_TABLES as TABLES
+
+
+class TestBootstrapAndMetadata:
+    def test_schema_and_capabilities_match_sync_client(self, serve):
+        table = TABLES["rq3"]
+        server = serve(table, k=5, name="meta-check")
+        with AsyncRemoteTopKInterface(server.url) as client:
+            assert client.k == 5
+            assert client.service_name == "meta-check"
+            assert client.supports_batch
+            assert client.schema.m == table.schema.m
+            assert client.queries_issued == 0
+
+    def test_rejects_bad_url(self):
+        with pytest.raises(ValueError):
+            AsyncRemoteTopKInterface("ftp://nope")
+
+    def test_unreachable_service_fails_terminally(self):
+        with pytest.raises(RemoteServiceError):
+            AsyncRemoteTopKInterface(
+                "http://127.0.0.1:9", max_retries=1,
+                sleep=lambda _s: None,
+            )
+
+
+class TestQuerySemantics:
+    def test_aquery_matches_blocking_query(self, serve):
+        table = TABLES["rq3"]
+        server = serve(table, k=5)
+        with AsyncRemoteTopKInterface(server.url) as client:
+            runner = EventLoopRunner()
+            try:
+                async_answer = runner.run(client.aquery(Query.select_all()))
+            finally:
+                runner.close()
+            blocking_answer = client.query(Query.select_all())
+            assert async_answer.rows == blocking_answer.rows
+            assert client.queries_issued == 2
+
+    def test_batch_matches_per_query_answers(self, serve):
+        table = TABLES["rq3"]
+        server = serve(table, k=5)
+        queries = [
+            Query.select_all().and_upper(0, bound) for bound in range(4)
+        ]
+        with AsyncRemoteTopKInterface(server.url, api_key="one") as one:
+            singles = [one.query(query) for query in queries]
+        with AsyncRemoteTopKInterface(server.url, api_key="batch") as batch:
+            batched = batch.batch_query(queries)
+            assert [r.rows for r in batched] == [r.rows for r in singles]
+            assert batch.queries_issued == len(queries)
+        assert server.stats().usage("batch").issued == len(queries)
+
+    def test_cache_hits_are_free(self, serve):
+        table = TABLES["rq3"]
+        server = serve(table, k=5)
+        with AsyncRemoteTopKInterface(server.url, cache_size=64) as client:
+            first = client.query(Query.select_all())
+            again = client.query(Query.select_all())
+            assert again.rows == first.rows
+            assert client.queries_issued == 1
+            assert client.cache_hits == 1
+            assert client.cached_answer(Query.select_all()) is not None
+            assert server.stats().queries_total == 1
+
+    def test_retries_converge_without_double_billing(self, serve):
+        # The baseline crawl issues hundreds of queries, so the seeded
+        # 20% fault rate is guaranteed to hit both the single-query and
+        # the batched transport paths.
+        table = TABLES["rq3"]
+        server = serve(
+            table, k=5, faults=FaultConfig(error_rate=0.2, seed=11)
+        )
+        with AsyncRemoteTopKInterface(
+            server.url, max_retries=50, sleep=lambda _s: None
+        ) as client:
+            local = Discoverer().run(TopKInterface(table, k=5), "baseline")
+            result = Discoverer(
+                DiscoveryConfig(strategy="async", workers=4, batch_size=8)
+            ).run(client, "baseline")
+            assert result.skyline_values == local.skyline_values
+            assert result.total_cost == local.total_cost
+            assert client.retries > 0
+            assert server.stats().faults_injected > 0
+            # Faults were retried under stable request ids, never billed.
+            assert server.stats().queries_total == local.total_cost
+
+    def test_replay_nonce_makes_reissues_free(self, serve):
+        table = TABLES["rq3"]
+        server = serve(table, k=5)
+        with AsyncRemoteTopKInterface(
+            server.url, api_key="nonced", replay_nonce="resume-nonce"
+        ) as client:
+            first = client.query(Query.select_all())
+            again = client.query(Query.select_all())
+            assert again.rows == first.rows
+            # Same nonce + same canonical key -> same X-Request-Id: the
+            # server replays the billed answer instead of charging twice.
+            assert server.stats().usage("nonced").issued == 1
+
+    def test_ledger_mount_is_a_durable_free_cache(self, serve):
+        table = TABLES["rq3"]
+        server = serve(table, k=5, name="aledger")
+        store = CrawlStore.memory()
+        with AsyncRemoteTopKInterface(server.url) as probe:
+            fingerprint = store.register_endpoint(
+                probe.schema, probe.k, probe.service_name
+            )
+        ledger = store.ledger(fingerprint)
+        with AsyncRemoteTopKInterface(server.url, ledger=ledger) as cold:
+            reference = Discoverer().run(cold)
+            billed = server.stats().queries_total
+            assert billed == reference.total_cost > 0
+        # A brand-new client answers everything from the ledger.
+        with AsyncRemoteTopKInterface(server.url, ledger=ledger) as warm:
+            result = Discoverer().run(warm)
+            assert result.skyline_values == reference.skyline_values
+            assert result.total_cost == 0
+            assert warm.queries_issued == 0
+            assert warm.ledger_hits == reference.total_cost
+            assert server.stats().queries_total == billed
+
+
+class TestSyncAdapter:
+    def test_as_sync_endpoint_passes_async_clients_through(self, serve):
+        table = TABLES["rq3"]
+        server = serve(table, k=5)
+        with AsyncRemoteTopKInterface(server.url) as client:
+            # The async client already offers a blocking surface, so the
+            # adapter is the identity for it.
+            assert as_sync_endpoint(client) is client
+
+    def test_adapter_wraps_a_pure_async_endpoint(self, serve):
+        table = TABLES["rq3"]
+        server = serve(table, k=5)
+
+        class PureAsync:
+            """An endpoint speaking only the async protocol."""
+
+            def __init__(self, inner):
+                self._inner = inner
+                self.schema = inner.schema
+                self.k = inner.k
+
+            @property
+            def queries_issued(self):
+                return self._inner.queries_issued
+
+            async def aquery(self, query):
+                return await self._inner.aquery(query)
+
+        with AsyncRemoteTopKInterface(server.url) as client:
+            adapted = as_sync_endpoint(PureAsync(client))
+            with adapted:
+                answer = adapted.query(Query.select_all())
+                assert answer.rows
+                assert adapted.queries_issued == 1

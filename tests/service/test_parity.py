@@ -12,13 +12,25 @@ import pytest
 
 from repro import Discoverer, TopKInterface
 from repro.core import all_algorithms
-from repro.service import FaultConfig, RemoteTopKInterface
+from repro.service import (
+    AsyncRemoteTopKInterface,
+    FaultConfig,
+    RemoteTopKInterface,
+)
 
 from ..conftest import (
     PARITY_TABLES as TABLES,
     parity_candidate_table as candidate_table,
     parity_run_params as run_params,
+    parity_run_strategy_params,
 )
+
+
+def _remote_client(server, strategy: str, api_key: str):
+    """The client flavour a strategy is meant to drive over the wire."""
+    if strategy == "async":
+        return AsyncRemoteTopKInterface(server.url, api_key=api_key)
+    return RemoteTopKInterface(server.url, api_key=api_key)
 
 
 def skyband_params():
@@ -53,6 +65,37 @@ class TestRemoteParity:
         assert (
             server.stats().usage(algorithm).issued == local.queries_issued
         )
+
+    @pytest.mark.parametrize(
+        "algorithm,table,strategy,config", parity_run_strategy_params()
+    )
+    def test_every_algorithm_matches_under_every_strategy(
+        self, serve, algorithm, table, strategy, config
+    ):
+        """The full parity grid: algorithm x strategy, over the wire.
+
+        Whatever drains the frontier -- serial, a thread pool, or the
+        asyncio data plane against the non-blocking client -- the remote
+        run must bill exactly the serial in-process cost and discover the
+        identical skyline.
+        """
+        local = TopKInterface(table, k=5)
+        local_result = Discoverer().run(local, algorithm)
+
+        server = serve(table, k=5)
+        key = f"{algorithm}-{strategy}"
+        remote = _remote_client(server, strategy, key)
+        remote_result = Discoverer(config).run(remote, algorithm)
+
+        assert remote_result.stats.strategy == strategy
+        assert remote_result.skyline_values == local_result.skyline_values
+        assert remote_result.complete == local_result.complete
+        assert remote_result.total_cost == local_result.total_cost
+        assert remote.queries_issued == local.queries_issued
+        assert server.stats().usage(key).issued == local.queries_issued
+        close = getattr(remote, "close", None)
+        if close is not None:
+            close()
 
     @pytest.mark.parametrize("algorithm,table", skyband_params())
     def test_skyband_extensions_match_in_process(

@@ -213,6 +213,21 @@ class TestStatsAndReset:
         assert stats.usage("b").issued == 1
 
 
+class TestStartupErrors:
+    def test_port_collision_is_a_clear_startup_error(self, serve, table):
+        from repro.service import HiddenDBServer, ServiceStartupError
+
+        first = serve(table, k=2)
+        second = HiddenDBServer(table, k=2, port=first.port)
+        with pytest.raises(ServiceStartupError, match="already in use"):
+            second.start()
+        # The failed server never bound, so stop() must be a no-op and
+        # the first server keeps serving.
+        second.stop()
+        status, _payload = get(f"{first.url}/healthz")
+        assert status == 200
+
+
 class TestServerMetadata:
     def test_wildcard_bind_advertises_loopback(self, serve, table):
         server = serve(table, host="0.0.0.0", port=0)

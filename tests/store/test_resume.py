@@ -28,12 +28,20 @@ K = 5
 #: and the remote variant of the parity class below.
 ALGORITHM_PARAMS = list(parity_run_params())
 
+#: Execution shapes the crash/resume contract is pinned under: the serial
+#: reference, the thread-pool plane and the asyncio plane.
+EXECUTION_PARAMS = [
+    pytest.param(dict(strategy="serial", workers=1), id="serial"),
+    pytest.param(dict(strategy="pipelined", workers=4), id="pipelined"),
+    pytest.param(dict(strategy="async", workers=4), id="async"),
+]
+
 
 class SimulatedCrash(Exception):
     """Stand-in for a mid-run process death (raised from on_query)."""
 
 
-def _crash_config(store, workers: int, crash_after: int) -> DiscoveryConfig:
+def _crash_config(store, execution: dict, crash_after: int) -> DiscoveryConfig:
     state = {"seen": 0}
 
     def bomb(_result) -> None:
@@ -41,19 +49,19 @@ def _crash_config(store, workers: int, crash_after: int) -> DiscoveryConfig:
         if state["seen"] >= crash_after:
             raise SimulatedCrash
 
-    return DiscoveryConfig(store=store, workers=workers, on_query=bomb)
+    return DiscoveryConfig(store=store, on_query=bomb, **execution)
 
 
-def _assert_crash_resume_parity(make_interface, algorithm, workers):
+def _assert_crash_resume_parity(make_interface, algorithm, execution):
     """The shared body: uninterrupted vs crash+resume vs warm re-run."""
     reference = Discoverer(
-        DiscoveryConfig(store=CrawlStore.memory(), workers=workers)
+        DiscoveryConfig(store=CrawlStore.memory(), **execution)
     ).run(make_interface(), algorithm)
 
     store = CrawlStore.memory()
     crash_after = max(1, reference.total_cost // 2)
     with pytest.raises(SimulatedCrash):
-        Discoverer(_crash_config(store, workers, crash_after)).run(
+        Discoverer(_crash_config(store, execution, crash_after)).run(
             make_interface(), algorithm
         )
     crashed = store.sessions()[0]
@@ -61,7 +69,7 @@ def _assert_crash_resume_parity(make_interface, algorithm, workers):
     assert 0 < crashed.billed
 
     resumed = Discoverer(
-        DiscoveryConfig(store=store, workers=workers, resume=True)
+        DiscoveryConfig(store=store, resume=True, **execution)
     ).run(make_interface(), algorithm)
     assert resumed.skyline_values == reference.skyline_values
     assert resumed.complete == reference.complete
@@ -69,11 +77,11 @@ def _assert_crash_resume_parity(make_interface, algorithm, workers):
     # The crawl never pays more than an uninterrupted run; serially the
     # replay is exact, so the cumulative billed cost is identical.
     assert resumed.total_cost <= reference.total_cost
-    if workers == 1:
+    if execution.get("workers", 1) == 1:
         assert resumed.total_cost == reference.total_cost
     assert store.sessions()[0].status == "finished"
 
-    warm = Discoverer(DiscoveryConfig(store=store, workers=workers)).run(
+    warm = Discoverer(DiscoveryConfig(store=store, **execution)).run(
         make_interface(), algorithm
     )
     assert warm.total_cost == 0
@@ -81,23 +89,32 @@ def _assert_crash_resume_parity(make_interface, algorithm, workers):
     assert warm.skyline_values == reference.skyline_values
 
 
-@pytest.mark.parametrize("workers", [1, 4])
+@pytest.mark.parametrize("execution", EXECUTION_PARAMS)
 @pytest.mark.parametrize("algorithm,table", ALGORITHM_PARAMS)
 class TestCrashResumeParity:
-    def test_in_process(self, algorithm, table, workers):
+    def test_in_process(self, algorithm, table, execution):
         _assert_crash_resume_parity(
             lambda: TopKInterface(table, k=K, name=f"parity-{algorithm}"),
             algorithm,
-            workers,
+            execution,
         )
 
-    def test_remote(self, algorithm, table, workers):
+    def test_remote(self, algorithm, table, execution):
         with HiddenDBServer(table, k=K, name=f"parity-{algorithm}") as server:
             _assert_crash_resume_parity(
-                lambda: RemoteTopKInterface(server.url),
+                lambda: _remote_for(server, execution),
                 algorithm,
-                workers,
+                execution,
             )
+
+
+def _remote_for(server, execution: dict):
+    """The client flavour each execution shape is meant to drive."""
+    if execution.get("strategy") == "async":
+        from repro.service import AsyncRemoteTopKInterface
+
+        return AsyncRemoteTopKInterface(server.url)
+    return RemoteTopKInterface(server.url)
 
 
 class TestSkybandResume:
@@ -122,14 +139,23 @@ class TestLedgerBilling:
     def test_in_window_duplicates_bill_once(self):
         """Dedup off + ledger mounted: an identical query dispatched while
         its twin is still in flight must resolve from the ledger at merge
-        time, pipelined exactly like serial."""
+        time -- pipelined and async exactly like serial (the shared drain
+        core owns this rule for every strategy)."""
         from repro.core.base import DiscoverySession
-        from repro.core.engine import PipelinedStrategy, SerialStrategy
+        from repro.core.engine import (
+            AsyncStrategy,
+            PipelinedStrategy,
+            SerialStrategy,
+        )
         from repro.hiddendb import Query
 
         table = diamonds_table(200, seed=1)
         query = Query.select_all().and_upper(0, 3)
-        for strategy in (SerialStrategy(), PipelinedStrategy(workers=4)):
+        for strategy in (
+            SerialStrategy(),
+            PipelinedStrategy(workers=4),
+            AsyncStrategy(workers=4),
+        ):
             store = CrawlStore.memory()
             session = DiscoverySession(
                 TopKInterface(table, k=K, name="dup"),
@@ -205,9 +231,9 @@ class TestLedgerBilling:
         with HiddenDBServer(table, k=K, name="d100") as server:
             client = RemoteTopKInterface(server.url)
             with pytest.raises(SimulatedCrash):
-                Discoverer(_crash_config(CrawlStore.memory(), 1, 2)).run(
-                    client
-                )
+                Discoverer(
+                    _crash_config(CrawlStore.memory(), {"workers": 1}, 2)
+                ).run(client)
             assert client._replay_nonce is None
 
 

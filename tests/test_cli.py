@@ -84,6 +84,39 @@ class TestDiscoverCommand:
         assert "deduped=" in out
         assert "deduped=0 " not in out
 
+    @pytest.mark.parametrize("strategy", ["serial", "pipelined", "async"])
+    def test_strategy_flag_reports_same_cost(self, strategy, capsys):
+        base = ["discover", "--dataset", "diamonds", "--n", "500", "--k",
+                "10", "--algorithm", "baseline"]
+        assert main(base) == 0
+        reference = capsys.readouterr().out
+        args = base + ["--strategy", strategy, "--verbose"]
+        if strategy != "serial":
+            args += ["--workers", "4"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        pick = lambda text, field: [
+            line for line in text.splitlines() if line.startswith(field)
+        ]
+        assert pick(reference, "queries") == pick(out, "queries")
+        assert pick(reference, "skyline") == pick(out, "skyline")
+        assert strategy in out  # --verbose names the strategy
+        assert "wall=" in out  # ... and the wall-time/throughput counters
+
+    def test_serial_strategy_with_workers_is_rejected(self, capsys):
+        code = main(
+            ["discover", "--dataset", "uniform", "--n", "200",
+             "--strategy", "serial", "--workers", "4"]
+        )
+        assert code == 2
+        assert "single-worker" in capsys.readouterr().err
+
+    def test_unknown_strategy_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["discover", "--dataset", "uniform", "--strategy", "warp"]
+            )
+
 
 class TestSkybandCommand:
     def test_small_run(self, capsys):
@@ -220,6 +253,22 @@ class TestServeCommand:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve"])
 
+    def test_port_collision_reports_clear_error(self, capsys):
+        # Satellite: EADDRINUSE surfaces as one actionable line, not a
+        # raw OSError traceback.
+        from repro.datagen import independent
+        from repro.service import HiddenDBServer
+
+        with HiddenDBServer(independent(100, 3, domain=10, seed=0), k=2) as srv:
+            code = main(
+                ["serve", "--dataset", "uniform", "--n", "100",
+                 "--port", str(srv.port), "--duration", "1"]
+            )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "already in use" in err
+        assert f"port {srv.port}" in err
+
 
 class TestRemoteCommands:
     @pytest.fixture
@@ -235,6 +284,20 @@ class TestRemoteCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "remote, k=5" in out
+
+    def test_discover_url_async_strategy(self, server, capsys):
+        # --strategy async on a --url run routes through the asyncio
+        # client (non-blocking sockets) and must report the same summary
+        # shape, plus the engine counters naming the strategy.
+        code = main(
+            ["discover", "--url", server.url, "--strategy", "async",
+             "--workers", "8", "--verbose"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "remote, k=5" in out
+        assert "async" in out
+        assert "billable" in out
         assert "billable" in out
         assert server.stats().queries_total > 0
 
