@@ -1,6 +1,6 @@
 """Command-line interface: ``repro`` (or ``python -m repro.cli``).
 
-Eight subcommands, all running against the bundled generators so the paper's
+Nine subcommands, all running against the bundled generators so the paper's
 system can be exercised without writing any code:
 
 * ``discover``   -- run skyline discovery over a generated dataset;
@@ -13,6 +13,9 @@ system can be exercised without writing any code:
 * ``figures``    -- list or run the figure-reproduction experiments;
 * ``serve``      -- stand a generated dataset up as a networked top-k
   search service (:mod:`repro.service`);
+* ``coordinate`` -- run the sharded multi-tenant crawl coordinator
+  (:mod:`repro.coordinator`): accept discovery jobs over JSON and fan
+  each one out across several backends sharing one crawl-store ledger;
 * ``store``      -- inspect and maintain a crawl store
   (``ls`` / ``show`` / ``gc``).
 
@@ -36,6 +39,11 @@ Examples::
     repro algorithms
     repro figures --list
 
+    # reproduce a paper figure over the wire (ephemeral servers) with a
+    # 4-wide pipelined engine, or durably against a reusable ledger
+    repro figures fig13 --remote --workers 4
+    repro figures fig13 --store figs.db --resume
+
     # terminal 1: serve a hidden database (flaky, rate-limited)
     repro serve --dataset diamonds --n 20000 --k 10 --port 8080 \
         --key-budget 5000 --fault-rate 0.1
@@ -55,6 +63,13 @@ Examples::
     repro crawl --url http://127.0.0.1:8080 --store crawl.db --workers 8
     repro crawl --url http://127.0.0.1:8080 --store crawl.db --resume
     repro store ls --store crawl.db
+
+    # discovery-jobs-as-a-service: shard crawls over two mirrors of the
+    # same database (each with its own API key), one shared ledger
+    repro coordinate --store jobs.db --port 8090 \
+        --backend http://db-a:8080=key1 --backend http://db-b:8080=key2
+    # submit: POST {"tenant": "alice", "budget": 500} to /api/jobs, poll
+    # GET /api/jobs/<id>; a killed coordinator restarts with --resume
 """
 
 from __future__ import annotations
@@ -83,6 +98,7 @@ from .datagen import (
 from .experiments import ALL_FIGURES
 from .experiments.reporting import format_engine_stats, format_table
 from .hiddendb import LinearRanker, Table, TopKInterface
+from .service.client import RemoteServiceError
 from .service.server import ServiceStartupError
 from .store import CrawlStore, StoreError
 
@@ -331,6 +347,9 @@ def _cmd_serve(args) -> int:
     # immediately, or anything polling the log for the bound port hangs.
     print(f"serving    : {args.dataset} (n={table.n}, k={args.k}) at {server.url}",
           flush=True)
+    # The actual bound port on its own line: '--port 0' callers (tests,
+    # CI scripts) parse this instead of regexing the URL.
+    print(f"port       : {server.port}", flush=True)
     print(f"key budget : {args.key_budget if args.key_budget is not None else 'unlimited'}")
     if faults is not None:
         print(f"faults     : rate={faults.error_rate} codes={faults.error_codes} "
@@ -347,6 +366,41 @@ def _cmd_serve(args) -> int:
         server.stop()
         print(f"served     : {stats.queries_total} queries "
               f"({stats.faults_injected} faults injected)")
+    return 0
+
+
+def _cmd_coordinate(args) -> int:
+    from .coordinator import CrawlCoordinator, EndpointSetError
+
+    coordinator = CrawlCoordinator(
+        args.backend,
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers_per_backend=args.workers,
+        max_parallel_jobs=args.max_jobs,
+        resume=args.resume,
+    )
+    try:
+        coordinator.start()
+    except EndpointSetError as exc:
+        # e.g. two --backend mirrors serving different datasets
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        # flush=True: CI scripts poll the log for the bound port.
+        print(f"coordinator: {len(coordinator.backends)} backend(s) "
+              f"[{coordinator.fingerprint[:8]}] at {coordinator.url}",
+              flush=True)
+        print(f"port       : {coordinator.port}", flush=True)
+        print(f"store      : {args.store}")
+        print("endpoints  : GET /healthz  GET/POST /api/jobs  "
+              "GET/DELETE /api/jobs/<id>  GET /api/schema", flush=True)
+        coordinator.wait(args.duration)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        coordinator.stop()
     return 0
 
 
@@ -382,6 +436,25 @@ def _cmd_store_ls(args) -> int:
                 }
                 for s in sessions
             ]))
+        jobs = store.jobs()
+        if jobs:
+            print()
+            print(format_table([
+                {
+                    "job": j.job_id,
+                    "tenant": j.tenant,
+                    "algorithm": j.algorithm or "-",
+                    "status": j.status,
+                    "backends": j.backends,
+                    "billed": j.progress.get("billed", ""),
+                    "shards": "/".join(
+                        str(s.get("issued", 0))
+                        for s in j.progress.get("shards", [])
+                    ) or "-",
+                    "session": j.session_id,
+                }
+                for j in jobs
+            ]))
     return 0
 
 
@@ -414,7 +487,8 @@ def _cmd_store_gc(args) -> int:
         print(f"store      : {store.path}")
         print(f"pruned     : {report.endpoints_pruned} endpoints, "
               f"{report.ledger_pruned} ledger entries, "
-              f"{report.sessions_pruned} sessions")
+              f"{report.sessions_pruned} sessions, "
+              f"{report.jobs_pruned} jobs")
         if not report.total:
             print("(nothing stale)")
     return 0
@@ -430,7 +504,22 @@ def _cmd_figures(args) -> int:
         if name not in ALL_FIGURES:
             print(f"unknown figure {name!r}; try --list", file=sys.stderr)
             return 2
-        ALL_FIGURES[name].main()
+    from .experiments.common import configure_experiments, reset_experiments
+
+    configure_experiments(
+        remote=args.remote,
+        store=args.store,
+        resume=args.resume,
+        strategy=args.strategy,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        dedup=args.dedup or None,
+    )
+    try:
+        for name in args.figures:
+            ALL_FIGURES[name].main()
+    finally:
+        reset_experiments()
     return 0
 
 
@@ -568,6 +657,34 @@ def build_parser() -> argparse.ArgumentParser:
     sub.set_defaults(handler=_cmd_serve)
 
     sub = subparsers.add_parser(
+        "coordinate",
+        help="serve discovery jobs over a sharded pool of hidden-DB "
+        "backends sharing one crawl-store ledger",
+    )
+    sub.add_argument("--store", required=True, metavar="PATH",
+                     help="shared crawl store (ledger, sessions, job catalog)")
+    sub.add_argument("--backend", action="append", required=True,
+                     metavar="URL[=APIKEY]",
+                     help="a hidden-DB service to fan queries out to; "
+                     "repeat for each mirror (all must serve the same "
+                     "endpoint fingerprint)")
+    sub.add_argument("--host", default="127.0.0.1")
+    sub.add_argument("--port", type=int, default=8090,
+                     help="bind port; 0 picks an ephemeral one (default 8090)")
+    sub.add_argument("--workers", type=int, default=4, metavar="N",
+                     help="default in-flight window per backend per job "
+                     "(a job's 'workers' field overrides it; default 4)")
+    sub.add_argument("--max-jobs", type=int, default=4, metavar="N",
+                     help="jobs crawled concurrently (default 4)")
+    sub.add_argument("--resume", action="store_true",
+                     help="re-enqueue every catalog job still queued or "
+                     "running (recover from a killed coordinator)")
+    sub.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                     help="stop after this many seconds "
+                     "(default: run until interrupted)")
+    sub.set_defaults(handler=_cmd_coordinate)
+
+    sub = subparsers.add_parser(
         "store", help="inspect and maintain a crawl store"
     )
     actions = sub.add_subparsers(dest="action", required=True)
@@ -598,6 +715,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subparsers.add_parser("figures", help="figure experiments")
     sub.add_argument("figures", nargs="*", help="figure ids (e.g. fig13)")
     sub.add_argument("--list", action="store_true", help="list figures")
+    sub.add_argument("--remote", action="store_true",
+                     help="serve each experiment table from an ephemeral "
+                     "HiddenDBServer and reproduce the figure over HTTP "
+                     "(numbers are unchanged by construction)")
+    sub.add_argument("--store", metavar="PATH", default=None,
+                     help="ledger every billed answer in a crawl store so "
+                     "re-running a figure replays it free")
+    sub.add_argument("--resume", action="store_true",
+                     help="resume checkpointed figure runs from --store")
+    sub.add_argument("--strategy", choices=list(STRATEGY_NAMES), default=None,
+                     help="execution strategy for the figure crawls "
+                     "(default: pipelined when --workers > 1, else serial)")
+    sub.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="in-flight window per crawl (default 1 = serial)")
+    sub.add_argument("--batch-size", type=int, default=16, metavar="N",
+                     help="queries per batch round trip (default 16)")
+    sub.add_argument("--dedup", action="store_true",
+                     help="memoize repeated identical queries within a run")
     sub.set_defaults(handler=_cmd_figures)
 
     return parser
@@ -616,6 +751,10 @@ def main(argv: list[str] | None = None) -> int:
     except ServiceStartupError as exc:
         # e.g. 'repro serve --port 8080' while another server holds 8080:
         # one actionable line instead of an OSError traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except RemoteServiceError as exc:
+        # e.g. 'repro coordinate --backend URL' against a dead backend
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -1,0 +1,693 @@
+"""The crawl coordinator daemon: discovery-jobs-as-a-service.
+
+``repro coordinate`` runs a :class:`CrawlCoordinator`: a threaded HTTP
+service that accepts *discovery jobs* over JSON, fans each job's frontier
+out across a pool of hidden-database backends (an
+:class:`~repro.coordinator.endpoints.EndpointSet`, sharded by canonical
+query key with work stealing), and bills every tenant through one shared
+:class:`~repro.store.CrawlStore` ledger.
+
+Routes
+------
+``GET  /healthz``          liveness, endpoint fingerprint, per-backend
+                           health and budget headroom, job counts
+``GET  /api/schema``       the pooled endpoint's bootstrap metadata
+``GET  /api/jobs``         compact job catalog
+``POST /api/jobs``         submit a job (``algorithm``, ``budget``,
+                           ``tenant``, ``workers``, ``dedup``,
+                           ``checkpoint_every``, optional pinned
+                           ``fingerprint`` -> 409 on mismatch)
+``GET  /api/jobs/<id>``    anytime status: live billed cost, engine
+                           stats, per-shard counters and the durable
+                           checkpoint's skyline-so-far
+``DELETE /api/jobs/<id>``  cancel (the job's crawl session stays
+                           ``running``, i.e. resumable)
+
+Multi-tenancy and durability both come from the store: every job owns a
+pre-assigned crawl session, all sessions of one endpoint share the query
+ledger (a second tenant submitting the same job bills ~nothing -- its
+queries replay free from the first tenant's paid-for answers), and a
+coordinator killed mid-job is restarted with ``--resume``, which re-runs
+every job the catalog still lists as queued/running under its original
+session -- replaying the paid prefix instead of re-billing it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import errno
+import itertools
+import json
+import logging
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from http.server import BaseHTTPRequestHandler
+from typing import Any, Iterable, Mapping
+
+from ..core.base import DiscoverySession
+from ..core.registry import (
+    AlgorithmNotFoundError,
+    DiscoveryConfig,
+    get_algorithm,
+    resolve_algorithm,
+)
+from ..hiddendb import QueryBudgetExceeded
+from ..hiddendb.errors import HiddenDBError
+from ..service.server import ServiceStartupError, _QuietThreadingHTTPServer
+from ..service.wire import JOB_SPEC_DEFAULTS, decode_job_spec, encode_job_spec, encode_schema
+from ..store import CrawlStore
+from .endpoints import BackendSpec, EndpointSet, ShardedStrategy
+
+logger = logging.getLogger("repro.coordinator")
+
+#: Job-catalog statuses ``--resume`` picks back up: jobs that never ran,
+#: and jobs a dead coordinator left mid-crawl.
+RESUMABLE_STATUSES = ("queued", "running")
+
+
+class JobCancelled(HiddenDBError):
+    """A tenant cancelled the job mid-crawl (raised out of the query hook).
+
+    Deliberately *not* a :class:`QueryBudgetExceeded`: algorithms must not
+    swallow it into a partial result -- it has to unwind to the job runner,
+    which marks the job cancelled while leaving its crawl session
+    ``running`` (so a resubmitted or resumed job picks up the paid-for
+    prefix).
+    """
+
+
+class JobRejected(HiddenDBError):
+    """A job submission the coordinator refuses (HTTP 4xx, not a crash)."""
+
+    def __init__(self, status: int, error: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.error = error
+
+
+class _ActiveJob:
+    """In-memory handle of a queued-or-running job."""
+
+    __slots__ = ("job_id", "cancel", "future", "session", "endpoints")
+
+    def __init__(self, job_id: str) -> None:
+        self.job_id = job_id
+        self.cancel = threading.Event()
+        self.future = None
+        self.session: DiscoverySession | None = None
+        self.endpoints: EndpointSet | None = None
+
+
+class CrawlCoordinator:
+    """Sharded multi-tenant crawl coordinator over a shared ledger.
+
+    Parameters
+    ----------
+    backends:
+        Backend pool specs (``BackendSpec`` or ``"URL[=APIKEY]"``
+        strings).  All must serve the same endpoint fingerprint.
+    store:
+        The shared :class:`CrawlStore` (or a path to open; a path is
+        closed again by :meth:`stop`).
+    host / port:
+        Bind address (``port=0`` picks a free port, reported by
+        :attr:`port` once started).
+    workers_per_backend:
+        Default in-flight window per backend per job (a job's ``workers``
+        field overrides it).
+    max_parallel_jobs:
+        Jobs crawled concurrently; the rest queue in submission order.
+    resume:
+        Re-enqueue every catalog job still ``queued``/``running`` at
+        startup (the restart-recovery path).
+    """
+
+    def __init__(
+        self,
+        backends: Iterable[BackendSpec | str],
+        store: "CrawlStore | str",
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers_per_backend: int = 4,
+        max_parallel_jobs: int = 4,
+        client_timeout: float = 30.0,
+        client_retries: int = 8,
+        resume: bool = False,
+    ) -> None:
+        self._specs = tuple(
+            b if isinstance(b, BackendSpec) else BackendSpec.parse(str(b))
+            for b in backends
+        )
+        if not self._specs:
+            raise ValueError("coordinator needs at least one backend")
+        if isinstance(store, CrawlStore):
+            self._store = store
+            self._owns_store = False
+        else:
+            self._store = CrawlStore(store)
+            self._owns_store = True
+        self._host = host
+        self._requested_port = port
+        self._bound_port: int | None = None
+        self._workers_per_backend = max(int(workers_per_backend), 1)
+        self._max_parallel_jobs = max(int(max_parallel_jobs), 1)
+        self._client_timeout = client_timeout
+        self._client_retries = client_retries
+        self._resume = resume
+        self._probe: EndpointSet | None = None
+        self._fingerprint = ""
+        self._pool: ThreadPoolExecutor | None = None
+        self._httpd: _QuietThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._active: dict[str, _ActiveJob] = {}
+        self._active_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "CrawlCoordinator":
+        """Verify the backend pool, bind the socket, replay the catalog."""
+        if self._httpd is not None:
+            raise RuntimeError("coordinator already started")
+        # One long-lived probe set for health/schema/identity; jobs get
+        # their own EndpointSet so per-job billing telemetry stays exact.
+        self._probe = EndpointSet(
+            self._specs,
+            timeout=self._client_timeout,
+            max_retries=self._client_retries,
+        )
+        self._fingerprint = self._probe.fingerprint
+        self._store.register_endpoint(
+            self._probe.schema,
+            self._probe.k,
+            name=self._probe.service_name,
+            ranking=self._probe.ranking_label,
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._max_parallel_jobs, thread_name_prefix="repro-job"
+        )
+        handler = _make_coordinator_handler(self)
+        try:
+            self._httpd = _QuietThreadingHTTPServer(
+                (self._host, self._requested_port), handler
+            )
+        except OSError as exc:
+            if exc.errno in (errno.EADDRINUSE, errno.EACCES):
+                reason = (
+                    "already in use"
+                    if exc.errno == errno.EADDRINUSE
+                    else "not permitted"
+                )
+                raise ServiceStartupError(
+                    f"port {self._requested_port} on {self._host or '*'} is "
+                    f"{reason}; pick another --port (0 chooses a free one) "
+                    f"or stop the process bound to it"
+                ) from None
+            raise
+        self._bound_port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-coordinator:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        if self._resume:
+            replayed = self._replay_catalog()
+            if replayed:
+                logger.info("resumed %d catalog job(s)", replayed)
+        logger.info(
+            "coordinating %d backend(s), fingerprint %s, at %s",
+            len(self._specs), self._fingerprint[:8], self.url,
+        )
+        return self
+
+    def _replay_catalog(self) -> int:
+        """Re-enqueue unfinished jobs, oldest first (their original order)."""
+        stale = [
+            job
+            for job in reversed(self._store.jobs(status=RESUMABLE_STATUSES))
+            if job.fingerprint == self._fingerprint
+        ]
+        for job in stale:
+            self._launch(job.job_id)
+        return len(stale)
+
+    def stop(self, *, cancel_jobs: bool = True) -> None:
+        """Shut down the HTTP front end and the job pool (idempotent).
+
+        With ``cancel_jobs`` every running job is asked to stop at its
+        next answer and the pool is joined; without it the daemon exits
+        while jobs keep their catalog rows ``running`` -- exactly the
+        state ``--resume`` recovers from.
+        """
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+            self._httpd = None
+            self._thread = None
+        if cancel_jobs:
+            with self._active_lock:
+                active = list(self._active.values())
+            for job in active:
+                job.cancel.set()
+        if self._pool is not None:
+            self._pool.shutdown(wait=cancel_jobs, cancel_futures=True)
+            self._pool = None
+        if self._probe is not None:
+            self._probe.close()
+            self._probe = None
+        if self._owns_store:
+            self._store.close()
+
+    def __enter__(self) -> "CrawlCoordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Block while the coordinator serves (CLI foreground mode)."""
+        if self._thread is None:
+            raise RuntimeError("coordinator not started")
+        self._thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """Bind host."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """Actual bound port (resolves ``port=0`` once started)."""
+        if self._bound_port is not None:
+            return self._bound_port
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        """Base URL tenants should connect to."""
+        host = self._host
+        if host in ("", "0.0.0.0", "::"):
+            host = "127.0.0.1"
+        elif ":" in host:
+            host = f"[{host}]"
+        return f"http://{host}:{self.port}"
+
+    @property
+    def fingerprint(self) -> str:
+        """Endpoint fingerprint of the coordinated backend pool."""
+        return self._fingerprint
+
+    @property
+    def store(self) -> CrawlStore:
+        """The shared crawl store (ledger + job catalog)."""
+        return self._store
+
+    @property
+    def backends(self) -> tuple[BackendSpec, ...]:
+        """The coordinated backend pool."""
+        return self._specs
+
+    # ------------------------------------------------------------------
+    # job intake
+    # ------------------------------------------------------------------
+    def submit(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate and file one job submission; returns its status view."""
+        assert self._probe is not None, "coordinator not started"
+        try:
+            spec = decode_job_spec(payload)
+        except ValueError as exc:
+            raise JobRejected(400, "bad_request", str(exc)) from None
+        wanted = spec["fingerprint"]
+        if wanted and wanted != self._fingerprint:
+            raise JobRejected(
+                409,
+                "fingerprint_mismatch",
+                f"coordinator serves endpoint {self._fingerprint}; the job "
+                f"is pinned to {wanted}",
+            )
+        if spec["algorithm"]:
+            try:
+                algo = get_algorithm(spec["algorithm"])
+            except AlgorithmNotFoundError as exc:
+                raise JobRejected(400, "bad_request", str(exc.args[0])) from None
+            if not algo.supports(self._probe.schema):
+                raise JobRejected(
+                    400,
+                    "bad_request",
+                    f"algorithm {algo.name!r} does not support this "
+                    f"endpoint's interface taxonomy",
+                )
+        else:
+            algo = resolve_algorithm(self._probe.schema)
+        record = self._store.create_job(
+            self._fingerprint,
+            tenant=spec["tenant"],
+            algorithm=algo.name,
+            spec=encode_job_spec(spec),
+            backends=len(self._specs),
+        )
+        self._launch(record.job_id)
+        status = self.job_status(record.job_id)
+        assert status is not None
+        return status
+
+    def cancel(self, job_id: str) -> dict[str, Any] | None:
+        """Cancel a job; terminal jobs are left as-is.  ``None`` = no job."""
+        record = self._store.job(job_id)
+        if record is None:
+            return None
+        with self._active_lock:
+            active = self._active.get(job_id)
+        if active is not None:
+            active.cancel.set()
+            if active.future is not None and active.future.cancel():
+                # Still queued: it never started, finalise it here.
+                self._store.update_job(
+                    job_id, status="cancelled", error="cancelled before start"
+                )
+                with self._active_lock:
+                    self._active.pop(job_id, None)
+        elif record.status in RESUMABLE_STATUSES:
+            # Orphan of a previous coordinator incarnation.
+            self._store.update_job(
+                job_id, status="cancelled", error="cancelled"
+            )
+        return self.job_status(job_id)
+
+    # ------------------------------------------------------------------
+    # status views (what the HTTP routes serve)
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        assert self._probe is not None, "coordinator not started"
+        counts: dict[str, int] = {}
+        for job in self._store.jobs():
+            counts[job.status] = counts.get(job.status, 0) + 1
+        with self._active_lock:
+            active = len(self._active)
+        return {
+            "status": "ok",
+            "fingerprint": self._fingerprint,
+            "backends": self._probe.backend_status(),
+            "jobs": counts,
+            "active_jobs": active,
+        }
+
+    def schema_payload(self) -> dict[str, Any]:
+        assert self._probe is not None, "coordinator not started"
+        return {
+            "name": self._probe.service_name,
+            "k": self._probe.k,
+            "schema": encode_schema(self._probe.schema),
+            "ranking": self._probe.ranking_label,
+            "fingerprint": self._fingerprint,
+            "batch": False,
+            "backends": len(self._specs),
+        }
+
+    def jobs_index(self) -> dict[str, Any]:
+        return {
+            "jobs": [
+                {
+                    "job_id": job.job_id,
+                    "tenant": job.tenant,
+                    "algorithm": job.algorithm,
+                    "status": job.status,
+                    "backends": job.backends,
+                    "billed": job.progress.get("billed"),
+                    "created_at": job.created_at,
+                }
+                for job in self._store.jobs()
+            ]
+        }
+
+    def job_status(self, job_id: str) -> dict[str, Any] | None:
+        """Anytime view of one job, or ``None`` if the catalog has none."""
+        record = self._store.job(job_id)
+        if record is None:
+            return None
+        body: dict[str, Any] = {
+            "job_id": record.job_id,
+            "tenant": record.tenant,
+            "algorithm": record.algorithm,
+            "status": record.status,
+            "fingerprint": record.fingerprint,
+            "session_id": record.session_id,
+            "backends": record.backends,
+            "spec": dict(record.spec),
+            "progress": dict(record.progress),
+            "result": dict(record.result) if record.result else None,
+            "error": record.error,
+            "created_at": record.created_at,
+            "updated_at": record.updated_at,
+        }
+        with self._active_lock:
+            active = self._active.get(job_id)
+        if active is not None and active.session is not None:
+            # Live counters straight off the running session; the durable
+            # checkpoint below lags by at most ``checkpoint_every`` answers.
+            body["live"] = self._progress_of(active)
+        stored = self._store.session(record.session_id)
+        if stored is not None:
+            body["checkpoint"] = dict(stored.checkpoint)
+        return body
+
+    # ------------------------------------------------------------------
+    # job execution
+    # ------------------------------------------------------------------
+    def _launch(self, job_id: str) -> None:
+        assert self._pool is not None, "coordinator not started"
+        active = _ActiveJob(job_id)
+        with self._active_lock:
+            self._active[job_id] = active
+        active.future = self._pool.submit(self._run_job, active)
+
+    def _progress_of(self, active: _ActiveJob) -> dict[str, Any]:
+        session, endpoints = active.session, active.endpoints
+        assert session is not None and endpoints is not None
+        return {
+            "billed": session.cost,
+            "stats": session.engine_stats.as_dict(),
+            "shards": endpoints.stats(),
+        }
+
+    def _result_payload(
+        self, result: Any, endpoints: EndpointSet
+    ) -> dict[str, Any]:
+        return {
+            "algorithm": result.algorithm,
+            "complete": bool(result.complete),
+            "total_cost": int(result.total_cost),
+            "skyline_size": result.skyline_size,
+            "skyline": sorted(
+                [int(v) for v in row.values] for row in result.skyline
+            ),
+            "stats": result.stats.as_dict() if result.stats else None,
+            "shards": endpoints.stats(),
+        }
+
+    def _run_job(self, active: _ActiveJob) -> None:
+        job_id = active.job_id
+        store = self._store
+        record = store.job(job_id)
+        if record is None:  # pragma: no cover - catalog raced away
+            return
+        if active.cancel.is_set():
+            store.update_job(
+                job_id, status="cancelled", error="cancelled before start"
+            )
+            with self._active_lock:
+                self._active.pop(job_id, None)
+            return
+        spec = dict(JOB_SPEC_DEFAULTS)
+        spec.update(record.spec)
+        endpoints: EndpointSet | None = None
+        try:
+            endpoints = EndpointSet(
+                self._specs,
+                timeout=self._client_timeout,
+                max_retries=self._client_retries,
+            )
+            algo = get_algorithm(record.algorithm)
+            strategy = ShardedStrategy(
+                endpoints,
+                workers_per_backend=int(
+                    spec["workers"] or self._workers_per_backend
+                ),
+            )
+            update_every = max(int(spec["checkpoint_every"]), 1)
+            answers = itertools.count(1)
+
+            def on_query(_result: Any) -> None:
+                if active.cancel.is_set():
+                    raise JobCancelled(f"job {job_id} cancelled")
+                if next(answers) % update_every == 0:
+                    store.update_job(job_id, progress=self._progress_of(active))
+
+            cfg = DiscoveryConfig(
+                budget=spec["budget"],
+                dedup=spec["dedup"],
+                strategy=strategy,
+                store=store,
+                session_id=record.session_id,
+                checkpoint_every=update_every,
+                on_query=on_query,
+            )
+            store.update_job(job_id, status="running")
+            session = DiscoverySession.from_config(
+                endpoints, cfg, algorithm=algo.name
+            )
+            active.session = session
+            active.endpoints = endpoints
+            complete = True
+            try:
+                algo.run(session, cfg)
+            except QueryBudgetExceeded:
+                complete = False
+            result = session.result(algo.display(endpoints.schema), complete)
+            result = dataclasses.replace(
+                result,
+                config=cfg,
+                info=algo.info(),
+                store_session=session.store_session,
+            )
+            session.finish_store(result)
+            store.update_job(
+                job_id,
+                status="finished" if result.complete else "partial",
+                progress=self._progress_of(active),
+                result=self._result_payload(result, endpoints),
+            )
+        except JobCancelled:
+            store.update_job(
+                job_id, status="cancelled", error="cancelled by tenant"
+            )
+        except BaseException as exc:  # noqa: BLE001 - job isolation
+            logger.exception("job %s failed", job_id)
+            try:
+                store.update_job(
+                    job_id,
+                    status="failed",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            except Exception:  # pragma: no cover - store went away too
+                pass
+        finally:
+            if endpoints is not None:
+                endpoints.close()
+            with self._active_lock:
+                self._active.pop(job_id, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        state = "running" if self._httpd is not None else "stopped"
+        return (
+            f"CrawlCoordinator({len(self._specs)} backends, {state} at "
+            f"{self.url})"
+        )
+
+
+def _make_coordinator_handler(
+    coordinator: CrawlCoordinator,
+) -> type[BaseHTTPRequestHandler]:
+    """Build the request-handler class bound to one coordinator."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        disable_nagle_algorithm = True
+
+        # -- plumbing ---------------------------------------------------
+        def _reply(self, status: int, body: dict[str, Any]) -> None:
+            encoded = json.dumps(body).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(encoded)))
+            self.end_headers()
+            self.wfile.write(encoded)
+
+        def _read_json(self) -> dict[str, Any] | None:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                payload = json.loads(raw.decode("utf-8") or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return None
+            return payload if isinstance(payload, dict) else None
+
+        def _job_id(self) -> str | None:
+            prefix = "/api/jobs/"
+            if not self.path.startswith(prefix):
+                return None
+            return self.path[len(prefix):] or None
+
+        # -- routes -----------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            if self.path == "/healthz":
+                self._reply(200, coordinator.health())
+            elif self.path == "/api/schema":
+                self._reply(200, coordinator.schema_payload())
+            elif self.path == "/api/jobs":
+                self._reply(200, coordinator.jobs_index())
+            elif (job_id := self._job_id()) is not None:
+                body = coordinator.job_status(job_id)
+                if body is None:
+                    self._reply(
+                        404,
+                        {"error": "not_found",
+                         "message": f"no job {job_id!r}"},
+                    )
+                else:
+                    self._reply(200, body)
+            else:
+                self._reply(404, {"error": "not_found"})
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+            if self.path != "/api/jobs":
+                self._reply(404, {"error": "not_found"})
+                return
+            payload = self._read_json()
+            if payload is None:
+                self._reply(
+                    400,
+                    {"error": "bad_request", "message": "invalid JSON body"},
+                )
+                return
+            try:
+                body = coordinator.submit(payload)
+            except JobRejected as exc:
+                self._reply(exc.status, {"error": exc.error,
+                                         "message": str(exc)})
+            else:
+                self._reply(201, body)
+
+        def do_DELETE(self) -> None:  # noqa: N802 (stdlib naming)
+            job_id = self._job_id()
+            if job_id is None:
+                self._reply(404, {"error": "not_found"})
+                return
+            body = coordinator.cancel(job_id)
+            if body is None:
+                self._reply(
+                    404,
+                    {"error": "not_found", "message": f"no job {job_id!r}"},
+                )
+            else:
+                self._reply(200, body)
+
+        def log_message(self, format: str, *args: Any) -> None:
+            logger.debug("%s %s", self.address_string(), format % args)
+
+    return Handler
+
+
+__all__ = [
+    "CrawlCoordinator",
+    "JobCancelled",
+    "JobRejected",
+    "RESUMABLE_STATUSES",
+]

@@ -1,0 +1,419 @@
+"""Sharded endpoint fan-out: N remote backends behind one search endpoint.
+
+A coordinator serves discovery jobs against *several* deployments of the
+same hidden database -- e.g. two mirrors of one flight-search site, each
+with its own API key and per-key query budget.  :class:`EndpointSet` makes
+that pool look like a single :class:`~repro.hiddendb.endpoint.SearchEndpoint`:
+
+* **identity** -- every backend must advertise the same endpoint
+  fingerprint (schema + ``k`` + name + ranking, verified from the free
+  bootstrap metadata), because answers from *different* databases must
+  never be merged into one skyline;
+* **sharding** -- each query has a *home* backend chosen by a stable hash
+  of its canonical key, so repeated queries land on the same mirror and
+  its server-side replay cache keeps working across restarts;
+* **work stealing** -- when the home backend has exhausted its budget (or
+  died after the client's retry schedule), the query spills to the next
+  healthy backend instead of failing the whole crawl.  Only when *every*
+  backend is exhausted does :class:`~repro.hiddendb.QueryBudgetExceeded`
+  propagate, turning the run into the usual partial anytime result.
+
+Because the paper's cost metric bills a query the same no matter which
+mirror answers it, sharding changes wall-clock time only: a crawl fanned
+over an :class:`EndpointSet` issues the exact query set -- and therefore
+pays the exact cost and discovers the exact skyline -- of a single-backend
+run.  :class:`ShardedStrategy` plugs the set into the execution engine via
+the :meth:`~repro.core.engine.PipelinedStrategy._endpoint_for` drain hook,
+keeping the engine's strict dispatch-order merge (the determinism
+invariant) untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from ..hiddendb import Query, QueryBudgetExceeded, QueryResult
+from ..hiddendb.errors import HiddenDBError
+from ..core.engine import DEFAULT_WORKERS, PipelinedStrategy, QueryEngine
+from ..service.client import RemoteServiceError, RemoteTopKInterface
+from ..service.server import ANONYMOUS_KEY
+
+
+class EndpointSetError(HiddenDBError):
+    """The backend pool cannot act as one coherent endpoint.
+
+    Raised when the pool is empty or its backends disagree on endpoint
+    identity (different schema/``k``/ranking fingerprints): merging
+    answers from different databases would corrupt the skyline.
+    """
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One backend of a sharded deployment: where it lives, how it bills.
+
+    ``api_key`` of ``None`` queries anonymously (the server's shared
+    default-budget pool).
+    """
+
+    url: str
+    api_key: str | None = None
+
+    @classmethod
+    def parse(cls, text: str) -> "BackendSpec":
+        """The CLI's ``--backend`` syntax: ``URL`` or ``URL=APIKEY``."""
+        url, sep, key = text.partition("=")
+        url = url.strip()
+        if not url:
+            raise ValueError(f"backend spec {text!r} has no URL")
+        return cls(url, key.strip() or None) if sep else cls(url)
+
+
+class _Backend:
+    """Runtime state of one pooled backend."""
+
+    __slots__ = ("spec", "client", "exhausted", "unhealthy", "stolen", "error")
+
+    def __init__(self, spec: BackendSpec, client: Any) -> None:
+        self.spec = spec
+        self.client = client
+        #: Budget spent: skipped by the router for the rest of this set's life.
+        self.exhausted = False
+        #: Transport declared it dead after the client's full retry schedule.
+        self.unhealthy = False
+        #: Queries this backend absorbed for another backend's shard.
+        self.stolen = 0
+        #: The exception that flagged it (re-raised when nothing is left).
+        self.error: Exception | None = None
+
+
+class _ShardLease(object):
+    """The set pinned to one query's home shard (what workers transport on).
+
+    Returned by :meth:`EndpointSet.lease`; its :meth:`query` starts at the
+    leased home backend and steals from the rest of the pool only if the
+    home cannot answer.
+    """
+
+    __slots__ = ("_set", "_home")
+
+    def __init__(self, pool: "EndpointSet", home: int) -> None:
+        self._set = pool
+        self._home = home
+
+    @property
+    def queries_issued(self) -> int:
+        return self._set.queries_issued
+
+    def query(self, query: Query) -> QueryResult:
+        return self._set._query_from(self._home, query)
+
+
+class EndpointSet:
+    """N :class:`RemoteTopKInterface` backends behind one search endpoint.
+
+    Parameters
+    ----------
+    backends:
+        :class:`BackendSpec` instances or ``"URL"`` / ``"URL=APIKEY"``
+        strings.  Each gets its own HTTP client (so per-backend billing
+        telemetry stays separable); construction fetches every backend's
+        free bootstrap metadata and refuses a pool whose members are not
+        the same endpoint.
+    timeout / max_retries / cache_size:
+        Forwarded to each backend client.
+    client_factory:
+        Test seam: a ``(url, **kwargs) -> client`` callable replacing
+        :class:`RemoteTopKInterface`.
+
+    The set deliberately does **not** expose ``batch_query``: sharded
+    drains route every query individually so each lands on its home
+    backend (and budget exhaustion is observed per query, when stealing
+    must kick in).
+    """
+
+    def __init__(
+        self,
+        backends: Iterable[BackendSpec | str],
+        *,
+        timeout: float = 30.0,
+        max_retries: int = 8,
+        cache_size: int | None = None,
+        client_factory: Callable[..., Any] | None = None,
+    ) -> None:
+        specs = tuple(
+            spec if isinstance(spec, BackendSpec) else BackendSpec.parse(str(spec))
+            for spec in backends
+        )
+        if not specs:
+            raise EndpointSetError("an EndpointSet needs at least one backend")
+        factory = client_factory or RemoteTopKInterface
+        pool: list[_Backend] = []
+        try:
+            for spec in specs:
+                kwargs: dict[str, Any] = {
+                    "timeout": timeout,
+                    "max_retries": max_retries,
+                    "cache_size": cache_size,
+                }
+                if spec.api_key is not None:
+                    kwargs["api_key"] = spec.api_key
+                pool.append(_Backend(spec, factory(spec.url, **kwargs)))
+            fingerprints = {b.client.endpoint_fingerprint for b in pool}
+            if len(fingerprints) > 1:
+                detail = ", ".join(
+                    f"{b.spec.url} -> {b.client.endpoint_fingerprint}"
+                    for b in pool
+                )
+                raise EndpointSetError(
+                    f"backends disagree on endpoint identity ({detail}); a "
+                    f"sharded crawl must fan out over mirrors of the *same* "
+                    f"database"
+                )
+        except BaseException:
+            for backend in pool:
+                close = getattr(backend.client, "close", None)
+                if close is not None:
+                    close()
+            raise
+        self._backends = tuple(pool)
+        self._fingerprint = next(iter(fingerprints))
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # SearchEndpoint surface (what sessions and the crawl store read)
+    # ------------------------------------------------------------------
+    @property
+    def schema(self):
+        """Schema of the (identical) backends."""
+        return self._backends[0].client.schema
+
+    @property
+    def k(self) -> int:
+        """Top-k output limit of the backends."""
+        return self._backends[0].client.k
+
+    @property
+    def service_name(self) -> str:
+        """Service name the backends advertise (endpoint identity)."""
+        return self._backends[0].client.service_name
+
+    @property
+    def ranking_label(self) -> str:
+        """Ranking-function label of the backends (endpoint identity)."""
+        return self._backends[0].client.ranking_label
+
+    @property
+    def fingerprint(self) -> str:
+        """The shared endpoint fingerprint every backend was verified against."""
+        return self._fingerprint
+
+    @property
+    def queries_issued(self) -> int:
+        """Billed queries across the whole pool -- the paper's cost metric."""
+        return sum(b.client.queries_issued for b in self._backends)
+
+    @property
+    def cache_hits(self) -> int:
+        """Free (cache/ledger) answers across the pool."""
+        return sum(b.client.cache_hits for b in self._backends)
+
+    @property
+    def retries(self) -> int:
+        """Transport retries across the pool (health, not cost)."""
+        return sum(b.client.retries for b in self._backends)
+
+    def set_replay_nonce(self, nonce: str | None) -> None:
+        """Forward the session's deterministic request-id nonce to every
+        backend, so a resumed crawl re-presents the ids its crashed
+        incarnation used and each server replays already-billed answers
+        free (sharding keeps ids on their home backend)."""
+        for backend in self._backends:
+            backend.client.set_replay_nonce(nonce)
+
+    # ------------------------------------------------------------------
+    # sharding + work stealing
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of pooled backends."""
+        return len(self._backends)
+
+    def shard_of(self, key: str) -> int:
+        """Stable home-backend index for a canonical query key.
+
+        CRC-32 rather than ``hash()``: identical across processes and
+        Python invocations, so a resumed coordinator routes every query
+        to the same mirror (whose replay cache remembers it).
+        """
+        return zlib.crc32(key.encode("utf-8")) % len(self._backends)
+
+    def lease(self, key: str) -> _ShardLease:
+        """A transport view pinned to ``key``'s home shard."""
+        return _ShardLease(self, self.shard_of(key))
+
+    def query(self, query: Query) -> QueryResult:
+        """Answer ``query`` from its home backend (stealing if it cannot)."""
+        return self._query_from(self.shard_of(query.canonical_key()), query)
+
+    def _query_from(self, home: int, query: Query) -> QueryResult:
+        budget_error: Exception | None = None
+        transport_error: Exception | None = None
+        n = len(self._backends)
+        for step in range(n):
+            backend = self._backends[(home + step) % n]
+            if backend.exhausted or backend.unhealthy:
+                continue
+            try:
+                result = backend.client.query(query)
+            except QueryBudgetExceeded as exc:
+                with self._lock:
+                    backend.exhausted = True
+                    backend.error = exc
+                budget_error = exc
+                continue
+            except RemoteServiceError as exc:
+                with self._lock:
+                    backend.unhealthy = True
+                    backend.error = exc
+                transport_error = exc
+                continue
+            if step:
+                with self._lock:
+                    backend.stolen += 1
+            return result
+        # Nothing answered.  Prefer reporting budget exhaustion: it turns
+        # the run into the standard partial anytime result (resumable when
+        # budgets refresh) instead of a hard transport failure.
+        if budget_error is None and transport_error is None:
+            for backend in self._backends:  # flagged by earlier queries
+                if backend.exhausted and backend.error is not None:
+                    budget_error = backend.error
+                elif backend.unhealthy and backend.error is not None:
+                    transport_error = backend.error
+        if budget_error is not None:
+            raise budget_error
+        if transport_error is not None:
+            raise transport_error
+        raise EndpointSetError("no healthy backend left in the pool")
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> list[dict[str, Any]]:
+        """Per-backend share of this set's billed work (local counters)."""
+        return [
+            {
+                "url": b.spec.url,
+                "issued": b.client.queries_issued,
+                "cache_hits": b.client.cache_hits,
+                "retries": b.client.retries,
+                "stolen": b.stolen,
+                "exhausted": b.exhausted,
+                "unhealthy": b.unhealthy,
+            }
+            for b in self._backends
+        ]
+
+    def backend_status(self) -> list[dict[str, Any]]:
+        """Liveness, identity and billing headroom of every backend.
+
+        Uses only unbilled routes (``/healthz`` and ``/api/stats``), so a
+        coordinator can poll it freely.
+        """
+        out: list[dict[str, Any]] = []
+        for b in self._backends:
+            key = b.spec.api_key or ANONYMOUS_KEY
+            entry: dict[str, Any] = {
+                "url": b.spec.url,
+                "api_key": key,
+                "issued": b.client.queries_issued,
+                "stolen": b.stolen,
+                "exhausted": b.exhausted,
+                "unhealthy": b.unhealthy,
+            }
+            try:
+                health = b.client.healthz()
+                stats = b.client.server_stats()
+            except (RemoteServiceError, OSError) as exc:
+                entry["ok"] = False
+                entry["error"] = str(exc)
+            else:
+                entry["ok"] = health.get("status") == "ok"
+                entry["fingerprint"] = health.get("fingerprint")
+                usage = (stats.get("keys") or {}).get(key) or {}
+                entry["budget"] = usage.get("budget", stats.get("default_budget"))
+                entry["remaining"] = usage.get("remaining")
+            out.append(entry)
+        return out
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every backend client's connections (idempotent)."""
+        for backend in self._backends:
+            close = getattr(backend.client, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "EndpointSet":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return (
+            f"EndpointSet({self.size} backends, fingerprint "
+            f"{self._fingerprint[:8]}, issued={self.queries_issued})"
+        )
+
+
+class ShardedStrategy(PipelinedStrategy):
+    """Drain a frontier across every backend of an :class:`EndpointSet`.
+
+    A pipelined window of ``workers_per_backend * set.size`` single-query
+    transports, where each in-flight query is routed to its canonical
+    key's home backend via the engine's
+    :meth:`~repro.core.engine.PipelinedStrategy._endpoint_for` hook.  The
+    engine's dispatch-order merge is inherited unchanged, so a sharded
+    run issues the exact query set (hence cost and skyline) of a
+    single-backend run -- only the wall-clock shrinks, because the
+    aggregate in-flight window spans every mirror's latency budget.
+
+    ``batch_size`` is pinned to 1: batching would route whole chunks to
+    one backend and hide per-query budget exhaustion from the stealer.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        endpoints: EndpointSet,
+        *,
+        workers_per_backend: int = DEFAULT_WORKERS,
+    ) -> None:
+        if workers_per_backend < 1:
+            raise ValueError(
+                f"workers_per_backend must be >= 1, got {workers_per_backend}"
+            )
+        super().__init__(
+            workers=workers_per_backend * endpoints.size, batch_size=1
+        )
+        self.endpoints = endpoints
+        self.workers_per_backend = workers_per_backend
+
+    def _endpoint_for(self, engine: QueryEngine, item) -> _ShardLease:
+        return self.endpoints.lease(item.key)
+
+
+__all__ = [
+    "BackendSpec",
+    "EndpointSet",
+    "EndpointSetError",
+    "ShardedStrategy",
+]

@@ -358,6 +358,7 @@ class DiscoverySession:
                 config.store,
                 algorithm=algorithm or "",
                 resume=config.resume,
+                session_id=config.session_id,
                 checkpoint_every=config.checkpoint_every,
             )
         return session
@@ -371,6 +372,7 @@ class DiscoverySession:
         *,
         algorithm: str = "",
         resume: bool = False,
+        session_id: str | None = None,
         checkpoint_every: int = 32,
     ) -> None:
         """Make this run durable against ``store``.
@@ -380,11 +382,12 @@ class DiscoverySession:
         different dataset/``k``), begins -- or with ``resume=True`` picks
         back up -- a crawl session, and mounts the endpoint's query ledger
         on the execution engine so already-paid-for answers replay free
-        and every billed answer is persisted.  Remote endpoints that
-        support it additionally get the session's deterministic replay
-        nonce, so queries billed by a crashed incarnation but never
-        persisted (lost in flight) are replayed by the server instead of
-        billed twice.
+        and every billed answer is persisted.  ``session_id`` pins the
+        session identity instead (fetch-or-create; the coordinator's
+        per-job sessions).  Remote endpoints that support it additionally
+        get the session's deterministic replay nonce, so queries billed
+        by a crashed incarnation but never persisted (lost in flight) are
+        replayed by the server instead of billed twice.
         """
         name = getattr(self._interface, "service_name", "") or getattr(
             self._interface, "name", ""
@@ -395,7 +398,9 @@ class DiscoverySession:
             name=name,
             ranking=getattr(self._interface, "ranking_label", ""),
         )
-        record = store.begin_session(fingerprint, algorithm, resume=resume)
+        record = store.begin_session(
+            fingerprint, algorithm, resume=resume, session_id=session_id
+        )
         self._store = store
         self._store_session = record
         self._checkpoint_every = max(int(checkpoint_every), 1)

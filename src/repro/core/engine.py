@@ -861,6 +861,19 @@ class PipelinedStrategy(_WindowedStrategy):
         self.workers = workers
         self.batch_size = batch_size
 
+    def _endpoint_for(self, engine: QueryEngine, item: _Dispatched):
+        """Shard-aware drain hook: the endpoint transporting ``item``.
+
+        The default routes every per-query transport to the session's
+        single interface.  Sharded deployments
+        (:class:`repro.coordinator.ShardedStrategy`) override this to
+        pick a backend by the entry's canonical key, so one logical
+        frontier fans out across several API keys while the drain core's
+        windowing, in-order merge and billing stay untouched -- which is
+        why sharding preserves cost/skyline parity for free.
+        """
+        return engine.interface
+
     def _open(self, engine: QueryEngine) -> _TransportContext:
         # Nested drains (a callback running a sub-frontier mid-merge)
         # share the outermost drain's pool instead of churning one
@@ -899,7 +912,8 @@ class PipelinedStrategy(_WindowedStrategy):
         else:
             for item, query in zip(chunk, queries):
                 item.future = context.pool.submit(
-                    _transport_one, session, engine.interface, query
+                    _transport_one, session,
+                    self._endpoint_for(engine, item), query,
                 )
 
 
@@ -995,7 +1009,7 @@ class AsyncStrategy(_WindowedStrategy):
 
 
 def make_strategy(
-    name: str | None,
+    name: "str | ExecutionStrategy | None",
     workers: int = 1,
     batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> ExecutionStrategy:
@@ -1005,8 +1019,13 @@ def make_strategy(
     pipelined, otherwise serial.  Explicit names (``"serial"``,
     ``"pipelined"``, ``"async"`` -- see :data:`STRATEGY_NAMES`) pin the
     strategy regardless of the worker count, except that ``"serial"``
-    with ``workers > 1`` is rejected as contradictory.
+    with ``workers > 1`` is rejected as contradictory.  An
+    :class:`ExecutionStrategy` *instance* is returned as-is (it already
+    carries its own worker/batch shape) -- the seam through which custom
+    strategies such as the coordinator's sharded drain reach the facade.
     """
+    if isinstance(name, ExecutionStrategy):
+        return name
     if name is None:
         if workers > 1:
             return PipelinedStrategy(workers=workers, batch_size=batch_size)

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field, replace as _dc_replace
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 from ..hiddendb.attributes import InterfaceKind, Schema
-from .engine import DEFAULT_BATCH_SIZE, STRATEGY_NAMES
+from .engine import DEFAULT_BATCH_SIZE, STRATEGY_NAMES, ExecutionStrategy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from ..hiddendb.endpoint import SearchEndpoint
@@ -92,9 +92,13 @@ class DiscoveryConfig:
         Execution-strategy name: ``"serial"``, ``"pipelined"`` or
         ``"async"`` (see :data:`~repro.core.engine.STRATEGY_NAMES`).
         ``None`` (the default) keeps the historical implicit switch --
-        ``workers > 1`` means pipelined, otherwise serial.  All
-        strategies run the same shared drain core, so the skyline and
-        billed cost are identical; only wall time differs.
+        ``workers > 1`` means pipelined, otherwise serial.  An
+        :class:`~repro.core.engine.ExecutionStrategy` *instance* is also
+        accepted and used as-is (it carries its own worker/batch shape;
+        ``workers`` / ``batch_size`` below are ignored then) -- the seam
+        custom drains such as the coordinator's sharded strategy plug
+        into.  All strategies run the same shared drain core, so the
+        skyline and billed cost are identical; only wall time differs.
     workers:
         Execution-engine concurrency: the dispatch-window width.  With
         the (default) implicit strategy, ``1`` drains frontiers with the
@@ -129,6 +133,14 @@ class DiscoveryConfig:
         run replays the already-paid-for query prefix from the ledger and
         carries the crashed incarnation's billed count forward into
         ``result.total_cost``.  Requires ``store``.
+    session_id:
+        Pin the crawl session identity instead of letting the store pick:
+        an existing session of this id is resumed (checkpoint, billed
+        count and replay nonce carried forward), a missing one is created
+        under exactly this id.  The multi-tenant seam -- the coordinator
+        assigns each job its own session id so concurrent tenants running
+        the same algorithm against the same endpoint never collide.
+        Requires ``store``.
     checkpoint_every:
         Recorded answers between session checkpoints (progress snapshots
         in the store; the exact billed counter is updated transactionally
@@ -145,12 +157,13 @@ class DiscoveryConfig:
     on_query: "Callable[[QueryResult], None] | None" = None
     on_tuple: "Callable[[TraceEntry], None] | None" = None
     record_log: bool = False
-    strategy: str | None = None
+    strategy: "str | ExecutionStrategy | None" = None
     workers: int = 1
     batch_size: int = DEFAULT_BATCH_SIZE
     dedup: bool | None = None
     store: "CrawlStore | None" = None
     resume: bool = False
+    session_id: str | None = None
     checkpoint_every: int = 32
     options: Mapping[str, Any] = field(default_factory=dict)
 
@@ -161,10 +174,15 @@ class DiscoveryConfig:
             raise ValueError(f"band must be >= 1, got {self.band}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
-        if self.strategy is not None and self.strategy not in STRATEGY_NAMES:
+        if (
+            self.strategy is not None
+            and not isinstance(self.strategy, ExecutionStrategy)
+            and self.strategy not in STRATEGY_NAMES
+        ):
             raise ValueError(
                 f"unknown execution strategy {self.strategy!r}; "
-                f"pick one of {', '.join(STRATEGY_NAMES)}"
+                f"pick one of {', '.join(STRATEGY_NAMES)} or pass an "
+                f"ExecutionStrategy instance"
             )
         if self.strategy == "serial" and self.workers > 1:
             raise ValueError(
@@ -181,6 +199,8 @@ class DiscoveryConfig:
             )
         if self.resume and self.store is None:
             raise ValueError("resume=True requires a store")
+        if self.session_id is not None and self.store is None:
+            raise ValueError("session_id requires a store")
 
     def replace(self, **changes: Any) -> "DiscoveryConfig":
         """A copy of this config with ``changes`` applied."""

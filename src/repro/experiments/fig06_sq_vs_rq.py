@@ -17,8 +17,13 @@ from __future__ import annotations
 
 from ..datagen.synthetic import correlation_sweep_table
 from ..hiddendb.attributes import InterfaceKind
-from ..hiddendb.interface import TopKInterface
-from .common import ground_truth_values, run_discovery, skyline_count
+from .common import (
+    engine_summary,
+    ground_truth_values,
+    make_interface,
+    run_discovery,
+    skyline_count,
+)
 from .reporting import print_experiment
 
 DEFAULT_RHOS = (0.95, 0.8, 0.5, 0.2, 0.0, -0.3, -0.6, -0.9)
@@ -54,9 +59,9 @@ def run(
             )
             expected = ground_truth_values(sq_table)
             sq = run_discovery(
-                TopKInterface(sq_table, k=k), "sq", budget=sq_budget
+                make_interface(sq_table, k=k), "sq", budget=sq_budget
             )
-            rq = run_discovery(TopKInterface(rq_table, k=k), "rq")
+            rq = run_discovery(make_interface(rq_table, k=k), "rq")
             if rq.skyline_values != expected:
                 raise AssertionError(f"RQ incomplete at m={m}, rho={rho}")
             if sq.complete and sq.skyline_values != expected:
@@ -72,6 +77,7 @@ def run(
                         f"{len(expected)} found)"
                     ),
                     "rq_cost": rq.total_cost,
+                    "engine": engine_summary(rq),
                 }
             )
     return rows

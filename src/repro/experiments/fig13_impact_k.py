@@ -8,8 +8,12 @@ magnitude below the crawl-everything BASELINE at every k.
 from __future__ import annotations
 
 from ..datagen.flights import flights_range_table
-from ..hiddendb.interface import TopKInterface
-from .common import ground_truth_values, run_discovery
+from .common import (
+    engine_summary,
+    ground_truth_values,
+    make_interface,
+    run_discovery,
+)
 from .reporting import print_experiment
 
 DEFAULT_KS = (1, 10, 20, 30, 40, 50)
@@ -27,13 +31,17 @@ def run(
     expected = ground_truth_values(table)
     rows = []
     for k in ks:
-        interface = TopKInterface(table, k=k)
-        rq = run_discovery(interface, "rq")
+        rq = run_discovery(make_interface(table, k=k), "rq")
         if rq.skyline_values != expected:
             raise AssertionError(f"RQ-DB-SKY incomplete at k={k}")
-        row = {"k": k, "S": len(expected), "rq_cost": rq.total_cost}
+        row = {
+            "k": k,
+            "S": len(expected),
+            "rq_cost": rq.total_cost,
+            "engine": engine_summary(rq),
+        }
         if include_baseline:
-            base = run_discovery(TopKInterface(table, k=k), "baseline")
+            base = run_discovery(make_interface(table, k=k), "baseline")
             if base.skyline_values != expected:
                 raise AssertionError(f"BASELINE incomplete at k={k}")
             row["baseline_cost"] = base.total_cost

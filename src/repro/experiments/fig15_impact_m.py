@@ -12,8 +12,12 @@ from __future__ import annotations
 from ..core import analysis
 from ..datagen.flights import flights_range_table
 from ..hiddendb.attributes import InterfaceKind
-from ..hiddendb.interface import TopKInterface
-from .common import ground_truth_values, run_discovery
+from .common import (
+    engine_summary,
+    ground_truth_values,
+    make_interface,
+    run_discovery,
+)
 from .reporting import print_experiment
 
 DEFAULT_MS = (2, 3, 4, 5, 6, 7)
@@ -39,8 +43,8 @@ def run(
         )
         expected = ground_truth_values(table)
         size = len(expected)
-        sq = run_discovery(TopKInterface(sq_table, k=k), "sq", budget=sq_budget)
-        rq = run_discovery(TopKInterface(table, k=k), "rq")
+        sq = run_discovery(make_interface(sq_table, k=k), "sq", budget=sq_budget)
+        rq = run_discovery(make_interface(table, k=k), "rq")
         if rq.skyline_values != expected:
             raise AssertionError(f"RQ-DB-SKY incomplete at m={m}")
         if sq.complete and sq.skyline_values != expected:
@@ -54,6 +58,7 @@ def run(
                     else f">{sq_budget} ({len(sq.skyline_values)}/{size})"
                 ),
                 "rq_cost": rq.total_cost,
+                "engine": engine_summary(rq),
                 "avg_case_bound": round(analysis.average_case_bound(m, size)),
             }
         )

@@ -8,8 +8,12 @@ stays nearly flat across a 5x growth in n.
 from __future__ import annotations
 
 from ..datagen.flights import flights_mixed_table
-from ..hiddendb.interface import TopKInterface
-from .common import ground_truth_values, run_discovery
+from .common import (
+    engine_summary,
+    ground_truth_values,
+    make_interface,
+    run_discovery,
+)
 from .reporting import print_experiment
 
 DEFAULT_NS = (20_000, 40_000, 60_000, 80_000, 100_000)
@@ -26,12 +30,18 @@ def run(
     rows = []
     for n in ns:
         table = flights_mixed_table(n, num_range, num_point, seed=seed)
-        interface = TopKInterface(table, k=k)
-        result = run_discovery(interface, "mq")
+        result = run_discovery(make_interface(table, k=k), "mq")
         expected = ground_truth_values(table)
         if result.skyline_values != expected:
             raise AssertionError(f"MQ-DB-SKY incomplete at n={n}")
-        rows.append({"n": n, "S": len(expected), "cost": result.total_cost})
+        rows.append(
+            {
+                "n": n,
+                "S": len(expected),
+                "cost": result.total_cost,
+                "engine": engine_summary(result),
+            }
+        )
     return rows
 
 

@@ -13,8 +13,7 @@ phase only deepens the query tree.
 from __future__ import annotations
 
 from ..datagen.flights import flights_mixed_table
-from ..hiddendb.interface import TopKInterface
-from .common import ground_truth_values, run_discovery
+from .common import ground_truth_values, make_interface, run_discovery
 from .reporting import print_experiment
 
 
@@ -41,8 +40,7 @@ def run(
 
 def _measure(n: int, num_range: int, num_point: int, k: int, seed: int) -> int:
     table = flights_mixed_table(n, num_range, num_point, seed=seed)
-    interface = TopKInterface(table, k=k)
-    result = run_discovery(interface, "mq")
+    result = run_discovery(make_interface(table, k=k), "mq")
     expected = ground_truth_values(table)
     if result.skyline_values != expected:
         raise AssertionError(

@@ -15,9 +15,13 @@ from __future__ import annotations
 
 from ..datagen.diamonds import PRICE_ATTRIBUTE, diamonds_table
 from ..hiddendb.errors import QueryBudgetExceeded
-from ..hiddendb.interface import TopKInterface
 from ..hiddendb.ranking import LinearRanker
-from .common import ground_truth_values, run_discovery
+from .common import (
+    engine_summary,
+    ground_truth_values,
+    make_interface,
+    run_discovery,
+)
 from .reporting import print_experiment
 
 BASELINE_CUTOFF = 10_000
@@ -35,12 +39,11 @@ def run(
     ranker = LinearRanker.single_attribute(PRICE_ATTRIBUTE, table.schema.m)
     expected = ground_truth_values(table)
 
-    interface = TopKInterface(table, ranker=ranker, k=k)
-    mq = run_discovery(interface)
+    mq = run_discovery(make_interface(table, k=k, ranker=ranker))
     if mq.skyline_values != expected:
         raise AssertionError("discovery incomplete on the diamond catalogue")
 
-    budgeted = TopKInterface(table, ranker=ranker, k=k, budget=baseline_cutoff)
+    budgeted = make_interface(table, k=k, ranker=ranker, budget=baseline_cutoff)
     try:
         base = run_discovery(budgeted, "baseline")
     except QueryBudgetExceeded:  # pragma: no cover - guard handles it
@@ -68,6 +71,7 @@ def run(
             "tuples": size,
             "mq_cost": mq.total_cost,
             "baseline_cost": f"{base.total_cost} ({base_found}/{size} found)",
+            "engine": engine_summary(mq),
         }
     )
     return rows

@@ -13,9 +13,8 @@ paper plots.
 from __future__ import annotations
 
 from ..datagen.gflights import DAILY_QUERY_LIMIT, flight_instances
-from ..hiddendb.interface import TopKInterface
 from ..hiddendb.ranking import LinearRanker
-from .common import ground_truth_values, run_discovery
+from .common import ground_truth_values, make_interface, run_discovery
 from .reporting import print_experiment
 
 
@@ -30,8 +29,7 @@ def run(
     over_quota = 0
     for table in flight_instances(instances, seed=seed):
         ranker = LinearRanker.single_attribute(1, table.schema.m)  # price
-        interface = TopKInterface(table, ranker=ranker, k=k)
-        result = run_discovery(interface)
+        result = run_discovery(make_interface(table, k=k, ranker=ranker))
         expected = ground_truth_values(table)
         if result.skyline_values != expected:
             raise AssertionError("discovery incomplete on a flight instance")

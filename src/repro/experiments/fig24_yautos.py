@@ -9,9 +9,13 @@ finishing its crawl.
 from __future__ import annotations
 
 from ..datagen.autos import PRICE_ATTRIBUTE, autos_table
-from ..hiddendb.interface import TopKInterface
 from ..hiddendb.ranking import LinearRanker
-from .common import ground_truth_values, run_discovery
+from .common import (
+    engine_summary,
+    ground_truth_values,
+    make_interface,
+    run_discovery,
+)
 from .reporting import print_experiment
 
 BASELINE_CUTOFF = 10_000
@@ -29,12 +33,11 @@ def run(
     ranker = LinearRanker.single_attribute(PRICE_ATTRIBUTE, table.schema.m)
     expected = ground_truth_values(table)
 
-    interface = TopKInterface(table, ranker=ranker, k=k)
-    mq = run_discovery(interface)
+    mq = run_discovery(make_interface(table, k=k, ranker=ranker))
     if mq.skyline_values != expected:
         raise AssertionError("discovery incomplete on the autos listings")
 
-    budgeted = TopKInterface(table, ranker=ranker, k=k, budget=baseline_cutoff)
+    budgeted = make_interface(table, k=k, ranker=ranker, budget=baseline_cutoff)
     base = run_discovery(budgeted, "baseline")
     base_found = len(base.skyline_values & expected)
 
@@ -59,6 +62,7 @@ def run(
             "tuples": size,
             "mq_cost": mq.total_cost,
             "baseline_cost": f"{base.total_cost} ({base_found}/{size} found)",
+            "engine": engine_summary(mq),
         }
     )
     return rows

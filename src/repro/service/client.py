@@ -59,6 +59,7 @@ from .wire import (
     decode_schema,
     encode_batch_request,
     encode_query,
+    endpoint_fingerprint,
 )
 
 
@@ -305,6 +306,21 @@ class QueryClientCore:
     def ranking_label(self) -> str:
         """Ranking-function label the service reported (endpoint identity)."""
         return self._ranking_label
+
+    @property
+    def endpoint_fingerprint(self) -> str:
+        """Identity hash of the connected endpoint, derived client-side.
+
+        Computed from the bootstrap metadata (schema, ``k``, name,
+        ranking) with the same scheme the server and the crawl store use,
+        so it equals the server's ``/healthz`` fingerprint exactly when
+        both sides agree on what is being served.
+        """
+        if self._schema is None:
+            raise RemoteServiceError("client holds no schema metadata yet")
+        return endpoint_fingerprint(
+            self._schema, self._k, self._service_name, self._ranking_label
+        )
 
     @property
     def cache_hits(self) -> int:
@@ -568,6 +584,14 @@ class RemoteTopKInterface(QueryClientCore):
     def server_stats(self) -> dict[str, Any]:
         """The service's ``/api/stats`` payload (billing counters)."""
         return self._request("GET", "/api/stats")
+
+    def healthz(self) -> dict[str, Any]:
+        """The service's ``/healthz`` payload (liveness + fingerprint).
+
+        Never billed -- this is how a coordinator verifies a backend is
+        alive and serving the expected endpoint identity for free.
+        """
+        return self._request("GET", "/healthz")
 
     # ------------------------------------------------------------------
     # transport

@@ -14,9 +14,11 @@ Routes (all bodies JSON):
                            trip; billed, validated and fault-injected per
                            item (latency is drawn per item but slept once,
                            at the per-batch maximum -- one round trip)
-``GET  /api/stats``        billing counters (total, per key, faults injected)
+``GET  /api/stats``        billing counters (total, per key incl. configured
+                           budgets and remaining headroom, faults injected)
 ``POST /api/reset``        ops/test helper: clear billing counters
-``GET  /healthz``          liveness probe (used by the CI boot check)
+``GET  /healthz``          liveness probe carrying the endpoint fingerprint
+                           (CI boot check, coordinator shard verification)
 =========================  =====================================================
 
 The query endpoint reproduces the in-process
@@ -51,7 +53,13 @@ from ..hiddendb.errors import HiddenDBError, UnsupportedQueryError
 from ..hiddendb.ranking import LinearRanker, Ranker
 from ..hiddendb.table import Table
 from .faults import FaultConfig, FaultInjector
-from .wire import decode_query, encode_answer, encode_batch_item, encode_schema
+from .wire import (
+    decode_query,
+    encode_answer,
+    encode_batch_item,
+    encode_schema,
+    endpoint_fingerprint,
+)
 
 logger = logging.getLogger("repro.service")
 
@@ -126,6 +134,9 @@ class ServerStats:
     queries_total: int
     faults_injected: int
     keys: tuple[KeyUsage, ...]
+    #: Budget assumed for keys without a per-key override (``None`` =
+    #: unlimited).
+    default_budget: int | None = None
 
     def usage(self, key: str) -> KeyUsage | None:
         """Usage record of ``key``, or ``None`` if it never queried."""
@@ -145,6 +156,10 @@ class _Billing:
         self._budgets = dict(budgets)
         self._issued: dict[str, int] = {}
         self._lock = threading.Lock()
+
+    @property
+    def default_budget(self) -> int | None:
+        return self._default_budget
 
     def budget_of(self, key: str) -> int | None:
         return self._budgets.get(key, self._default_budget)
@@ -170,6 +185,11 @@ class _Billing:
     def snapshot(self) -> tuple[int, tuple[KeyUsage, ...]]:
         with self._lock:
             issued = dict(self._issued)
+        # Keys with configured budget overrides are reported even before
+        # their first query: the coordinator sizes shard budgets from
+        # this snapshot *without* issuing a billed probe.
+        for key in self._budgets:
+            issued.setdefault(key, 0)
         keys = tuple(
             KeyUsage(key=key, issued=count, budget=self.budget_of(key))
             for key, count in sorted(issued.items())
@@ -351,12 +371,29 @@ class HiddenDBServer:
         """Service name."""
         return self._name
 
+    @property
+    def fingerprint(self) -> str:
+        """Endpoint identity hash (schema + ``k`` + name + ranking).
+
+        The same value the remote client derives from ``/api/schema`` and
+        the crawl store keys its ledger by; advertised on ``/healthz`` and
+        ``/api/schema`` so a coordinator can verify that every backend of
+        a shard set serves the *same* hidden database without issuing a
+        billed query.
+        """
+        return endpoint_fingerprint(
+            self._table.schema, self._k, self._name, self._ranker.describe()
+        )
+
     def stats(self) -> ServerStats:
         """Current billing counters."""
         total, keys = self._billing.snapshot()
         injected = self._injector.injected if self._injector is not None else 0
         return ServerStats(
-            queries_total=total, faults_injected=injected, keys=keys
+            queries_total=total,
+            faults_injected=injected,
+            keys=keys,
+            default_budget=self._billing.default_budget,
         )
 
     def reset_billing(self, key: str | None = None) -> None:
@@ -390,6 +427,9 @@ class HiddenDBServer:
                 # fingerprints so differently-ranked services never share
                 # a query ledger.
                 "ranking": self._ranker.describe(),
+                # Server-computed identity hash; clients re-derive it from
+                # the fields above, shard sets verify the two agree.
+                "fingerprint": self.fingerprint,
                 # Capability advertisement: clients that see this pack
                 # frontier waves into /api/batch round trips.
                 "batch": True,
@@ -406,6 +446,7 @@ class HiddenDBServer:
                 "name": self._name,
                 "queries_total": stats.queries_total,
                 "faults_injected": stats.faults_injected,
+                "default_budget": stats.default_budget,
                 "keys": {
                     usage.key: {
                         "issued": usage.issued,
@@ -658,7 +699,15 @@ def _make_handler(server: HiddenDBServer) -> type[BaseHTTPRequestHandler]:
             elif self.path == "/api/stats":
                 self._reply(*server._handle_stats())
             elif self.path == "/healthz":
-                self._reply(200, {"status": "ok", "name": server.name}, {})
+                self._reply(
+                    200,
+                    {
+                        "status": "ok",
+                        "name": server.name,
+                        "fingerprint": server.fingerprint,
+                    },
+                    {},
+                )
             else:
                 self._reply(
                     404, {"error": "not_found", "retriable": False}, {}

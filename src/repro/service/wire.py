@@ -18,10 +18,18 @@ int>, "body": {...answer or error...}}]}``, aligned by position.  Each
 item carries its own request id so a retried item replays its
 already-billed answer instead of being charged twice, exactly like the
 ``X-Request-Id`` header of the single-query endpoint.
+
+Two further shared currencies live here: the **endpoint fingerprint**
+(:func:`endpoint_fingerprint`, the identity hash the server advertises,
+the crawl store keys its ledger by and the coordinator verifies shard
+membership with) and the **discovery-job spec**
+(:func:`decode_job_spec`, the body of the coordinator's
+``POST /api/jobs``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Mapping, Sequence
 
@@ -74,6 +82,57 @@ def decode_schema(payload: Mapping[str, Any]) -> Schema:
             )
         )
     return Schema(attributes)
+
+
+# ----------------------------------------------------------------------
+# endpoint identity
+# ----------------------------------------------------------------------
+
+
+def endpoint_descriptor(
+    schema: Schema, k: int, name: str = "", ranking: str = ""
+) -> str:
+    """Canonical JSON descriptor of an endpoint's public identity.
+
+    Covers exactly what determines whether a ledgered answer is reusable:
+    the ranking/filtering attribute layout (names, domain sizes, interface
+    kinds -- display labels excluded), the top-``k`` limit, the service
+    name and the ranking-function label (the same table ranked differently
+    returns different answers).  The fingerprint is a hash of this string;
+    it is computed identically by the server (``/healthz``,
+    ``/api/schema``), the remote client, the crawl store and the
+    coordinator, so every layer agrees on whether two endpoints are "the
+    same hidden database".
+    """
+    return json.dumps(
+        {
+            "attributes": [
+                {
+                    "name": attribute.name,
+                    "domain_size": int(attribute.domain_size),
+                    "kind": attribute.kind.value,
+                }
+                for attribute in schema.attributes
+            ],
+            "k": int(k),
+            "name": name,
+            "ranking": ranking,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def fingerprint_of(descriptor: str) -> str:
+    """Hash an :func:`endpoint_descriptor` string into a fingerprint."""
+    return hashlib.sha256(descriptor.encode("utf-8")).hexdigest()[:16]
+
+
+def endpoint_fingerprint(
+    schema: Schema, k: int, name: str = "", ranking: str = ""
+) -> str:
+    """Stable identity hash of an endpoint (schema + ``k`` + name + ranking)."""
+    return fingerprint_of(endpoint_descriptor(schema, k, name, ranking))
 
 
 # ----------------------------------------------------------------------
@@ -141,6 +200,73 @@ def decode_answer(
 
 
 # ----------------------------------------------------------------------
+# discovery jobs (the coordinator's ``POST /api/jobs`` body)
+# ----------------------------------------------------------------------
+
+#: Recognised discovery-job spec fields with their defaults.  ``None``
+#: algorithm means "auto-select by schema"; ``None`` budget means
+#: unbounded; ``fingerprint`` is the endpoint identity the tenant
+#: *expects* to crawl (the coordinator rejects the job with a conflict
+#: when it does not match its backends).
+JOB_SPEC_DEFAULTS: Mapping[str, Any] = {
+    "algorithm": None,
+    "budget": None,
+    "dedup": None,
+    "tenant": "anonymous",
+    "workers": 4,
+    "checkpoint_every": 8,
+    "fingerprint": None,
+}
+
+
+def decode_job_spec(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate and normalise a job-submission body.
+
+    Unknown fields are rejected (a typo'd ``"budgit"`` must not silently
+    submit an unbounded crawl); known fields are type-checked and
+    defaulted from :data:`JOB_SPEC_DEFAULTS`.  Raises :class:`ValueError`
+    with an operator-readable message on any problem.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError("job spec must be a JSON object")
+    unknown = sorted(set(payload) - set(JOB_SPEC_DEFAULTS))
+    if unknown:
+        raise ValueError(
+            f"unknown job spec field(s): {', '.join(unknown)}; "
+            f"known fields: {', '.join(sorted(JOB_SPEC_DEFAULTS))}"
+        )
+    spec = dict(JOB_SPEC_DEFAULTS)
+    spec.update({key: payload[key] for key in payload})
+    for key in ("budget", "workers", "checkpoint_every"):
+        if spec[key] is not None:
+            if isinstance(spec[key], bool) or not isinstance(spec[key], int):
+                raise ValueError(f"job spec field {key!r} must be an integer")
+    if spec["budget"] is not None and spec["budget"] < 0:
+        raise ValueError("job spec field 'budget' must be >= 0")
+    if spec["workers"] is None or spec["workers"] < 1:
+        raise ValueError("job spec field 'workers' must be >= 1")
+    if spec["checkpoint_every"] is None or spec["checkpoint_every"] < 1:
+        raise ValueError("job spec field 'checkpoint_every' must be >= 1")
+    if spec["dedup"] is not None and not isinstance(spec["dedup"], bool):
+        raise ValueError("job spec field 'dedup' must be a boolean")
+    for key in ("algorithm", "fingerprint"):
+        if spec[key] is not None and not isinstance(spec[key], str):
+            raise ValueError(f"job spec field {key!r} must be a string")
+    if not isinstance(spec["tenant"], str) or not spec["tenant"]:
+        raise ValueError("job spec field 'tenant' must be a non-empty string")
+    return spec
+
+
+def encode_job_spec(spec: Mapping[str, Any]) -> dict[str, Any]:
+    """Job spec -> JSON-ready submission body (defaults dropped)."""
+    return {
+        key: spec[key]
+        for key in JOB_SPEC_DEFAULTS
+        if key in spec and spec[key] != JOB_SPEC_DEFAULTS[key]
+    }
+
+
+# ----------------------------------------------------------------------
 # batches
 # ----------------------------------------------------------------------
 
@@ -182,15 +308,21 @@ def decode_batch_answer(
 
 
 __all__ = [
+    "JOB_SPEC_DEFAULTS",
     "decode_answer",
     "decode_batch_answer",
+    "decode_job_spec",
     "decode_query",
     "decode_row",
     "decode_schema",
     "encode_answer",
     "encode_batch_item",
     "encode_batch_request",
+    "encode_job_spec",
     "encode_query",
     "encode_row",
     "encode_schema",
+    "endpoint_descriptor",
+    "endpoint_fingerprint",
+    "fingerprint_of",
 ]

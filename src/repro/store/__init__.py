@@ -23,9 +23,11 @@ See :mod:`repro.store.crawlstore` for the full model.
 """
 
 from .crawlstore import (
+    JOB_STATUSES,
     CrawlStore,
     EndpointRecord,
     GcReport,
+    JobRecord,
     QueryLedger,
     SessionRecord,
     StoreError,
@@ -35,9 +37,11 @@ from .crawlstore import (
 )
 
 __all__ = [
+    "JOB_STATUSES",
     "CrawlStore",
     "EndpointRecord",
     "GcReport",
+    "JobRecord",
     "QueryLedger",
     "SessionRecord",
     "StoreError",

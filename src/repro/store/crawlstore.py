@@ -17,7 +17,11 @@ makes crawls durable by persisting three things:
   is additionally bumped transactionally with every ledger write, so it is
   exact even at a ``kill -9``;
 * the **crawl catalog** -- finished results (algorithm, skyline, cost,
-  engine stats), queryable from the CLI via ``repro store ls / show``.
+  engine stats), queryable from the CLI via ``repro store ls / show``;
+* the **job catalog** -- the coordinator's durable submission queue
+  (tenant, spec, owning session, backend count, shard progress), which is
+  what lets ``repro coordinate --resume`` replay submitted-but-unfinished
+  jobs after a restart.
 
 Resume is *replay-driven*: the ledger doubles as the fetch log of the
 state-dependent RQ/PQ paths.  A resumed run simply re-executes its
@@ -43,7 +47,6 @@ are thread-safe: pipelined strategies read the ledger from worker threads.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import sqlite3
 import threading
@@ -56,7 +59,18 @@ from typing import Any, Iterator, Mapping
 from ..hiddendb.attributes import Schema
 from ..hiddendb.interface import QueryResult
 from ..hiddendb.query import Query
-from ..service.wire import decode_answer, encode_answer, encode_query
+
+# The fingerprint scheme lives in the wire module (the server advertises
+# it over ``/healthz`` and ``/api/schema``); re-exported here because the
+# store is its historical home and ledger identity is where it matters.
+from ..service.wire import (
+    decode_answer,
+    encode_answer,
+    encode_query,
+    endpoint_descriptor,
+    endpoint_fingerprint,
+    fingerprint_of as _fingerprint_of,
+)
 
 #: Bump when the on-disk layout changes incompatibly.
 STORE_VERSION = 1
@@ -92,7 +106,30 @@ CREATE TABLE IF NOT EXISTS sessions (
 );
 CREATE INDEX IF NOT EXISTS sessions_by_endpoint
     ON sessions (fingerprint, algorithm, status, updated_at);
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id         TEXT PRIMARY KEY,
+    fingerprint    TEXT NOT NULL,
+    tenant         TEXT NOT NULL DEFAULT 'anonymous',
+    algorithm      TEXT NOT NULL DEFAULT '',
+    status         TEXT NOT NULL DEFAULT 'queued',
+    spec_json      TEXT NOT NULL DEFAULT '{}',
+    session_id     TEXT NOT NULL,
+    backends       INTEGER NOT NULL DEFAULT 1,
+    progress_json  TEXT NOT NULL DEFAULT '{}',
+    result_json    TEXT,
+    error          TEXT,
+    created_at     REAL NOT NULL,
+    updated_at     REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS jobs_by_status ON jobs (status, updated_at);
 """
+
+#: Lifecycle states of a coordinator discovery job.  ``queued`` and
+#: ``running`` jobs are replayed by ``repro coordinate --resume``;
+#: ``partial`` marks a budget-exhausted (still resumable) crawl.
+JOB_STATUSES = (
+    "queued", "running", "finished", "partial", "failed", "cancelled",
+)
 
 
 class StoreError(RuntimeError):
@@ -106,49 +143,6 @@ class StoreMismatchError(StoreError):
     (dataset, ``k``, schema) does not match the endpoint being crawled:
     replaying answers across datasets would silently corrupt discovery.
     """
-
-
-def endpoint_descriptor(
-    schema: Schema, k: int, name: str = "", ranking: str = ""
-) -> str:
-    """Canonical JSON descriptor of an endpoint's public identity.
-
-    Covers exactly what determines whether a ledgered answer is reusable:
-    the ranking/filtering attribute layout (names, domain sizes, interface
-    kinds -- display labels excluded), the top-``k`` limit, the service
-    name and the ranking-function label (the same table ranked differently
-    returns different answers).  The fingerprint is a hash of this string,
-    and :meth:`CrawlStore.gc` re-derives it to detect tampered or stale
-    registrations.
-    """
-    return json.dumps(
-        {
-            "attributes": [
-                {
-                    "name": attribute.name,
-                    "domain_size": int(attribute.domain_size),
-                    "kind": attribute.kind.value,
-                }
-                for attribute in schema.attributes
-            ],
-            "k": int(k),
-            "name": name,
-            "ranking": ranking,
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    )
-
-
-def _fingerprint_of(descriptor: str) -> str:
-    return hashlib.sha256(descriptor.encode("utf-8")).hexdigest()[:16]
-
-
-def endpoint_fingerprint(
-    schema: Schema, k: int, name: str = "", ranking: str = ""
-) -> str:
-    """Stable identity hash of an endpoint (schema + ``k`` + name + ranking)."""
-    return _fingerprint_of(endpoint_descriptor(schema, k, name, ranking))
 
 
 @dataclass(frozen=True)
@@ -183,16 +177,39 @@ class SessionRecord:
 
 
 @dataclass(frozen=True)
+class JobRecord:
+    """One coordinator discovery job in the catalog."""
+
+    job_id: str
+    fingerprint: str
+    tenant: str
+    algorithm: str
+    status: str
+    spec: Mapping[str, Any] = field(default_factory=dict)
+    session_id: str = ""
+    backends: int = 1
+    progress: Mapping[str, Any] = field(default_factory=dict)
+    result: Mapping[str, Any] | None = None
+    error: str | None = None
+    created_at: float = 0.0
+    updated_at: float = 0.0
+
+
+@dataclass(frozen=True)
 class GcReport:
     """What one :meth:`CrawlStore.gc` pass removed."""
 
     endpoints_pruned: int
     ledger_pruned: int
     sessions_pruned: int
+    jobs_pruned: int = 0
 
     @property
     def total(self) -> int:
-        return self.endpoints_pruned + self.ledger_pruned + self.sessions_pruned
+        return (
+            self.endpoints_pruned + self.ledger_pruned
+            + self.sessions_pruned + self.jobs_pruned
+        )
 
 
 class QueryLedger:
@@ -489,7 +506,12 @@ class CrawlStore:
     # sessions and catalog
     # ------------------------------------------------------------------
     def begin_session(
-        self, fingerprint: str, algorithm: str = "", *, resume: bool = False
+        self,
+        fingerprint: str,
+        algorithm: str = "",
+        *,
+        resume: bool = False,
+        session_id: str | None = None,
     ) -> SessionRecord:
         """Start (or, with ``resume=True``, pick back up) a crawl session.
 
@@ -497,10 +519,45 @@ class CrawlStore:
         same endpoint + algorithm -- the one a crash left behind -- with
         its exact billed counter, checkpoint and replay nonce; when none
         exists a fresh session is begun instead.
+
+        Passing ``session_id`` pins the session identity instead: an
+        existing session of that id is picked back up (whatever its
+        status -- it is set running again), a missing one is created
+        under exactly that id.  This is the multi-tenant seam: the
+        coordinator assigns each job its session id at submission time,
+        so two tenants running the *same* algorithm against the *same*
+        endpoint never steal each other's checkpoints, and a restarted
+        coordinator resumes precisely the session each job owns.
         """
         now = time.time()
         with self._lock:
-            if resume:
+            if session_id is not None:
+                row = self._conn.execute(
+                    "SELECT nonce, billed, checkpoint_json, created_at "
+                    "FROM sessions WHERE session_id=? AND fingerprint=? "
+                    "AND algorithm=?",
+                    (session_id, fingerprint, algorithm),
+                ).fetchone()
+                if row is not None:
+                    nonce, billed, checkpoint_json, created = row
+                    self._conn.execute(
+                        "UPDATE sessions SET status='running', updated_at=? "
+                        "WHERE session_id=?",
+                        (now, session_id),
+                    )
+                    return SessionRecord(
+                        session_id=session_id,
+                        fingerprint=fingerprint,
+                        algorithm=algorithm,
+                        status="running",
+                        nonce=nonce,
+                        billed=int(billed),
+                        checkpoint=json.loads(checkpoint_json),
+                        created_at=created,
+                        updated_at=now,
+                        resumed=True,
+                    )
+            elif resume:
                 row = self._conn.execute(
                     "SELECT session_id, nonce, billed, checkpoint_json, "
                     "       created_at "
@@ -527,15 +584,24 @@ class CrawlStore:
                         updated_at=now,
                         resumed=True,
                     )
-            session_id = uuid.uuid4().hex[:12]
+            if session_id is None:
+                session_id = uuid.uuid4().hex[:12]
             nonce = uuid.uuid4().hex[:16]
-            self._conn.execute(
-                "INSERT INTO sessions "
-                "(session_id, fingerprint, algorithm, status, nonce, billed, "
-                " checkpoint_json, created_at, updated_at) "
-                "VALUES (?, ?, ?, 'running', ?, 0, '{}', ?, ?)",
-                (session_id, fingerprint, algorithm, nonce, now, now),
-            )
+            try:
+                self._conn.execute(
+                    "INSERT INTO sessions "
+                    "(session_id, fingerprint, algorithm, status, nonce, "
+                    " billed, checkpoint_json, created_at, updated_at) "
+                    "VALUES (?, ?, ?, 'running', ?, 0, '{}', ?, ?)",
+                    (session_id, fingerprint, algorithm, nonce, now, now),
+                )
+            except sqlite3.IntegrityError as exc:
+                # A pinned id that exists under a *different* endpoint or
+                # algorithm must not be silently hijacked.
+                raise StoreError(
+                    f"session {session_id!r} already exists for a different "
+                    f"endpoint/algorithm"
+                ) from exc
         return SessionRecord(
             session_id=session_id,
             fingerprint=fingerprint,
@@ -612,6 +678,140 @@ class CrawlStore:
         )
 
     # ------------------------------------------------------------------
+    # job catalog (the coordinator's durable submission queue)
+    # ------------------------------------------------------------------
+    def create_job(
+        self,
+        fingerprint: str,
+        *,
+        tenant: str = "anonymous",
+        algorithm: str = "",
+        spec: Mapping[str, Any] | None = None,
+        session_id: str | None = None,
+        backends: int = 1,
+        job_id: str | None = None,
+    ) -> JobRecord:
+        """File a new discovery job (status ``queued``).
+
+        The job owns a pre-assigned crawl session id (created here, begun
+        lazily by the runner via ``begin_session(session_id=...)``), so a
+        coordinator restart resumes exactly this job's session.
+        """
+        now = time.time()
+        job_id = job_id or uuid.uuid4().hex[:12]
+        session_id = session_id or uuid.uuid4().hex[:12]
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO jobs "
+                "(job_id, fingerprint, tenant, algorithm, status, spec_json, "
+                " session_id, backends, progress_json, created_at, updated_at) "
+                "VALUES (?, ?, ?, ?, 'queued', ?, ?, ?, '{}', ?, ?)",
+                (
+                    job_id, fingerprint, tenant, algorithm,
+                    json.dumps(dict(spec or {}), separators=(",", ":")),
+                    session_id, int(backends), now, now,
+                ),
+            )
+        return JobRecord(
+            job_id=job_id,
+            fingerprint=fingerprint,
+            tenant=tenant,
+            algorithm=algorithm,
+            status="queued",
+            spec=dict(spec or {}),
+            session_id=session_id,
+            backends=int(backends),
+            progress={},
+            created_at=now,
+            updated_at=now,
+        )
+
+    def update_job(
+        self,
+        job_id: str,
+        *,
+        status: str | None = None,
+        algorithm: str | None = None,
+        progress: Mapping[str, Any] | None = None,
+        result: Mapping[str, Any] | None = None,
+        error: str | None = None,
+    ) -> None:
+        """Update a job's lifecycle state / progress snapshot / result."""
+        if status is not None and status not in JOB_STATUSES:
+            raise StoreError(
+                f"unknown job status {status!r}; "
+                f"pick one of {', '.join(JOB_STATUSES)}"
+            )
+        sets = ["updated_at=?"]
+        params: list[Any] = [time.time()]
+        if status is not None:
+            sets.append("status=?")
+            params.append(status)
+        if algorithm is not None:
+            sets.append("algorithm=?")
+            params.append(algorithm)
+        if progress is not None:
+            sets.append("progress_json=?")
+            params.append(json.dumps(dict(progress), separators=(",", ":")))
+        if result is not None:
+            sets.append("result_json=?")
+            params.append(json.dumps(dict(result), separators=(",", ":")))
+        if error is not None:
+            sets.append("error=?")
+            params.append(error)
+        with self._lock:
+            cursor = self._conn.execute(
+                f"UPDATE jobs SET {', '.join(sets)} WHERE job_id=?",
+                (*params, job_id),
+            )
+            if cursor.rowcount == 0:
+                raise StoreError(f"no job {job_id!r} in the catalog")
+
+    def job(self, job_id: str) -> JobRecord | None:
+        """Full record of one job, or ``None``."""
+        records = self._jobs("WHERE job_id=?", (job_id,))
+        return records[0] if records else None
+
+    def jobs(
+        self, status: str | tuple[str, ...] | None = None
+    ) -> tuple[JobRecord, ...]:
+        """Catalogued jobs (optionally by status), newest first."""
+        if status is None:
+            return self._jobs("", ())
+        statuses = (status,) if isinstance(status, str) else tuple(status)
+        marks = ", ".join("?" for _ in statuses)
+        return self._jobs(f"WHERE status IN ({marks})", statuses)
+
+    def _jobs(self, where: str, params: tuple) -> tuple[JobRecord, ...]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT job_id, fingerprint, tenant, algorithm, status, "
+                "       spec_json, session_id, backends, progress_json, "
+                "       result_json, error, created_at, updated_at "
+                f"FROM jobs {where} ORDER BY created_at DESC, rowid DESC",
+                params,
+            ).fetchall()
+        return tuple(
+            JobRecord(
+                job_id=jid,
+                fingerprint=fp,
+                tenant=tenant,
+                algorithm=algorithm,
+                status=status,
+                spec=json.loads(spec_json or "{}"),
+                session_id=sid,
+                backends=int(backends),
+                progress=json.loads(progress_json or "{}"),
+                result=json.loads(result_json) if result_json else None,
+                error=error,
+                created_at=created,
+                updated_at=updated,
+            )
+            for jid, fp, tenant, algorithm, status, spec_json, sid, backends,
+                progress_json, result_json, error, created, updated in rows
+        )
+
+    # ------------------------------------------------------------------
     # garbage collection
     # ------------------------------------------------------------------
     def gc(self) -> GcReport:
@@ -621,9 +821,9 @@ class CrawlStore:
         no longer hashes to their fingerprint (tampered or written by an
         incompatible version) are dropped; (2) *named* registrations
         superseded by a newer registration of the same name -- the served
-        dataset or ``k`` changed -- are dropped; (3) ledger entries and
-        sessions whose endpoint registration is gone (including ones
-        orphaned by sweeps 1-2) are dropped.
+        dataset or ``k`` changed -- are dropped; (3) ledger entries,
+        sessions and catalogued jobs whose endpoint registration is gone
+        (including ones orphaned by sweeps 1-2) are dropped.
         """
         with self._lock:
             rows = self._conn.execute(
@@ -656,10 +856,15 @@ class CrawlStore:
                 "DELETE FROM sessions WHERE fingerprint NOT IN "
                 "(SELECT fingerprint FROM endpoints)"
             ).rowcount
+            jobs_pruned = self._conn.execute(
+                "DELETE FROM jobs WHERE fingerprint NOT IN "
+                "(SELECT fingerprint FROM endpoints)"
+            ).rowcount
         return GcReport(
             endpoints_pruned=len(prune),
             ledger_pruned=int(ledger_pruned),
             sessions_pruned=int(sessions_pruned),
+            jobs_pruned=int(jobs_pruned),
         )
 
     def __repr__(self) -> str:
@@ -671,9 +876,11 @@ class CrawlStore:
 
 
 __all__ = [
+    "JOB_STATUSES",
     "CrawlStore",
     "EndpointRecord",
     "GcReport",
+    "JobRecord",
     "QueryLedger",
     "SessionRecord",
     "StoreError",

@@ -1,0 +1,89 @@
+"""Fixtures for the sharded crawl-coordinator tests.
+
+The recurring setup: N :class:`HiddenDBServer` *mirrors* of one table --
+same name, same k, same ranking, hence the same endpoint fingerprint --
+each with its own API-key budgets, plus plain urllib helpers for talking
+to a coordinator over the wire (the tests deliberately do not use the
+repro client for coordinator routes: tenants are arbitrary HTTP speakers).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import HiddenDBServer
+
+
+@pytest.fixture
+def mirrors():
+    """Start N identically-named servers over one table, stop on teardown.
+
+    Usage: ``a, b = mirrors(table, 2, k=5, budgets=[{"ka": 40}, None])``.
+    """
+    started: list[HiddenDBServer] = []
+
+    def _mirrors(table, count, *, name="mirrored-db", budgets=None, **kwargs):
+        servers = []
+        for index in range(count):
+            extra = dict(kwargs)
+            if budgets and budgets[index]:
+                extra["budgets"] = budgets[index]
+            server = HiddenDBServer(table, name=name, **extra).start()
+            started.append(server)
+            servers.append(server)
+        return servers
+
+    yield _mirrors
+    for server in started:
+        server.stop()
+
+
+def get_json(url: str) -> tuple[int, dict]:
+    """GET ``url``; returns ``(status, decoded body)`` without raising on 4xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def post_json(url: str, payload: dict) -> tuple[int, dict]:
+    """POST ``payload`` as JSON; returns ``(status, decoded body)``."""
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def delete(url: str) -> tuple[int, dict]:
+    """DELETE ``url``; returns ``(status, decoded body)``."""
+    request = urllib.request.Request(url, method="DELETE")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+def wait_for_job(base_url: str, job_id: str, *, timeout: float = 60.0) -> dict:
+    """Poll ``GET /api/jobs/<id>`` until the job reaches a terminal status."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        status, body = get_json(f"{base_url}/api/jobs/{job_id}")
+        assert status == 200, body
+        if body["status"] not in ("queued", "running"):
+            return body
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish within {timeout}s")

@@ -1,0 +1,138 @@
+"""The unified experiment substrate: every figure runner can reproduce
+in-process, over the wire, and durably -- with identical numbers.
+
+These tests pin the contract :func:`configure_experiments` makes: the
+execution substrate never changes what a figure reports, only how (and
+how often) it is paid for.
+"""
+
+import pytest
+
+from repro.experiments.common import (
+    configure_experiments,
+    engine_summary,
+    ground_truth_values,
+    make_interface,
+    reset_experiments,
+    run_discovery,
+)
+from repro.datagen import diamonds_table
+from repro.hiddendb import TopKInterface
+from repro.store import CrawlStore
+
+
+@pytest.fixture(autouse=True)
+def substrate_reset():
+    """Never leak a configured substrate into other tests."""
+    yield
+    reset_experiments()
+
+
+@pytest.fixture
+def table():
+    return diamonds_table(120, seed=6)
+
+
+@pytest.fixture
+def reference(table):
+    result = run_discovery(make_interface(table, k=5), "rq")
+    reset_experiments()
+    return result
+
+
+class TestLocalDefault:
+    def test_make_interface_is_in_process_by_default(self, table):
+        interface = make_interface(table, k=5)
+        assert isinstance(interface, TopKInterface)
+
+    def test_label_is_content_derived(self, table):
+        a = make_interface(table, k=5)
+        b = make_interface(table, k=5)
+        different_k = make_interface(table, k=7)
+        assert a.name == b.name
+        assert a.name != different_k.name
+        assert a.name.startswith("exp-")
+
+
+class TestRemoteMode:
+    def test_remote_figures_reproduce_identical_numbers(
+        self, table, reference
+    ):
+        configure_experiments(remote=True)
+        remote = run_discovery(make_interface(table, k=5), "rq")
+        assert remote.skyline_values == reference.skyline_values
+        assert remote.total_cost == reference.total_cost
+        assert remote.skyline_values == ground_truth_values(table)
+
+    def test_servers_are_reused_per_endpoint_label(self, table):
+        configure_experiments(remote=True)
+        a = make_interface(table, k=5)
+        b = make_interface(table, k=5)
+        # Same content-derived label -> same ephemeral server.
+        assert a.url == b.url
+
+    def test_budgeted_server_restores_budget_per_construction(self, table):
+        # Parity with TopKInterface semantics: each construction starts
+        # with a fresh budget even when the ephemeral server is reused.
+        configure_experiments(remote=True)
+        first = run_discovery(make_interface(table, k=5, budget=2000), "rq")
+        second = run_discovery(make_interface(table, k=5, budget=2000), "rq")
+        assert second.total_cost == first.total_cost
+        assert second.skyline_values == first.skyline_values
+
+
+class TestStoreMode:
+    def test_second_run_replays_from_the_ledger_free(self, tmp_path, table):
+        configure_experiments(store=str(tmp_path / "exp.db"))
+        first = run_discovery(make_interface(table, k=5), "rq")
+        second = run_discovery(make_interface(table, k=5), "rq")
+        assert second.skyline_values == first.skyline_values
+        assert second.total_cost == 0
+        assert second.stats.ledger_hits >= first.total_cost
+
+    def test_store_survives_reconfiguration(self, tmp_path, table):
+        path = str(tmp_path / "exp.db")
+        configure_experiments(store=path)
+        first = run_discovery(make_interface(table, k=5), "rq")
+        assert first.total_cost > 0
+        reset_experiments()
+        # A later sweep over the same data mounts the same ledger.
+        configure_experiments(store=path)
+        again = run_discovery(make_interface(table, k=5), "rq")
+        assert again.total_cost == 0
+        reset_experiments()
+        with CrawlStore(path) as store:
+            assert store.ledger_size() >= first.total_cost
+
+    def test_distinct_sweep_points_get_distinct_endpoints(
+        self, tmp_path, table
+    ):
+        other = diamonds_table(121, seed=6)
+        configure_experiments(store=str(tmp_path / "exp.db"))
+        run_discovery(make_interface(table, k=5), "rq")
+        crossed = run_discovery(make_interface(other, k=5), "rq")
+        # Different data -> different endpoint label -> no ledger bleed.
+        assert crossed.total_cost > 0
+
+
+class TestConcurrentSubstrate:
+    def test_pipelined_figures_keep_their_numbers(self, table, reference):
+        configure_experiments(workers=4)
+        result = run_discovery(make_interface(table, k=5), "rq")
+        assert result.skyline_values == reference.skyline_values
+        assert result.total_cost == reference.total_cost
+        assert result.stats.workers == 4
+
+
+class TestEngineSummary:
+    def test_summary_cell_shape(self, table):
+        result = run_discovery(make_interface(table, k=5), "rq")
+        reset_experiments()
+        cell = engine_summary(result)
+        assert cell == f"serial/w1:{result.total_cost}q"
+
+    def test_summary_handles_missing_stats(self):
+        class Bare:
+            stats = None
+
+        assert engine_summary(Bare()) == "-"

@@ -83,3 +83,61 @@ class TestAnswerRoundTrip:
         assert rows == ()
         assert not overflow
         assert sequence == 1
+
+
+class TestJobSpec:
+    """The coordinator's POST /api/jobs body: strict, defaulted, minimal."""
+
+    def test_empty_body_yields_the_defaults(self):
+        spec = wire.decode_job_spec({})
+        assert spec == dict(wire.JOB_SPEC_DEFAULTS)
+        assert spec["tenant"] == "anonymous"
+        assert spec["workers"] == 4
+
+    def test_unknown_fields_rejected_with_the_known_list(self):
+        with pytest.raises(ValueError, match="budgit") as excinfo:
+            wire.decode_job_spec({"budgit": 10})
+        assert "budget" in str(excinfo.value)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            wire.decode_job_spec(["budget", 10])
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"budget": "lots"},
+            {"budget": True},
+            {"budget": -1},
+            {"workers": 0},
+            {"workers": None},
+            {"checkpoint_every": 0},
+            {"dedup": "yes"},
+            {"algorithm": 7},
+            {"fingerprint": 0xdead},
+            {"tenant": ""},
+            {"tenant": 9},
+        ],
+    )
+    def test_invalid_values_rejected(self, payload):
+        with pytest.raises(ValueError):
+            wire.decode_job_spec(payload)
+
+    def test_valid_spec_normalises(self):
+        spec = wire.decode_job_spec(
+            {"algorithm": "rq", "budget": 500, "tenant": "alice",
+             "dedup": True}
+        )
+        assert spec["algorithm"] == "rq"
+        assert spec["budget"] == 500
+        assert spec["dedup"] is True
+        assert spec["workers"] == 4  # defaulted
+
+    def test_encode_drops_defaults_and_round_trips(self):
+        spec = wire.decode_job_spec({"budget": 500, "tenant": "alice"})
+        encoded = json.loads(json.dumps(wire.encode_job_spec(spec)))
+        assert encoded == {"budget": 500, "tenant": "alice"}
+        assert wire.decode_job_spec(encoded) == spec
+
+    def test_encode_of_pure_defaults_is_empty(self):
+        assert wire.encode_job_spec(dict(wire.JOB_SPEC_DEFAULTS)) == {}

@@ -1,0 +1,129 @@
+"""Unit tests for the crawl store's job catalog and pinned sessions.
+
+The catalog is the coordinator's durable spine: jobs are filed before
+they run, own a pre-assigned crawl session id, survive the daemon dying,
+and are swept by ``gc`` together with the endpoint whose ledger they
+billed against.
+"""
+
+import pytest
+
+from repro.hiddendb import Attribute, InterfaceKind, Schema
+from repro.store import CrawlStore, StoreError
+
+
+def _schema(m: int = 2, domain: int = 10) -> Schema:
+    return Schema(
+        [Attribute(f"a{i}", domain, InterfaceKind.RQ) for i in range(m)]
+    )
+
+
+@pytest.fixture
+def store():
+    with CrawlStore.memory() as s:
+        yield s
+
+
+@pytest.fixture
+def fp(store):
+    return store.register_endpoint(_schema(), 5, name="jobs-db")
+
+
+class TestJobCatalog:
+    def test_create_files_a_queued_job_with_its_own_session(self, store, fp):
+        job = store.create_job(
+            fp, tenant="alice", algorithm="rq",
+            spec={"budget": 100}, backends=2,
+        )
+        assert job.status == "queued"
+        assert job.tenant == "alice"
+        assert job.algorithm == "rq"
+        assert job.backends == 2
+        assert job.spec == {"budget": 100}
+        assert job.session_id
+        fetched = store.job(job.job_id)
+        assert fetched is not None
+        assert fetched.session_id == job.session_id
+        assert store.job("missing") is None
+
+    def test_update_lifecycle_progress_result_error(self, store, fp):
+        job = store.create_job(fp, tenant="bob")
+        store.update_job(job.job_id, status="running",
+                         progress={"billed": 7})
+        mid = store.job(job.job_id)
+        assert mid.status == "running"
+        assert mid.progress == {"billed": 7}
+        store.update_job(
+            job.job_id, status="finished",
+            result={"total_cost": 42, "skyline_size": 3},
+        )
+        done = store.job(job.job_id)
+        assert done.status == "finished"
+        assert done.result == {"total_cost": 42, "skyline_size": 3}
+        failed = store.create_job(fp)
+        store.update_job(failed.job_id, status="failed", error="boom")
+        assert store.job(failed.job_id).error == "boom"
+
+    def test_unknown_status_rejected(self, store, fp):
+        job = store.create_job(fp)
+        with pytest.raises(StoreError, match="unknown job status"):
+            store.update_job(job.job_id, status="paused")
+
+    def test_jobs_filter_by_status_newest_first(self, store, fp):
+        first = store.create_job(fp, tenant="t1")
+        second = store.create_job(fp, tenant="t2")
+        store.update_job(second.job_id, status="running")
+        third = store.create_job(fp, tenant="t3")
+        assert [j.tenant for j in store.jobs()] == ["t3", "t2", "t1"]
+        assert [j.job_id for j in store.jobs(status="queued")] == [
+            third.job_id, first.job_id,
+        ]
+        resumable = store.jobs(status=("queued", "running"))
+        assert {j.job_id for j in resumable} == {
+            first.job_id, second.job_id, third.job_id,
+        }
+
+    def test_gc_sweeps_jobs_of_pruned_endpoints(self, store, fp):
+        kept = store.create_job(fp)
+        orphan = store.create_job("feedfacefeedface", tenant="ghost")
+        report = store.gc()
+        assert report.jobs_pruned == 1
+        assert store.job(kept.job_id) is not None
+        assert store.job(orphan.job_id) is None
+
+
+class TestPinnedSessions:
+    def test_pinned_id_creates_then_picks_back_up(self, store, fp):
+        fresh = store.begin_session(fp, "rq", session_id="job-session-1")
+        assert fresh.session_id == "job-session-1"
+        assert not fresh.resumed
+        store.save_checkpoint("job-session-1", {"billed": 5})
+        again = store.begin_session(fp, "rq", session_id="job-session-1")
+        assert again.resumed
+        assert again.nonce == fresh.nonce
+        assert again.checkpoint == {"billed": 5}
+        assert again.status == "running"
+
+    def test_pinned_id_revives_a_finished_session(self, store, fp):
+        record = store.begin_session(fp, "rq", session_id="job-session-2")
+        store.finish_session(record.session_id, {"total_cost": 9})
+        revived = store.begin_session(fp, "rq", session_id="job-session-2")
+        assert revived.resumed
+        assert store.session("job-session-2").status == "running"
+
+    def test_pinned_id_cannot_hijack_another_endpoint(self, store, fp):
+        store.begin_session(fp, "rq", session_id="job-session-3")
+        other = store.register_endpoint(
+            _schema(3), 5, name="someone-else", allow_new=True
+        )
+        assert other != fp
+        with pytest.raises(StoreError, match="already exists"):
+            store.begin_session(other, "rq", session_id="job-session-3")
+
+    def test_pinned_sessions_of_one_endpoint_stay_separate(self, store, fp):
+        a = store.begin_session(fp, "rq", session_id="tenant-a")
+        b = store.begin_session(fp, "rq", session_id="tenant-b")
+        # Same endpoint + algorithm, distinct identities: the coordinator
+        # seam keeping two tenants off each other's checkpoints.
+        assert a.session_id != b.session_id
+        assert a.nonce != b.nonce
