@@ -163,10 +163,26 @@ def _source_label(args, interface) -> str:
 
 
 def _print_remote_telemetry(args, interface) -> None:
+    """Remote-client counters (both flavours share ``QueryClientCore``).
+
+    ``getattr`` defaults keep this safe for interfaces that expose only a
+    subset (e.g. an :class:`~repro.coordinator.endpoints.EndpointSet` has
+    no ledger-hit split).
+    """
     if not getattr(args, "url", None):
         return
-    print(f"billable   : {interface.queries_issued} "
-          f"(cache hits {interface.cache_hits}, retries {interface.retries})")
+    issued = getattr(interface, "queries_issued", 0)
+    hits = getattr(interface, "cache_hits", 0)
+    retries = getattr(interface, "retries", 0)
+    print(f"billable   : {issued} "
+          f"(cache hits {hits}, retries {retries})")
+    if getattr(args, "verbose", False):
+        flavour = type(interface).__name__
+        ledger_hits = getattr(interface, "ledger_hits", 0)
+        remaining = getattr(interface, "budget_remaining", None)
+        headroom = "unlimited" if remaining is None else str(remaining)
+        print(f"client     : {flavour} "
+              f"(ledger hits {ledger_hits}, budget remaining {headroom})")
 
 
 def _print_result_header(args, interface, result, queries_suffix="") -> None:
@@ -217,6 +233,7 @@ def _discoverer(args, **config_kwargs) -> Discoverer:
             workers=getattr(args, "workers", 1),
             batch_size=getattr(args, "batch_size", 16),
             dedup=True if getattr(args, "dedup", False) else None,
+            trace=getattr(args, "trace", None),
             **config_kwargs,
         )
     )
@@ -584,6 +601,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--dedup", action="store_true",
                          help="memoize repeated identical queries within "
                          "the run (hits are never billed)")
+        sub.add_argument("--trace", default=None, metavar="PATH",
+                         help="write query-lifecycle spans (classification, "
+                         "billing, transport, merge) to PATH as JSON Lines; "
+                         "tracing never changes the skyline or billed cost")
 
     def add_output_flags(sub: argparse.ArgumentParser) -> None:
         sub.add_argument("--show-tuples", type=int, default=0, metavar="N",

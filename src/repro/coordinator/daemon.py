@@ -22,6 +22,12 @@ Routes
                            checkpoint's skyline-so-far
 ``DELETE /api/jobs/<id>``  cancel (the job's crawl session stays
                            ``running``, i.e. resumable)
+``GET  /api/stats``        operational counters: uptime, in-flight
+                           requests, per-route request totals, job
+                           counts, per-job/per-tenant query totals,
+                           shard routing and work-steal counters
+``GET  /metrics``          the same counters (plus checkpoint-lag and
+                           job-count gauges) in Prometheus text format
 
 Multi-tenancy and durability both come from the store: every job owns a
 pre-assigned crawl session, all sessions of one endpoint share the query
@@ -40,11 +46,14 @@ import itertools
 import json
 import logging
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler
 from typing import Any, Iterable, Mapping
 
 from ..core.base import DiscoverySession
+from ..obs import MetricsRegistry, RunObserver, render_prometheus
+from ..obs.exposition import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from ..core.registry import (
     AlgorithmNotFoundError,
     DiscoveryConfig,
@@ -162,6 +171,51 @@ class CrawlCoordinator:
         self._thread: threading.Thread | None = None
         self._active: dict[str, _ActiveJob] = {}
         self._active_lock = threading.Lock()
+        self._started: float | None = None
+        # Per-instance observability scope (scraped at /metrics).  One
+        # observer serves every job: per-job EndpointSets feed it shard
+        # routing / work-steal counters, the shared store feeds it ledger
+        # and checkpoint events (checkpoint timestamps drive the lag
+        # gauge below).
+        self._metrics = MetricsRegistry()
+        self._observer = RunObserver(registry=self._metrics)
+        self._m_requests = self._metrics.counter(
+            "coordinator_requests_total",
+            "HTTP requests received, by route.",
+            ("route",),
+        )
+        self._m_inflight = self._metrics.gauge(
+            "coordinator_requests_in_flight",
+            "HTTP requests currently being processed.",
+        )
+        self._m_job_queries = self._metrics.counter(
+            "coordinator_job_queries_total",
+            "Query answers delivered to each job, by tenant.",
+            ("job", "tenant"),
+        )
+        self._m_jobs = self._metrics.gauge(
+            "coordinator_jobs",
+            "Catalog job counts, by status (refreshed at scrape).",
+            ("status",),
+        )
+        self._m_ckpt_lag = self._metrics.gauge(
+            "coordinator_checkpoint_lag_seconds",
+            "Seconds since each session's last durable checkpoint "
+            "(refreshed at scrape).",
+            ("session",),
+        )
+        # Observer-owned families this daemon reads back for /api/stats
+        # (get-or-create returns the instances the observer registered).
+        self._m_shard = self._metrics.counter(
+            "repro_shard_queries_total",
+            "Queries routed to each backend shard.",
+            ("backend",),
+        )
+        self._m_steal = self._metrics.counter(
+            "repro_work_steals_total",
+            "Queries served off their home shard (work stealing).",
+            ("backend",),
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -178,6 +232,8 @@ class CrawlCoordinator:
             max_retries=self._client_retries,
         )
         self._fingerprint = self._probe.fingerprint
+        self._started = time.monotonic()
+        self._store.attach_observer(self._observer)
         self._store.register_endpoint(
             self._probe.schema,
             self._probe.k,
@@ -259,6 +315,7 @@ class CrawlCoordinator:
         if self._probe is not None:
             self._probe.close()
             self._probe = None
+        self._store.attach_observer(None)
         if self._owns_store:
             self._store.close()
 
@@ -411,6 +468,71 @@ class CrawlCoordinator:
             "backends": len(self._specs),
         }
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Per-instance metrics scope (rendered at ``GET /metrics``)."""
+        return self._metrics
+
+    @property
+    def uptime_s(self) -> float | None:
+        """Seconds since :meth:`start` verified the pool (``None`` before)."""
+        if self._started is None:
+            return None
+        return time.monotonic() - self._started
+
+    def _job_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for job in self._store.jobs():
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return counts
+
+    def _refresh_derived_gauges(self) -> None:
+        """Set the scrape-time gauges (job counts, checkpoint lag)."""
+        for status, count in self._job_counts().items():
+            self._m_jobs.set(count, status=status)
+        now = time.monotonic()
+        for session_id, at in list(self._observer.checkpoint_at.items()):
+            self._m_ckpt_lag.set(max(now - at, 0.0), session=session_id)
+
+    def metrics_payload(self) -> tuple[int, str, str]:
+        """Prometheus text exposition of the per-instance registry."""
+        self._refresh_derived_gauges()
+        return 200, render_prometheus(self._metrics), METRICS_CONTENT_TYPE
+
+    def stats_payload(self) -> dict[str, Any]:
+        """Operational counters served at ``GET /api/stats``."""
+        uptime = self.uptime_s
+        with self._active_lock:
+            active = len(self._active)
+        per_job: dict[str, int] = {}
+        per_tenant: dict[str, int] = {}
+        for (job_id, tenant), value in self._m_job_queries.samples():
+            per_job[job_id] = per_job.get(job_id, 0) + int(value)
+            per_tenant[tenant] = per_tenant.get(tenant, 0) + int(value)
+        return {
+            "name": "coordinator",
+            "uptime_s": round(uptime, 3) if uptime is not None else None,
+            "in_flight": int(self._m_inflight.value()),
+            "fingerprint": self._fingerprint,
+            "backends": len(self._specs),
+            "jobs": self._job_counts(),
+            "active_jobs": active,
+            "queries_by_job": per_job,
+            "queries_by_tenant": per_tenant,
+            "requests": {
+                labels[0]: int(value)
+                for labels, value in self._m_requests.samples()
+            },
+            "shards": {
+                labels[0]: int(value)
+                for labels, value in self._m_shard.samples()
+            },
+            "steals": {
+                labels[0]: int(value)
+                for labels, value in self._m_steal.samples()
+            },
+        }
+
     def jobs_index(self) -> dict[str, Any]:
         return {
             "jobs": [
@@ -513,6 +635,7 @@ class CrawlCoordinator:
                 self._specs,
                 timeout=self._client_timeout,
                 max_retries=self._client_retries,
+                observer=self._observer,
             )
             algo = get_algorithm(record.algorithm)
             strategy = ShardedStrategy(
@@ -524,9 +647,12 @@ class CrawlCoordinator:
             update_every = max(int(spec["checkpoint_every"]), 1)
             answers = itertools.count(1)
 
+            tenant = record.tenant
+
             def on_query(_result: Any) -> None:
                 if active.cancel.is_set():
                     raise JobCancelled(f"job {job_id} cancelled")
+                self._m_job_queries.inc(job=job_id, tenant=tenant)
                 if next(answers) % update_every == 0:
                     store.update_job(job_id, progress=self._progress_of(active))
 
@@ -625,12 +751,51 @@ def _make_coordinator_handler(
                 return None
             return self.path[len(prefix):] or None
 
+        def _route(self) -> str:
+            # Collapse per-job paths so the request counter stays
+            # bounded-cardinality.
+            if self.path.startswith("/api/jobs/"):
+                return "/api/jobs/:id"
+            return self.path
+
+        def _tracked(self, inner: Any) -> None:
+            coordinator._m_inflight.inc()
+            try:
+                inner()
+            finally:
+                coordinator._m_inflight.dec()
+                coordinator._m_requests.inc(route=self._route())
+
+        def _reply_text(
+            self, status: int, text: str, content_type: str = "text/plain"
+        ) -> None:
+            encoded = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(encoded)))
+            self.end_headers()
+            self.wfile.write(encoded)
+
         # -- routes -----------------------------------------------------
         def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            self._tracked(self._get)
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+            self._tracked(self._post)
+
+        def do_DELETE(self) -> None:  # noqa: N802 (stdlib naming)
+            self._tracked(self._delete)
+
+        def _get(self) -> None:
             if self.path == "/healthz":
                 self._reply(200, coordinator.health())
             elif self.path == "/api/schema":
                 self._reply(200, coordinator.schema_payload())
+            elif self.path == "/api/stats":
+                self._reply(200, coordinator.stats_payload())
+            elif self.path == "/metrics":
+                status, text, content_type = coordinator.metrics_payload()
+                self._reply_text(status, text, content_type)
             elif self.path == "/api/jobs":
                 self._reply(200, coordinator.jobs_index())
             elif (job_id := self._job_id()) is not None:
@@ -646,7 +811,7 @@ def _make_coordinator_handler(
             else:
                 self._reply(404, {"error": "not_found"})
 
-        def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        def _post(self) -> None:
             if self.path != "/api/jobs":
                 self._reply(404, {"error": "not_found"})
                 return
@@ -665,7 +830,7 @@ def _make_coordinator_handler(
             else:
                 self._reply(201, body)
 
-        def do_DELETE(self) -> None:  # noqa: N802 (stdlib naming)
+        def _delete(self) -> None:
             job_id = self._job_id()
             if job_id is None:
                 self._reply(404, {"error": "not_found"})

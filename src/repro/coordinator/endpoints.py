@@ -128,6 +128,10 @@ class EndpointSet:
     client_factory:
         Test seam: a ``(url, **kwargs) -> client`` callable replacing
         :class:`RemoteTopKInterface`.
+    observer:
+        Optional :class:`~repro.obs.RunObserver`; records shard routing
+        and work-steal counters and is forwarded to every backend client
+        (transport attempt/retry/fault events).
 
     The set deliberately does **not** expose ``batch_query``: sharded
     drains route every query individually so each lands on its home
@@ -143,6 +147,7 @@ class EndpointSet:
         max_retries: int = 8,
         cache_size: int | None = None,
         client_factory: Callable[..., Any] | None = None,
+        observer: Any | None = None,
     ) -> None:
         specs = tuple(
             spec if isinstance(spec, BackendSpec) else BackendSpec.parse(str(spec))
@@ -182,6 +187,9 @@ class EndpointSet:
         self._backends = tuple(pool)
         self._fingerprint = next(iter(fingerprints))
         self._lock = threading.Lock()
+        self._observer: Any | None = None
+        if observer is not None:
+            self.attach_observer(observer)
 
     # ------------------------------------------------------------------
     # SearchEndpoint surface (what sessions and the crawl store read)
@@ -225,6 +233,19 @@ class EndpointSet:
     def retries(self) -> int:
         """Transport retries across the pool (health, not cost)."""
         return sum(b.client.retries for b in self._backends)
+
+    def attach_observer(self, observer: Any | None) -> None:
+        """Attach (or detach, with ``None``) a run observer.
+
+        The set records shard routing / work stealing itself and forwards
+        the observer to every backend client, so transport-level events
+        (attempt, retry, fault) carry the same run's trace ids.
+        """
+        self._observer = observer
+        for backend in self._backends:
+            attach = getattr(backend.client, "attach_observer", None)
+            if attach is not None:
+                attach(observer)
 
     def set_replay_nonce(self, nonce: str | None) -> None:
         """Forward the session's deterministic request-id nonce to every
@@ -284,6 +305,9 @@ class EndpointSet:
             if step:
                 with self._lock:
                     backend.stolen += 1
+            observer = self._observer
+            if observer is not None:
+                observer.shard_event(backend.spec.url, stolen=bool(step))
             return result
         # Nothing answered.  Prefer reporting budget exhaustion: it turns
         # the run into the standard partial anytime result (resumable when

@@ -199,6 +199,10 @@ class DiscoverySession:
         #: runs only): checkpoints snapshot it in O(|skyline|) instead of
         #: recomputing the skyline of everything retrieved.
         self._sky_values: np.ndarray | None = None
+        # Observability plane (bound by ``attach_observer``; ``None`` keeps
+        # every instrumentation hook a single is-not-None check).
+        self._observer = None
+        self._owns_observer = False
 
     # ------------------------------------------------------------------
     # interface passthrough
@@ -361,7 +365,66 @@ class DiscoverySession:
                 session_id=config.session_id,
                 checkpoint_every=config.checkpoint_every,
             )
+        if config.trace is not None:
+            from ..obs import RunObserver
+
+            if isinstance(config.trace, RunObserver):
+                session.attach_observer(config.trace)
+            else:
+                session.attach_observer(
+                    RunObserver(trace=config.trace), owned=True
+                )
         return session
+
+    # ------------------------------------------------------------------
+    # observability plumbing (repro.obs)
+    # ------------------------------------------------------------------
+    def attach_observer(self, observer, *, owned: bool = False) -> None:
+        """Bind a :class:`repro.obs.RunObserver` to this run.
+
+        The observer is handed to the execution engine (drain-core
+        classification, billing and merge spans) and -- duck-typed, like
+        the replay nonce -- to the interface when it exposes
+        ``attach_observer`` (the remote clients and the coordinator's
+        endpoint set do), covering transport events and the over-the-wire
+        ``X-Trace-Id`` header.  ``owned=True`` makes :meth:`close_observer`
+        close the observer's trace writer (sessions own observers they
+        created from ``DiscoveryConfig(trace=path)``).
+
+        The hooks only ever *emit* events; no algorithmic control flow
+        reads the observer, so a traced run is bit-identical in skyline
+        and billed cost to an untraced one.
+        """
+        self._observer = observer
+        self._owns_observer = owned
+        self._engine.observer = observer
+        attach = getattr(self._interface, "attach_observer", None)
+        if attach is not None:
+            attach(observer)
+        if self._store is not None:
+            self._store.attach_observer(observer)
+
+    @property
+    def observer(self):
+        """The bound :class:`repro.obs.RunObserver`, if any."""
+        return self._observer
+
+    def close_observer(self) -> None:
+        """Detach the observer and flush/close its trace sink (idempotent)."""
+        observer = self._observer
+        if observer is None:
+            return
+        self._observer = None
+        self._engine.observer = None
+        attach = getattr(self._interface, "attach_observer", None)
+        if attach is not None:
+            attach(None)
+        if self._store is not None:
+            self._store.attach_observer(None)
+        if self._owns_observer:
+            observer.close()
+        else:
+            observer.flush()
 
     # ------------------------------------------------------------------
     # durable-crawl plumbing (crawl store)

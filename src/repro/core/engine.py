@@ -206,6 +206,12 @@ class QueryEngine:
         #: Event-loop runner of the outermost active async drain (same
         #: reuse rule as the thread pool).
         self._async_runner: "EventLoopRunner | None" = None
+        #: Observability hook (:class:`repro.obs.RunObserver`), bound by
+        #: ``DiscoverySession.attach_observer``.  ``None`` keeps every
+        #: instrumentation site a single is-not-None check; when set, the
+        #: hooks emit metric increments and trace spans but never branch
+        #: any algorithmic control flow (parity by construction).
+        self.observer = None
 
     # -- memo and ledger -----------------------------------------------
     def bind_ledger(self, ledger) -> None:
@@ -293,6 +299,11 @@ class QueryEngine:
             self._memo[query.canonical_key()] = result
         if self._ledger is not None:
             self._ledger.put(query, result)
+        if self.observer is not None:
+            # The single billing point of every execution path (serial
+            # fetches and windowed merges alike), so a traced crawl gets a
+            # "billed" span for exactly the billed queries.
+            self.observer.billed(query, batched=batched)
 
     # -- in-flight accounting (driver thread) --------------------------
     def note_dispatch(self, count: int = 1) -> None:
@@ -542,6 +553,7 @@ class _DrainCore:
         """
         engine = self._engine
         session = self._session
+        observer = engine.observer
         chunk: list[_Dispatched] = []
         pops = 0
         limit = min(self._per_task, self._capacity - self._outstanding)
@@ -558,6 +570,8 @@ class _DrainCore:
                 # Answered (or about to be) by the memo: resolve there at
                 # merge time, bill nothing.
                 self._waiting.append(_Dispatched(entry, memo_key=ckey))
+                if observer is not None:
+                    observer.classified(merged, ckey, "memo")
                 continue
             if engine.ledger is not None and ckey in self._inflight_keys:
                 # Dedup is off but a ledger is mounted: the in-flight
@@ -566,11 +580,15 @@ class _DrainCore:
                 # repeat from the ledger for free -- dispatching it would
                 # double-bill an owned answer.
                 self._waiting.append(_Dispatched(entry, ledger_query=merged))
+                if observer is not None:
+                    observer.classified(merged, ckey, "inflight")
                 continue
             ledgered = engine.ledger_lookup(merged)
             if ledgered is not None:
                 # Already paid for by an earlier run: free, no dispatch.
                 self._waiting.append(_Dispatched(entry, result=ledgered))
+                if observer is not None:
+                    observer.classified(merged, ckey, "ledger")
                 continue
             cached = engine.peek_cache(merged)
             if cached is not None:
@@ -578,12 +596,16 @@ class _DrainCore:
                 if engine.dedup:
                     engine._memo[ckey] = cached
                 self._waiting.append(_Dispatched(entry, result=cached))
+                if observer is not None:
+                    observer.classified(merged, ckey, "cached")
                 continue
             item = _Dispatched(entry, query=merged, key=ckey)
             chunk.append(item)
             self._waiting.append(item)
             self._inflight_keys.add(ckey)
             self._outstanding += 1
+            if observer is not None:
+                observer.classified(merged, ckey, "dispatched")
         if chunk:
             engine.note_dispatch(len(chunk))
         return chunk
@@ -602,6 +624,10 @@ class _DrainCore:
         if head.transported:
             engine.note_answer(
                 head.query, result, batched=head.batch_index is not None
+            )
+        if engine.observer is not None:
+            engine.observer.merged(
+                head.key or head.memo_key, transported=head.transported
             )
         self._session.record(result)
         if head.entry.on_result is not None:

@@ -113,8 +113,11 @@ class Discoverer:
         finally:
             # However the run ends -- including a mid-run crash raising
             # past us -- the durable session's deterministic replay nonce
-            # must not leak into later runs on the same client.
+            # must not leak into later runs on the same client, and the
+            # traced session's observer must release its trace sink (and
+            # detach from the shared client) the same way.
             self._clear_replay_nonce(interface, cfg)
+            session.close_observer()
         result = session.result(spec.display(interface.schema), complete)
         result = self._decorate(result, spec, cfg, session)
         # Durable runs file their outcome in the store's crawl catalog;

@@ -28,6 +28,7 @@ touching any dispatch code.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace as _dc_replace
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
@@ -145,6 +146,17 @@ class DiscoveryConfig:
         Recorded answers between session checkpoints (progress snapshots
         in the store; the exact billed counter is updated transactionally
         with every ledger write regardless).
+    trace:
+        Attach the observability plane (:mod:`repro.obs`) to the run.
+        A path or writable file-like receives one JSONL span per query
+        lifecycle event (classification, transport, billing, merge --
+        see :class:`repro.obs.TraceWriter` for the schema) and metrics
+        are collected into a fresh per-run registry; passing a
+        prepared :class:`repro.obs.RunObserver` uses it as-is (its
+        registry/writer are then caller-owned).  ``None`` (the default)
+        leaves every instrumentation hook a no-op, and a traced run
+        reproduces the untraced skyline and billed cost bit-identically
+        -- the hooks only emit events, they never branch the algorithm.
     options:
         Algorithm-specific knobs forwarded to the registered runner
         (e.g. ``early_termination`` for RQ-DB-SKY, ``plane_attributes`` /
@@ -165,6 +177,7 @@ class DiscoveryConfig:
     resume: bool = False
     session_id: str | None = None
     checkpoint_every: int = 32
+    trace: Any = None
     options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -201,6 +214,16 @@ class DiscoveryConfig:
             raise ValueError("resume=True requires a store")
         if self.session_id is not None and self.store is None:
             raise ValueError("session_id requires a store")
+        if self.trace is not None and not (
+            isinstance(self.trace, (str, os.PathLike))
+            or hasattr(self.trace, "write")  # open file-like
+            or hasattr(self.trace, "emit")  # repro.obs.TraceWriter
+            or hasattr(self.trace, "trace_id")  # repro.obs.RunObserver
+        ):
+            raise ValueError(
+                f"trace must be a path, writable file-like, TraceWriter "
+                f"or RunObserver, got {type(self.trace).__name__}"
+            )
 
     def replace(self, **changes: Any) -> "DiscoveryConfig":
         """A copy of this config with ``changes`` applied."""

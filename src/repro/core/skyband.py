@@ -124,6 +124,10 @@ def _finish(
         stats=session.engine_stats,
     )
     session.finish_store(result)
+    # Traced runs: flush/close the observer's sink and detach it from the
+    # shared interface (the skyband verbs own their session, so the facade
+    # cannot do this for them).
+    session.close_observer()
     return result
 
 

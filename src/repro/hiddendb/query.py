@@ -88,7 +88,7 @@ class Query:
     The empty query is the paper's ``SELECT * FROM D``.
     """
 
-    __slots__ = ("_ranges", "_filters", "_key", "_canonical")
+    __slots__ = ("_ranges", "_filters", "_key", "_canonical", "_fingerprint")
 
     def __init__(
         self,
@@ -102,6 +102,7 @@ class Query:
             tuple(sorted(self._filters.items())),
         )
         self._canonical: str | None = None  # canonical_key(), lazily built
+        self._fingerprint: str | None = None  # query_fingerprint(), ditto
 
     # ------------------------------------------------------------------
     # constructors
@@ -338,8 +339,15 @@ def query_fingerprint(query: Query) -> str:
     deterministic component of ``X-Request-Id`` replay ids (so a crawl
     resumed after a crash re-presents the id of an already-billed query
     and gets its answer replayed for free) and compact ledger diagnostics.
+
+    Cached per instance: replay ids and trace spans both ask for it on
+    the per-query hot path.
     """
-    return hashlib.sha1(query.canonical_key().encode("utf-8")).hexdigest()[:20]
+    if query._fingerprint is None:
+        query._fingerprint = hashlib.sha1(
+            query.canonical_key().encode("utf-8")
+        ).hexdigest()[:20]
+    return query._fingerprint
 
 
 def predicates_from_strings(

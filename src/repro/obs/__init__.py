@@ -1,0 +1,44 @@
+"""repro.obs -- the observability plane.
+
+A stdlib-only telemetry subsystem shared by every layer of the stack:
+
+* :mod:`repro.obs.metrics` -- thread- and asyncio-safe registry of
+  labelled counters, gauges and fixed-bucket histograms, with per-run
+  scopes chained to a process-global one;
+* :mod:`repro.obs.trace` -- JSONL query-lifecycle span writer with
+  deterministic ``{run_id}-{query_fingerprint}`` trace ids;
+* :mod:`repro.obs.observer` -- :class:`RunObserver`, the single object
+  the engine / client / store / endpoint-set hooks talk to;
+* :mod:`repro.obs.exposition` -- Prometheus text rendering for the
+  ``GET /metrics`` endpoints on ``HiddenDBServer`` and
+  ``CrawlCoordinator``.
+
+Attach a collector with ``DiscoveryConfig(trace="run.jsonl")`` (or the
+CLI's ``--trace PATH``); with no collector attached every hook is a
+single ``is not None`` check, and results are bit-identical either way.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    MetricsRegistry,
+    global_registry,
+)
+from .exposition import CONTENT_TYPE, render_prometheus
+from .observer import RunObserver
+from .trace import TraceWriter
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DEFAULT_BUCKETS",
+    "CounterFamily",
+    "GaugeFamily",
+    "HistogramFamily",
+    "MetricsRegistry",
+    "RunObserver",
+    "TraceWriter",
+    "global_registry",
+    "render_prometheus",
+]

@@ -1,0 +1,84 @@
+"""Prometheus text exposition (format version 0.0.4) for a registry.
+
+Renders counters, gauges and histograms with ``# HELP`` / ``# TYPE``
+preambles, label escaping, and the cumulative ``_bucket{le=...}`` /
+``_sum`` / ``_count`` triplet for histograms -- exactly what a Prometheus
+scraper (or the well-formedness tests in ``tests/obs``) expects from a
+``GET /metrics`` endpoint.
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    CounterFamily,
+    GaugeFamily,
+    HistogramFamily,
+    MetricsRegistry,
+)
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+#: Value for the ``Content-Type`` header of a ``/metrics`` response.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _fmt(value: float) -> str:
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labelnames, labelvalues, extra=()) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in zip(labelnames, labelvalues)
+    ]
+    pairs.extend(f'{name}="{_escape_label_value(str(value))}"'
+                 for name, value in extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family in *registry* as Prometheus text exposition."""
+    lines = []
+    for family in registry.collect():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if isinstance(family, HistogramFamily):
+            for labelvalues, child in family.samples():
+                cumulative, running = [], 0
+                for n in child.counts:
+                    running += n
+                    cumulative.append(running)
+                for bound, count in zip(family.buckets, cumulative):
+                    labels = _labels_text(
+                        family.labelnames, labelvalues, [("le", _fmt(bound))]
+                    )
+                    lines.append(f"{family.name}_bucket{labels} {count}")
+                inf_labels = _labels_text(
+                    family.labelnames, labelvalues, [("le", "+Inf")]
+                )
+                lines.append(f"{family.name}_bucket{inf_labels} {child.count}")
+                plain = _labels_text(family.labelnames, labelvalues)
+                lines.append(f"{family.name}_sum{plain} {_fmt(child.total)}")
+                lines.append(f"{family.name}_count{plain} {child.count}")
+        elif isinstance(family, (CounterFamily, GaugeFamily)):
+            for labelvalues, value in family.samples():
+                labels = _labels_text(family.labelnames, labelvalues)
+                lines.append(f"{family.name}{labels} {_fmt(value)}")
+    return "\n".join(lines) + "\n"

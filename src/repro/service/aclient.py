@@ -232,9 +232,10 @@ class AsyncRemoteTopKInterface(QueryClientCore):
             "/api/query",
             {"query": encode_query(query)},
             request_id=self._request_id(query),
+            trace_id=self._trace_id(query),
         )
         rows, overflow, sequence = decode_answer(payload)
-        self._count_billed()
+        self._count_billed(query)
         result = QueryResult(
             query=query, rows=rows, overflow=overflow, sequence=sequence
         )
@@ -302,7 +303,7 @@ class AsyncRemoteTopKInterface(QueryClientCore):
                             overflow=overflow,
                             sequence=sequence,
                         )
-                        self._count_billed()
+                        self._count_billed(queries[index])
                         self._cache_store(queries[index], result)
                         results[index] = result
                         continue
@@ -344,20 +345,27 @@ class AsyncRemoteTopKInterface(QueryClientCore):
         path: str,
         body: Mapping[str, Any] | None = None,
         request_id: str | None = None,
+        trace_id: str | None = None,
     ) -> dict[str, Any]:
         last_status: int | None = None
         last_reason = "unknown error"
         for attempt in range(self._max_retries + 1):
             if attempt:
-                self._count_retry()
+                self._count_retry(trace_id=trace_id)
                 await self._asleep(
                     min(self._backoff * 2 ** (attempt - 1), self._backoff_cap)
                 )
             try:
-                return await self._asend(method, path, body, request_id)
+                return await self._asend(method, path, body, request_id,
+                                         trace_id)
             except _Retriable as exc:
                 last_status = exc.status
                 last_reason = exc.reason
+                if self._observer is not None:
+                    self._observer.client_event(
+                        "fault", trace_id=trace_id, status=exc.status,
+                        path=path,
+                    )
         raise RemoteServiceError(
             f"{method} {path} still failing after {self._max_retries} "
             f"retries: {last_reason}",
@@ -370,9 +378,14 @@ class AsyncRemoteTopKInterface(QueryClientCore):
         path: str,
         body: Mapping[str, Any] | None,
         request_id: str | None = None,
+        trace_id: str | None = None,
     ) -> dict[str, Any]:
         data = b"" if body is None else json.dumps(body).encode("utf-8")
         held: list[_Connection] = []  # visible to cleanup if we time out
+        if self._observer is not None:
+            self._observer.client_event(
+                "attempt", trace_id=trace_id, path=path
+            )
 
         async def exchange():
             conn = await self._acquire()
@@ -385,6 +398,8 @@ class AsyncRemoteTopKInterface(QueryClientCore):
             )
             if request_id is not None:
                 head += f"X-Request-Id: {request_id}\r\n"
+            if trace_id is not None:
+                head += f"X-Trace-Id: {trace_id}\r\n"
             head += f"Content-Length: {len(data)}\r\n\r\n"
             conn.writer.write(head.encode("latin-1") + data)
             await conn.writer.drain()

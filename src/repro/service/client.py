@@ -139,6 +139,10 @@ class QueryClientCore:
         self._ranking_label = ""
         self._supports_batch = False
         self._max_batch = MAX_BATCH_ITEMS
+        #: Observability hook (:class:`repro.obs.RunObserver`), bound by a
+        #: traced session via :meth:`attach_observer`; ``None`` keeps every
+        #: instrumentation site a single is-not-None check.
+        self._observer = None
 
     def _apply_metadata(self, metadata: Mapping[str, Any]) -> None:
         """Fold the ``/api/schema`` bootstrap payload into the client."""
@@ -194,6 +198,26 @@ class QueryClientCore:
         with self._lock:
             self._replay_nonce = nonce or None
 
+    def attach_observer(self, observer) -> None:
+        """Bind (or with ``None`` detach) a :class:`repro.obs.RunObserver`.
+
+        Called -- duck-typed, like :meth:`set_replay_nonce` -- by a traced
+        :class:`~repro.core.base.DiscoverySession`.  While bound, the
+        client emits transport lifecycle events (attempt / retry / fault /
+        cache and ledger hits / billed) and stamps every wire request with
+        the observer's deterministic ``X-Trace-Id``, so server access logs
+        correlate with the engine-side spans of the same logical query.
+        """
+        with self._lock:
+            self._observer = observer
+
+    def _trace_id(self, query: Query) -> str | None:
+        """Wire trace id for ``query`` (``None`` with no observer bound)."""
+        observer = self._observer
+        if observer is None:
+            return None
+        return observer.trace_id(query)
+
     def _request_id(self, query: Query) -> str:
         nonce = self._replay_nonce
         if nonce is None:
@@ -209,7 +233,10 @@ class QueryClientCore:
             if cached is not None:
                 self._cache.move_to_end(key)
                 self._cache_hits += 1
-                return cached
+        if cached is not None:
+            if self._observer is not None:
+                self._observer.client_event("cache_hit", query)
+            return cached
         if self._ledger is None:
             return None
         # Durable cache: an answer some earlier run/process paid for.
@@ -223,6 +250,8 @@ class QueryClientCore:
                 self._cache[key] = persisted
                 if len(self._cache) > self._cache_size:
                     self._cache.popitem(last=False)
+        if self._observer is not None:
+            self._observer.client_event("ledger_hit", query)
         return persisted
 
     def _cache_store(self, query: Query, result: QueryResult) -> None:
@@ -235,13 +264,22 @@ class QueryClientCore:
             if len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
 
-    def _count_billed(self) -> None:
+    def _count_billed(self, query: Query | None = None) -> None:
         with self._lock:
             self._count += 1
+        # "client_billed", not "billed": the engine's note_answer hook owns
+        # the canonical billed span, which stays 1:1 with total_cost --
+        # this side records the counter only.
+        if self._observer is not None:
+            self._observer.client_event("client_billed", query, span=False)
 
-    def _count_retry(self) -> None:
+    def _count_retry(
+        self, query: Query | None = None, trace_id: str | None = None
+    ) -> None:
         with self._lock:
             self._retries += 1
+        if self._observer is not None:
+            self._observer.client_event("retry", query, trace_id=trace_id)
 
     def _note_budget(self, headers: Mapping[str, str]) -> None:
         remaining = headers.get("X-Budget-Remaining")
@@ -465,10 +503,10 @@ class RemoteTopKInterface(QueryClientCore):
             "/api/query",
             {"query": encode_query(query)},
             request_id=self._request_id(query),
+            trace_id=self._trace_id(query),
         )
         rows, overflow, sequence = decode_answer(payload)
-        with self._lock:
-            self._count += 1
+        self._count_billed(query)
         result = QueryResult(
             query=query, rows=rows, overflow=overflow, sequence=sequence
         )
@@ -548,8 +586,7 @@ class RemoteTopKInterface(QueryClientCore):
                             overflow=overflow,
                             sequence=sequence,
                         )
-                        with self._lock:
-                            self._count += 1
+                        self._count_billed(queries[index])
                         self._cache_store(queries[index], result)
                         results[index] = result
                         continue
@@ -567,8 +604,7 @@ class RemoteTopKInterface(QueryClientCore):
                         f"{self._max_retries} retries",
                     )
                 break
-            with self._lock:
-                self._retries += 1
+            self._count_retry()
             self._sleep(min(self._backoff * 2**attempt, self._backoff_cap))
             attempt += 1
             pending = retry
@@ -602,21 +638,26 @@ class RemoteTopKInterface(QueryClientCore):
         path: str,
         body: Mapping[str, Any] | None = None,
         request_id: str | None = None,
+        trace_id: str | None = None,
     ) -> dict[str, Any]:
         last_status: int | None = None
         last_reason = "unknown error"
         for attempt in range(self._max_retries + 1):
             if attempt:
-                with self._lock:
-                    self._retries += 1
+                self._count_retry(trace_id=trace_id)
                 self._sleep(
                     min(self._backoff * 2 ** (attempt - 1), self._backoff_cap)
                 )
             try:
-                return self._send(method, path, body, request_id)
+                return self._send(method, path, body, request_id, trace_id)
             except _Retriable as exc:
                 last_status = exc.status
                 last_reason = exc.reason
+                if self._observer is not None:
+                    self._observer.client_event(
+                        "fault", trace_id=trace_id, status=exc.status,
+                        path=path,
+                    )
         raise RemoteServiceError(
             f"{method} {path} still failing after {self._max_retries} "
             f"retries: {last_reason}",
@@ -681,6 +722,7 @@ class RemoteTopKInterface(QueryClientCore):
         path: str,
         body: Mapping[str, Any] | None,
         request_id: str | None = None,
+        trace_id: str | None = None,
     ) -> dict[str, Any]:
         data = None if body is None else json.dumps(body).encode("utf-8")
         headers = {
@@ -689,6 +731,12 @@ class RemoteTopKInterface(QueryClientCore):
         }
         if request_id is not None:
             headers["X-Request-Id"] = request_id
+        if trace_id is not None:
+            headers["X-Trace-Id"] = trace_id
+        if self._observer is not None:
+            self._observer.client_event(
+                "attempt", trace_id=trace_id, path=path
+            )
         try:
             conn = self._connection()
             conn.request(method, path, body=data, headers=headers)

@@ -15,7 +15,10 @@ Routes (all bodies JSON):
                            item (latency is drawn per item but slept once,
                            at the per-batch maximum -- one round trip)
 ``GET  /api/stats``        billing counters (total, per key incl. configured
-                           budgets and remaining headroom, faults injected)
+                           budgets and remaining headroom, faults injected),
+                           uptime, in-flight requests, per-key HTTP totals
+``GET  /metrics``          the same counters plus a request-latency
+                           histogram, in Prometheus text format
 ``POST /api/reset``        ops/test helper: clear billing counters
 ``GET  /healthz``          liveness probe carrying the endpoint fingerprint
                            (CI boot check, coordinator shard verification)
@@ -52,6 +55,8 @@ from typing import Any, Mapping
 from ..hiddendb.errors import HiddenDBError, UnsupportedQueryError
 from ..hiddendb.ranking import LinearRanker, Ranker
 from ..hiddendb.table import Table
+from ..obs import MetricsRegistry, render_prometheus
+from ..obs.exposition import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from .faults import FaultConfig, FaultInjector
 from .wire import (
     decode_query,
@@ -270,6 +275,40 @@ class HiddenDBServer:
         self._replay_lock = threading.Lock()
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
+        self._started: float | None = None
+        # Per-instance observability scope, scraped at /metrics.  Billing
+        # counters here *shadow* (never replace) the authoritative _Billing
+        # ledger: metrics are monotone across /api/reset, billing is not.
+        self._metrics = MetricsRegistry()
+        self._m_requests = self._metrics.counter(
+            "hiddendb_requests_total",
+            "HTTP requests received, by API key.",
+            ("key",),
+        )
+        self._m_inflight = self._metrics.gauge(
+            "hiddendb_requests_in_flight",
+            "HTTP requests currently being processed.",
+        )
+        self._m_latency = self._metrics.histogram(
+            "hiddendb_request_latency_seconds",
+            "Wall-clock request handling latency, by route.",
+            ("route",),
+        )
+        self._m_billed = self._metrics.counter(
+            "hiddendb_queries_billed_total",
+            "Queries billed against a key's budget.",
+            ("key",),
+        )
+        self._m_replayed = self._metrics.counter(
+            "hiddendb_queries_replayed_total",
+            "Billed answers replayed for retried request ids, by API key.",
+            ("key",),
+        )
+        self._m_faulted = self._metrics.counter(
+            "hiddendb_queries_faulted_total",
+            "Injected retriable faults returned, by API key.",
+            ("key",),
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -297,6 +336,7 @@ class HiddenDBServer:
                 ) from None
             raise
         self._bound_port = self._httpd.server_address[1]
+        self._started = time.monotonic()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name=f"repro-service:{self.port}",
@@ -385,6 +425,18 @@ class HiddenDBServer:
             self._table.schema, self._k, self._name, self._ranker.describe()
         )
 
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Per-instance metrics scope (rendered at ``GET /metrics``)."""
+        return self._metrics
+
+    @property
+    def uptime_s(self) -> float | None:
+        """Seconds since :meth:`start` bound the socket (``None`` before)."""
+        if self._started is None:
+            return None
+        return time.monotonic() - self._started
+
     def stats(self) -> ServerStats:
         """Current billing counters."""
         total, keys = self._billing.snapshot()
@@ -440,13 +492,23 @@ class HiddenDBServer:
 
     def _handle_stats(self) -> tuple[int, dict[str, Any], dict[str, str]]:
         stats = self.stats()
+        uptime = self.uptime_s
+        # HTTP request totals (all routes, incl. unbilled stats/schema
+        # probes) complement the *billed* counters in ``keys``.
+        requests = {
+            labels[0]: int(value)
+            for labels, value in self._m_requests.samples()
+        }
         return (
             200,
             {
                 "name": self._name,
+                "uptime_s": round(uptime, 3) if uptime is not None else None,
+                "in_flight": int(self._m_inflight.value()),
                 "queries_total": stats.queries_total,
                 "faults_injected": stats.faults_injected,
                 "default_budget": stats.default_budget,
+                "requests": requests,
                 "keys": {
                     usage.key: {
                         "issued": usage.issued,
@@ -458,6 +520,15 @@ class HiddenDBServer:
             },
             {},
         )
+
+    def _handle_metrics(self) -> tuple[int, str, str]:
+        """Prometheus text exposition of the per-instance registry."""
+        return 200, render_prometheus(self._metrics), METRICS_CONTENT_TYPE
+
+    def _track_request(self, api_key: str, route: str, elapsed: float) -> None:
+        """Record one finished HTTP request (called from handler threads)."""
+        self._m_requests.inc(key=api_key)
+        self._m_latency.observe(elapsed, route=route)
 
     def _handle_reset(
         self, payload: Mapping[str, Any]
@@ -478,12 +549,14 @@ class HiddenDBServer:
         while True:
             with self._replay_lock:
                 replayed = self._replay.get(replay_key)
-                if replayed is not None:
-                    return replayed
-                pending = self._inflight.get(replay_key)
-                if pending is None:
-                    self._inflight[replay_key] = threading.Event()
-                    break
+                if replayed is None:
+                    pending = self._inflight.get(replay_key)
+                    if pending is None:
+                        self._inflight[replay_key] = threading.Event()
+                        break
+            if replayed is not None:
+                self._m_replayed.inc(key=api_key)
+                return replayed
             # The original request is still being processed (e.g. sleeping
             # in injected latency past the client's timeout): wait for it
             # and replay its answer rather than billing a second time.
@@ -557,12 +630,14 @@ class HiddenDBServer:
             if replayed is not None:
                 # Replays (client retries of billed items) neither redraw
                 # faults nor pay latency again.
+                self._m_replayed.inc(key=api_key)
                 outcomes[index] = replayed
                 continue
             if self._injector is not None:
                 delay, code = self._injector.draw()
                 max_delay = max(max_delay, delay)
                 if code is not None:
+                    self._m_faulted.inc(key=api_key)
                     outcomes[index] = (
                         code,
                         {"error": "injected_fault", "retriable": True},
@@ -601,6 +676,7 @@ class HiddenDBServer:
             if delay > 0.0:
                 time.sleep(delay)
             if code is not None:
+                self._m_faulted.inc(key=api_key)
                 return (
                     code,
                     {"error": "injected_fault", "retriable": True},
@@ -635,6 +711,7 @@ class HiddenDBServer:
                 {"error": "budget_exceeded", "limit": limit, "retriable": False},
                 {"X-Budget-Remaining": "0"},
             )
+        self._m_billed.inc(key=api_key)
         matched = self._table.match_indices(query)
         top = self._bound.top(matched, self._k)
         rows = self._table.rows(top)
@@ -680,6 +757,16 @@ def _make_handler(server: HiddenDBServer) -> type[BaseHTTPRequestHandler]:
             self.end_headers()
             self.wfile.write(encoded)
 
+        def _reply_text(
+            self, status: int, text: str, content_type: str = "text/plain"
+        ) -> None:
+            encoded = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(encoded)))
+            self.end_headers()
+            self.wfile.write(encoded)
+
         def _read_json(self) -> dict[str, Any] | None:
             length = int(self.headers.get("Content-Length") or 0)
             raw = self.rfile.read(length) if length else b"{}"
@@ -694,10 +781,35 @@ def _make_handler(server: HiddenDBServer) -> type[BaseHTTPRequestHandler]:
 
         # -- routes -----------------------------------------------------
         def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            server._m_inflight.inc()
+            started = time.monotonic()
+            try:
+                self._get()
+            finally:
+                server._m_inflight.dec()
+                server._track_request(
+                    self._api_key(), self.path, time.monotonic() - started
+                )
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+            server._m_inflight.inc()
+            started = time.monotonic()
+            try:
+                self._post()
+            finally:
+                server._m_inflight.dec()
+                server._track_request(
+                    self._api_key(), self.path, time.monotonic() - started
+                )
+
+        def _get(self) -> None:
             if self.path == "/api/schema":
                 self._reply(*server._handle_schema())
             elif self.path == "/api/stats":
                 self._reply(*server._handle_stats())
+            elif self.path == "/metrics":
+                status, text, content_type = server._handle_metrics()
+                self._reply_text(status, text, content_type)
             elif self.path == "/healthz":
                 self._reply(
                     200,
@@ -713,7 +825,7 @@ def _make_handler(server: HiddenDBServer) -> type[BaseHTTPRequestHandler]:
                     404, {"error": "not_found", "retriable": False}, {}
                 )
 
-        def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        def _post(self) -> None:
             payload = self._read_json()
             if payload is None:
                 self._reply(
@@ -741,7 +853,16 @@ def _make_handler(server: HiddenDBServer) -> type[BaseHTTPRequestHandler]:
                 )
 
         def log_message(self, format: str, *args: Any) -> None:
-            logger.debug("%s %s", self.address_string(), format % args)
+            # Client-propagated trace ids make access-log lines joinable
+            # with the crawl-side JSONL spans for the same logical query.
+            trace_id = self.headers.get("X-Trace-Id")
+            if trace_id:
+                logger.debug(
+                    "%s %s trace=%s", self.address_string(),
+                    format % args, trace_id,
+                )
+            else:
+                logger.debug("%s %s", self.address_string(), format % args)
 
     return Handler
 

@@ -286,6 +286,9 @@ class CrawlStore:
             self._path, check_same_thread=False, isolation_level=None
         )
         self._lock = threading.RLock()
+        #: Optional :class:`~repro.obs.RunObserver`; ``None`` keeps every
+        #: hook below a single attribute test (no observability overhead).
+        self.observer: Any | None = None
         with self._lock:
             self._conn.execute("PRAGMA busy_timeout=5000")
             if not self._memory:
@@ -315,6 +318,14 @@ class CrawlStore:
     def path(self) -> str:
         """Database location (``":memory:"`` for the in-memory variant)."""
         return self._path
+
+    def attach_observer(self, observer: Any | None) -> None:
+        """Attach (or detach, with ``None``) a run observer.
+
+        The store emits ``ledger_hit`` / ``ledger_put`` / ``checkpoint``
+        events; the latter feed the coordinator's checkpoint-lag gauge.
+        """
+        self.observer = observer
 
     def close(self) -> None:
         """Close the underlying connection (idempotent)."""
@@ -440,6 +451,8 @@ class CrawlStore:
             ).fetchone()
         if row is None:
             return None
+        if self.observer is not None:
+            self.observer.store_event("ledger_hit", key=query.canonical_key())
         rows, overflow, sequence = decode_answer(json.loads(row[0]))
         return QueryResult(
             query=query, rows=rows, overflow=overflow, sequence=sequence
@@ -480,6 +493,13 @@ class CrawlStore:
             except BaseException:
                 self._conn.execute("ROLLBACK")
                 raise
+        if self.observer is not None:
+            if session_id is not None:
+                self.observer.store_event(
+                    "ledger_put", key=qkey, session_id=session_id
+                )
+            else:
+                self.observer.store_event("ledger_put", key=qkey)
 
     def ledger_size(self, fingerprint: str | None = None) -> int:
         """Number of ledgered answers (for one endpoint, or overall)."""
@@ -624,6 +644,8 @@ class CrawlStore:
                 "WHERE session_id=?",
                 (json.dumps(dict(checkpoint)), time.time(), session_id),
             )
+        if self.observer is not None:
+            self.observer.store_event("checkpoint", session_id=session_id)
 
     def finish_session(
         self, session_id: str, result: Mapping[str, Any]

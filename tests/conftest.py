@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import re
+
 import numpy as np
 import pytest
 
@@ -180,6 +182,115 @@ def parity_run_strategy_params():
                 algorithm, table, strategy, config,
                 id=f"{algorithm}-{strategy}",
             )
+
+
+# ----------------------------------------------------------------------
+# Prometheus text-format parser (strict): shared by the obs, service and
+# coordinator suites so every /metrics surface is validated the same way
+# ----------------------------------------------------------------------
+
+_PROM_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_PROM_SAMPLE = re.compile(
+    rf"^(?P<name>{_PROM_NAME})"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?|NaN|[+-]Inf)$"
+)
+_PROM_LABEL = re.compile(
+    r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\\\|\\"|\\n)*"$'
+)
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse (and structurally validate) Prometheus 0.0.4 text exposition.
+
+    Every line must be a well-formed ``# HELP`` / ``# TYPE`` comment or a
+    sample; samples must follow their family's TYPE declaration; histogram
+    series must carry the ``_bucket``/``_sum``/``_count`` suffixes.
+    Returns ``{family name: {"type", "help", "samples"}}`` with samples as
+    ``{(sample name, labels tuple): float value}``.
+    """
+    families: dict[str, dict] = {}
+    declared: str | None = None
+    for line in text.splitlines():
+        assert line == line.rstrip(), f"trailing whitespace: {line!r}"
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            assert re.fullmatch(_PROM_NAME, name), f"bad HELP name: {line!r}"
+            families.setdefault(
+                name, {"type": None, "help": help_text, "samples": {}}
+            )
+            declared = name
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            assert kind in ("counter", "gauge", "histogram", "untyped"), line
+            assert name in families, f"TYPE before HELP: {line!r}"
+            families[name]["type"] = kind
+            declared = name
+            continue
+        assert not line.startswith("#"), f"unparseable comment: {line!r}"
+        match = _PROM_SAMPLE.match(line)
+        assert match is not None, f"malformed sample line: {line!r}"
+        sample_name = match.group("name")
+        labels_raw = match.group("labels")
+        labels: tuple[tuple[str, str], ...] = ()
+        if labels_raw is not None:
+            parts = labels_raw.split(",")
+            for part in parts:
+                assert _PROM_LABEL.match(part), f"malformed label: {part!r}"
+            labels = tuple(
+                (part.split("=", 1)[0], part.split("=", 1)[1][1:-1])
+                for part in parts
+            )
+        assert declared is not None, f"sample before any family: {line!r}"
+        family = families[declared]
+        if family["type"] == "histogram":
+            assert sample_name in (
+                declared + "_bucket", declared + "_sum", declared + "_count"
+            ), f"histogram sample {sample_name!r} outside family {declared!r}"
+            if sample_name.endswith("_bucket"):
+                assert any(k == "le" for k, _ in labels), line
+        else:
+            assert sample_name == declared, (
+                f"sample {sample_name!r} under family {declared!r}"
+            )
+        value = match.group("value")
+        families[declared]["samples"][(sample_name, labels)] = (
+            float("nan") if value == "NaN" else float(value)
+        )
+    for name, family in families.items():
+        assert family["type"] is not None, f"family {name} missing TYPE"
+        if family["type"] == "histogram":
+            _check_histogram(name, family["samples"])
+    return families
+
+
+def _check_histogram(name: str, samples: dict) -> None:
+    """Cumulative buckets must be monotone and end at +Inf == _count."""
+    series: dict[tuple, list[tuple[float, float]]] = {}
+    for (sample_name, labels), value in samples.items():
+        if not sample_name.endswith("_bucket"):
+            continue
+        le = dict(labels)["le"]
+        rest = tuple(kv for kv in labels if kv[0] != "le")
+        series.setdefault(rest, []).append(
+            (float("inf") if le == "+Inf" else float(le), value)
+        )
+    for rest, buckets in series.items():
+        buckets.sort()
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts), f"{name}{rest}: non-monotone buckets"
+        assert buckets[-1][0] == float("inf"), f"{name}{rest}: no +Inf bucket"
+        count_key = (name + "_count", rest)
+        assert count_key in samples, f"{name}{rest}: missing _count"
+        assert buckets[-1][1] == samples[count_key], (
+            f"{name}{rest}: +Inf bucket != _count"
+        )
+        assert (name + "_sum", rest) in samples, f"{name}{rest}: missing _sum"
 
 
 @pytest.fixture

@@ -1,0 +1,208 @@
+"""Metrics registry semantics and Prometheus exposition well-formedness."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    global_registry,
+    render_prometheus,
+)
+from repro.obs.exposition import CONTENT_TYPE
+
+from ..conftest import parse_prometheus
+
+
+# ----------------------------------------------------------------------
+# registry semantics
+# ----------------------------------------------------------------------
+class TestCounters:
+    def test_inc_and_value(self):
+        reg = MetricsRegistry()
+        c = reg.counter("t_total", "help", ("op",))
+        c.inc(op="read")
+        c.inc(2.5, op="read")
+        c.inc(op="write")
+        assert c.value(op="read") == 3.5
+        assert c.value(op="write") == 1.0
+        assert c.value(op="never") == 0.0
+
+    def test_counters_reject_negative(self):
+        c = MetricsRegistry().counter("t_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_label_set_is_strict(self):
+        c = MetricsRegistry().counter("t_total", "", ("op",))
+        with pytest.raises(ValueError):
+            c.inc()
+        with pytest.raises(ValueError):
+            c.inc(op="read", extra="nope")
+
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("t_total", "", ("op",)) is reg.counter(
+            "t_total", "", ("op",)
+        )
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("t_total")
+        with pytest.raises(ValueError):
+            reg.gauge("t_total")
+        with pytest.raises(ValueError):
+            reg.counter("t_total", "", ("op",))  # label mismatch too
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("0bad")
+        with pytest.raises(ValueError):
+            reg.counter("ok_total", "", ("0bad",))
+        with pytest.raises(ValueError):
+            reg.counter("ok_total", "", ("__reserved",))
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("t")
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.value() == 4.0
+
+
+class TestHistograms:
+    def test_observe_snapshot(self):
+        h = MetricsRegistry().histogram("t_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        cumulative, total, count = h.snapshot()
+        assert cumulative == [1, 3]  # <=0.1: one, <=1.0: three; 5.0 beyond
+        assert count == 4
+        assert total == pytest.approx(6.05)
+
+    def test_buckets_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("t_seconds", buckets=(1.0, 0.1))
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("t_seconds", buckets=())
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert not math.isinf(DEFAULT_BUCKETS[-1])
+
+
+class TestScoping:
+    def test_child_mutations_mirror_into_parent(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry(parent=parent)
+        child.counter("t_total", "", ("op",)).inc(3, op="read")
+        child.gauge("g").set(7)
+        child.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        assert parent.counter("t_total", "", ("op",)).value(op="read") == 3.0
+        assert parent.gauge("g").value() == 7.0
+        assert parent.histogram("h_seconds", buckets=(1.0,)).snapshot()[2] == 1
+
+    def test_two_children_aggregate_in_parent(self):
+        parent = MetricsRegistry()
+        MetricsRegistry(parent=parent).counter("t_total").inc(2)
+        MetricsRegistry(parent=parent).counter("t_total").inc(5)
+        assert parent.counter("t_total").value() == 7.0
+
+    def test_global_registry_is_a_singleton(self):
+        assert global_registry() is global_registry()
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_lose_updates(self):
+        c = MetricsRegistry().counter("t_total", "", ("op",))
+
+        def spin():
+            for _ in range(1000):
+                c.inc(op="x")
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value(op="x") == 8000.0
+
+
+# ----------------------------------------------------------------------
+# exposition well-formedness (every line parsed and validated)
+# ----------------------------------------------------------------------
+def _populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("demo_requests_total", "Requests served.", ("route", "key"))
+    c.inc(route="/api/query", key="alice")
+    c.inc(3, route="/api/query", key='bo"b\\with\nnasties')
+    g = reg.gauge("demo_in_flight", "In-flight requests.")
+    g.set(2)
+    h = reg.histogram(
+        "demo_latency_seconds", "Latency.", ("route",), buckets=(0.01, 0.1, 1.0)
+    )
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.observe(v, route="/api/query")
+    reg.counter("demo_untouched_total", "Declared but never incremented.")
+    return reg
+
+
+class TestExposition:
+    def test_content_type_pins_the_text_format(self):
+        assert "text/plain" in CONTENT_TYPE and "0.0.4" in CONTENT_TYPE
+
+    def test_every_line_parses(self):
+        families = parse_prometheus(render_prometheus(_populated_registry()))
+        assert families["demo_requests_total"]["type"] == "counter"
+        assert families["demo_in_flight"]["type"] == "gauge"
+        assert families["demo_latency_seconds"]["type"] == "histogram"
+
+    def test_counter_samples_and_label_escaping(self):
+        families = parse_prometheus(render_prometheus(_populated_registry()))
+        samples = families["demo_requests_total"]["samples"]
+        plain = (
+            "demo_requests_total",
+            (("route", "/api/query"), ("key", "alice")),
+        )
+        assert samples[plain] == 1.0
+        escaped = [
+            value
+            for (name, labels), value in samples.items()
+            if dict(labels)["key"] == 'bo\\"b\\\\with\\nnasties'
+        ]
+        assert escaped == [3.0]
+
+    def test_histogram_invariants(self):
+        families = parse_prometheus(render_prometheus(_populated_registry()))
+        samples = families["demo_latency_seconds"]["samples"]
+        rest = (("route", "/api/query"),)
+        # parse_prometheus already asserted monotone cumulative buckets,
+        # the +Inf terminal and _sum/_count presence; pin exact values.
+        assert samples[("demo_latency_seconds_count", rest)] == 4.0
+        assert samples[("demo_latency_seconds_sum", rest)] == pytest.approx(
+            5.555
+        )
+        inf_bucket = (
+            "demo_latency_seconds_bucket",
+            (("route", "/api/query"), ("le", "+Inf")),
+        )
+        assert samples[inf_bucket] == 4.0
+
+    def test_families_without_samples_still_declared(self):
+        families = parse_prometheus(render_prometheus(_populated_registry()))
+        assert families["demo_untouched_total"]["type"] == "counter"
+        assert families["demo_untouched_total"]["samples"] == {}
+
+    def test_help_text_is_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("demo_total", "line one\nline two \\ done")
+        text = render_prometheus(reg)
+        assert "# HELP demo_total line one\\nline two \\\\ done" in text
+        parse_prometheus(text)

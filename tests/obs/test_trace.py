@@ -1,0 +1,222 @@
+"""JSONL trace schema, writer lifecycle, and traced-run parity."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import Discoverer
+from repro.core import DiscoveryConfig
+from repro.hiddendb import InterfaceKind, TopKInterface
+from repro.hiddendb.query import Query, query_fingerprint
+from repro.obs import MetricsRegistry, RunObserver, TraceWriter
+
+from ..conftest import (
+    PARITY_TABLES,
+    make_table,
+    parity_strategy_params,
+    truth_values,
+)
+
+
+def spans_of(buffer: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in buffer.getvalue().splitlines()]
+
+
+# ----------------------------------------------------------------------
+# TraceWriter
+# ----------------------------------------------------------------------
+class TestTraceWriter:
+    def test_emit_writes_one_json_line_per_span(self):
+        buffer = io.StringIO()
+        writer = TraceWriter(buffer)
+        writer.emit("billed", trace_id="run-abc", key="*")
+        writer.emit("merged", trace_id="run", key="*", transported=True)
+        writer.flush()  # spans surface at drain points
+        spans = spans_of(buffer)
+        assert [s["phase"] for s in spans] == ["billed", "merged"]
+        assert spans[0]["trace_id"] == "run-abc"
+        assert spans[1]["transported"] is True
+        assert writer.spans_written == 2
+
+    def test_schema_fields_always_present(self):
+        buffer = io.StringIO()
+        writer = TraceWriter(buffer)
+        writer.emit("attempt", trace_id="t", path="/api/query")
+        writer.flush()
+        (span,) = spans_of(buffer)
+        for field in ("seq", "t", "trace_id", "key", "phase"):
+            assert field in span
+        assert span["key"] is None  # key is explicit, even when unknown
+
+    def test_seq_and_t_are_monotone(self):
+        buffer = io.StringIO()
+        writer = TraceWriter(buffer)
+        for _ in range(50):
+            writer.emit("x", trace_id="t")
+        writer.flush()
+        spans = spans_of(buffer)
+        assert len(spans) == 50
+        seqs = [s["seq"] for s in spans]
+        times = [s["t"] for s in spans]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        assert times == sorted(times)
+
+    def test_path_sink_appends_and_is_owned(self, tmp_path):
+        target = tmp_path / "trace.jsonl"
+        writer = TraceWriter(target)
+        writer.emit("a", trace_id="t")
+        writer.close()
+        writer2 = TraceWriter(str(target))
+        writer2.emit("b", trace_id="t")
+        writer2.close()
+        phases = [
+            json.loads(line)["phase"]
+            for line in target.read_text().splitlines()
+        ]
+        assert phases == ["a", "b"]
+
+    def test_borrowed_file_like_is_never_closed(self):
+        buffer = io.StringIO()
+        with TraceWriter(buffer) as writer:
+            writer.emit("a", trace_id="t")
+        assert not buffer.closed
+
+    def test_buffer_auto_drains_at_threshold(self):
+        from repro.obs.trace import _DRAIN_EVERY
+
+        buffer = io.StringIO()
+        writer = TraceWriter(buffer)
+        for _ in range(_DRAIN_EVERY - 1):
+            writer.emit("x", trace_id="t")
+        assert spans_of(buffer) == []  # still buffered
+        writer.emit("x", trace_id="t")
+        assert len(spans_of(buffer)) == _DRAIN_EVERY
+
+    def test_emit_after_close_is_dropped(self):
+        buffer = io.StringIO()
+        writer = TraceWriter(buffer)
+        writer.close()
+        writer.emit("late", trace_id="t")
+        assert spans_of(buffer) == []
+
+
+# ----------------------------------------------------------------------
+# RunObserver
+# ----------------------------------------------------------------------
+class TestRunObserver:
+    def test_trace_ids_are_deterministic(self):
+        query = Query.select_all()
+        a = RunObserver(run_id="runx")
+        b = RunObserver(run_id="runx")
+        assert a.trace_id(query) == b.trace_id(query)
+        assert a.trace_id(query) == f"runx-{query_fingerprint(query)}"
+
+    def test_events_feed_both_metrics_and_spans(self):
+        buffer = io.StringIO()
+        reg = MetricsRegistry()
+        obs = RunObserver(trace=buffer, registry=reg, run_id="r")
+        query = Query.select_all()
+        obs.classified(query, query.canonical_key(), "dispatched")
+        obs.billed(query)
+        obs.merged(query.canonical_key(), transported=True)
+        obs.client_event("attempt", trace_id="r-x", path="/api/query")
+        obs.store_event("ledger_put", key="*")
+        obs.shard_event("http://b0", stolen=True)
+        obs.close()
+        phases = [s["phase"] for s in spans_of(buffer)]
+        assert phases == [
+            "dispatched", "billed", "merged", "attempt", "ledger_put"
+        ]
+        assert reg.counter(
+            "repro_query_classifications_total", "", ("phase",)
+        ).value(phase="dispatched") == 1.0
+        assert reg.counter("repro_queries_billed_total").value() == 1.0
+        assert reg.counter(
+            "repro_work_steals_total", "", ("backend",)
+        ).value(backend="http://b0") == 1.0
+
+    def test_checkpoint_events_record_session_timestamps(self):
+        obs = RunObserver()
+        assert obs.checkpoint_at == {}
+        obs.store_event("checkpoint", session_id="s1")
+        assert "s1" in obs.checkpoint_at
+
+    def test_metrics_only_observer_needs_no_writer(self):
+        obs = RunObserver()
+        obs.billed(Query.select_all())
+        obs.flush()
+        obs.close()
+
+
+# ----------------------------------------------------------------------
+# traced-run parity: tracing must never change skyline or billed cost
+# ----------------------------------------------------------------------
+def _crawl_table():
+    return PARITY_TABLES["rq3"]
+
+
+@pytest.mark.parametrize(
+    "strategy,config", parity_strategy_params(), ids=None
+)
+def test_traced_crawl_parity_and_span_coverage(strategy, config):
+    table = _crawl_table()
+    plain = Discoverer(config).run(
+        TopKInterface(table, k=5), "baseline"
+    )
+    buffer = io.StringIO()
+    traced = Discoverer(config.replace(trace=buffer)).run(
+        TopKInterface(table, k=5), "baseline"
+    )
+    assert traced.skyline_values == plain.skyline_values
+    assert traced.total_cost == plain.total_cost
+    spans = spans_of(buffer)
+    assert spans, "traced run wrote no spans"
+    billed = [s for s in spans if s["phase"] == "billed"]
+    # Every billed query produced exactly one billed span...
+    assert len(billed) == traced.total_cost
+    # ...carrying a trace id, its canonical key, and monotone seq/t.
+    for span in billed:
+        assert span["trace_id"] and "-" in span["trace_id"]
+        assert isinstance(span["key"], str) and span["key"]
+    seqs = [s["seq"] for s in spans]
+    times = [s["t"] for s in spans]
+    assert seqs == sorted(seqs)
+    assert times == sorted(times)
+    # The drain core classified every dispatched query exactly once.
+    dispatched = [s for s in spans if s["phase"] == "dispatched"]
+    assert len(dispatched) == traced.total_cost
+    merged = [s for s in spans if s["phase"] == "merged"]
+    assert len(merged) == traced.total_cost
+
+
+def test_traced_run_matches_ground_truth_on_auto_dispatch():
+    table = make_table(
+        [(5, 1), (4, 4), (1, 3), (3, 2), (2, 2)],
+        kinds=InterfaceKind.RQ,
+        domain=8,
+    )
+    buffer = io.StringIO()
+    result = Discoverer(DiscoveryConfig(trace=buffer)).run(
+        TopKInterface(table, k=2)
+    )
+    assert result.skyline_values == truth_values(table)
+    billed = [s for s in spans_of(buffer) if s["phase"] == "billed"]
+    assert len(billed) == result.total_cost
+
+
+def test_observer_detached_after_run():
+    table = _crawl_table()
+    interface = TopKInterface(table, k=5)
+    buffer = io.StringIO()
+    Discoverer(DiscoveryConfig(trace=buffer)).run(interface, "baseline")
+    before = len(spans_of(buffer))
+    Discoverer(DiscoveryConfig()).run(interface, "baseline")
+    assert len(spans_of(buffer)) == before, "observer leaked into next run"
+
+
+def test_config_rejects_nonsense_trace():
+    with pytest.raises(ValueError):
+        DiscoveryConfig(trace=123)

@@ -117,7 +117,7 @@ class TestRetries:
         original = RemoteTopKInterface._send
         failed_once = []
 
-        def flaky_send(self, method, path, body, request_id=None):
+        def flaky_send(self, method, path, body, request_id=None, trace_id=None):
             if path == "/api/query":
                 seen.append(request_id)
                 if not failed_once:
@@ -125,7 +125,7 @@ class TestRetries:
                     from repro.service.client import _Retriable
 
                     raise _Retriable("simulated lost response", status=None)
-            return original(self, method, path, body, request_id)
+            return original(self, method, path, body, request_id, trace_id)
 
         monkeypatch.setattr(RemoteTopKInterface, "_send", flaky_send)
         remote.query(Query.select_all())
