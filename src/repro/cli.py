@@ -1,6 +1,6 @@
 """Command-line interface: ``repro`` (or ``python -m repro.cli``).
 
-Nine subcommands, all running against the bundled generators so the paper's
+Ten subcommands, all running against the bundled generators so the paper's
 system can be exercised without writing any code:
 
 * ``discover``   -- run skyline discovery over a generated dataset;
@@ -12,7 +12,10 @@ system can be exercised without writing any code:
 * ``algorithms`` -- list the registered discovery algorithms;
 * ``figures``    -- list or run the figure-reproduction experiments;
 * ``serve``      -- stand a generated dataset up as a networked top-k
-  search service (:mod:`repro.service`);
+  search service (:mod:`repro.service`), or an on-disk one via
+  ``--table-db`` (millions of tuples, instant start, survives restarts);
+* ``datagen``    -- build workload artifacts: ``datagen build-db``
+  persists a generated dataset plus its rank index as a SQLite table;
 * ``coordinate`` -- run the sharded multi-tenant crawl coordinator
   (:mod:`repro.coordinator`): accept discovery jobs over JSON and fan
   each one out across several backends sharing one crawl-store ledger;
@@ -47,6 +50,11 @@ Examples::
     # terminal 1: serve a hidden database (flaky, rate-limited)
     repro serve --dataset diamonds --n 20000 --k 10 --port 8080 \
         --key-budget 5000 --fault-rate 0.1
+
+    # million-tuple serving: build the SQLite table once, then serve it
+    # straight off its persisted rank index (instant start, ~no RAM)
+    repro datagen build-db --dataset uniform --n 1000000 --out data.sqlite
+    repro serve --table-db data.sqlite --k 10 --port 8080
 
     # terminal 2: crawl it over the wire -- 8 pipelined workers, 16
     # queries per round trip, run-scoped dedup, engine telemetry
@@ -336,8 +344,34 @@ def _cmd_algorithms(args) -> int:
 def _cmd_serve(args) -> int:
     from .service import FaultConfig, HiddenDBServer
 
-    table = _build_table(args)
-    ranker = _build_ranker(args, table)
+    engine = "auto"
+    if args.table_db:
+        from pathlib import Path
+
+        from .hiddendb import SQLTable, ranker_from_label
+
+        sql = SQLTable(args.table_db)
+        name = sql.name or Path(args.table_db).stem
+        # The persisted rank index pins the ranking; serving under any
+        # other would answer in a different order than the index provides.
+        ranker = ranker_from_label(sql.ranking_label)
+        if args.engine == "memory":
+            table = sql.as_memory()  # rank-ordered in-memory fast path
+        else:
+            table = sql  # SQL-native: tuples never loaded into memory
+            engine = "sqlite"
+        dataset = name
+    else:
+        if args.engine == "sqlite":
+            print("error: --engine sqlite needs --table-db", file=sys.stderr)
+            return 2
+        if not args.dataset:
+            print("error: --dataset or --table-db is required", file=sys.stderr)
+            return 2
+        table = _build_table(args)
+        ranker = _build_ranker(args, table)
+        name = _dataset_label(args)
+        dataset = args.dataset
     faults = None
     if args.fault_rate > 0 or max(args.latency_ms) > 0:
         faults = FaultConfig(
@@ -357,12 +391,14 @@ def _cmd_serve(args) -> int:
         # The name is the served dataset's identity: crawl stores fold it
         # into their endpoint fingerprint, so serving different data under
         # the same name would wrongly share a ledger.
-        name=_dataset_label(args),
+        name=name,
+        engine=engine,
     )
     server.start()
     # flush=True throughout: the URL line must reach a redirected/piped log
     # immediately, or anything polling the log for the bound port hangs.
-    print(f"serving    : {args.dataset} (n={table.n}, k={args.k}) at {server.url}",
+    print(f"serving    : {dataset} (n={table.n}, k={args.k}, "
+          f"engine={server.engine}) at {server.url}",
           flush=True)
     # The actual bound port on its own line: '--port 0' callers (tests,
     # CI scripts) parse this instead of regexing the URL.
@@ -383,6 +419,30 @@ def _cmd_serve(args) -> int:
         server.stop()
         print(f"served     : {stats.queries_total} queries "
               f"({stats.faults_injected} faults injected)")
+    return 0
+
+
+def _cmd_build_db(args) -> int:
+    import time
+    from pathlib import Path
+
+    from .datagen import table_to_sqlite
+
+    generated = time.perf_counter()
+    table = _build_table(args)
+    generated = time.perf_counter() - generated
+    ranker = _build_ranker(args, table)
+    built = time.perf_counter()
+    path = table_to_sqlite(args.out, table, ranker, name=_dataset_label(args))
+    built = time.perf_counter() - built
+    size_mb = Path(path).stat().st_size / 1e6
+    ranking = ranker.describe() if ranker is not None else "LinearRanker"
+    print(f"built      : {path} ({table.n} tuples, {size_mb:.1f} MB)")
+    print(f"dataset    : {_dataset_label(args)}")
+    print(f"ranking    : {ranking} (persisted as the rank index)")
+    print(f"timing     : generate {generated:.1f}s, build {built:.1f}s")
+    print(f"serve with : repro serve --table-db {path} --k {args.k}",
+          flush=True)
     return 0
 
 
@@ -656,7 +716,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub = subparsers.add_parser(
         "serve", help="serve a dataset as a networked top-k search service"
     )
-    add_dataset(sub, required=True)
+    add_dataset(sub, required=False)
+    sub.add_argument("--table-db", default=None, metavar="PATH",
+                     help="serve a SQLite table built by 'repro datagen "
+                     "build-db' instead of generating one in memory: "
+                     "starts instantly at any size and survives restarts "
+                     "(--dataset/--n/--seed are then ignored)")
+    sub.add_argument("--engine", choices=["auto", "memory", "sqlite"],
+                     default="auto",
+                     help="serving engine for --table-db: 'sqlite' answers "
+                     "straight off the persisted rank index (default for "
+                     "--table-db), 'memory' loads the table and uses the "
+                     "rank-ordered in-memory fast path; both are "
+                     "bit-identical (default auto)")
     sub.add_argument("--host", default="127.0.0.1")
     sub.add_argument("--port", type=int, default=8080,
                      help="bind port; 0 picks an ephemeral one (default 8080)")
@@ -676,6 +748,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="stop after this many seconds "
                      "(default: run until interrupted)")
     sub.set_defaults(handler=_cmd_serve)
+
+    sub = subparsers.add_parser(
+        "datagen",
+        help="build workload artifacts (SQLite tables for 'serve --table-db')",
+    )
+    datagen_actions = sub.add_subparsers(dest="datagen_action", required=True)
+    action = datagen_actions.add_parser(
+        "build-db",
+        help="generate a dataset and persist it (with its rank index) "
+        "as a SQLite table",
+    )
+    add_dataset(action, required=True)
+    action.add_argument("--out", required=True, metavar="PATH",
+                        help="output SQLite file (overwritten if present)")
+    action.set_defaults(handler=_cmd_build_db)
 
     sub = subparsers.add_parser(
         "coordinate",

@@ -32,6 +32,7 @@ from .flights import (
     flights_table,
 )
 from .gflights import DAILY_QUERY_LIMIT, flight_instance, flight_instances
+from .sqlio import sqlite_table, table_to_sqlite
 from .synthetic import (
     anticorrelated,
     correlated,
@@ -166,6 +167,8 @@ __all__ = [
     "independent",
     "priority_case_study_table",
     "rediscretize_domains",
+    "sqlite_table",
+    "table_to_sqlite",
     "theorem1_skyline_size",
     "theorem1_table",
     "truncate_domains",

@@ -1,0 +1,41 @@
+"""Build and load SQLite-backed tables from any datagen generator.
+
+Thin, datagen-flavoured wrappers over :mod:`repro.hiddendb.sqltable`: a
+million-tuple workload is generated once (`repro datagen build-db`, or
+:func:`table_to_sqlite` from code), persisted with its rank index, and
+then served any number of times by ``repro serve --table-db`` -- which
+starts instantly because it never materialises the tuples in memory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..hiddendb.ranking import Ranker
+from ..hiddendb.sqltable import SQLTable, build_sqltable
+from ..hiddendb.table import Table
+
+
+def table_to_sqlite(
+    path: str | Path,
+    table: Table,
+    ranker: Ranker | None = None,
+    *,
+    name: str = "",
+) -> Path:
+    """Persist ``table`` (rank-indexed under ``ranker``) at ``path``.
+
+    ``name`` becomes the served dataset label (and thus part of the
+    endpoint fingerprint); pass the same label the in-memory ``serve``
+    path would use so memory- and SQLite-served instances of one dataset
+    share crawl-store ledgers.
+    """
+    return build_sqltable(path, table, ranker, name=name)
+
+
+def sqlite_table(path: str | Path) -> SQLTable:
+    """Open the SQLite table previously built at ``path``."""
+    return SQLTable(path)
+
+
+__all__ = ["sqlite_table", "table_to_sqlite"]

@@ -26,6 +26,7 @@ from .errors import (
     UnknownAttributeError,
     UnsupportedQueryError,
 )
+from .dataplane import ENGINE_CHOICES, default_ranker, make_engine
 from .interface import KEEP_BUDGET, QueryResult, TopKInterface
 from .query import (
     Interval,
@@ -39,7 +40,9 @@ from .ranking import (
     LinearRanker,
     RandomSkylineRanker,
     Ranker,
+    ranker_from_label,
 )
+from .sqltable import SQLTable, SQLTableError, build_sqltable
 from .table import Row, Table
 
 __all__ = [
@@ -48,6 +51,7 @@ __all__ = [
     "AsyncSearchEndpoint",
     "Attribute",
     "BatchSearchEndpoint",
+    "ENGINE_CHOICES",
     "EventLoopRunner",
     "SyncEndpointAdapter",
     "as_async_endpoint",
@@ -65,12 +69,17 @@ __all__ = [
     "RandomSkylineRanker",
     "Ranker",
     "Row",
+    "SQLTable",
+    "SQLTableError",
     "Schema",
     "SearchEndpoint",
     "Table",
     "TopKInterface",
     "UnknownAttributeError",
     "UnsupportedQueryError",
+    "build_sqltable",
+    "default_ranker",
+    "make_engine",
     "predicates_from_strings",
     "query_fingerprint",
     "query_key",

@@ -1,0 +1,311 @@
+"""Serving engines: how a :class:`TopKInterface` answers a query.
+
+Three interchangeable engines sit behind the unchanged interface contract,
+all producing bit-identical :class:`~repro.hiddendb.interface.QueryResult`
+rows (same rows, same order, same overflow flag):
+
+* ``scan`` -- the original reference path: an O(n) boolean match mask over
+  the whole table, then a per-query lexsort of the survivors.  The only
+  engine that supports rankers without a query-independent order (the
+  per-query-randomised :class:`~repro.hiddendb.ranking.RandomSkylineRanker`).
+* ``rank`` -- the in-memory fast path: the ranker's total order is computed
+  once per bind (one lexsort), the value matrix is copied into rank order,
+  and each query scans that matrix top-down in growing chunks,
+  short-circuiting as soon as ``k`` rows match -- O(rank of the k-th
+  answer) per query instead of O(n) + sort.
+* ``sqlite`` -- the SQL-native path for :class:`~repro.hiddendb.sqltable.
+  SQLTable`: the same total order persisted as an indexed ``rank`` column,
+  so top-k compiles to ``SELECT ... WHERE <ranges> ORDER BY rank LIMIT k``
+  over a covering index, without ever loading the table into memory.
+
+Identity argument: ``rank`` scans the *exact* permutation
+:meth:`BoundRanker.total_order` produces -- keyed by (primary criterion,
+value vector, row id), the same keys ``top()`` sorts by -- so the first
+``k`` surviving positions of any filter are precisely ``top(matched, k)``.
+``sqlite`` orders by a persisted copy of that permutation, making it
+identical by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from .errors import UnknownAttributeError
+from .query import Query
+from .ranking import BoundRanker, LinearRanker, Ranker, ranker_from_label
+from .table import Row, Table
+
+#: Engine names accepted by :func:`make_engine` (and the CLI / service).
+ENGINE_CHOICES = ("auto", "scan", "rank", "sqlite")
+
+#: First chunk of the rank scan.  Most queries resolve inside it (the
+#: top-k of a selective-enough query clusters near the top ranks), so it
+#: starts small; misses grow geometrically to bound the number of passes.
+_CHUNK_START = 1024
+_CHUNK_GROWTH = 4
+_CHUNK_CAP = 65536
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """What :class:`TopKInterface` needs from a serving engine."""
+
+    #: Engine name as reported in metrics and ``repr``.
+    label: str
+    #: Whether every filtering attribute the schema declares is answerable
+    #: -- when ``True`` (and queries are validated), executing a query can
+    #: never raise, which unlocks the vectorised batch billing path.
+    covers_filters: bool
+    #: The bound ranker, or ``None`` for the SQL-native engine (which
+    #: never materialises scores -- the persisted rank column is the order).
+    bound: BoundRanker | None
+
+    def top_rows(self, query: Query, k: int) -> tuple[Row, ...]:
+        """The top-``k`` answer rows for ``query``, best rank first."""
+
+
+def _covers_filters(table: Table) -> bool:
+    declared = table.schema.filtering_attributes
+    return all(attr.name in table.filter_names for attr in declared)
+
+
+class _ScanEngine:
+    """Reference path: full match mask + per-query lexsort (O(n))."""
+
+    label = "scan"
+
+    def __init__(self, table: Table, bound: BoundRanker) -> None:
+        self._table = table
+        self.bound = bound
+        self.covers_filters = _covers_filters(table)
+
+    def top_rows(self, query: Query, k: int) -> tuple[Row, ...]:
+        matched = self._table.match_indices(query)
+        top = self.bound.top(matched, k)
+        return self._table.rows(top)
+
+
+class _RankEngine:
+    """Rank-ordered scan: short-circuit after ``k`` matches.
+
+    The rank-sorted state (order permutation, reordered value matrix and
+    filter columns) is built lazily on the first query and shared by all
+    threads thereafter -- experiments construct many interfaces and query
+    few, so paying the one-off lexsort + copy at construction time would
+    penalise them.  ``_sorted`` is assigned last under the build lock;
+    readers treat it as the publication flag.
+    """
+
+    label = "rank"
+
+    def __init__(self, table: Table, bound: BoundRanker) -> None:
+        self._table = table
+        self.bound = bound
+        self.covers_filters = _covers_filters(table)
+        self._build_lock = threading.Lock()
+        self._filters: dict[str, np.ndarray] = {}
+        self._columns: tuple[np.ndarray, ...] = ()
+        self._maxes: tuple[int, ...] = ()
+        # (rid, v0..vm-1) per row in rank order: answers materialise with a
+        # single fancy-indexed slice + one tolist pass.
+        self._combined: np.ndarray | None = None
+
+    def _ensure_built(self) -> np.ndarray:
+        combined = self._combined
+        if combined is None:
+            with self._build_lock:
+                if self._combined is None:
+                    order = self.bound.total_order()
+                    assert order is not None, "rank engine needs a total order"
+                    self._filters = {
+                        name: self._table.filter_column(name)[order]
+                        for name in self._table.filter_names
+                    }
+                    ordered = self._table.matrix[order]
+                    # One contiguous array per attribute: the chunk masks
+                    # below then run over dense cache lines instead of
+                    # strided matrix columns.
+                    self._columns = tuple(
+                        np.ascontiguousarray(ordered[:, j])
+                        for j in range(ordered.shape[1])
+                    )
+                    self._maxes = tuple(
+                        attribute.max_value
+                        for attribute in self._table.schema.ranking_attributes
+                    )
+                    self._combined = np.concatenate(
+                        [np.asarray(order).reshape(-1, 1), ordered], axis=1
+                    )
+                combined = self._combined
+        return combined
+
+    def top_rows(self, query: Query, k: int) -> tuple[Row, ...]:
+        combined = self._ensure_built()
+        n = combined.shape[0]
+        # Compile the query into (column, lo, hi) tests, dropping bounds
+        # that cannot exclude anything (the common select-all envelope).
+        tests: list[tuple[np.ndarray, int, int]] = []
+        ranges = query.ranges
+        if ranges:
+            columns = self._columns
+            maxes = self._maxes
+            for index, interval in ranges.items():
+                lo = interval.lo
+                hi = interval.hi
+                if lo > 0 or hi < maxes[index]:
+                    tests.append((columns[index], lo, hi))
+        filters = query.filters
+        if filters:
+            for name, value in filters.items():
+                column = self._filters.get(name)
+                if column is None:
+                    raise UnknownAttributeError(f"no filter column {name!r}")
+                tests.append((column, value, value))
+
+        if not tests:  # unconstrained: the top-k is rows 0..k
+            count = k if k < n else n
+            return self._materialize(np.arange(count, dtype=np.intp))
+
+        first = tests[0]
+        rest = tests[1:]
+        positions: np.ndarray | None = None
+        found = 0
+        start = 0
+        chunk = _CHUNK_START
+        while start < n and found < k:
+            stop = start + chunk
+            if stop > n:
+                stop = n
+            column, lo, hi = first
+            segment = column[start:stop]
+            if lo == hi:  # point constraint (SQ/PQ probes, filters)
+                mask = segment == lo
+            else:
+                mask = segment >= lo
+                mask &= segment <= hi
+            for column, lo, hi in rest:
+                segment = column[start:stop]
+                if lo == hi:
+                    mask &= segment == lo
+                else:
+                    mask &= segment >= lo
+                    mask &= segment <= hi
+            matched = mask.nonzero()[0]
+            if matched.size:
+                if start:
+                    matched += start
+                positions = (
+                    matched
+                    if positions is None
+                    else np.concatenate((positions, matched))
+                )
+                found += matched.size
+            start = stop
+            if chunk < _CHUNK_CAP:
+                chunk = min(chunk * _CHUNK_GROWTH, _CHUNK_CAP)
+        if positions is None:
+            return ()
+        return self._materialize(positions[:k])
+
+    def _materialize(self, positions: np.ndarray) -> tuple[Row, ...]:
+        if positions.size == 0:
+            return ()
+        combined = self._combined
+        assert combined is not None
+        return tuple(
+            [Row(row[0], tuple(row[1:]))
+             for row in combined[positions].tolist()]
+        )
+
+
+class _SQLiteEngine:
+    """SQL-native path: one covering-index walk per query, no table load."""
+
+    label = "sqlite"
+    covers_filters = True  # build_sqltable persists every declared filter
+    bound = None
+
+    def __init__(self, table) -> None:
+        self._table = table
+
+    def top_rows(self, query: Query, k: int) -> tuple[Row, ...]:
+        return self._table.top_rows(query, k)
+
+
+def _is_sql_native(table: object, ranker: Ranker) -> bool:
+    """Whether ``table`` can serve ``ranker`` straight from its rank index."""
+    return (
+        hasattr(table, "top_rows")
+        and getattr(table, "ranking_label", None) == ranker.describe()
+    )
+
+
+def default_ranker(table: object) -> Ranker:
+    """The ranking a table serves under when the caller names none.
+
+    Plain in-memory tables get the paper's unit-weight SUM
+    (:class:`LinearRanker`); a SQL table's persisted rank index pins the
+    ranking it was built with, so its label is reconstructed instead --
+    anything else would silently answer under a different order than the
+    index provides.
+    """
+    label = getattr(table, "ranking_label", None)
+    if label is not None and hasattr(table, "top_rows"):
+        return ranker_from_label(label)
+    return LinearRanker()
+
+
+def make_engine(table, ranker: Ranker, engine: str = "auto") -> Engine:
+    """Build the serving engine for ``table`` under ``ranker``.
+
+    ``auto`` picks the fastest correct engine: the SQL-native path when
+    ``table`` is a :class:`~repro.hiddendb.sqltable.SQLTable` whose
+    persisted ranking matches ``ranker``; otherwise the rank-ordered scan
+    when the ranker has a query-independent total order; otherwise the
+    O(n) reference scan.  Forcing an engine the configuration cannot
+    support raises ``ValueError`` rather than silently degrading.
+
+    A SQL table under a *different* ranker (or a forced ``scan``/``rank``)
+    is materialised in memory once via ``as_memory()``.
+    """
+    if engine not in ENGINE_CHOICES:
+        raise ValueError(
+            f"unknown engine {engine!r}; choose from {ENGINE_CHOICES}"
+        )
+    native = _is_sql_native(table, ranker)
+    if engine == "sqlite":
+        if not native:
+            reason = (
+                f"its rank index was built for "
+                f"{getattr(table, 'ranking_label', None)!r}, "
+                f"not {ranker.describe()!r}"
+                if hasattr(table, "top_rows")
+                else "the table is not SQLite-backed"
+            )
+            raise ValueError(f"cannot use the sqlite engine: {reason}")
+        return _SQLiteEngine(table)
+    if engine == "auto" and native:
+        return _SQLiteEngine(table)
+    memory = table.as_memory() if hasattr(table, "as_memory") else table
+    bound = ranker.bind(memory)
+    if engine == "scan":
+        return _ScanEngine(memory, bound)
+    if engine == "rank" and not bound.has_total_order:
+        raise ValueError(
+            f"cannot use the rank engine: {ranker.describe()} has no "
+            "query-independent total order"
+        )
+    if bound.has_total_order:
+        return _RankEngine(memory, bound)
+    return _ScanEngine(memory, bound)
+
+
+__all__ = [
+    "ENGINE_CHOICES",
+    "Engine",
+    "default_ranker",
+    "make_engine",
+]

@@ -22,9 +22,10 @@ import threading
 from dataclasses import dataclass
 from typing import Sequence
 
+from .dataplane import default_ranker, make_engine
 from .errors import HiddenDBError, QueryBudgetExceeded
 from .query import Query
-from .ranking import LinearRanker, Ranker
+from .ranking import Ranker
 from .table import Row, Table
 
 #: Sentinel for :meth:`TopKInterface.reset`: distinguishes "keep the current
@@ -81,6 +82,13 @@ class TopKInterface:
         feeds the crawl store's endpoint fingerprint, so two same-shaped
         interfaces over *different* data (e.g. regenerated datasets) do
         not share a query ledger.
+    engine:
+        Serving engine (see :mod:`repro.hiddendb.dataplane`): ``auto``
+        (default) picks the fastest bit-identical path -- SQL-native for a
+        :class:`~repro.hiddendb.sqltable.SQLTable` under its persisted
+        ranking, the rank-ordered in-memory scan for query-independent
+        rankers, the O(n) reference scan otherwise.  ``scan`` / ``rank`` /
+        ``sqlite`` force a specific path.
     """
 
     def __init__(
@@ -92,14 +100,16 @@ class TopKInterface:
         validate: bool = True,
         record_log: bool = False,
         name: str = "",
+        engine: str = "auto",
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if budget is not None and budget < 0:
             raise ValueError(f"budget must be >= 0, got {budget}")
         self._table = table
-        self._ranker = ranker if ranker is not None else LinearRanker()
-        self._bound = self._ranker.bind(table)
+        self._ranker = ranker if ranker is not None else default_ranker(table)
+        self._engine = make_engine(table, self._ranker, engine)
+        self._bound = self._engine.bound
         self._k = k
         self._budget = budget
         self._validate = validate
@@ -109,6 +119,11 @@ class TopKInterface:
         # Billing (check budget, then charge) must be atomic: the execution
         # engine's pipelined strategy issues queries from worker threads.
         self._lock = threading.Lock()
+        # Batches may bill upfront (one lock round-trip) only when answering
+        # cannot fail afterwards: queries validated, every declared filter
+        # column answerable.  Otherwise an execution error after upfront
+        # billing would charge queries the per-item loop never issues.
+        self._batch_fast = validate and self._engine.covers_filters
 
     # ------------------------------------------------------------------
     # metadata visible to a client
@@ -137,6 +152,12 @@ class TopKInterface:
         never share a query ledger.
         """
         return self._ranker.describe()
+
+    @property
+    def engine(self) -> str:
+        """Name of the serving engine answering queries (``scan`` /
+        ``rank`` / ``sqlite``)."""
+        return self._engine.label
 
     @property
     def queries_issued(self) -> int:
@@ -182,9 +203,7 @@ class TopKInterface:
                 raise QueryBudgetExceeded(self._budget)
             self._count += 1
             sequence = self._count
-        matched = self._table.match_indices(query)
-        top = self._bound.top(matched, self._k)
-        rows = self._table.rows(top)
+        rows = self._engine.top_rows(query, self._k)
         result = QueryResult(
             query=query,
             rows=rows,
@@ -199,23 +218,62 @@ class TopKInterface:
     def batch_query(self, queries: Sequence[Query]) -> tuple[QueryResult, ...]:
         """Answer several independent queries in one call.
 
-        The in-process simulator has no transport overhead to amortise, so
-        this is a plain per-item loop -- it exists so the execution
-        engine's batched dispatch path can be exercised (and parity-tested)
-        without a network, with identical per-item billing and failure
-        semantics: the first exhausted-budget or unsupported-query error
+        Per-item billing and failure semantics are those of issuing each
+        query alone: the first exhausted-budget or unsupported-query error
         aborts the remainder of the batch, carrying the answers billed
         before it as ``exc.partial_results`` (the
         :class:`~repro.hiddendb.endpoint.BatchSearchEndpoint` convention).
+
+        When answering cannot fail (validated queries, engine covering
+        every declared filter -- the common case), the whole batch is
+        validated and billed under **one** lock acquisition and answered
+        lock-free afterwards, so a batch costs one lock round-trip instead
+        of one per item.  Configurations where execution itself may raise
+        (``validate=False``, or a table missing declared filter columns)
+        keep the exact per-item loop, whose interleaved bill-then-execute
+        ordering their error accounting depends on.
         """
-        results: list[QueryResult] = []
-        for query in queries:
-            try:
-                results.append(self.query(query))
-            except HiddenDBError as exc:
-                exc.partial_results = tuple(results)
-                raise
-        return tuple(results)
+        if not self._batch_fast:
+            results: list[QueryResult] = []
+            for query in queries:
+                try:
+                    results.append(self.query(query))
+                except HiddenDBError as exc:
+                    exc.partial_results = tuple(results)
+                    raise
+            return tuple(results)
+
+        schema = self._table.schema
+        billed: list[tuple[Query, int]] = []
+        error: HiddenDBError | None = None
+        with self._lock:
+            for query in queries:
+                try:
+                    query.validate(schema)
+                    if self._budget is not None and self._count >= self._budget:
+                        raise QueryBudgetExceeded(self._budget)
+                except HiddenDBError as exc:
+                    error = exc
+                    break
+                self._count += 1
+                billed.append((query, self._count))
+        answers = tuple(
+            QueryResult(
+                query=query,
+                rows=rows,
+                overflow=len(rows) == self._k,
+                sequence=sequence,
+            )
+            for query, sequence in billed
+            for rows in (self._engine.top_rows(query, self._k),)
+        )
+        if self._log is not None:
+            with self._lock:
+                self._log.extend(answers)
+        if error is not None:
+            error.partial_results = answers
+            raise error
+        return answers
 
     # ------------------------------------------------------------------
     # experiment plumbing

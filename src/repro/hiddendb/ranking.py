@@ -39,6 +39,29 @@ class BoundRanker(abc.ABC):
     def top(self, indices: np.ndarray, k: int) -> np.ndarray:
         """The ``k`` highest-ranked row ids among ``indices``, in rank order."""
 
+    @property
+    def has_total_order(self) -> bool:
+        """Whether this ranker's order is fixed per table (query-independent).
+
+        ``True`` means :meth:`total_order` returns a permutation and the
+        serving layer may answer every query by scanning it in rank order;
+        ``False`` (e.g. the per-query-randomised
+        :class:`RandomSkylineRanker`) forces the per-query O(n) path.
+        """
+        return False
+
+    def total_order(self) -> np.ndarray | None:
+        """Best-to-worst permutation of all row ids, or ``None``.
+
+        The permutation ranks the *whole* table under exactly the keys
+        :meth:`top` uses -- (primary criterion, value vector, row id) --
+        so the first ``k`` surviving positions of any query filter are
+        identical to ``top(matched, k)``.  Computed lazily (one
+        ``lexsort``) and cached; rankers whose order depends on the query
+        return ``None``.
+        """
+        return None
+
 
 class Ranker(abc.ABC):
     """A ranking-function factory, independent of any table."""
@@ -81,6 +104,24 @@ class _BoundLinear(BoundRanker):
     def __init__(self, matrix: np.ndarray, scores: np.ndarray) -> None:
         self._matrix = matrix
         self._scores = scores
+        self._order: np.ndarray | None = None
+
+    @property
+    def has_total_order(self) -> bool:
+        return True
+
+    def total_order(self) -> np.ndarray:
+        if self._order is None:
+            # lexsort is stable, so full-key ties fall back to the input
+            # order -- ascending row id, the same tie-break top() applies
+            # through its explicit row-id key.
+            keys = [
+                self._matrix[:, column]
+                for column in range(self._matrix.shape[1] - 1, -1, -1)
+            ]
+            keys.append(self._scores)
+            self._order = np.lexsort(keys)
+        return self._order
 
     def top(self, indices: np.ndarray, k: int) -> np.ndarray:
         if indices.size == 0:
@@ -146,6 +187,20 @@ class _BoundLexicographic(BoundRanker):
     def __init__(self, matrix: np.ndarray, priority: tuple[int, ...]) -> None:
         self._matrix = matrix
         self._priority = priority
+        self._order: np.ndarray | None = None
+
+    @property
+    def has_total_order(self) -> bool:
+        return True
+
+    def total_order(self) -> np.ndarray:
+        if self._order is None:
+            keys = [self._matrix[:, column] for column in reversed(self._priority)]
+            if keys:
+                self._order = np.lexsort(keys)
+            else:  # zero ranking attributes: row id is the whole order
+                self._order = np.arange(self._matrix.shape[0])
+        return self._order
 
     def top(self, indices: np.ndarray, k: int) -> np.ndarray:
         if indices.size == 0:
@@ -236,6 +291,37 @@ class RandomSkylineRanker(Ranker):
             f"RandomSkylineRanker(seed={self._seed}, "
             f"fallback={self._fallback.describe()})"
         )
+
+
+def ranker_from_label(label: str) -> Ranker:
+    """Reconstruct a :class:`Ranker` from its :meth:`Ranker.describe` label.
+
+    The inverse of ``describe()`` for the rankers whose order can be
+    persisted (linear and lexicographic); used when reopening a SQLite
+    table so the serving ranking -- and therefore the endpoint
+    fingerprint -- is exactly the one the rank index was built under.
+
+    Raises
+    ------
+    ValueError
+        If the label does not name a reconstructible ranker (e.g. the
+        seeded :class:`RandomSkylineRanker`, whose per-query randomness
+        cannot be captured by a persisted order).
+    """
+    import ast
+    import re
+
+    if label == "LinearRanker":
+        return LinearRanker()
+    if label == "LexicographicRanker":
+        return LexicographicRanker()
+    match = re.fullmatch(r"LinearRanker\(weights=(\[[^]]*\])\)", label)
+    if match:
+        return LinearRanker(ast.literal_eval(match.group(1)))
+    match = re.fullmatch(r"LexicographicRanker\(priority=(\[[^]]*\])\)", label)
+    if match:
+        return LexicographicRanker(ast.literal_eval(match.group(1)))
+    raise ValueError(f"cannot reconstruct a ranker from label {label!r}")
 
 
 def is_domination_consistent_order(matrix: np.ndarray, order: np.ndarray) -> bool:

@@ -1,0 +1,471 @@
+"""SQLite-backed tuple store: a persistent, restart-surviving `Table`.
+
+:class:`SQLTable` holds the same data as an in-memory
+:class:`~repro.hiddendb.table.Table` -- ranking values in preference space
+plus per-name filtering columns -- in a single SQLite file in WAL mode, so
+``repro serve --table-db data.sqlite`` can host millions of tuples, start
+instantly (no datagen, no load), and survive restarts.
+
+The serving trick is a *persisted rank index*: at build time the table's
+total rank order under a concrete ranking function -- the same
+(score, value vector, row id) order the in-memory fast path precomputes --
+is materialised as an integer ``rank`` column, covered by an index over
+``(rank, v0..vm-1, f0..)``.  A top-k query then compiles to::
+
+    SELECT rid, v0.. FROM tuples WHERE <ranges> ORDER BY rank LIMIT k
+
+which SQLite answers by walking the covering index in rank order and
+stopping after ``k`` matches: O(rank of the k-th answer) work per query
+instead of a full scan, and bit-identical answers to the in-memory engines
+because the persisted order *is* the in-memory order.
+
+Schema (mirroring the WAL/covering-index layout of the Paper-Scanner
+index documented in SNIPPETS.md):
+
+* ``meta(key TEXT PRIMARY KEY, value TEXT)`` -- format version, dataset
+  name, ranking label, and the schema as JSON (same field names as the
+  service wire format);
+* ``tuples(rid INTEGER PRIMARY KEY, rank INTEGER, v<i> INTEGER ...,
+  f<j> INTEGER ...)`` -- ranking columns positional (``v0..vm-1``),
+  filtering columns in schema order (``f0..``), so attribute names never
+  need SQL-identifier sanitising;
+* ``idx_rank(rank, v0.., f0..)`` -- the covering rank index (``rid`` is
+  the rowid, included implicitly).
+
+Pragmas: ``journal_mode=WAL`` (concurrent readers), ``synchronous=NORMAL``
+(``OFF`` during the build transaction), ``busy_timeout=30000``.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from .attributes import Attribute, InterfaceKind, Schema
+from .errors import HiddenDBError, UnknownAttributeError
+from .query import Query
+from .ranking import LinearRanker, Ranker
+from .table import Row, Table
+
+#: Bumped when the on-disk layout changes; mismatches refuse to open.
+FORMAT_VERSION = 1
+
+#: Rows per INSERT executemany batch at build time (bounds peak memory).
+_BUILD_BATCH = 100_000
+
+
+class SQLTableError(HiddenDBError):
+    """The SQLite table file is missing, malformed, or incompatible."""
+
+
+def _schema_to_json(schema: Schema) -> str:
+    attributes = []
+    for attribute in schema.attributes:
+        entry: dict = {
+            "name": attribute.name,
+            "domain_size": attribute.domain_size,
+            "kind": attribute.kind.value,
+        }
+        if attribute.labels is not None:
+            try:
+                json.dumps(attribute.labels)
+            except (TypeError, ValueError):
+                pass  # display-only; drop labels that do not round-trip
+            else:
+                entry["labels"] = list(attribute.labels)
+        attributes.append(entry)
+    return json.dumps({"attributes": attributes})
+
+
+def _schema_from_json(payload: str) -> Schema:
+    attributes = []
+    for entry in json.loads(payload)["attributes"]:
+        labels = entry.get("labels")
+        attributes.append(
+            Attribute(
+                name=entry["name"],
+                domain_size=int(entry["domain_size"]),
+                kind=InterfaceKind(entry["kind"]),
+                labels=None if labels is None else tuple(labels),
+            )
+        )
+    return Schema(attributes)
+
+
+def _column_names(schema: Schema) -> tuple[list[str], dict[str, str]]:
+    """Positional SQL column names: ranking ``v0..``, filtering ``f0..``."""
+    ranking = [f"v{i}" for i in range(schema.m)]
+    filters = {
+        attribute.name: f"f{j}"
+        for j, attribute in enumerate(schema.filtering_attributes)
+    }
+    return ranking, filters
+
+
+def build_sqltable(
+    path: str | Path,
+    table: Table,
+    ranker: Ranker | None = None,
+    *,
+    name: str = "",
+) -> Path:
+    """Materialise ``table`` (ranked by ``ranker``) as a SQLite file.
+
+    The ranker must have a precomputable total order (linear or
+    lexicographic; the default is the paper's unit-weight SUM) -- its
+    rank permutation becomes the persisted serving index.  ``name`` is
+    the dataset identity label later served as the endpoint name.
+
+    An existing file at ``path`` is replaced atomically from the reader's
+    point of view (DROP + rebuild in one transaction).
+    """
+    ranker = ranker if ranker is not None else LinearRanker()
+    bound = ranker.bind(table)
+    order = bound.total_order()
+    if order is None:
+        raise ValueError(
+            f"{ranker.describe()} has no precomputable total order; only "
+            "query-independent rankers can be persisted as a rank index"
+        )
+    rank_of = np.empty(table.n, dtype=np.int64)
+    rank_of[order] = np.arange(table.n, dtype=np.int64)
+
+    schema = table.schema
+    ranking_cols, filter_cols = _column_names(schema)
+    missing = [
+        attr.name for attr in schema.filtering_attributes
+        if attr.name not in table.filter_names
+    ]
+    if missing:
+        raise ValueError(
+            f"cannot persist table: filtering attributes {missing} declared "
+            "by the schema carry no column data"
+        )
+    columns = [np.arange(table.n, dtype=np.int64), rank_of]
+    columns.extend(table.matrix[:, i] for i in range(table.m))
+    columns.extend(
+        table.filter_column(attr.name) for attr in schema.filtering_attributes
+    )
+    stacked = (
+        np.column_stack(columns)
+        if table.n
+        else np.empty((0, len(columns)), dtype=np.int64)
+    )
+
+    path = Path(path)
+    connection = sqlite3.connect(path)
+    try:
+        connection.execute("PRAGMA journal_mode=WAL")
+        connection.execute("PRAGMA busy_timeout=30000")
+        connection.execute("PRAGMA synchronous=OFF")  # build only
+        column_ddl = ", ".join(
+            [f"{col} INTEGER NOT NULL" for col in
+             ["rank"] + ranking_cols + list(filter_cols.values())]
+        )
+        with connection:  # one transaction: build is all-or-nothing
+            connection.execute("DROP TABLE IF EXISTS tuples")
+            connection.execute("DROP TABLE IF EXISTS meta")
+            connection.execute(
+                f"CREATE TABLE tuples (rid INTEGER PRIMARY KEY, {column_ddl})"
+            )
+            insert = (
+                f"INSERT INTO tuples VALUES ({', '.join('?' * stacked.shape[1])})"
+            )
+            for start in range(0, table.n, _BUILD_BATCH):
+                connection.executemany(
+                    insert, stacked[start:start + _BUILD_BATCH].tolist()
+                )
+            index_cols = ["rank"] + ranking_cols + list(filter_cols.values())
+            connection.execute(
+                f"CREATE INDEX idx_rank ON tuples ({', '.join(index_cols)})"
+            )
+            connection.execute(
+                "CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+            )
+            connection.executemany(
+                "INSERT INTO meta VALUES (?, ?)",
+                [
+                    ("version", str(FORMAT_VERSION)),
+                    ("name", name),
+                    ("ranking", ranker.describe()),
+                    ("n", str(table.n)),
+                    ("schema", _schema_to_json(schema)),
+                ],
+            )
+        connection.execute("PRAGMA synchronous=NORMAL")
+        connection.execute("PRAGMA optimize")
+    finally:
+        connection.close()
+    return path
+
+
+class SQLTable:
+    """A read-only `Table` served straight out of a SQLite file.
+
+    Duck-types the :class:`~repro.hiddendb.table.Table` surface the
+    serving layer uses (``schema``/``n``/``m``/``rows``/``match_indices``
+    ...), adds the SQL-native :meth:`top_rows` fast path, and can
+    materialise a full in-memory :class:`Table` (:meth:`as_memory`) for
+    the ground-truth oracles and for rankers other than the persisted one.
+
+    Connections are per-thread (SQLite requirement); WAL mode lets the
+    threaded HTTP server read concurrently.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        if not self._path.exists():
+            raise SQLTableError(f"no SQLite table at {self._path}")
+        self._local = threading.local()
+        try:
+            meta = dict(self._connection().execute("SELECT key, value FROM meta"))
+        except sqlite3.DatabaseError as exc:
+            raise SQLTableError(
+                f"{self._path} is not a repro SQLite table: {exc}"
+            ) from None
+        version = int(meta.get("version", -1))
+        if version != FORMAT_VERSION:
+            raise SQLTableError(
+                f"{self._path}: format version {version}, expected "
+                f"{FORMAT_VERSION}; rebuild with build_sqltable()"
+            )
+        self._schema = _schema_from_json(meta["schema"])
+        self._n = int(meta["n"])
+        self._name = meta.get("name", "")
+        self._ranking = meta["ranking"]
+        self._ranking_cols, self._filter_cols = _column_names(self._schema)
+        self._select_cols = ", ".join(["rid"] + self._ranking_cols)
+        # Precompiled per-column clause fragments and bound caps: the
+        # serving path assembles WHERE clauses on every query, so the
+        # string formatting is hoisted out of the hot loop.
+        self._ge_clauses = tuple(f"{c} >= ?" for c in self._ranking_cols)
+        self._le_clauses = tuple(f"{c} <= ?" for c in self._ranking_cols)
+        self._eq_clauses = {
+            name: f"{column} = ?"
+            for name, column in self._filter_cols.items()
+        }
+        self._maxes = tuple(
+            attribute.max_value
+            for attribute in self._schema.ranking_attributes
+        )
+        self._top_prefix = (
+            f"SELECT {self._select_cols} FROM tuples INDEXED BY idx_rank"
+        )
+        self._memory: Table | None = None
+        self._memory_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # connections
+    # ------------------------------------------------------------------
+    def _connection(self) -> sqlite3.Connection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = sqlite3.connect(self._path)
+            connection.execute("PRAGMA busy_timeout=30000")
+            connection.execute("PRAGMA query_only=ON")
+            self._local.connection = connection
+        return connection
+
+    def close(self) -> None:
+        """Close this thread's connection (other threads' close on GC)."""
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+
+    def __enter__(self) -> "SQLTable":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Table surface
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        """Location of the backing SQLite file."""
+        return self._path
+
+    @property
+    def schema(self) -> Schema:
+        """The table's schema."""
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        """Dataset identity label persisted at build time."""
+        return self._name
+
+    @property
+    def ranking_label(self) -> str:
+        """Label of the ranking function the rank index was built under."""
+        return self._ranking
+
+    @property
+    def n(self) -> int:
+        """Number of tuples."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of ranking attributes."""
+        return self._schema.m
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def filter_names(self) -> tuple[str, ...]:
+        """Names of the filtering columns (always all declared ones)."""
+        return tuple(self._filter_cols)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full ``(n, m)`` ranking matrix (loads once, then cached)."""
+        return self.as_memory().matrix
+
+    def filter_column(self, name: str) -> np.ndarray:
+        """Read-only values of filtering column ``name`` (all rows)."""
+        return self.as_memory().filter_column(name)
+
+    def as_memory(self) -> Table:
+        """Materialise the full table in memory (cached).
+
+        Used by the ground-truth oracles and when a non-persisted ranker
+        is bound over this table; the serving path never needs it.
+        """
+        with self._memory_lock:
+            if self._memory is None:
+                columns = self._ranking_cols + list(self._filter_cols.values())
+                rows = self._connection().execute(
+                    f"SELECT {', '.join(columns)} FROM tuples ORDER BY rid"
+                ).fetchall()
+                data = (
+                    np.asarray(rows, dtype=np.int64)
+                    if rows
+                    else np.empty((0, len(columns)), dtype=np.int64)
+                )
+                filters = {
+                    name: data[:, self.m + j]
+                    for j, name in enumerate(self._filter_cols)
+                }
+                self._memory = Table(self._schema, data[:, : self.m], filters)
+            return self._memory
+
+    # ------------------------------------------------------------------
+    # query evaluation
+    # ------------------------------------------------------------------
+    def _compile(self, query: Query) -> tuple[str, list[int]]:
+        """WHERE clause + parameters for ``query`` (may be empty)."""
+        clauses: list[str] = []
+        params: list[int] = []
+        ranges = query.ranges
+        if ranges:
+            maxes = self._maxes
+            for index, interval in ranges.items():
+                if interval.lo > 0:
+                    clauses.append(self._ge_clauses[index])
+                    params.append(int(interval.lo))
+                if interval.hi < maxes[index]:
+                    clauses.append(self._le_clauses[index])
+                    params.append(int(interval.hi))
+        filters = query.filters
+        if filters:
+            for name, value in filters.items():
+                clause = self._eq_clauses.get(name)
+                if clause is None:
+                    raise UnknownAttributeError(f"no filter column {name!r}")
+                clauses.append(clause)
+                params.append(int(value))
+        return (" WHERE " + " AND ".join(clauses)) if clauses else "", params
+
+    def top_rows(self, query: Query, k: int) -> tuple[Row, ...]:
+        """The top-``k`` answer to ``query`` under the persisted ranking.
+
+        One covering-index walk in rank order, short-circuited at ``k``
+        matches -- the SQL-native twin of the in-memory rank-scan path.
+        """
+        where, params = self._compile(query)
+        params.append(k)
+        rows = self._connection().execute(
+            self._top_prefix + where + " ORDER BY rank LIMIT ?", params
+        ).fetchall()
+        # fetchall() rows are tuples, so row[1:] already is the values
+        # tuple -- no per-row conversion on the serving hot path.
+        return tuple([Row(row[0], row[1:]) for row in rows])
+
+    def match_indices(self, query: Query) -> np.ndarray:
+        """Row identifiers of rows satisfying ``query``."""
+        where, params = self._compile(query)
+        rows = self._connection().execute(
+            f"SELECT rid FROM tuples{where} ORDER BY rid", params
+        ).fetchall()
+        return np.asarray([row[0] for row in rows], dtype=np.int64)
+
+    def count_matches(self, query: Query) -> int:
+        """Number of rows satisfying ``query``."""
+        where, params = self._compile(query)
+        (count,) = self._connection().execute(
+            f"SELECT COUNT(*) FROM tuples{where}", params
+        ).fetchone()
+        return int(count)
+
+    def row(self, rid: int) -> Row:
+        """Materialise the row with identifier ``rid``."""
+        got = self._connection().execute(
+            f"SELECT {self._select_cols} FROM tuples WHERE rid = ?", (int(rid),)
+        ).fetchone()
+        if got is None:
+            raise IndexError(f"no row {rid} in {self._path.name}")
+        return Row(got[0], got[1:])
+
+    def rows(self, rids: Sequence[int]) -> tuple[Row, ...]:
+        """Materialise several rows at once (input order preserved)."""
+        return tuple(self.row(int(rid)) for rid in rids)
+
+    def filter_value(self, name: str, rid: int) -> int:
+        """Filtering-attribute value of row ``rid``."""
+        column = self._filter_cols.get(name)
+        if column is None:
+            raise UnknownAttributeError(f"no filter column {name!r}")
+        got = self._connection().execute(
+            f"SELECT {column} FROM tuples WHERE rid = ?", (int(rid),)
+        ).fetchone()
+        if got is None:
+            raise IndexError(f"no row {rid} in {self._path.name}")
+        return int(got[0])
+
+    # ------------------------------------------------------------------
+    # ground-truth oracles (delegate to the materialised table)
+    # ------------------------------------------------------------------
+    def skyline_indices(self) -> np.ndarray:
+        """Row identifiers of the true skyline, sorted ascending."""
+        return self.as_memory().skyline_indices()
+
+    def skyline_rows(self) -> tuple[Row, ...]:
+        """The true skyline tuples."""
+        return self.as_memory().skyline_rows()
+
+    def skyband_indices(self, k_band: int) -> np.ndarray:
+        """Row identifiers of the true top-``k_band`` skyband, sorted."""
+        return self.as_memory().skyband_indices(k_band)
+
+    def __repr__(self) -> str:
+        return (
+            f"SQLTable(n={self._n}, path={str(self._path)!r}, "
+            f"ranking={self._ranking!r})"
+        )
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "SQLTable",
+    "SQLTableError",
+    "build_sqltable",
+]

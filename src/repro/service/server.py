@@ -53,7 +53,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 
 from ..hiddendb.errors import HiddenDBError, UnsupportedQueryError
-from ..hiddendb.ranking import LinearRanker, Ranker
+from ..hiddendb.dataplane import default_ranker, make_engine
+from ..hiddendb.ranking import Ranker
 from ..hiddendb.table import Table
 from ..obs import MetricsRegistry, render_prometheus
 from ..obs.exposition import CONTENT_TYPE as METRICS_CONTENT_TYPE
@@ -228,6 +229,12 @@ class HiddenDBServer:
         Enforce the per-attribute interface taxonomy (leave on).
     name:
         Service name reported by ``/api/schema`` and ``/api/stats``.
+    engine:
+        Serving engine (:mod:`repro.hiddendb.dataplane`): ``auto`` picks
+        the fastest bit-identical path for the table/ranker pair -- the
+        SQL-native index walk for a :class:`~repro.hiddendb.sqltable.
+        SQLTable` under its persisted ranking, the rank-ordered in-memory
+        scan otherwise.
     """
 
     def __init__(
@@ -243,14 +250,15 @@ class HiddenDBServer:
         faults: FaultConfig | None = None,
         validate: bool = True,
         name: str = "hidden-db",
+        engine: str = "auto",
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if key_budget is not None and key_budget < 0:
             raise ValueError(f"key_budget must be >= 0, got {key_budget}")
         self._table = table
-        self._ranker = ranker if ranker is not None else LinearRanker()
-        self._bound = self._ranker.bind(table)
+        self._ranker = ranker if ranker is not None else default_ranker(table)
+        self._engine = make_engine(table, self._ranker, engine)
         self._k = k
         self._host = host
         self._requested_port = port
@@ -308,6 +316,11 @@ class HiddenDBServer:
             "hiddendb_queries_faulted_total",
             "Injected retriable faults returned, by API key.",
             ("key",),
+        )
+        self._m_scan = self._metrics.histogram(
+            "hiddendb_table_scan_seconds",
+            "Top-k answer computation latency, by serving engine.",
+            ("engine",),
         )
 
     # ------------------------------------------------------------------
@@ -412,6 +425,12 @@ class HiddenDBServer:
         return self._name
 
     @property
+    def engine(self) -> str:
+        """Name of the serving engine answering queries (``scan`` /
+        ``rank`` / ``sqlite``)."""
+        return self._engine.label
+
+    @property
     def fingerprint(self) -> str:
         """Endpoint identity hash (schema + ``k`` + name + ranking).
 
@@ -503,6 +522,7 @@ class HiddenDBServer:
             200,
             {
                 "name": self._name,
+                "engine": self._engine.label,
                 "uptime_s": round(uptime, 3) if uptime is not None else None,
                 "in_flight": int(self._m_inflight.value()),
                 "queries_total": stats.queries_total,
@@ -712,9 +732,11 @@ class HiddenDBServer:
                 {"X-Budget-Remaining": "0"},
             )
         self._m_billed.inc(key=api_key)
-        matched = self._table.match_indices(query)
-        top = self._bound.top(matched, self._k)
-        rows = self._table.rows(top)
+        scan_started = time.perf_counter()
+        rows = self._engine.top_rows(query, self._k)
+        self._m_scan.observe(
+            time.perf_counter() - scan_started, engine=self._engine.label
+        )
         body = encode_answer(rows, overflow=len(rows) == self._k, sequence=sequence)
         budget = self._billing.budget_of(api_key)
         headers = {"X-Queries-Issued": str(sequence)}

@@ -185,6 +185,56 @@ def parity_run_strategy_params():
 
 
 # ----------------------------------------------------------------------
+# data-plane engine axis: every parity suite can additionally pin the
+# serving engine ('scan' is the O(n) reference; 'rank' and 'sqlite' must
+# produce bit-identical QueryResults, so algorithm outcomes cannot drift)
+# ----------------------------------------------------------------------
+
+#: The fast engines gated on parity with the ``scan`` reference.
+DATAPLANE_ENGINES = ("rank", "sqlite")
+
+
+def build_engine_interface(table, engine, tmp_path, *, ranker=None,
+                           k=5, **kwargs) -> TopKInterface:
+    """A :class:`TopKInterface` over ``table`` pinned to a serving engine.
+
+    ``sqlite`` builds a throwaway SQLite table under ``tmp_path`` (rank
+    index persisted for ``ranker``) and serves from it; ``scan`` /
+    ``rank`` force the in-memory paths.  Asserts the requested engine is
+    the one actually serving.
+    """
+    from repro.hiddendb import SQLTable, build_sqltable
+
+    if engine == "sqlite":
+        path = tmp_path / f"parity{len(list(tmp_path.glob('*.sqlite')))}.sqlite"
+        build_sqltable(path, table, ranker)
+        interface = TopKInterface(
+            SQLTable(path), ranker=ranker, k=k, engine="sqlite", **kwargs
+        )
+    else:
+        interface = TopKInterface(
+            table, ranker=ranker, k=k, engine=engine, **kwargs
+        )
+    assert interface.engine == engine
+    return interface
+
+
+def parity_run_engine_strategy_params():
+    """``(algorithm, table, engine, strategy, config)`` params: the full
+    data-plane parity grid -- every registered algorithm x fast engine x
+    execution strategy, each gated against the scan+serial reference."""
+    for algo_param in parity_run_params():
+        algorithm, table = algo_param.values
+        for engine in DATAPLANE_ENGINES:
+            for strat_param in parity_strategy_params():
+                strategy, config = strat_param.values
+                yield pytest.param(
+                    algorithm, table, engine, strategy, config,
+                    id=f"{algorithm}-{engine}-{strategy}",
+                )
+
+
+# ----------------------------------------------------------------------
 # Prometheus text-format parser (strict): shared by the obs, service and
 # coordinator suites so every /metrics surface is validated the same way
 # ----------------------------------------------------------------------

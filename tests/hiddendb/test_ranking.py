@@ -7,6 +7,7 @@ from repro.hiddendb import (
     LexicographicRanker,
     LinearRanker,
     RandomSkylineRanker,
+    ranker_from_label,
 )
 from repro.hiddendb.ranking import is_domination_consistent_order
 
@@ -132,3 +133,55 @@ class TestDominationConsistency:
         matrix = np.array([[1, 1], [0, 0]])
         assert not is_domination_consistent_order(matrix, np.array([0, 1]))
         assert is_domination_consistent_order(matrix, np.array([1, 0]))
+
+
+class TestTotalOrder:
+    @pytest.mark.parametrize(
+        "ranker",
+        [
+            LinearRanker(),
+            LinearRanker([2.0, 0.0, 1.0]),
+            LexicographicRanker([1, 2, 0]),
+        ],
+        ids=["sum", "weighted", "lexicographic"],
+    )
+    def test_total_order_equals_top_of_everything(self, ranker):
+        # The serving fast path's invariant: the precomputed permutation
+        # is exactly what top() returns when asked for the whole table.
+        rng = np.random.default_rng(3)
+        table = make_table(rng.integers(0, 5, (60, 3)), domain=5)
+        bound = ranker.bind(table)
+        assert bound.has_total_order
+        order = bound.total_order()
+        np.testing.assert_array_equal(
+            order, bound.top(np.arange(table.n), table.n)
+        )
+        assert bound.total_order() is order  # cached
+
+    def test_random_ranker_has_no_total_order(self):
+        table = make_table([(0, 1), (1, 0)])
+        bound = RandomSkylineRanker(seed=1).bind(table)
+        assert not bound.has_total_order
+        assert bound.total_order() is None
+
+
+class TestRankerFromLabel:
+    @pytest.mark.parametrize(
+        "ranker",
+        [
+            LinearRanker(),
+            LinearRanker([1.5, 0.0, 2.0]),
+            LexicographicRanker(),
+            LexicographicRanker([2, 0]),
+        ],
+        ids=["sum", "weighted", "lex", "lex-priority"],
+    )
+    def test_round_trips_describe(self, ranker):
+        rebuilt = ranker_from_label(ranker.describe())
+        assert rebuilt.describe() == ranker.describe()
+
+    def test_rejects_unreconstructible_labels(self):
+        for label in ("RandomSkylineRanker(seed=0, fallback=LinearRanker)",
+                      "nonsense", "LinearRanker(weights=oops)"):
+            with pytest.raises(ValueError, match="cannot reconstruct"):
+                ranker_from_label(label)

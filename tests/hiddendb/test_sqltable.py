@@ -1,0 +1,241 @@
+"""Tests for the SQLite-backed table (repro.hiddendb.sqltable)."""
+
+import sqlite3
+import threading
+
+import numpy as np
+import pytest
+
+from repro.hiddendb import (
+    Attribute,
+    InterfaceKind,
+    Interval,
+    LexicographicRanker,
+    LinearRanker,
+    Query,
+    RandomSkylineRanker,
+    Schema,
+    SQLTable,
+    SQLTableError,
+    Table,
+    build_sqltable,
+)
+from repro.hiddendb.sqltable import FORMAT_VERSION
+
+from ..conftest import PARITY_TABLES, make_table
+
+
+@pytest.fixture
+def filtered_table() -> Table:
+    rng = np.random.default_rng(42)
+    matrix = rng.integers(0, 9, size=(300, 3))
+    schema = Schema(
+        [
+            Attribute("a0", 9, InterfaceKind.RQ),
+            Attribute("a1", 9, InterfaceKind.SQ),
+            Attribute("a2", 9, InterfaceKind.PQ),
+            Attribute("color", 4, InterfaceKind.FILTER,
+                      labels=("red", "green", "blue", "gray")),
+        ]
+    )
+    return Table(schema, matrix, {"color": rng.integers(0, 4, size=300)})
+
+
+class TestBuildAndReopen:
+    def test_round_trips_schema_and_metadata(self, tmp_path, filtered_table):
+        path = tmp_path / "t.sqlite"
+        build_sqltable(path, filtered_table, LinearRanker([1.0, 2.0, 0.5]),
+                       name="diamonds-n300")
+        sql = SQLTable(path)
+        assert sql.n == 300
+        assert sql.m == 3
+        assert len(sql) == 300
+        assert sql.name == "diamonds-n300"
+        assert sql.ranking_label == "LinearRanker(weights=[1.0, 2.0, 0.5])"
+        assert sql.filter_names == ("color",)
+        got = sql.schema
+        want = filtered_table.schema
+        assert [a.name for a in got.attributes] == [
+            a.name for a in want.attributes
+        ]
+        assert [a.kind for a in got.attributes] == [
+            a.kind for a in want.attributes
+        ]
+        assert [a.domain_size for a in got.attributes] == [
+            a.domain_size for a in want.attributes
+        ]
+        assert got.attributes[3].labels == ("red", "green", "blue", "gray")
+
+    def test_rebuild_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "t.sqlite"
+        build_sqltable(path, make_table([(1, 2), (3, 4), (5, 6)]), name="v1")
+        build_sqltable(path, make_table([(7, 8)]), name="v2")
+        sql = SQLTable(path)
+        assert sql.n == 1
+        assert sql.name == "v2"
+        assert sql.row(0).values == (7, 8)
+
+    def test_empty_table_round_trips(self, tmp_path):
+        schema = Schema([Attribute("a0", 5, InterfaceKind.RQ)])
+        empty = Table(schema, np.empty((0, 1), dtype=np.int64))
+        path = build_sqltable(tmp_path / "empty.sqlite", empty)
+        sql = SQLTable(path)
+        assert sql.n == 0
+        assert sql.top_rows(Query(), 3) == ()
+        assert sql.match_indices(Query()).size == 0
+
+    def test_random_ranker_cannot_be_persisted(self, tmp_path):
+        with pytest.raises(ValueError, match="total order"):
+            build_sqltable(
+                tmp_path / "t.sqlite",
+                PARITY_TABLES["rq3"],
+                RandomSkylineRanker(),
+            )
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SQLTableError, match="no SQLite table"):
+            SQLTable(tmp_path / "absent.sqlite")
+
+    def test_non_table_database_raises(self, tmp_path):
+        path = tmp_path / "other.sqlite"
+        with sqlite3.connect(path) as connection:
+            connection.execute("CREATE TABLE unrelated (x INTEGER)")
+        with pytest.raises(SQLTableError, match="not a repro SQLite table"):
+            SQLTable(path)
+
+    def test_version_mismatch_raises(self, tmp_path):
+        path = build_sqltable(tmp_path / "t.sqlite", PARITY_TABLES["rq3"])
+        with sqlite3.connect(path) as connection:
+            connection.execute(
+                "UPDATE meta SET value = ? WHERE key = 'version'",
+                (str(FORMAT_VERSION + 1),),
+            )
+        with pytest.raises(SQLTableError, match="format version"):
+            SQLTable(path)
+
+    def test_filterless_declared_attribute_refuses_build(self, tmp_path):
+        schema = Schema(
+            [
+                Attribute("a0", 5, InterfaceKind.RQ),
+                Attribute("ghost", 3, InterfaceKind.FILTER),
+            ]
+        )
+        table = Table(schema, [(1,), (2,)])  # no data for 'ghost'
+        with pytest.raises(ValueError, match="ghost"):
+            build_sqltable(tmp_path / "t.sqlite", table)
+
+
+class TestTableSurfaceParity:
+    @pytest.fixture
+    def pair(self, tmp_path, filtered_table):
+        path = build_sqltable(tmp_path / "t.sqlite", filtered_table)
+        return filtered_table, SQLTable(path)
+
+    def test_rows_and_row_match_memory(self, pair):
+        memory, sql = pair
+        rids = [0, 7, 299, 13, 7]
+        assert sql.rows(rids) == memory.rows(rids)
+        assert sql.row(42) == memory.row(42)
+        assert sql.rows([]) == ()
+        with pytest.raises(IndexError):
+            sql.row(300)
+
+    def test_match_and_count_match_memory(self, pair):
+        memory, sql = pair
+        queries = [
+            Query(),
+            Query(ranges={0: Interval(2, 6)}),
+            Query(ranges={0: Interval(0, 3), 2: Interval(1, 8)}),
+            Query(filters={"color": 2}),
+            Query(ranges={1: Interval(4, 4)}, filters={"color": 1}),
+        ]
+        for query in queries:
+            np.testing.assert_array_equal(
+                sql.match_indices(query), memory.match_indices(query)
+            )
+            assert sql.count_matches(query) == memory.count_matches(query)
+
+    def test_filter_value_matches_memory(self, pair):
+        memory, sql = pair
+        for rid in (0, 50, 299):
+            assert sql.filter_value("color", rid) == memory.filter_value(
+                "color", rid
+            )
+        from repro.hiddendb import UnknownAttributeError
+
+        with pytest.raises(UnknownAttributeError):
+            sql.filter_value("nope", 0)
+
+    def test_oracles_match_memory(self, pair):
+        memory, sql = pair
+        np.testing.assert_array_equal(
+            sql.skyline_indices(), memory.skyline_indices()
+        )
+        np.testing.assert_array_equal(
+            sql.skyband_indices(2), memory.skyband_indices(2)
+        )
+        assert sql.skyline_rows() == memory.skyline_rows()
+        np.testing.assert_array_equal(sql.matrix, memory.matrix)
+
+    def test_as_memory_is_cached(self, pair):
+        _, sql = pair
+        assert sql.as_memory() is sql.as_memory()
+
+
+class TestTopRows:
+    @pytest.mark.parametrize(
+        "ranker",
+        [LinearRanker(), LinearRanker([3.0, 1.0, 2.0]),
+         LexicographicRanker([2, 1, 0])],
+        ids=["sum", "weighted", "lexicographic"],
+    )
+    def test_matches_bound_ranker_top(self, tmp_path, filtered_table, ranker):
+        path = build_sqltable(tmp_path / "t.sqlite", filtered_table, ranker)
+        sql = SQLTable(path)
+        bound = ranker.bind(filtered_table)
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            ranges = {
+                index: Interval(int(lo), int(max(lo, hi)))
+                for index in range(3)
+                if rng.random() < 0.5
+                for lo, hi in [sorted(rng.integers(0, 9, size=2))]
+            }
+            filters = (
+                {"color": int(rng.integers(0, 4))}
+                if rng.random() < 0.4 else None
+            )
+            query = Query(ranges=ranges, filters=filters)
+            for k in (1, 5, 400):
+                expected = filtered_table.rows(
+                    bound.top(filtered_table.match_indices(query), k)
+                )
+                assert sql.top_rows(query, k) == expected, (query, k)
+
+    def test_concurrent_readers(self, tmp_path, filtered_table):
+        path = build_sqltable(tmp_path / "t.sqlite", filtered_table)
+        sql = SQLTable(path)
+        query = Query(ranges={0: Interval(1, 7)})
+        expected = sql.top_rows(query, 10)
+        failures = []
+
+        def worker():
+            try:
+                for _ in range(20):
+                    assert sql.top_rows(query, 10) == expected
+            except Exception as exc:  # pragma: no cover - failure reporting
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+    def test_context_manager_closes_thread_connection(self, tmp_path):
+        path = build_sqltable(tmp_path / "t.sqlite", PARITY_TABLES["rq3"])
+        with SQLTable(path) as sql:
+            assert sql.top_rows(Query(), 1)
+        # Reopen after close: connections are per-thread and lazy.
+        assert sql.top_rows(Query(), 1)

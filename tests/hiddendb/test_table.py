@@ -66,6 +66,34 @@ class TestAccessors:
         table = make_table([(1, 2), (3, 4), (5, 6)])
         assert [r.values for r in table.rows([2, 0])] == [(5, 6), (1, 2)]
 
+    def test_rows_vectorized_materialisation(self):
+        # The batched path (one fancy-indexed slice + one tolist) must be
+        # indistinguishable from per-rid row() calls: input order kept,
+        # duplicates allowed, plain-int payloads, empty input fine.
+        table = make_table([(1, 2), (3, 4), (5, 6)])
+        batch = table.rows(np.array([1, 1, 2]))
+        assert batch == (table.row(1), table.row(1), table.row(2))
+        assert all(
+            type(row.rid) is int and type(row.values[0]) is int
+            for row in batch
+        )
+        assert table.rows([]) == ()
+        assert table.rows(np.empty(0, dtype=np.int64)) == ()
+
+    def test_filter_columns_accessors(self):
+        table = make_table(
+            [(1,), (2,), (3,)],
+            filters={"city": np.array([7, 0, 7])},
+            filter_domains={"city": 8},
+        )
+        assert table.filter_names == ("city",)
+        np.testing.assert_array_equal(
+            table.filter_column("city"), np.array([7, 0, 7])
+        )
+        assert not table.filter_column("city").flags.writeable
+        with pytest.raises(UnknownAttributeError):
+            table.filter_column("nope")
+
     def test_iter_rows(self):
         table = make_table([(1, 2), (3, 4)])
         assert [row.rid for row in table.iter_rows()] == [0, 1]

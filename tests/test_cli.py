@@ -249,9 +249,16 @@ class TestServeCommand:
         assert "http://127.0.0.1:" in out
         assert "served" in out
 
-    def test_serve_requires_dataset(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["serve"])
+    def test_serve_requires_dataset_or_table_db(self, capsys):
+        # --dataset became optional when --table-db arrived, so the
+        # requirement is enforced at runtime, not by argparse.
+        assert main(["serve"]) == 2
+        assert "--dataset or --table-db" in capsys.readouterr().err
+
+    def test_serve_sqlite_engine_requires_table_db(self, capsys):
+        assert main(["serve", "--dataset", "uniform", "--n", "100",
+                     "--engine", "sqlite"]) == 2
+        assert "--table-db" in capsys.readouterr().err
 
     def test_port_collision_reports_clear_error(self, capsys):
         # Satellite: EADDRINUSE surfaces as one actionable line, not a
