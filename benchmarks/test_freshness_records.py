@@ -1,0 +1,138 @@
+"""Freshness-plane trajectory records: BENCH_freshness.json.
+
+The acceptance bar of the delta-crawl subsystem, measured at benchmark
+scale: after a churn batch mutates a live endpoint, the delta repair
+must reproduce the from-scratch skyline **exactly** while billing at
+most half of the from-scratch query count.  The gated case uses
+delete-only churn ("listings disappear"), where repair exactness is
+unconditional -- every change is observable through the probed frontier.
+
+Mixed churn (inserts + updates + deletes) is recorded too, ungated: an
+unobserved insert can hide behind answers the repair legitimately serves
+stale, so exactness is an empirical ``exact`` flag in the record rather
+than an assertion, and the strict mode (re-bill every emptiness
+certificate not provably covered) is recorded alongside as the
+higher-cost remedy.
+
+Run explicitly (benchmarks/ is not in the default testpaths)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_freshness_records.py -q
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from _record import record
+
+from repro import CrawlStore, Discoverer, DiscoveryConfig, TopKInterface
+from repro.datagen import churn_ops
+from repro.hiddendb import Attribute, InterfaceKind, Schema, Table
+
+#: A point-predicate catalogue at benchmark scale: 3 PQ attributes,
+#: 5k tuples over domain 64, k=2.  PQ planes make the crawl pay for
+#: emptiness certificates, so the stale ledger carries real value.
+N = 5_000
+DOMAIN = 64
+M = 3
+K = 2
+#: Table seed.  The whole pipeline is deterministic given (seed, frac),
+#: so the gated ratios are fixed numbers with generous margin below the
+#: 0.5 bar (measured 0.11-0.12; other seeds stay under 0.64).
+SEED = 202
+DELETE_ONLY = (1.0, 0.0, 0.0)
+
+
+def build_table() -> Table:
+    rng = np.random.default_rng(SEED)
+    schema = Schema(
+        [Attribute(f"a{i}", DOMAIN, InterfaceKind.PQ) for i in range(M)]
+    )
+    return Table(schema, rng.integers(0, DOMAIN, size=(N, M)))
+
+
+def churn_and_repair(tmp_path, frac, *, mix=DELETE_ONLY, strict=False):
+    """(initial, scratch, repaired, repair wall seconds) for one case."""
+    table = build_table()
+    interface = TopKInterface(table, k=K, name=f"ppp-n{N}")
+    store = CrawlStore(tmp_path / f"bench-{frac}-{strict}.db")
+    initial = Discoverer(DiscoveryConfig(store=store)).run(interface)
+    assert initial.complete
+    table.apply_mutations(churn_ops(table, frac, seed=SEED + 1, mix=mix))
+    scratch = Discoverer().run(TopKInterface(table, k=K, name=f"ppp-n{N}"))
+    config = DiscoveryConfig(store=store, mode="delta")
+    if strict:
+        config = config.with_options(delta_strict=True)
+    start = time.perf_counter()
+    repaired = Discoverer(config).run(interface)
+    wall = time.perf_counter() - start
+    store.close()
+    return initial, scratch, repaired, wall
+
+
+def test_record_delta_vs_scratch_delete_churn(tmp_path):
+    """The gated acceptance case: exact at <= 50% of the scratch cost."""
+    for frac in (0.01, 0.10):
+        initial, scratch, repaired, wall = churn_and_repair(tmp_path, frac)
+        report = repaired.freshness
+        ratio = repaired.total_cost / max(scratch.total_cost, 1)
+
+        # Acceptance: the repaired skyline is exactly the from-scratch
+        # one, and the 10% churn repair bills at most half the queries.
+        assert repaired.complete
+        assert repaired.skyline_values == scratch.skyline_values
+        assert ratio <= 0.5, (
+            f"delta repair billed {repaired.total_cost} vs scratch "
+            f"{scratch.total_cost} ({ratio:.0%}) at {frac:.0%} churn"
+        )
+
+        record(
+            "freshness",
+            f"delta_ppp_n{N}_k{K}_delete_churn_{int(frac * 100)}pct",
+            initial_billed=initial.total_cost,
+            scratch_billed=scratch.total_cost,
+            delta_billed=repaired.total_cost,
+            billed_ratio=ratio,
+            exact=True,
+            stale_entries=report.stale_entries,
+            probes=report.probes,
+            served_stale=report.served_stale,
+            revalidated=report.revalidated,
+            rounds=report.rounds,
+            skyline=len(repaired.skyline_values),
+            skyline_added=len(report.skyline_added),
+            skyline_removed=len(report.skyline_removed),
+            repair_wall_seconds=wall,
+            churn_frac=frac,
+            churn_mix="delete_only",
+        )
+
+
+def test_record_delta_vs_scratch_mixed_churn(tmp_path):
+    """Ungated: mixed churn, default and strict modes, exactness recorded."""
+    for strict in (False, True):
+        _, scratch, repaired, wall = churn_and_repair(
+            tmp_path, 0.10, mix=(0.3, 0.4, 0.3), strict=strict
+        )
+        ratio = repaired.total_cost / max(scratch.total_cost, 1)
+        exact = repaired.skyline_values == scratch.skyline_values
+        assert repaired.complete
+        # Still a repair, not a re-crawl: never more expensive than
+        # scratch even in strict mode on this catalogue.
+        assert ratio <= 1.0
+
+        record(
+            "freshness",
+            f"delta_ppp_n{N}_k{K}_mixed_churn_10pct"
+            + ("_strict" if strict else ""),
+            scratch_billed=scratch.total_cost,
+            delta_billed=repaired.total_cost,
+            billed_ratio=ratio,
+            exact=exact,
+            rounds=repaired.freshness.rounds,
+            repair_wall_seconds=wall,
+            churn_frac=0.10,
+            churn_mix="30_40_30",
+            strict=strict,
+        )

@@ -1,12 +1,14 @@
 """Command-line interface: ``repro`` (or ``python -m repro.cli``).
 
-Ten subcommands, all running against the bundled generators so the paper's
-system can be exercised without writing any code:
+Eleven subcommands, all running against the bundled generators so the
+paper's system can be exercised without writing any code:
 
 * ``discover``   -- run skyline discovery over a generated dataset;
 * ``crawl``      -- durable discovery against a :mod:`repro.store` crawl
-  store: every billed answer is ledgered, progress is checkpointed, and
-  ``--resume`` picks a killed crawl back up with zero double billing;
+  store: every billed answer is ledgered, progress is checkpointed,
+  ``--resume`` picks a killed crawl back up with zero double billing, and
+  ``--delta`` incrementally repairs a previous crawl of a mutated
+  endpoint instead of re-billing it from scratch;
 * ``skyband``    -- run top-K skyband discovery;
 * ``stats``      -- query-log statistics of a discovery run;
 * ``algorithms`` -- list the registered discovery algorithms;
@@ -20,7 +22,10 @@ system can be exercised without writing any code:
   (:mod:`repro.coordinator`): accept discovery jobs over JSON and fan
   each one out across several backends sharing one crawl-store ledger;
 * ``store``      -- inspect and maintain a crawl store
-  (``ls`` / ``show`` / ``gc``).
+  (``ls`` / ``show`` / ``gc``, with ``gc --dry-run`` previewing what a
+  pass would prune);
+* ``mutate``     -- apply an insert/delete/update batch (or a drawn churn
+  fraction) to a live service, bumping its data version.
 
 Everything routes through the :class:`repro.Discoverer` facade, so the
 ``--algorithm`` flag accepts any name in the registry (including algorithms
@@ -71,6 +76,13 @@ Examples::
     repro crawl --url http://127.0.0.1:8080 --store crawl.db --workers 8
     repro crawl --url http://127.0.0.1:8080 --store crawl.db --resume
     repro store ls --store crawl.db
+
+    # the database changed under you: churn 10% of it, then repair the
+    # crawl incrementally -- unchanged answers replay free, only the
+    # moved parts of the data are re-billed
+    repro mutate --url http://127.0.0.1:8080 --churn 0.10
+    repro crawl --url http://127.0.0.1:8080 --store crawl.db --delta
+    repro store gc --store crawl.db --dry-run
 
     # discovery-jobs-as-a-service: shard crawls over two mirrors of the
     # same database (each with its own API key), one shared ledger
@@ -273,11 +285,17 @@ def _cmd_crawl(args) -> int:
 
 def _run_crawl(args, store: CrawlStore) -> int:
     interface = _build_interface_for(args, getattr(args, "strategy", None))
+    extra = {}
+    if args.delta or args.delta_strict:
+        extra["mode"] = "delta"
+        if args.delta_strict:
+            extra["options"] = {"delta_strict": True}
     result = _discoverer(
         args,
         store=store,
         resume=args.resume,
         checkpoint_every=args.checkpoint_every,
+        **extra,
     ).run(interface, _algorithm_arg(args))
     # Report the session THIS run billed under (result.store_session),
     # re-read for its final billed counter -- another crawl sharing the
@@ -287,10 +305,15 @@ def _run_crawl(args, store: CrawlStore) -> int:
     endpoint = next(
         e for e in store.endpoints() if e.fingerprint == record.fingerprint
     )
+    freshness = getattr(result, "freshness", None)
     prior = session.billed - (result.stats.issued if result.stats else 0)
     _print_result_header(
         args, interface, result,
-        queries_suffix=f" ({prior} billed before resume)" if prior > 0 else "",
+        # Delta repairs span several engine rounds, so the single-run
+        # issued counter cannot split prior from new billing; the
+        # freshness block below carries the repair accounting instead.
+        queries_suffix=(f" ({prior} billed before resume)"
+                        if prior > 0 and freshness is None else ""),
     )
     print(f"store      : {store.path}")
     print(f"session    : {session.session_id} "
@@ -299,6 +322,17 @@ def _run_crawl(args, store: CrawlStore) -> int:
     print(f"ledger     : {endpoint.ledger_entries} answers owned for "
           f"endpoint {endpoint.name or '<unnamed>'} "
           f"[{endpoint.fingerprint[:8]}]")
+    if freshness is not None:
+        print(f"freshness  : repaired to epoch {freshness.epoch} in "
+              f"{freshness.rounds} round(s): {freshness.stale_entries} "
+              f"stale entries, {freshness.probes} probes, "
+              f"{freshness.served_stale} served stale, "
+              f"{freshness.revalidated} revalidated")
+        if freshness.skyline_changed:
+            print(f"changed    : skyline +{len(freshness.skyline_added)} "
+                  f"-{len(freshness.skyline_removed)} vs the previous crawl")
+        else:
+            print("changed    : skyline unchanged vs the previous crawl")
     _print_result_details(args, interface, result)
     return 0
 
@@ -549,6 +583,18 @@ def _cmd_store_show(args) -> int:
         print(f"algorithm  : {session.algorithm or '-'}")
         print(f"status     : {session.status}")
         print(f"billed     : {session.billed}")
+        epoch = store.endpoint_data_version(session.fingerprint)
+        histogram = store.ledger_epoch_histogram(session.fingerprint)
+        if histogram or epoch:
+            spread = "  ".join(
+                f"v{version}:{count}"
+                for version, count in sorted(histogram.items())
+            ) or "-"
+            stale = store.ledger_stale_count(session.fingerprint)
+            print(f"data epoch : {epoch}")
+            print(f"epochs     : {spread}")
+            print(f"stale      : {stale} ledger entries billed at an "
+                  f"older epoch or past their TTL")
         if session.checkpoint:
             print("checkpoint :",
                   _json.dumps(dict(session.checkpoint), indent=2))
@@ -560,14 +606,51 @@ def _cmd_store_show(args) -> int:
 
 def _cmd_store_gc(args) -> int:
     with CrawlStore(args.store) as store:
-        report = store.gc()
+        report = store.gc(dry_run=args.dry_run)
+        verb = "would prune" if report.dry_run else "pruned"
         print(f"store      : {store.path}")
-        print(f"pruned     : {report.endpoints_pruned} endpoints, "
-              f"{report.ledger_pruned} ledger entries, "
-              f"{report.sessions_pruned} sessions, "
+        print(f"{verb:<11}: {report.endpoints_pruned} endpoints, "
+              f"{report.ledger_pruned} orphaned + {report.stale_pruned} "
+              f"stale-epoch + {report.expired_pruned} expired ledger "
+              f"entries, {report.sessions_pruned} sessions, "
               f"{report.jobs_pruned} jobs")
         if not report.total:
             print("(nothing stale)")
+    return 0
+
+
+def _cmd_mutate(args) -> int:
+    from .service import RemoteTopKInterface
+
+    if (args.churn is None) == (args.ops is None):
+        print("error: exactly one of --churn or --ops is required",
+              file=sys.stderr)
+        return 2
+    if args.ops is not None:
+        import json as _json
+
+        try:
+            ops = _json.loads(args.ops)
+        except ValueError as exc:
+            print(f"error: --ops is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(ops, list):
+            print("error: --ops must be a JSON array of operations",
+                  file=sys.stderr)
+            return 2
+    with RemoteTopKInterface(args.url, api_key=args.api_key) as client:
+        before = client.data_version
+        if args.churn is not None:
+            payload = client.mutate(
+                churn={"frac": args.churn, "seed": args.churn_seed}
+            )
+        else:
+            payload = client.mutate(ops)
+        print(f"endpoint   : {args.url}")
+        print(f"applied    : {payload['applied']} mutation(s)")
+        print(f"data epoch : {before} -> {payload['data_version']}")
+        print("refresh    : repro crawl --delta --url "
+              f"{args.url} --store <PATH>")
     return 0
 
 
@@ -695,6 +778,16 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--checkpoint-every", type=int, default=32, metavar="N",
                      help="answers between progress checkpoints "
                      "(default 32; the billed counter is always exact)")
+    sub.add_argument("--delta", action="store_true",
+                     help="incremental repair: probe the previous crawl's "
+                     "skyline, serve unchanged ledger answers free and "
+                     "re-bill only where the endpoint's data moved "
+                     "(needs a prior crawl of this endpoint in --store)")
+    sub.add_argument("--delta-strict", action="store_true",
+                     help="with --delta: also re-verify every emptiness "
+                     "certificate not provably still covered -- catches "
+                     "inserts hiding in regions the old crawl proved "
+                     "empty, at a higher repair cost (implies --delta)")
     add_output_flags(sub)
     sub.set_defaults(handler=_cmd_crawl)
 
@@ -818,7 +911,31 @@ def build_parser() -> argparse.ArgumentParser:
         "gc", help="prune stale endpoints, ledger entries and sessions"
     )
     add_store_path(action)
+    action.add_argument("--dry-run", action="store_true",
+                        help="report what a gc pass would remove (stale "
+                        "epochs, lapsed TTLs, orphans) without deleting "
+                        "anything")
     action.set_defaults(handler=_cmd_store_gc)
+
+    sub = subparsers.add_parser(
+        "mutate",
+        help="apply a mutation batch to a live hidden-DB service "
+        "(POST /api/mutate; bumps its data version)",
+    )
+    sub.add_argument("--url", required=True, metavar="URL",
+                     help="the service to mutate (see 'repro serve')")
+    sub.add_argument("--api-key", default="anonymous",
+                     help="client identity (mutations are never billed)")
+    sub.add_argument("--churn", type=float, default=None, metavar="FRAC",
+                     help="draw a deterministic server-side churn batch "
+                     "touching ~FRAC of the tuples")
+    sub.add_argument("--churn-seed", type=int, default=0,
+                     help="seed of the server-side churn draw (default 0)")
+    sub.add_argument("--ops", default=None, metavar="JSON",
+                     help="explicit operation batch as a JSON array, e.g. "
+                     '\'[{"op": "delete", "rid": 3}, '
+                     '{"op": "insert", "values": [1, 2]}]\'')
+    sub.set_defaults(handler=_cmd_mutate)
 
     sub = subparsers.add_parser("figures", help="figure experiments")
     sub.add_argument("figures", nargs="*", help="figure ids (e.g. fig13)")

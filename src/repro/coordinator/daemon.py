@@ -16,7 +16,10 @@ Routes
 ``POST /api/jobs``         submit a job (``algorithm``, ``budget``,
                            ``tenant``, ``workers``, ``dedup``,
                            ``checkpoint_every``, optional pinned
-                           ``fingerprint`` -> 409 on mismatch)
+                           ``fingerprint`` -> 409 on mismatch, optional
+                           ``watch: {interval_s}`` -> keep monitoring
+                           after the crawl and repair the skyline with a
+                           delta-crawl whenever the endpoint mutates)
 ``GET  /api/jobs/<id>``    anytime status: live billed cost, engine
                            stats, per-shard counters and the durable
                            checkpoint's skyline-so-far
@@ -26,8 +29,10 @@ Routes
                            requests, per-route request totals, job
                            counts, per-job/per-tenant query totals,
                            shard routing and work-steal counters
-``GET  /metrics``          the same counters (plus checkpoint-lag and
-                           job-count gauges) in Prometheus text format
+``GET  /metrics``          the same counters (plus checkpoint-lag,
+                           job-count and freshness gauges: stale ledger
+                           entries, delta-crawl billing, skyline age)
+                           in Prometheus text format
 
 Multi-tenancy and durability both come from the store: every job owns a
 pre-assigned crawl session, all sessions of one endpoint share the query
@@ -60,6 +65,7 @@ from ..core.registry import (
     get_algorithm,
     resolve_algorithm,
 )
+from ..freshness import DeltaCrawl
 from ..hiddendb import QueryBudgetExceeded
 from ..hiddendb.errors import HiddenDBError
 from ..service.server import ServiceStartupError, _QuietThreadingHTTPServer
@@ -204,6 +210,25 @@ class CrawlCoordinator:
             "(refreshed at scrape).",
             ("session",),
         )
+        self._m_stale = self._metrics.gauge(
+            "freshness_ledger_stale_entries",
+            "Ledger entries billed at an older data version or expired "
+            "(refreshed at scrape).",
+        )
+        self._m_delta_queries = self._metrics.counter(
+            "freshness_delta_queries_total",
+            "Queries billed by delta-crawl repair cycles, by job.",
+            ("job",),
+        )
+        self._m_skyline_age = self._metrics.gauge(
+            "freshness_skyline_age_seconds",
+            "Seconds since each watch job last verified its skyline "
+            "against the live endpoint (refreshed at scrape).",
+            ("job",),
+        )
+        #: job_id -> monotonic time of the last completed crawl or repair
+        #: cycle (drives the skyline-age gauge above).
+        self._skyline_verified_at: dict[str, float] = {}
         # Observer-owned families this daemon reads back for /api/stats
         # (get-or-create returns the instances the observer registered).
         self._m_shard = self._metrics.counter(
@@ -493,6 +518,12 @@ class CrawlCoordinator:
         now = time.monotonic()
         for session_id, at in list(self._observer.checkpoint_at.items()):
             self._m_ckpt_lag.set(max(now - at, 0.0), session=session_id)
+        if self._fingerprint:
+            self._m_stale.set(
+                self._store.ledger_stale_count(self._fingerprint)
+            )
+        for job_id, at in list(self._skyline_verified_at.items()):
+            self._m_skyline_age.set(max(now - at, 0.0), job=job_id)
 
     def metrics_payload(self) -> tuple[int, str, str]:
         """Prometheus text exposition of the per-instance registry."""
@@ -602,7 +633,7 @@ class CrawlCoordinator:
     def _result_payload(
         self, result: Any, endpoints: EndpointSet
     ) -> dict[str, Any]:
-        return {
+        payload = {
             "algorithm": result.algorithm,
             "complete": bool(result.complete),
             "total_cost": int(result.total_cost),
@@ -613,6 +644,10 @@ class CrawlCoordinator:
             "stats": result.stats.as_dict() if result.stats else None,
             "shards": endpoints.stats(),
         }
+        freshness = getattr(result, "freshness", None)
+        if freshness is not None:
+            payload["freshness"] = freshness.as_dict()
+        return payload
 
     def _run_job(self, active: _ActiveJob) -> None:
         job_id = active.job_id
@@ -684,12 +719,25 @@ class CrawlCoordinator:
                 store_session=session.store_session,
             )
             session.finish_store(result)
+            watching = bool(spec.get("watch")) and result.complete
             store.update_job(
                 job_id,
-                status="finished" if result.complete else "partial",
+                # A watch job keeps its catalog row ``running`` between
+                # cycles, so a restarted coordinator's --resume re-arms it.
+                status="running" if watching
+                else ("finished" if result.complete else "partial"),
                 progress=self._progress_of(active),
                 result=self._result_payload(result, endpoints),
             )
+            self._skyline_verified_at[job_id] = time.monotonic()
+            if watching:
+                self._watch(
+                    active, record, spec, endpoints, algo, strategy,
+                    update_every, on_query,
+                )
+                store.update_job(
+                    job_id, status="cancelled", error="watch stopped"
+                )
         except JobCancelled:
             store.update_job(
                 job_id, status="cancelled", error="cancelled by tenant"
@@ -709,6 +757,76 @@ class CrawlCoordinator:
                 endpoints.close()
             with self._active_lock:
                 self._active.pop(job_id, None)
+
+    def _watch(
+        self,
+        active: _ActiveJob,
+        record: Any,
+        spec: Mapping[str, Any],
+        endpoints: EndpointSet,
+        algo: Any,
+        strategy: ShardedStrategy,
+        update_every: int,
+        on_query: Any,
+    ) -> None:
+        """Continuous-monitor loop of a ``watch`` job.
+
+        Sleeps ``interval_s`` between cycles (waking immediately on
+        cancel), then repairs the job's skyline with a delta-crawl against
+        the live endpoint.  An unchanged endpoint costs ~nothing: the
+        repair finds no stale ledger entries, issues no probes and replays
+        everything free.  Each cycle refreshes the job's result payload
+        (carrying the ``freshness`` repair report), a ``watch`` progress
+        block and the freshness metric families.  Returns when the tenant
+        cancels; budget exhaustion mid-repair leaves the cycle partial and
+        keeps watching.
+        """
+        job_id = active.job_id
+        interval = float(spec["watch"]["interval_s"])
+        cycles = 0
+        while not active.cancel.wait(interval):
+            cycles += 1
+            endpoints.refresh_data_version()
+            delta_cfg = DiscoveryConfig(
+                budget=spec["budget"],
+                dedup=spec["dedup"],
+                strategy=strategy,
+                store=self._store,
+                session_id=record.session_id,
+                checkpoint_every=update_every,
+                on_query=on_query,
+                mode="delta",
+            )
+            repair = DeltaCrawl(endpoints, algo, delta_cfg).run()
+            report = repair.freshness
+            assert report is not None
+            if report.billed:
+                self._m_delta_queries.inc(report.billed, job=job_id)
+            self._skyline_verified_at[job_id] = time.monotonic()
+            watch_progress = {
+                "cycles": cycles,
+                "epoch": report.epoch,
+                "billed": report.billed,
+                "complete": bool(repair.complete),
+                "skyline_changed": report.skyline_changed,
+                "skyline_added": sorted(
+                    [int(v) for v in values] for values in report.skyline_added
+                ),
+                "skyline_removed": sorted(
+                    [int(v) for v in values]
+                    for values in report.skyline_removed
+                ),
+                "revalidated": report.revalidated,
+            }
+            self._store.update_job(
+                job_id,
+                status="running",
+                progress={
+                    **self._progress_of(active),
+                    "watch": watch_progress,
+                },
+                result=self._result_payload(repair, endpoints),
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging nicety
         state = "running" if self._httpd is not None else "stopped"

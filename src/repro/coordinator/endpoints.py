@@ -178,6 +178,22 @@ class EndpointSet:
                     f"sharded crawl must fan out over mirrors of the *same* "
                     f"database"
                 )
+            # Same identity is not enough for *live* databases: mirrors
+            # whose contents drifted apart (different data versions) would
+            # merge answers computed against different tuple sets.
+            versions = {
+                int(getattr(b.client, "data_version", 0)) for b in pool
+            }
+            if len(versions) > 1:
+                detail = ", ".join(
+                    f"{b.spec.url} -> v{getattr(b.client, 'data_version', 0)}"
+                    for b in pool
+                )
+                raise EndpointSetError(
+                    f"backends disagree on data version ({detail}); mirrors "
+                    f"of a live database must be mutated in lockstep before "
+                    f"a sharded crawl fans out over them"
+                )
         except BaseException:
             for backend in pool:
                 close = getattr(backend.client, "close", None)
@@ -186,6 +202,7 @@ class EndpointSet:
             raise
         self._backends = tuple(pool)
         self._fingerprint = next(iter(fingerprints))
+        self._data_version = next(iter(versions))
         self._lock = threading.Lock()
         self._observer: Any | None = None
         if observer is not None:
@@ -218,6 +235,49 @@ class EndpointSet:
     def fingerprint(self) -> str:
         """The shared endpoint fingerprint every backend was verified against."""
         return self._fingerprint
+
+    @property
+    def data_version(self) -> int:
+        """The data version every backend agreed on when last verified.
+
+        Highest version any backend has advertised since -- individual
+        clients track skew from answer headers; call
+        :meth:`refresh_data_version` to re-verify pool-wide agreement.
+        """
+        advertised = max(
+            int(getattr(b.client, "data_version", 0)) for b in self._backends
+        )
+        return max(self._data_version, advertised)
+
+    def refresh_data_version(self) -> int:
+        """Re-read every backend's data version over ``/healthz`` (free).
+
+        Raises :class:`EndpointSetError` when the mirrors disagree --
+        a delta crawl must not revalidate a ledger against a pool that is
+        mid-rollout.  Returns the agreed version.
+        """
+        versions: dict[str, int] = {}
+        for b in self._backends:
+            refresh = getattr(b.client, "refresh_data_version", None)
+            if refresh is None:
+                continue
+            try:
+                versions[b.spec.url] = int(refresh())
+            except (RemoteServiceError, OSError) as exc:
+                raise EndpointSetError(
+                    f"cannot read data version from {b.spec.url}: {exc}"
+                ) from exc
+        if len(set(versions.values())) > 1:
+            detail = ", ".join(
+                f"{url} -> v{version}" for url, version in versions.items()
+            )
+            raise EndpointSetError(
+                f"backends disagree on data version ({detail}); refusing to "
+                f"crawl a pool that is mid-rollout"
+            )
+        if versions:
+            self._data_version = next(iter(set(versions.values())))
+        return self._data_version
 
     @property
     def queries_issued(self) -> int:
@@ -368,6 +428,7 @@ class EndpointSet:
             else:
                 entry["ok"] = health.get("status") == "ok"
                 entry["fingerprint"] = health.get("fingerprint")
+                entry["data_version"] = health.get("data_version", 0)
                 usage = (stats.get("keys") or {}).get(key) or {}
                 entry["budget"] = usage.get("budget", stats.get("default_budget"))
                 entry["remaining"] = usage.get("remaining")

@@ -39,6 +39,7 @@ from .engine import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from ..freshness import DeltaReport
     from ..store import CrawlStore, SessionRecord
     from .registry import AlgorithmInfo, DiscoveryConfig
     from .skyband import SkybandResult
@@ -80,6 +81,9 @@ class DiscoveryResult:
     #: Crawl-store session this run was billed under (durable runs only;
     #: ``resumed`` tells whether it continued a crashed incarnation).
     store_session: "SessionRecord | None" = field(default=None, repr=False)
+    #: Delta-crawl repair accounting (``mode="delta"`` runs only): probe,
+    #: revalidation and skyline-change counters of the freshness plane.
+    freshness: "DeltaReport | None" = field(default=None, repr=False)
 
     @property
     def skyline_values(self) -> frozenset[tuple[int, ...]]:
@@ -437,6 +441,7 @@ class DiscoverySession:
         resume: bool = False,
         session_id: str | None = None,
         checkpoint_every: int = 32,
+        ledger_factory: "Callable[[str, SessionRecord], object] | None" = None,
     ) -> None:
         """Make this run durable against ``store``.
 
@@ -451,15 +456,26 @@ class DiscoverySession:
         get the session's deterministic replay nonce, so queries billed
         by a crashed incarnation but never persisted (lost in flight) are
         replayed by the server instead of billed twice.
+
+        ``ledger_factory`` swaps the mounted ledger view for a custom one
+        (called with the endpoint fingerprint and the session record; must
+        honour the ``put``-then-``get`` round-trip the engine's in-flight
+        dedup relies on).  The delta-crawl mounts its epoch-straddling
+        :class:`repro.freshness.DeltaLedger` through this seam.
         """
         name = getattr(self._interface, "service_name", "") or getattr(
             self._interface, "name", ""
         )
+        # Endpoints that advertise a data version (live databases) stamp it
+        # into the registration, so the mounted ledger pins to the *current*
+        # epoch: answers billed against an older state are never replayed.
+        version = getattr(self._interface, "data_version", None)
         fingerprint = store.register_endpoint(
             self.schema,
             self.k,
             name=name,
             ranking=getattr(self._interface, "ranking_label", ""),
+            data_version=int(version) if version is not None else None,
         )
         record = store.begin_session(
             fingerprint, algorithm, resume=resume, session_id=session_id
@@ -468,7 +484,11 @@ class DiscoverySession:
         self._store_session = record
         self._checkpoint_every = max(int(checkpoint_every), 1)
         self._prior_cost = record.billed if record.resumed else 0
-        self._engine.bind_ledger(store.ledger(fingerprint, record.session_id))
+        if ledger_factory is None:
+            ledger = store.ledger(fingerprint, record.session_id)
+        else:
+            ledger = ledger_factory(fingerprint, record)
+        self._engine.bind_ledger(ledger)
         set_nonce = getattr(self._interface, "set_replay_nonce", None)
         if set_nonce is not None:
             set_nonce(record.nonce)

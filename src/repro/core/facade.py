@@ -104,6 +104,13 @@ class Discoverer:
         """
         cfg = self._effective(config, overrides)
         spec = self._spec_for(interface, algorithm)
+        if cfg.mode == "delta":
+            # The freshness plane: repair the store ledger against the
+            # endpoint's current data version instead of crawling from
+            # scratch (probe, revalidate, cascade -- see repro.freshness).
+            from ..freshness import DeltaCrawl
+
+            return DeltaCrawl(interface, spec, cfg).run()
         session = self._session(interface, cfg, spec.name)
         complete = True
         try:
@@ -163,6 +170,11 @@ class Discoverer:
         highest-priority applicable one (RQ > PQ > SQ for the built-ins).
         """
         cfg = self._effective(config, overrides)
+        if cfg.mode != "full":
+            raise ValueError(
+                "skyband discovery supports mode='full' only; run a "
+                "mode='delta' repair through Discoverer.run instead"
+            )
         if band is not None:
             cfg = cfg.replace(band=band)
         spec = self._skyband_spec_for(interface, algorithm)

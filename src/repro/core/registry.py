@@ -161,6 +161,17 @@ class DiscoveryConfig:
         Algorithm-specific knobs forwarded to the registered runner
         (e.g. ``early_termination`` for RQ-DB-SKY, ``plane_attributes`` /
         ``plane_limit`` for PQ-DB-SKY).  Treat as read-only.
+    mode:
+        ``"full"`` (default) crawls from scratch.  ``"delta"`` runs the
+        :mod:`repro.freshness` repair crawl instead: it revalidates the
+        ledger of a *previous* crawl against the endpoint's current data
+        version (probing the old skyline first, then re-expanding only
+        where answers changed) and reproduces the from-scratch skyline
+        for a fraction of the billed cost.  Requires ``store`` (the
+        ledger is what gets repaired) and is incompatible with
+        ``resume`` (a delta run is always a fresh session: reusing an
+        old replay nonce could serve answers billed against the old
+        data version).
     """
 
     budget: int | None = None
@@ -179,6 +190,7 @@ class DiscoveryConfig:
     checkpoint_every: int = 32
     trace: Any = None
     options: Mapping[str, Any] = field(default_factory=dict)
+    mode: str = "full"
 
     def __post_init__(self) -> None:
         if self.budget is not None and self.budget < 0:
@@ -214,6 +226,23 @@ class DiscoveryConfig:
             raise ValueError("resume=True requires a store")
         if self.session_id is not None and self.store is None:
             raise ValueError("session_id requires a store")
+        if self.mode not in ("full", "delta"):
+            raise ValueError(
+                f"unknown mode {self.mode!r}; pick 'full' or 'delta'"
+            )
+        if self.mode == "delta":
+            if self.store is None:
+                raise ValueError(
+                    "mode='delta' requires a store (the ledger of a "
+                    "previous crawl is what gets repaired)"
+                )
+            if self.resume:
+                raise ValueError(
+                    "mode='delta' is incompatible with resume=True: a "
+                    "delta run always begins a fresh session so its "
+                    "replay nonce cannot surface answers billed against "
+                    "the old data version"
+                )
         if self.trace is not None and not (
             isinstance(self.trace, (str, os.PathLike))
             or hasattr(self.trace, "write")  # open file-like

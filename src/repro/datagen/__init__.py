@@ -32,6 +32,7 @@ from .flights import (
     flights_table,
 )
 from .gflights import DAILY_QUERY_LIMIT, flight_instance, flight_instances
+from .mutations import CHURN_MIX, churn_ops, validate_ops
 from .sqlio import sqlite_table, table_to_sqlite
 from .synthetic import (
     anticorrelated,
@@ -151,9 +152,11 @@ def rediscretize_domains(table: Table, domain: int) -> Table:
 
 
 __all__ = [
+    "CHURN_MIX",
     "DAILY_QUERY_LIMIT",
     "anticorrelated",
     "autos_table",
+    "churn_ops",
     "correlated",
     "correlation_sweep_table",
     "diamonds_table",
@@ -172,4 +175,5 @@ __all__ = [
     "theorem1_skyline_size",
     "theorem1_table",
     "truncate_domains",
+    "validate_ops",
 ]

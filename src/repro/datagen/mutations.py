@@ -1,0 +1,140 @@
+"""Deterministic churn: random mutation batches for live-endpoint tests.
+
+The freshness plane needs one well-defined way to "age" a hidden
+database -- the server's ``POST /api/mutate`` churn mode, the CLI's
+``repro mutate --churn``, the parity tests and the freshness benchmarks
+all draw from here, so a (table, frac, seed) triple names the exact same
+mutation batch everywhere.
+
+A churn batch models marketplace turnover: listings disappear
+(deletes), change price/rating (updates), and new ones appear
+(inserts), in a 30/40/30 split by default.  Values are drawn uniformly
+from each attribute's domain, so churn can both create and destroy
+skyline points.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+#: Default (delete, update, insert) weights of a churn batch.
+CHURN_MIX = (0.3, 0.4, 0.3)
+
+
+def _table_rids(table: Any) -> np.ndarray:
+    rids = getattr(table, "rids", None)
+    if rids is None and hasattr(table, "as_memory"):
+        rids = table.as_memory().rids
+    if rids is None:
+        raise TypeError(
+            f"cannot read stable rids from {type(table).__name__}"
+        )
+    return np.asarray(rids, dtype=np.int64)
+
+
+def _random_values(rng: np.random.Generator, schema: Any) -> list[int]:
+    return [
+        int(rng.integers(0, attribute.domain_size))
+        for attribute in schema.ranking_attributes
+    ]
+
+
+def _random_filters(
+    rng: np.random.Generator, schema: Any, names: Sequence[str]
+) -> dict[str, int]:
+    return {
+        name: int(rng.integers(0, schema[name].domain_size))
+        for name in names
+    }
+
+
+def churn_ops(
+    table: Any,
+    frac: float,
+    seed: int = 0,
+    *,
+    mix: tuple[float, float, float] = CHURN_MIX,
+) -> list[dict[str, Any]]:
+    """A deterministic mutation batch touching ``~frac * n`` tuples.
+
+    ``mix`` is the (delete, update, insert) weight triple.  Deleted and
+    updated rids are sampled without replacement from the table's live
+    rid set, so the batch is always applicable; the op count is at least
+    one per nonzero weight class (a tiny table still churns).  The batch
+    depends only on the table's current state, ``frac`` and ``seed`` --
+    callers on both sides of the wire can reproduce it exactly.
+    """
+    if not 0.0 < frac <= 1.0:
+        raise ValueError(f"churn frac must be in (0, 1], got {frac}")
+    weights = np.asarray(mix, dtype=float)
+    if weights.min() < 0 or weights.sum() <= 0:
+        raise ValueError(f"invalid churn mix {mix!r}")
+    weights = weights / weights.sum()
+    rng = np.random.default_rng(seed)
+    rids = _table_rids(table)
+    n = int(rids.size)
+    if n == 0:
+        raise ValueError("cannot churn an empty table")
+    total = max(1, round(frac * n))
+    deletes = int(round(total * weights[0])) if weights[0] else 0
+    updates = int(round(total * weights[1])) if weights[1] else 0
+    inserts = max(0, total - deletes - updates) if weights[2] else 0
+    # Sample delete and update targets disjointly so one batch never
+    # updates a tuple it also deletes.
+    touched = min(deletes + updates, n)
+    picked = rng.choice(rids, size=touched, replace=False)
+    delete_rids = picked[:min(deletes, touched)]
+    update_rids = picked[min(deletes, touched):]
+
+    schema = table.schema
+    filter_names = tuple(table.filter_names)
+    ops: list[dict[str, Any]] = []
+    for rid in delete_rids.tolist():
+        ops.append({"op": "delete", "rid": int(rid)})
+    for rid in update_rids.tolist():
+        op: dict[str, Any] = {
+            "op": "update",
+            "rid": int(rid),
+            "values": _random_values(rng, schema),
+        }
+        if filter_names:
+            op["filters"] = _random_filters(rng, schema, filter_names)
+        ops.append(op)
+    for _ in range(inserts):
+        op = {"op": "insert", "values": _random_values(rng, schema)}
+        if filter_names:
+            op["filters"] = _random_filters(rng, schema, filter_names)
+        ops.append(op)
+    return ops
+
+
+def validate_ops(ops: Any) -> list[dict[str, Any]]:
+    """Shape-check a wire-decoded mutation batch (server and CLI input).
+
+    Verifies each item is a mapping with a known ``op`` and the fields
+    that op requires; value/domain validation happens in
+    ``Table.apply_mutations``.  Returns the ops as plain dicts.
+    """
+    if not isinstance(ops, (list, tuple)):
+        raise ValueError("ops must be a list of mutation objects")
+    checked: list[dict[str, Any]] = []
+    for index, op in enumerate(ops):
+        if not isinstance(op, Mapping):
+            raise ValueError(f"ops[{index}] is not an object")
+        kind = op.get("op")
+        if kind not in ("insert", "delete", "update"):
+            raise ValueError(
+                f"ops[{index}].op is {kind!r}; "
+                "expected insert, delete or update"
+            )
+        if kind == "insert" and "values" not in op:
+            raise ValueError(f"ops[{index}]: insert requires values")
+        if kind in ("delete", "update") and "rid" not in op:
+            raise ValueError(f"ops[{index}]: {kind} requires rid")
+        checked.append(dict(op))
+    return checked
+
+
+__all__ = ["CHURN_MIX", "churn_ops", "validate_ops"]

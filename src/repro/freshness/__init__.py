@@ -1,0 +1,18 @@
+"""Freshness plane: delta-crawls that repair a ledger against a live endpoint.
+
+Every other layer of the library assumes the hidden database never changes
+between crawls.  This package drops that assumption: given a crawl store
+whose ledger was billed at an older data version of the endpoint, a
+:class:`DeltaCrawl` revalidates only the entries whose answers could be
+affected by the observed churn (probing the previous skyline first, then
+cascading re-expansion to wherever answers actually changed) and repairs
+the skyline for a fraction of the from-scratch billed cost.
+
+Entry points: ``DiscoveryConfig(mode="delta")`` through the standard
+:class:`repro.Discoverer` facade, ``repro crawl --delta`` on the CLI, and
+coordinator ``watch`` jobs for continuous monitoring.
+"""
+
+from .delta import DeltaCrawl, DeltaLedger, DeltaReport, run_delta
+
+__all__ = ["DeltaCrawl", "DeltaLedger", "DeltaReport", "run_delta"]

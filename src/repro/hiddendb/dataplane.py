@@ -72,20 +72,76 @@ def _covers_filters(table: Table) -> bool:
     return all(attr.name in table.filter_names for attr in declared)
 
 
+def _memory_view(source) -> Table:
+    """An internally-consistent in-memory view of ``source``'s data.
+
+    SQL tables materialise through ``as_memory()``; mutable in-memory
+    tables hand out a zero-copy snapshot whose matrix / filters / rids
+    belong to one data version; anything else serves itself.
+    """
+    if hasattr(source, "as_memory"):
+        return source.as_memory()
+    if hasattr(source, "snapshot_view"):
+        return source.snapshot_view()
+    return source
+
+
+def _source_version(source) -> int:
+    return int(getattr(source, "data_version", 0))
+
+
 class _ScanEngine:
-    """Reference path: full match mask + per-query lexsort (O(n))."""
+    """Reference path: full match mask + per-query lexsort (O(n)).
+
+    Mutation-aware: the engine serves a snapshot view bound at build
+    time; when the source table's ``data_version`` advances, the next
+    query rebinds against a fresh snapshot under a lock.  The (view,
+    bound) pair is published as one tuple so a racing reader can never
+    match against new data with scores from the old bind.
+    """
 
     label = "scan"
 
-    def __init__(self, table: Table, bound: BoundRanker) -> None:
-        self._table = table
-        self.bound = bound
-        self.covers_filters = _covers_filters(table)
+    def __init__(self, source, view: Table, bound: BoundRanker,
+                 ranker: Ranker) -> None:
+        self._source = source
+        self._ranker = ranker
+        self.covers_filters = _covers_filters(view)
+        self._refresh_lock = threading.Lock()
+        self._state: tuple[Table, BoundRanker] = (view, bound)
+        self._version = _source_version(source)
+
+    @property
+    def bound(self) -> BoundRanker:
+        return self._state[1]
+
+    def _current(self) -> tuple[Table, BoundRanker]:
+        version = _source_version(self._source)
+        if version != self._version:
+            with self._refresh_lock:
+                if version != self._version:
+                    view = _memory_view(self._source)
+                    self._state = (view, self._ranker.bind(view))
+                    self._version = _source_version(view)
+        return self._state
 
     def top_rows(self, query: Query, k: int) -> tuple[Row, ...]:
-        matched = self._table.match_indices(query)
-        top = self.bound.top(matched, k)
-        return self._table.rows(top)
+        table, bound = self._current()
+        matched = table.match_indices(query)
+        top = bound.top(matched, k)
+        return table.rows(top)
+
+
+class _RankState:
+    """One immutable build of the rank-sorted serving state."""
+
+    __slots__ = ("combined", "columns", "filters", "maxes")
+
+    def __init__(self, combined, columns, filters, maxes) -> None:
+        self.combined = combined
+        self.columns = columns
+        self.filters = filters
+        self.maxes = maxes
 
 
 class _RankEngine:
@@ -95,63 +151,82 @@ class _RankEngine:
     filter columns) is built lazily on the first query and shared by all
     threads thereafter -- experiments construct many interfaces and query
     few, so paying the one-off lexsort + copy at construction time would
-    penalise them.  ``_sorted`` is assigned last under the build lock;
-    readers treat it as the publication flag.
+    penalise them.  When the source table's ``data_version`` advances,
+    the next query rebinds and rebuilds the whole state under the build
+    lock; the state is published as one immutable object, so a racing
+    reader serves a coherent (possibly one-version-stale) order.
     """
 
     label = "rank"
 
-    def __init__(self, table: Table, bound: BoundRanker) -> None:
-        self._table = table
+    def __init__(self, source, view: Table, bound: BoundRanker,
+                 ranker: Ranker) -> None:
+        self._source = source
+        self._view = view
+        self._ranker = ranker
         self.bound = bound
-        self.covers_filters = _covers_filters(table)
+        self.covers_filters = _covers_filters(view)
         self._build_lock = threading.Lock()
-        self._filters: dict[str, np.ndarray] = {}
-        self._columns: tuple[np.ndarray, ...] = ()
-        self._maxes: tuple[int, ...] = ()
-        # (rid, v0..vm-1) per row in rank order: answers materialise with a
-        # single fancy-indexed slice + one tolist pass.
-        self._combined: np.ndarray | None = None
+        self._state: _RankState | None = None
+        self._version = _source_version(source)
 
-    def _ensure_built(self) -> np.ndarray:
-        combined = self._combined
-        if combined is None:
+    def _build(self, view: Table, bound: BoundRanker) -> _RankState:
+        order = bound.total_order()
+        assert order is not None, "rank engine needs a total order"
+        filters = {
+            name: view.filter_column(name)[order]
+            for name in view.filter_names
+        }
+        ordered = view.matrix[order]
+        # One contiguous array per attribute: the chunk masks below then
+        # run over dense cache lines instead of strided matrix columns.
+        columns = tuple(
+            np.ascontiguousarray(ordered[:, j])
+            for j in range(ordered.shape[1])
+        )
+        maxes = tuple(
+            attribute.max_value
+            for attribute in view.schema.ranking_attributes
+        )
+        # (rid, v0..vm-1) per row in rank order: answers materialise with
+        # a single fancy-indexed slice + one tolist pass.  Stable rids
+        # (which diverge from positions once tuples are deleted) ride in
+        # column 0 so answers identify tuples across mutations.
+        rids = getattr(view, "rids", None)
+        identifiers = (
+            rids[order] if rids is not None else np.asarray(order)
+        )
+        combined = np.concatenate(
+            [identifiers.reshape(-1, 1), ordered], axis=1
+        )
+        return _RankState(combined, columns, filters, maxes)
+
+    def _ensure_built(self) -> _RankState:
+        state = self._state
+        version = _source_version(self._source)
+        if state is None or version != self._version:
             with self._build_lock:
-                if self._combined is None:
-                    order = self.bound.total_order()
-                    assert order is not None, "rank engine needs a total order"
-                    self._filters = {
-                        name: self._table.filter_column(name)[order]
-                        for name in self._table.filter_names
-                    }
-                    ordered = self._table.matrix[order]
-                    # One contiguous array per attribute: the chunk masks
-                    # below then run over dense cache lines instead of
-                    # strided matrix columns.
-                    self._columns = tuple(
-                        np.ascontiguousarray(ordered[:, j])
-                        for j in range(ordered.shape[1])
-                    )
-                    self._maxes = tuple(
-                        attribute.max_value
-                        for attribute in self._table.schema.ranking_attributes
-                    )
-                    self._combined = np.concatenate(
-                        [np.asarray(order).reshape(-1, 1), ordered], axis=1
-                    )
-                combined = self._combined
-        return combined
+                state = self._state
+                if state is None or version != self._version:
+                    if version != self._version:
+                        self._view = _memory_view(self._source)
+                        self.bound = self._ranker.bind(self._view)
+                        self._version = _source_version(self._view)
+                    state = self._build(self._view, self.bound)
+                    self._state = state
+        return state
 
     def top_rows(self, query: Query, k: int) -> tuple[Row, ...]:
-        combined = self._ensure_built()
+        state = self._ensure_built()
+        combined = state.combined
         n = combined.shape[0]
         # Compile the query into (column, lo, hi) tests, dropping bounds
         # that cannot exclude anything (the common select-all envelope).
         tests: list[tuple[np.ndarray, int, int]] = []
         ranges = query.ranges
         if ranges:
-            columns = self._columns
-            maxes = self._maxes
+            columns = state.columns
+            maxes = state.maxes
             for index, interval in ranges.items():
                 lo = interval.lo
                 hi = interval.hi
@@ -160,14 +235,16 @@ class _RankEngine:
         filters = query.filters
         if filters:
             for name, value in filters.items():
-                column = self._filters.get(name)
+                column = state.filters.get(name)
                 if column is None:
                     raise UnknownAttributeError(f"no filter column {name!r}")
                 tests.append((column, value, value))
 
         if not tests:  # unconstrained: the top-k is rows 0..k
             count = k if k < n else n
-            return self._materialize(np.arange(count, dtype=np.intp))
+            return self._materialize(
+                combined, np.arange(count, dtype=np.intp)
+            )
 
         first = tests[0]
         rest = tests[1:]
@@ -208,13 +285,13 @@ class _RankEngine:
                 chunk = min(chunk * _CHUNK_GROWTH, _CHUNK_CAP)
         if positions is None:
             return ()
-        return self._materialize(positions[:k])
+        return self._materialize(combined, positions[:k])
 
-    def _materialize(self, positions: np.ndarray) -> tuple[Row, ...]:
+    def _materialize(
+        self, combined: np.ndarray, positions: np.ndarray
+    ) -> tuple[Row, ...]:
         if positions.size == 0:
             return ()
-        combined = self._combined
-        assert combined is not None
         return tuple(
             [Row(row[0], tuple(row[1:]))
              for row in combined[positions].tolist()]
@@ -289,18 +366,18 @@ def make_engine(table, ranker: Ranker, engine: str = "auto") -> Engine:
         return _SQLiteEngine(table)
     if engine == "auto" and native:
         return _SQLiteEngine(table)
-    memory = table.as_memory() if hasattr(table, "as_memory") else table
-    bound = ranker.bind(memory)
+    view = _memory_view(table)
+    bound = ranker.bind(view)
     if engine == "scan":
-        return _ScanEngine(memory, bound)
+        return _ScanEngine(table, view, bound, ranker)
     if engine == "rank" and not bound.has_total_order:
         raise ValueError(
             f"cannot use the rank engine: {ranker.describe()} has no "
             "query-independent total order"
         )
     if bound.has_total_order:
-        return _RankEngine(memory, bound)
-    return _ScanEngine(memory, bound)
+        return _RankEngine(table, view, bound, ranker)
+    return _ScanEngine(table, view, bound, ranker)
 
 
 __all__ = [

@@ -160,6 +160,11 @@ class TopKInterface:
         return self._engine.label
 
     @property
+    def data_version(self) -> int:
+        """The table's monotonic mutation counter (0 = never mutated)."""
+        return int(getattr(self._table, "data_version", 0))
+
+    @property
     def queries_issued(self) -> int:
         """Total number of queries issued so far -- the paper's cost metric."""
         return self._count
@@ -274,6 +279,23 @@ class TopKInterface:
             error.partial_results = answers
             raise error
         return answers
+
+    def apply_mutations(self, ops: Sequence) -> int:
+        """Mutate the underlying table (insert / delete / update batch).
+
+        Mutations are an *operator* action, not a search-form one: they
+        are never billed and advance :attr:`data_version` by one per
+        non-empty batch.  The serving engine notices the new version on
+        the next query and rebuilds its rank state, so answers before
+        and after the batch are each internally consistent.
+        """
+        apply = getattr(self._table, "apply_mutations", None)
+        if apply is None:
+            raise HiddenDBError(
+                f"table {type(self._table).__name__} does not support "
+                "mutations"
+            )
+        return int(apply(ops))
 
     # ------------------------------------------------------------------
     # experiment plumbing

@@ -146,7 +146,10 @@ def build_sqltable(
             f"cannot persist table: filtering attributes {missing} declared "
             "by the schema carry no column data"
         )
-    columns = [np.arange(table.n, dtype=np.int64), rank_of]
+    rid_column = getattr(table, "rids", None)
+    if rid_column is None:
+        rid_column = np.arange(table.n, dtype=np.int64)
+    columns = [np.asarray(rid_column, dtype=np.int64), rank_of]
     columns.extend(table.matrix[:, i] for i in range(table.m))
     columns.extend(
         table.filter_column(attr.name) for attr in schema.filtering_attributes
@@ -195,6 +198,10 @@ def build_sqltable(
                     ("ranking", ranker.describe()),
                     ("n", str(table.n)),
                     ("schema", _schema_to_json(schema)),
+                    ("data_version",
+                     str(int(getattr(table, "data_version", 0)))),
+                    ("next_rid",
+                     str(int(rid_column.max()) + 1 if table.n else 0)),
                 ],
             )
         connection.execute("PRAGMA synchronous=NORMAL")
@@ -238,6 +245,12 @@ class SQLTable:
         self._n = int(meta["n"])
         self._name = meta.get("name", "")
         self._ranking = meta["ranking"]
+        # Pre-freshness files carry neither key: they read as version 0
+        # with a dense rid space, exactly the behaviour they were built
+        # under.
+        self._data_version = int(meta.get("data_version", 0))
+        self._next_rid = int(meta.get("next_rid", self._n))
+        self._mutate_lock = threading.Lock()
         self._ranking_cols, self._filter_cols = _column_names(self._schema)
         self._select_cols = ", ".join(["rid"] + self._ranking_cols)
         # Precompiled per-column clause fragments and bound caps: the
@@ -313,6 +326,11 @@ class SQLTable:
         return self._n
 
     @property
+    def data_version(self) -> int:
+        """Monotonic mutation counter persisted in ``meta``."""
+        return self._data_version
+
+    @property
     def m(self) -> int:
         """Number of ranking attributes."""
         return self._schema.m
@@ -342,7 +360,10 @@ class SQLTable:
         """
         with self._memory_lock:
             if self._memory is None:
-                columns = self._ranking_cols + list(self._filter_cols.values())
+                columns = (
+                    ["rid"] + self._ranking_cols
+                    + list(self._filter_cols.values())
+                )
                 rows = self._connection().execute(
                     f"SELECT {', '.join(columns)} FROM tuples ORDER BY rid"
                 ).fetchall()
@@ -352,10 +373,16 @@ class SQLTable:
                     else np.empty((0, len(columns)), dtype=np.int64)
                 )
                 filters = {
-                    name: data[:, self.m + j]
+                    name: data[:, 1 + self.m + j]
                     for j, name in enumerate(self._filter_cols)
                 }
-                self._memory = Table(self._schema, data[:, : self.m], filters)
+                self._memory = Table(
+                    self._schema,
+                    data[:, 1:1 + self.m],
+                    filters,
+                    rids=data[:, 0],
+                    data_version=self._data_version,
+                )
             return self._memory
 
     # ------------------------------------------------------------------
@@ -440,6 +467,85 @@ class SQLTable:
         if got is None:
             raise IndexError(f"no row {rid} in {self._path.name}")
         return int(got[0])
+
+    # ------------------------------------------------------------------
+    # mutations (the freshness plane)
+    # ------------------------------------------------------------------
+    def apply_mutations(self, ops: Sequence) -> int:
+        """Apply an insert / delete / update batch and rebuild the rank.
+
+        Mutation semantics are those of
+        :meth:`~repro.hiddendb.table.Table.apply_mutations` (ops apply in
+        order, one batch advances ``data_version`` by one, fresh rids are
+        never reused -- the high-water mark is persisted in ``meta``).
+        The rank column is recomputed under the persisted ranking and the
+        whole ``tuples`` table is rewritten in one transaction, so a
+        reader -- including this process's own ``query_only`` serving
+        connections -- sees either the old state or the new one, never a
+        half-ranked mix.
+        """
+        if not ops:
+            return 0
+        from .ranking import ranker_from_label
+
+        with self._mutate_lock:
+            work = self.as_memory().snapshot_view()
+            work._next_rid = max(work._next_rid, self._next_rid)
+            applied = work.apply_mutations(list(ops))
+            bound = ranker_from_label(self._ranking).bind(work)
+            order = bound.total_order()
+            assert order is not None, "persisted rankings have total orders"
+            rank_of = np.empty(work.n, dtype=np.int64)
+            rank_of[order] = np.arange(work.n, dtype=np.int64)
+            columns = [work.rids, rank_of]
+            columns.extend(work.matrix[:, i] for i in range(work.m))
+            columns.extend(
+                work.filter_column(attr.name)
+                for attr in self._schema.filtering_attributes
+            )
+            stacked = (
+                np.column_stack(columns)
+                if work.n
+                else np.empty((0, len(columns)), dtype=np.int64)
+            )
+            new_version = self._data_version + 1
+            connection = sqlite3.connect(self._path)
+            try:
+                connection.execute("PRAGMA busy_timeout=30000")
+                connection.execute("BEGIN IMMEDIATE")
+                try:
+                    connection.execute("DELETE FROM tuples")
+                    insert = (
+                        "INSERT INTO tuples VALUES "
+                        f"({', '.join('?' * stacked.shape[1])})"
+                    )
+                    for start in range(0, work.n, _BUILD_BATCH):
+                        connection.executemany(
+                            insert,
+                            stacked[start:start + _BUILD_BATCH].tolist(),
+                        )
+                    connection.executemany(
+                        "INSERT OR REPLACE INTO meta VALUES (?, ?)",
+                        [
+                            ("n", str(work.n)),
+                            ("data_version", str(new_version)),
+                            ("next_rid", str(work._next_rid)),
+                        ],
+                    )
+                    connection.execute("COMMIT")
+                except BaseException:
+                    connection.execute("ROLLBACK")
+                    raise
+            finally:
+                connection.close()
+            with self._memory_lock:
+                self._n = work.n
+                self._next_rid = work._next_rid
+                self._data_version = new_version
+                # work's arrays are exactly what the file now holds; its
+                # version was advanced by apply_mutations in lockstep.
+                self._memory = work
+        return applied
 
     # ------------------------------------------------------------------
     # ground-truth oracles (delegate to the materialised table)

@@ -14,7 +14,8 @@ never available to the algorithms themselves, which may only go through
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, NamedTuple, Sequence
+import threading
+from typing import Any, Iterator, Mapping, NamedTuple, Sequence
 
 import numpy as np
 
@@ -51,13 +52,31 @@ class Row(NamedTuple):
 
 
 class Table:
-    """An immutable collection of tuples over a schema."""
+    """A collection of tuples over a schema.
+
+    Positions vs. rids: tuples occupy dense *positions* ``0 .. n-1`` (the
+    indices every vectorised path -- ``match_indices``, rankers, the
+    oracles -- works in), while each tuple also carries a stable *rid*
+    (the identifier a search answer exposes, analogous to a listing URL).
+    For a freshly built table the two coincide; once tuples are deleted
+    or inserted through :meth:`apply_mutations` they diverge -- positions
+    stay dense, rids stay stable and are never reused.
+
+    Mutation model: a table starts at ``data_version`` 0 and each applied
+    mutation batch advances it by one.  Serving engines snapshot the
+    table's state (:meth:`snapshot_view`) and compare versions to decide
+    when to rebuild, so concurrent readers always see a coherent
+    (possibly one-batch-stale) state.
+    """
 
     def __init__(
         self,
         schema: Schema,
         ranking_values: np.ndarray | Sequence[Sequence[int]],
         filter_values: Mapping[str, np.ndarray | Sequence[int]] | None = None,
+        *,
+        rids: np.ndarray | Sequence[int] | None = None,
+        data_version: int = 0,
     ) -> None:
         matrix = np.asarray(ranking_values, dtype=np.int64)
         if matrix.ndim == 1:
@@ -98,6 +117,24 @@ class Table:
                 )
             column.setflags(write=False)
             self._filters[name] = column
+        if rids is None:
+            rid_column = np.arange(matrix.shape[0], dtype=np.int64)
+        else:
+            rid_column = np.asarray(rids, dtype=np.int64)
+            if rid_column.shape != (matrix.shape[0],):
+                raise ValueError(
+                    f"rids has shape {rid_column.shape}, "
+                    f"expected ({matrix.shape[0]},)"
+                )
+            if len(np.unique(rid_column)) != rid_column.size:
+                raise ValueError("rids must be unique")
+        rid_column.setflags(write=False)
+        self._rids = rid_column
+        self._next_rid = (
+            int(rid_column.max()) + 1 if rid_column.size else 0
+        )
+        self._data_version = int(data_version)
+        self._mutate_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -125,25 +162,38 @@ class Table:
     def __len__(self) -> int:
         return self.n
 
-    def row(self, rid: int) -> Row:
-        """Materialise the row with identifier ``rid``."""
-        return Row(rid, tuple(int(v) for v in self._matrix[rid]))
+    @property
+    def rids(self) -> np.ndarray:
+        """Read-only stable row identifiers, by position."""
+        return self._rids
 
-    def rows(self, rids: Sequence[int]) -> tuple[Row, ...]:
-        """Materialise several rows at once.
+    @property
+    def data_version(self) -> int:
+        """Monotonic mutation counter (0 = never mutated)."""
+        return self._data_version
+
+    def row(self, position: int) -> Row:
+        """Materialise the row at ``position`` (its ``rid`` may differ)."""
+        return Row(
+            int(self._rids[position]),
+            tuple(int(v) for v in self._matrix[position]),
+        )
+
+    def rows(self, positions: Sequence[int]) -> tuple[Row, ...]:
+        """Materialise several rows (by position) at once.
 
         One fancy-indexed slice plus a single ``tolist`` pass -- on the
         serving hot path (every query answer materialises its top-k) this
         is ~10x cheaper than ``row()`` per id, which pays a numpy scalar
         conversion per cell.
         """
-        index = np.asarray(rids, dtype=np.int64)
+        index = np.asarray(positions, dtype=np.int64)
         if index.size == 0:
             return ()
         values = self._matrix[index].tolist()
         return tuple(
             Row(rid, tuple(row_values))
-            for rid, row_values in zip(index.tolist(), values)
+            for rid, row_values in zip(self._rids[index].tolist(), values)
         )
 
     def iter_rows(self) -> Iterator[Row]:
@@ -253,6 +303,152 @@ class Table:
                           attribute.labels)
             )
         return Table(Schema(attributes), self._matrix, dict(self._filters))
+
+    # ------------------------------------------------------------------
+    # mutations (the freshness plane)
+    # ------------------------------------------------------------------
+    def snapshot_view(self) -> "Table":
+        """A zero-copy, internally-consistent view of the current state.
+
+        Serving engines bind rankers against the view: a concurrent
+        :meth:`apply_mutations` swaps the parent's arrays but can never
+        tear the view, whose matrix / filters / rids all belong to one
+        data version.
+        """
+        with self._mutate_lock:
+            view = Table.__new__(Table)
+            view._schema = self._schema
+            view._matrix = self._matrix
+            view._filters = dict(self._filters)
+            view._rids = self._rids
+            view._next_rid = self._next_rid
+            view._data_version = self._data_version
+            view._mutate_lock = threading.Lock()
+        return view
+
+    def apply_mutations(
+        self, ops: Sequence[Mapping[str, Any]]
+    ) -> int:
+        """Apply a batch of insert / delete / update operations.
+
+        Each op is a mapping:
+
+        * ``{"op": "insert", "values": [...], "filters": {...}}`` --
+          append a tuple (ranking values in schema order; a value for
+          every carried filter column is required).  The new tuple gets
+          a fresh, never-reused rid.
+        * ``{"op": "delete", "rid": r}`` -- drop the tuple with stable
+          identifier ``r``.
+        * ``{"op": "update", "rid": r, "values": [...], "filters": {...}}``
+          -- overwrite the ranking vector and/or some filter values of an
+          existing tuple (its rid is preserved).
+
+        Ops apply in order; the whole batch advances ``data_version`` by
+        exactly one.  Validation failures raise before anything is
+        changed -- a batch applies atomically or not at all.  Returns the
+        number of operations applied.
+        """
+        if not ops:
+            return 0
+        with self._mutate_lock:
+            attributes = self._schema.ranking_attributes
+            m = len(attributes)
+            carried = tuple(self._filters)
+            order = self._rids.tolist()
+            values_by_rid = dict(zip(order, self._matrix.tolist()))
+            filters_by_rid = {
+                rid: {
+                    name: int(self._filters[name][pos]) for name in carried
+                }
+                for pos, rid in enumerate(order)
+            }
+            alive = set(order)
+            next_rid = self._next_rid
+
+            def checked_values(op: Mapping[str, Any]) -> list[int]:
+                values = [int(v) for v in op["values"]]
+                if len(values) != m:
+                    raise ValueError(
+                        f"mutation values have {len(values)} entries, "
+                        f"schema declares {m} ranking attributes"
+                    )
+                for value, attribute in zip(values, attributes):
+                    attribute.validate_value(value)
+                return values
+
+            def checked_filters(
+                op: Mapping[str, Any], *, complete: bool
+            ) -> dict[str, int]:
+                provided = {
+                    name: int(v)
+                    for name, v in dict(op.get("filters") or {}).items()
+                }
+                unknown = set(provided) - set(carried)
+                if unknown:
+                    raise UnknownAttributeError(
+                        f"unknown filtering columns: {sorted(unknown)}"
+                    )
+                if complete and set(provided) != set(carried):
+                    missing = sorted(set(carried) - set(provided))
+                    raise ValueError(
+                        f"insert missing filter values for {missing}"
+                    )
+                for name, value in provided.items():
+                    self._schema[name].validate_value(value)
+                return provided
+
+            applied = 0
+            for op in ops:
+                kind = op.get("op")
+                if kind == "insert":
+                    values = checked_values(op)
+                    filters = checked_filters(op, complete=True)
+                    rid = next_rid
+                    next_rid += 1
+                    order.append(rid)
+                    alive.add(rid)
+                    values_by_rid[rid] = values
+                    filters_by_rid[rid] = filters
+                elif kind in ("delete", "update"):
+                    rid = int(op["rid"])
+                    if rid not in alive:
+                        raise ValueError(f"no tuple with rid {rid}")
+                    if kind == "delete":
+                        alive.discard(rid)
+                    else:
+                        if "values" in op:
+                            values_by_rid[rid] = checked_values(op)
+                        filters_by_rid[rid].update(
+                            checked_filters(op, complete=False)
+                        )
+                else:
+                    raise ValueError(
+                        f"unknown mutation op {kind!r}; "
+                        f"expected insert, delete or update"
+                    )
+                applied += 1
+
+            surviving = [rid for rid in order if rid in alive]
+            matrix = np.asarray(
+                [values_by_rid[rid] for rid in surviving], dtype=np.int64
+            ).reshape(len(surviving), m)
+            matrix.setflags(write=False)
+            filters: dict[str, np.ndarray] = {}
+            for name in carried:
+                column = np.asarray(
+                    [filters_by_rid[rid][name] for rid in surviving],
+                    dtype=np.int64,
+                )
+                column.setflags(write=False)
+                filters[name] = column
+            rid_column = np.asarray(surviving, dtype=np.int64)
+            rid_column.setflags(write=False)
+            self._matrix = matrix
+            self._filters = filters
+            self._rids = rid_column
+            self._next_rid = next_rid
+            self._data_version += 1
+        return applied
 
     def __repr__(self) -> str:
         return f"Table(n={self.n}, schema={self._schema!r})"

@@ -174,6 +174,42 @@ class AsyncRemoteTopKInterface(QueryClientCore):
         """The service's ``/api/stats`` payload (billing counters)."""
         return self._runner.run(self._arequest("GET", "/api/stats"))
 
+    def healthz(self) -> dict[str, Any]:
+        """The service's ``/healthz`` payload (liveness + fingerprint)."""
+        return self._runner.run(self._arequest("GET", "/healthz"))
+
+    def refresh_data_version(self) -> int:
+        """Re-read the endpoint's data version over ``/healthz`` (free)."""
+        payload = self.healthz()
+        self._note_data_version(
+            {"X-Data-Version": str(payload.get("data_version", 0))}
+        )
+        return self._data_version
+
+    def mutate(
+        self,
+        ops: Sequence[Mapping[str, Any]] | None = None,
+        *,
+        churn: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Apply an operator mutation batch via ``POST /api/mutate``.
+
+        Blocking (operator tooling, not crawl hot path); semantics match
+        the sync client's ``mutate`` exactly.
+        """
+        if (ops is None) == (churn is None):
+            raise ValueError("exactly one of ops or churn is required")
+        body: dict[str, Any] = (
+            {"ops": list(ops)} if ops is not None else {"churn": dict(churn)}
+        )
+        payload = self._runner.run(
+            self._arequest("POST", "/api/mutate", body)
+        )
+        self._note_data_version(
+            {"X-Data-Version": str(payload.get("data_version", 0))}
+        )
+        return payload
+
     def close(self) -> None:
         """Close every pooled connection and stop the client's loop."""
         if self._closed:
@@ -439,6 +475,7 @@ class AsyncRemoteTopKInterface(QueryClientCore):
         # Budget headers arrive on error responses too (a 429 reports 0
         # remaining); record them before classifying the status.
         self._note_budget(headers)
+        self._note_data_version(headers)
         if status >= 400:
             raise self._classify(status, raw)
         try:

@@ -133,6 +133,8 @@ class QueryClientCore:
         self._ledger_hits = 0
         self._retries = 0
         self._budget_remaining: int | None = None
+        self._data_version = 0
+        self._version_skews = 0
         self._schema: Schema | None = None
         self._k = 0
         self._service_name = ""
@@ -152,6 +154,7 @@ class QueryClientCore:
         self._ranking_label = str(metadata.get("ranking", ""))
         self._supports_batch = bool(metadata.get("batch", False))
         self._max_batch = int(metadata.get("max_batch", MAX_BATCH_ITEMS))
+        self._data_version = int(metadata.get("data_version", 0))
 
     # ------------------------------------------------------------------
     # SearchEndpoint metadata surface
@@ -293,6 +296,37 @@ class QueryClientCore:
             with self._lock:
                 self._budget_remaining = value
 
+    def _note_data_version(self, headers: Mapping[str, str]) -> None:
+        """Track the endpoint's ``X-Data-Version`` advertisement.
+
+        A version ahead of the one we tracked means the hidden database
+        mutated under us: cached answers may be stale, so the LRU cache
+        is dropped (ledger views stay epoch-pinned and go stale-silent on
+        their own).  Detection is free -- the header rides on answers we
+        paid for anyway.  Replayed answers may carry the *older* version
+        they were billed under; those never roll the tracked version back.
+        """
+        advertised = headers.get("X-Data-Version")
+        if advertised is None:
+            advertised = headers.get("x-data-version")
+        if advertised is None:
+            return
+        try:
+            version = int(advertised)
+        except ValueError:
+            return
+        stale = False
+        with self._lock:
+            if version > self._data_version:
+                self._data_version = version
+                self._version_skews += 1
+                self._cache.clear()
+                stale = True
+        if stale and self._observer is not None:
+            self._observer.client_event(
+                "data_version_skew", version=version
+            )
+
     def _classify_payload(
         self, status: int, payload: Mapping[str, Any]
     ) -> Exception:
@@ -384,6 +418,17 @@ class QueryClientCore:
     def budget_remaining(self) -> int | None:
         """Server-reported remaining budget (``None`` until known/unlimited)."""
         return self._budget_remaining
+
+    @property
+    def data_version(self) -> int:
+        """Latest data version the endpoint advertised to this client."""
+        return self._data_version
+
+    @property
+    def version_skews(self) -> int:
+        """Times the endpoint's data version moved ahead mid-session
+        (each one dropped the client-side cache)."""
+        return self._version_skews
 
     @property
     def supports_batch(self) -> bool:
@@ -629,6 +674,44 @@ class RemoteTopKInterface(QueryClientCore):
         """
         return self._request("GET", "/healthz")
 
+    def refresh_data_version(self) -> int:
+        """Re-read the endpoint's data version over ``/healthz`` (free).
+
+        Folds the advertised version into the tracked one (dropping the
+        cache on skew) and returns it -- the cheap per-mount staleness
+        probe the coordinator and delta crawls use.
+        """
+        payload = self.healthz()
+        self._note_data_version(
+            {"X-Data-Version": str(payload.get("data_version", 0))}
+        )
+        return self._data_version
+
+    def mutate(
+        self,
+        ops: Sequence[Mapping[str, Any]] | None = None,
+        *,
+        churn: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Apply an operator mutation batch via ``POST /api/mutate``.
+
+        Exactly one of ``ops`` (explicit insert/delete/update batch) or
+        ``churn`` (``{"frac": F, "seed": S}``, drawn server-side) must be
+        given.  Unbilled.  Returns the server's ``{"applied",
+        "data_version"}`` payload after folding the new version into the
+        tracked one (which drops the local cache).
+        """
+        if (ops is None) == (churn is None):
+            raise ValueError("exactly one of ops or churn is required")
+        body: dict[str, Any] = (
+            {"ops": list(ops)} if ops is not None else {"churn": dict(churn)}
+        )
+        payload = self._request("POST", "/api/mutate", body)
+        self._note_data_version(
+            {"X-Data-Version": str(payload.get("data_version", 0))}
+        )
+        return payload
+
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
@@ -752,6 +835,7 @@ class RemoteTopKInterface(QueryClientCore):
         # Budget headers arrive on error responses too (a 429 reports 0
         # remaining); record them before classifying the status.
         self._note_budget(response_headers)
+        self._note_data_version(response_headers)
         if status >= 400:
             raise self._classify(status, raw)
         try:

@@ -19,10 +19,21 @@ Routes (all bodies JSON):
                            uptime, in-flight requests, per-key HTTP totals
 ``GET  /metrics``          the same counters plus a request-latency
                            histogram, in Prometheus text format
+``POST /api/mutate``       operator action: apply an insert/delete/update
+                           batch (``{"ops": [...]}``) or deterministic
+                           churn (``{"churn": {"frac", "seed"}}``) to the
+                           served table; unbilled, bumps ``data_version``
 ``POST /api/reset``        ops/test helper: clear billing counters
 ``GET  /healthz``          liveness probe carrying the endpoint fingerprint
                            (CI boot check, coordinator shard verification)
 =========================  =====================================================
+
+Live databases advertise a monotonic ``data_version`` (the table's
+mutation counter) in ``/api/schema``, ``/api/stats``, ``/healthz`` and as
+an ``X-Data-Version`` header on every fresh answer, so clients detect
+endpoint churn without a billed probe.  The fingerprint deliberately does
+*not* fold the version in: identity ("same database?") and freshness
+("same contents?") are separate questions.
 
 The query endpoint reproduces the in-process
 :class:`~repro.hiddendb.interface.TopKInterface` contract exactly --
@@ -52,6 +63,7 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Mapping
 
+from ..datagen.mutations import churn_ops, validate_ops
 from ..hiddendb.errors import HiddenDBError, UnsupportedQueryError
 from ..hiddendb.dataplane import default_ranker, make_engine
 from ..hiddendb.ranking import Ranker
@@ -322,6 +334,18 @@ class HiddenDBServer:
             "Top-k answer computation latency, by serving engine.",
             ("engine",),
         )
+        self._m_mutations = self._metrics.counter(
+            "hiddendb_mutations_applied_total",
+            "Mutation operations applied through /api/mutate.",
+        )
+        self._m_version = self._metrics.gauge(
+            "hiddendb_data_version",
+            "Monotonic data version of the served table.",
+        )
+        self._m_version.set(float(self.data_version))
+        # /api/mutate batches serialize here: concurrent operator batches
+        # would otherwise interleave their table rebuilds.
+        self._mutate_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -431,6 +455,13 @@ class HiddenDBServer:
         return self._engine.label
 
     @property
+    def data_version(self) -> int:
+        """Monotonic mutation counter of the served table (0 = never
+        mutated).  Advertised on every metadata route and answer header;
+        deliberately *not* part of :attr:`fingerprint`."""
+        return int(getattr(self._table, "data_version", 0))
+
+    @property
     def fingerprint(self) -> str:
         """Endpoint identity hash (schema + ``k`` + name + ranking).
 
@@ -505,6 +536,8 @@ class HiddenDBServer:
                 # frontier waves into /api/batch round trips.
                 "batch": True,
                 "max_batch": MAX_BATCH_ITEMS,
+                # Freshness: bumped once per applied mutation batch.
+                "data_version": self.data_version,
             },
             {},
         )
@@ -523,6 +556,7 @@ class HiddenDBServer:
             {
                 "name": self._name,
                 "engine": self._engine.label,
+                "data_version": self.data_version,
                 "uptime_s": round(uptime, 3) if uptime is not None else None,
                 "in_flight": int(self._m_inflight.value()),
                 "queries_total": stats.queries_total,
@@ -555,6 +589,72 @@ class HiddenDBServer:
     ) -> tuple[int, dict[str, Any], dict[str, str]]:
         self.reset_billing(payload.get("api_key"))
         return self._handle_stats()
+
+    def _handle_mutate(
+        self, payload: Mapping[str, Any]
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        """Apply an operator mutation batch to the served table.
+
+        Accepts either an explicit ``{"ops": [...]}`` batch or
+        ``{"churn": {"frac": F, "seed": S}}``, which draws the
+        deterministic :func:`~repro.datagen.mutations.churn_ops` batch
+        server-side (the wire then carries two numbers instead of
+        thousands of ops).  Mutations are an operator action: they are
+        never billed and never count against any key's budget.
+        """
+        apply = getattr(self._table, "apply_mutations", None)
+        if apply is None:
+            return (
+                400,
+                {
+                    "error": "mutations_unsupported",
+                    "message": f"table {type(self._table).__name__} does "
+                    "not support mutations",
+                    "retriable": False,
+                },
+                {},
+            )
+        ops = payload.get("ops")
+        churn = payload.get("churn")
+        if (ops is None) == (churn is None):
+            return (
+                400,
+                {"error": "bad_request", "message": "exactly one of ops "
+                 "or churn is required", "retriable": False},
+                {},
+            )
+        try:
+            with self._mutate_lock:
+                if churn is not None:
+                    if not isinstance(churn, Mapping) or "frac" not in churn:
+                        raise ValueError("churn must be an object with frac")
+                    batch = churn_ops(
+                        self._table,
+                        float(churn["frac"]),
+                        int(churn.get("seed", 0)),
+                    )
+                else:
+                    batch = validate_ops(ops)
+                applied = int(apply(batch))
+        except (KeyError, TypeError, ValueError) as exc:
+            return (
+                400,
+                {"error": "bad_mutation", "message": str(exc),
+                 "retriable": False},
+                {},
+            )
+        version = self.data_version
+        self._m_mutations.inc(applied)
+        self._m_version.set(float(version))
+        logger.info(
+            "%s: applied %d mutations, data_version=%d",
+            self._name, applied, version,
+        )
+        return (
+            200,
+            {"applied": applied, "data_version": version},
+            {"X-Data-Version": str(version)},
+        )
 
     def _handle_query(
         self,
@@ -739,7 +839,13 @@ class HiddenDBServer:
         )
         body = encode_answer(rows, overflow=len(rows) == self._k, sequence=sequence)
         budget = self._billing.budget_of(api_key)
-        headers = {"X-Queries-Issued": str(sequence)}
+        # The version the answer was computed against: replayed answers
+        # keep the header they were billed with, so a replay after churn
+        # correctly reports the (older) version of its cached rows.
+        headers = {
+            "X-Queries-Issued": str(sequence),
+            "X-Data-Version": str(self.data_version),
+        }
         if budget is not None:
             headers["X-Budget-Remaining"] = str(max(budget - sequence, 0))
         if replay_key is not None:
@@ -839,6 +945,7 @@ def _make_handler(server: HiddenDBServer) -> type[BaseHTTPRequestHandler]:
                         "status": "ok",
                         "name": server.name,
                         "fingerprint": server.fingerprint,
+                        "data_version": server.data_version,
                     },
                     {},
                 )
@@ -867,6 +974,8 @@ def _make_handler(server: HiddenDBServer) -> type[BaseHTTPRequestHandler]:
                 )
             elif self.path == "/api/batch":
                 self._reply(*server._handle_batch(payload, self._api_key()))
+            elif self.path == "/api/mutate":
+                self._reply(*server._handle_mutate(payload))
             elif self.path == "/api/reset":
                 self._reply(*server._handle_reset(payload))
             else:

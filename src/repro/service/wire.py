@@ -207,7 +207,10 @@ def decode_answer(
 #: algorithm means "auto-select by schema"; ``None`` budget means
 #: unbounded; ``fingerprint`` is the endpoint identity the tenant
 #: *expects* to crawl (the coordinator rejects the job with a conflict
-#: when it does not match its backends).
+#: when it does not match its backends).  ``watch`` turns the job into a
+#: continuous monitor: after the initial crawl the coordinator re-checks
+#: the endpoint every ``interval_s`` seconds and repairs the skyline with
+#: a delta-crawl whenever the data version moved.
 JOB_SPEC_DEFAULTS: Mapping[str, Any] = {
     "algorithm": None,
     "budget": None,
@@ -216,6 +219,7 @@ JOB_SPEC_DEFAULTS: Mapping[str, Any] = {
     "workers": 4,
     "checkpoint_every": 8,
     "fingerprint": None,
+    "watch": None,
 }
 
 
@@ -254,6 +258,22 @@ def decode_job_spec(payload: Mapping[str, Any]) -> dict[str, Any]:
             raise ValueError(f"job spec field {key!r} must be a string")
     if not isinstance(spec["tenant"], str) or not spec["tenant"]:
         raise ValueError("job spec field 'tenant' must be a non-empty string")
+    if spec["watch"] is not None:
+        watch = spec["watch"]
+        if not isinstance(watch, Mapping):
+            raise ValueError("job spec field 'watch' must be an object")
+        unknown = sorted(set(watch) - {"interval_s"})
+        if unknown:
+            raise ValueError(
+                f"unknown watch field(s): {', '.join(unknown)}; "
+                f"known fields: interval_s"
+            )
+        interval = watch.get("interval_s")
+        if isinstance(interval, bool) or not isinstance(interval, (int, float)):
+            raise ValueError("watch field 'interval_s' must be a number")
+        if not interval > 0:
+            raise ValueError("watch field 'interval_s' must be > 0")
+        spec["watch"] = {"interval_s": float(interval)}
     return spec
 
 

@@ -24,10 +24,12 @@ See :mod:`repro.store.crawlstore` for the full model.
 
 from .crawlstore import (
     JOB_STATUSES,
+    STORE_VERSION,
     CrawlStore,
     EndpointRecord,
     GcReport,
     JobRecord,
+    LedgerEntry,
     QueryLedger,
     SessionRecord,
     StoreError,
@@ -38,10 +40,12 @@ from .crawlstore import (
 
 __all__ = [
     "JOB_STATUSES",
+    "STORE_VERSION",
     "CrawlStore",
     "EndpointRecord",
     "GcReport",
     "JobRecord",
+    "LedgerEntry",
     "QueryLedger",
     "SessionRecord",
     "StoreError",

@@ -54,7 +54,7 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping
 
 from ..hiddendb.attributes import Schema
 from ..hiddendb.interface import QueryResult
@@ -72,15 +72,22 @@ from ..service.wire import (
     fingerprint_of as _fingerprint_of,
 )
 
-#: Bump when the on-disk layout changes incompatibly.
-STORE_VERSION = 1
+#: Bump when the on-disk layout changes incompatibly.  Version 2 added
+#: the freshness plane: per-entry ledger epochs + TTLs, the endpoint
+#: ``data_version`` column and the ``store_meta`` schema-version table.
+STORE_VERSION = 2
 
 _DDL = """
+CREATE TABLE IF NOT EXISTS store_meta (
+    key    TEXT PRIMARY KEY,
+    value  TEXT NOT NULL
+);
 CREATE TABLE IF NOT EXISTS endpoints (
     fingerprint  TEXT PRIMARY KEY,
     name         TEXT NOT NULL DEFAULT '',
     k            INTEGER NOT NULL,
     descriptor   TEXT NOT NULL,
+    data_version INTEGER NOT NULL DEFAULT 0,
     created_at   REAL NOT NULL,
     last_seen    REAL NOT NULL
 );
@@ -90,6 +97,8 @@ CREATE TABLE IF NOT EXISTS ledger (
     query_json   TEXT NOT NULL,
     answer_json  TEXT NOT NULL,
     billed_at    REAL NOT NULL,
+    epoch        INTEGER NOT NULL DEFAULT 0,
+    expires_at   REAL,
     PRIMARY KEY (fingerprint, qkey)
 );
 CREATE TABLE IF NOT EXISTS sessions (
@@ -124,6 +133,18 @@ CREATE TABLE IF NOT EXISTS jobs (
 CREATE INDEX IF NOT EXISTS jobs_by_status ON jobs (status, updated_at);
 """
 
+#: In-place migrations, keyed by the on-disk version they upgrade *from*.
+#: Applied in sequence inside one transaction; pre-epoch rows get epoch 0
+#: and no TTL, which is exactly the pre-freshness behaviour (a version-0
+#: endpoint serves them unchanged, a bumped endpoint treats them stale).
+_MIGRATIONS: dict[int, str] = {
+    1: """
+ALTER TABLE endpoints ADD COLUMN data_version INTEGER NOT NULL DEFAULT 0;
+ALTER TABLE ledger ADD COLUMN epoch INTEGER NOT NULL DEFAULT 0;
+ALTER TABLE ledger ADD COLUMN expires_at REAL;
+""",
+}
+
 #: Lifecycle states of a coordinator discovery job.  ``queued`` and
 #: ``running`` jobs are replayed by ``repro coordinate --resume``;
 #: ``partial`` marks a budget-exhausted (still resumable) crawl.
@@ -155,6 +176,8 @@ class EndpointRecord:
     ledger_entries: int
     created_at: float
     last_seen: float
+    #: Endpoint data version at last registration (0 = never mutated).
+    data_version: int = 0
 
 
 @dataclass(frozen=True)
@@ -203,13 +226,34 @@ class GcReport:
     ledger_pruned: int
     sessions_pruned: int
     jobs_pruned: int = 0
+    #: Ledger entries evicted for carrying a stale epoch (an older data
+    #: version than their endpoint's current one).
+    stale_pruned: int = 0
+    #: Ledger entries evicted because their TTL lapsed.
+    expired_pruned: int = 0
+    #: ``True`` when this report describes a ``--dry-run`` (nothing was
+    #: actually deleted).
+    dry_run: bool = False
 
     @property
     def total(self) -> int:
         return (
             self.endpoints_pruned + self.ledger_pruned
             + self.sessions_pruned + self.jobs_pruned
+            + self.stale_pruned + self.expired_pruned
         )
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One persisted ledger row, fully decoded (delta-crawl probing)."""
+
+    qkey: str
+    query: Query
+    result: QueryResult
+    epoch: int
+    billed_at: float
+    expires_at: float | None = None
 
 
 class QueryLedger:
@@ -219,6 +263,11 @@ class QueryLedger:
     ``put`` records one billed answer.  When the view is bound to a crawl
     session, every ``put`` also bumps that session's billed counter in the
     same transaction, keeping crash-time accounting exact.
+
+    The view is pinned to an **epoch** -- the endpoint's data version at
+    mount time.  ``get`` serves only entries written at that epoch (and
+    not TTL-expired), so answers billed against an older state of a live
+    endpoint are never replayed; ``put`` stamps the epoch on every write.
     """
 
     def __init__(
@@ -226,24 +275,39 @@ class QueryLedger:
         store: "CrawlStore",
         fingerprint: str,
         session_id: str | None = None,
+        *,
+        epoch: int = 0,
+        ttl_s: float | None = None,
     ) -> None:
         self._store = store
         self._fingerprint = fingerprint
         self._session_id = session_id
+        self._epoch = int(epoch)
+        self._ttl_s = ttl_s
 
     @property
     def fingerprint(self) -> str:
         """Endpoint fingerprint this view reads/writes under."""
         return self._fingerprint
 
+    @property
+    def epoch(self) -> int:
+        """Endpoint data version this view serves and stamps."""
+        return self._epoch
+
     def get(self, query: Query) -> QueryResult | None:
         """The ledgered answer for ``query``, or ``None``."""
-        return self._store.ledger_get(self._fingerprint, query)
+        return self._store.ledger_get(
+            self._fingerprint, query, epoch=self._epoch
+        )
 
     def put(self, query: Query, result: QueryResult) -> None:
         """Persist one billed answer (idempotent per canonical key)."""
         self._store.ledger_put(
-            self._fingerprint, query, result, session_id=self._session_id
+            self._fingerprint, query, result,
+            session_id=self._session_id,
+            epoch=self._epoch,
+            ttl_s=self._ttl_s,
         )
 
     def __len__(self) -> int:
@@ -252,7 +316,7 @@ class QueryLedger:
     def __repr__(self) -> str:
         return (
             f"QueryLedger({self._fingerprint}, entries={len(self)}, "
-            f"session={self._session_id or '-'})"
+            f"epoch={self._epoch}, session={self._session_id or '-'})"
         )
 
 
@@ -299,15 +363,45 @@ class CrawlStore:
             version = int(
                 self._conn.execute("PRAGMA user_version").fetchone()[0]
             )
-            if version not in (0, STORE_VERSION):
+            if version > STORE_VERSION or (
+                version and version not in _MIGRATIONS
+                and version != STORE_VERSION
+            ):
                 self._conn.close()
                 raise StoreError(
                     f"store {self._path!r} has on-disk layout version "
                     f"{version}; this build reads version {STORE_VERSION}. "
                     f"Use a fresh --store (or the matching build)."
                 )
+            if version and version < STORE_VERSION:
+                # Upgrade an existing file in place, atomically: either
+                # every ALTER of every step lands or none do, so a crash
+                # mid-migration can never leave a half-versioned store
+                # that silently mixes epoch semantics.
+                self._conn.execute("BEGIN IMMEDIATE")
+                try:
+                    for step in range(version, STORE_VERSION):
+                        for statement in _MIGRATIONS[step].split(";"):
+                            if statement.strip():
+                                self._conn.execute(statement)
+                    self._conn.execute("COMMIT")
+                except BaseException:
+                    self._conn.execute("ROLLBACK")
+                    self._conn.close()
+                    raise
             self._conn.executescript(_DDL)
             self._conn.execute(f"PRAGMA user_version={STORE_VERSION}")
+            self._conn.execute(
+                "INSERT OR REPLACE INTO store_meta (key, value) VALUES "
+                "('schema_version', ?)",
+                (str(STORE_VERSION),),
+            )
+            if version and version < STORE_VERSION:
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO store_meta (key, value) VALUES "
+                    "('migrated_from', ?)",
+                    (str(version),),
+                )
 
     @classmethod
     def memory(cls) -> "CrawlStore":
@@ -349,6 +443,7 @@ class CrawlStore:
         ranking: str = "",
         *,
         allow_new: bool = False,
+        data_version: int | None = None,
     ) -> str:
         """Register (or re-verify) an endpoint; returns its fingerprint.
 
@@ -373,34 +468,47 @@ class CrawlStore:
                     (fingerprint,),
                 ).fetchone()
                 if row is not None:
-                    self._conn.execute(
-                        "UPDATE endpoints SET last_seen=? WHERE fingerprint=?",
-                        (now, fingerprint),
-                    )
+                    if data_version is None:
+                        self._conn.execute(
+                            "UPDATE endpoints SET last_seen=? "
+                            "WHERE fingerprint=?",
+                            (now, fingerprint),
+                        )
+                    else:
+                        self._conn.execute(
+                            "UPDATE endpoints SET last_seen=?, "
+                            "data_version=MAX(data_version, ?) "
+                            "WHERE fingerprint=?",
+                            (now, int(data_version), fingerprint),
+                        )
                     self._conn.execute("COMMIT")
                     return fingerprint
                 existing = self._conn.execute(
-                    "SELECT name, k, fingerprint FROM endpoints "
+                    "SELECT name, k, fingerprint, data_version FROM endpoints "
                     "ORDER BY last_seen DESC"
                 ).fetchall()
                 if existing and not allow_new:
                     others = ", ".join(
                         f"{other_name or '<unnamed>'} (k={other_k}, "
-                        f"schema hash {other_fp[:8]})"
-                        for other_name, other_k, other_fp in existing
+                        f"fingerprint {other_fp}, "
+                        f"data_version {other_dv})"
+                        for other_name, other_k, other_fp, other_dv in existing
                     )
                     raise StoreMismatchError(
                         f"store {self._path!r} holds a ledger for {others}; "
                         f"the current endpoint {name or '<unnamed>'} (k={k}, "
-                        f"schema hash {fingerprint[:8]}) does not match. "
-                        f"Use a fresh --store, or prune stale endpoints with "
-                        f"'repro store gc'."
+                        f"fingerprint {fingerprint}, "
+                        f"data_version {int(data_version or 0)}) does not "
+                        f"match. Use a fresh --store, or prune stale "
+                        f"endpoints with 'repro store gc'."
                     )
                 self._conn.execute(
                     "INSERT OR IGNORE INTO endpoints "
-                    "(fingerprint, name, k, descriptor, created_at, last_seen) "
-                    "VALUES (?, ?, ?, ?, ?, ?)",
-                    (fingerprint, name, int(k), descriptor, now, now),
+                    "(fingerprint, name, k, descriptor, data_version, "
+                    " created_at, last_seen) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (fingerprint, name, int(k), descriptor,
+                     int(data_version or 0), now, now),
                 )
                 self._conn.execute("COMMIT")
             except BaseException:
@@ -412,7 +520,8 @@ class CrawlStore:
         """Registered endpoints, most recently used first."""
         with self._lock:
             rows = self._conn.execute(
-                "SELECT e.fingerprint, e.name, e.k, e.created_at, e.last_seen, "
+                "SELECT e.fingerprint, e.name, e.k, e.data_version, "
+                "       e.created_at, e.last_seen, "
                 "       (SELECT COUNT(*) FROM ledger l "
                 "        WHERE l.fingerprint = e.fingerprint) "
                 "FROM endpoints e ORDER BY e.last_seen DESC"
@@ -425,35 +534,65 @@ class CrawlStore:
                 ledger_entries=entries,
                 created_at=created,
                 last_seen=seen,
+                data_version=int(data_version),
             )
-            for fp, name, k, created, seen, entries in rows
+            for fp, name, k, data_version, created, seen, entries in rows
         )
 
     # ------------------------------------------------------------------
     # ledger
     # ------------------------------------------------------------------
     def ledger(
-        self, fingerprint: str, session_id: str | None = None
+        self,
+        fingerprint: str,
+        session_id: str | None = None,
+        *,
+        epoch: int | None = None,
+        ttl_s: float | None = None,
     ) -> QueryLedger:
         """A :class:`QueryLedger` view over one endpoint's entries.
 
         Bind ``session_id`` when the view backs a crawl session so billed
-        writes also advance that session's exact billed counter.
+        writes also advance that session's exact billed counter.  The
+        view's ``epoch`` defaults to the endpoint's registered data
+        version; pass it explicitly when the live endpoint has already
+        advanced past the registration.
         """
-        return QueryLedger(self, fingerprint, session_id)
+        if epoch is None:
+            epoch = self.endpoint_data_version(fingerprint)
+        return QueryLedger(
+            self, fingerprint, session_id, epoch=epoch, ttl_s=ttl_s
+        )
 
-    def ledger_get(self, fingerprint: str, query: Query) -> QueryResult | None:
-        """The persisted answer for ``query`` under ``fingerprint``."""
+    def ledger_get(
+        self,
+        fingerprint: str,
+        query: Query,
+        *,
+        epoch: int | None = None,
+    ) -> QueryResult | None:
+        """The persisted answer for ``query`` under ``fingerprint``.
+
+        With ``epoch`` given, only an entry written at exactly that data
+        version (and not TTL-expired) is served -- stale answers from an
+        earlier state of the endpoint read as misses, never as hits.
+        """
         with self._lock:
             row = self._conn.execute(
-                "SELECT answer_json FROM ledger WHERE fingerprint=? AND qkey=?",
+                "SELECT answer_json, epoch, expires_at FROM ledger "
+                "WHERE fingerprint=? AND qkey=?",
                 (fingerprint, query.canonical_key()),
             ).fetchone()
         if row is None:
             return None
+        answer_json, entry_epoch, expires_at = row
+        if epoch is not None and int(entry_epoch) != int(epoch):
+            return None
+        if expires_at is not None and expires_at <= time.time():
+            return None
         if self.observer is not None:
             self.observer.store_event("ledger_hit", key=query.canonical_key())
-        rows, overflow, sequence = decode_answer(json.loads(row[0]))
+        rows, overflow, sequence = decode_answer(json.loads(answer_json))
         return QueryResult(
             query=query, rows=rows, overflow=overflow, sequence=sequence
         )
@@ -464,6 +603,9 @@ class CrawlStore:
         query: Query,
         result: QueryResult,
         session_id: str | None = None,
+        *,
+        epoch: int = 0,
+        ttl_s: float | None = None,
     ) -> None:
         """Persist one billed answer; atomically bump the session's billed
         counter when ``session_id`` is given (exact even at ``kill -9``)."""
@@ -474,14 +616,17 @@ class CrawlStore:
         )
         query_json = json.dumps(encode_query(query), separators=(",", ":"))
         now = time.time()
+        expires_at = None if ttl_s is None else now + float(ttl_s)
         with self._lock:
             self._conn.execute("BEGIN IMMEDIATE")
             try:
                 self._conn.execute(
                     "INSERT OR REPLACE INTO ledger "
-                    "(fingerprint, qkey, query_json, answer_json, billed_at) "
-                    "VALUES (?, ?, ?, ?, ?)",
-                    (fingerprint, qkey, query_json, answer, now),
+                    "(fingerprint, qkey, query_json, answer_json, billed_at, "
+                    " epoch, expires_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (fingerprint, qkey, query_json, answer, now,
+                     int(epoch), expires_at),
                 )
                 if session_id is not None:
                     self._conn.execute(
@@ -521,6 +666,135 @@ class CrawlStore:
                 (fingerprint,),
             ).fetchall()
         return iter(key for (key,) in rows)
+
+    def ledger_entries(
+        self, fingerprint: str, *, epoch: int | None = None
+    ) -> tuple[LedgerEntry, ...]:
+        """Fully-decoded ledger rows of one endpoint, oldest billed first.
+
+        With ``epoch`` given only entries at that data version are
+        returned.  This is the delta-crawl's raw material: every query
+        the previous crawl paid for, with the answer it paid for.
+        """
+        from ..service.wire import decode_query
+
+        where = "fingerprint=?"
+        params: tuple[Any, ...] = (fingerprint,)
+        if epoch is not None:
+            where += " AND epoch=?"
+            params = (fingerprint, int(epoch))
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT qkey, query_json, answer_json, epoch, billed_at, "
+                f"       expires_at FROM ledger WHERE {where} "
+                "ORDER BY billed_at, rowid",
+                params,
+            ).fetchall()
+        entries = []
+        for qkey, query_json, answer_json, entry_epoch, billed, expires in rows:
+            query = decode_query(json.loads(query_json))
+            answer_rows, overflow, sequence = decode_answer(
+                json.loads(answer_json)
+            )
+            entries.append(
+                LedgerEntry(
+                    qkey=qkey,
+                    query=query,
+                    result=QueryResult(
+                        query=query, rows=answer_rows,
+                        overflow=overflow, sequence=sequence,
+                    ),
+                    epoch=int(entry_epoch),
+                    billed_at=billed,
+                    expires_at=expires,
+                )
+            )
+        return tuple(entries)
+
+    def ledger_epoch_histogram(self, fingerprint: str) -> dict[int, int]:
+        """``{epoch: entry count}`` for one endpoint's ledger."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT epoch, COUNT(*) FROM ledger WHERE fingerprint=? "
+                "GROUP BY epoch ORDER BY epoch",
+                (fingerprint,),
+            ).fetchall()
+        return {int(epoch): int(count) for epoch, count in rows}
+
+    def ledger_stale_count(
+        self, fingerprint: str, *, epoch: int | None = None
+    ) -> int:
+        """Entries no longer servable: wrong epoch or TTL-expired.
+
+        ``epoch`` defaults to the endpoint's registered data version.
+        """
+        if epoch is None:
+            epoch = self.endpoint_data_version(fingerprint)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM ledger WHERE fingerprint=? AND "
+                "(epoch != ? OR (expires_at IS NOT NULL AND expires_at <= ?))",
+                (fingerprint, int(epoch), time.time()),
+            ).fetchone()
+        return int(row[0])
+
+    def ledger_bump_epoch(
+        self, fingerprint: str, qkeys: Iterable[str], epoch: int
+    ) -> int:
+        """Re-stamp entries whose answers a delta crawl proved unchanged.
+
+        Returns the number of rows promoted to ``epoch``.  This is what
+        makes delta repair pay off *durably*: revalidated entries become
+        servable at the new data version without being re-billed.
+        """
+        keys = list(qkeys)
+        if not keys:
+            return 0
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                total = 0
+                for start in range(0, len(keys), 500):
+                    chunk = keys[start:start + 500]
+                    marks = ", ".join("?" for _ in chunk)
+                    total += self._conn.execute(
+                        f"UPDATE ledger SET epoch=? WHERE fingerprint=? "
+                        f"AND qkey IN ({marks})",
+                        (int(epoch), fingerprint, *chunk),
+                    ).rowcount
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return total
+
+    def endpoint_data_version(self, fingerprint: str) -> int:
+        """The endpoint's registered data version (0 when unregistered)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT data_version FROM endpoints WHERE fingerprint=?",
+                (fingerprint,),
+            ).fetchone()
+        return int(row[0]) if row is not None else 0
+
+    def set_endpoint_data_version(
+        self, fingerprint: str, data_version: int
+    ) -> None:
+        """Advance an endpoint's registered data version (monotonic)."""
+        with self._lock:
+            self._conn.execute(
+                "UPDATE endpoints SET data_version=MAX(data_version, ?), "
+                "last_seen=? WHERE fingerprint=?",
+                (int(data_version), time.time(), fingerprint),
+            )
+
+    def schema_version(self) -> int:
+        """The on-disk layout version recorded in ``store_meta``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM store_meta WHERE key='schema_version'"
+            ).fetchone()
+        return int(row[0]) if row is not None else 0
 
     # ------------------------------------------------------------------
     # sessions and catalog
@@ -836,17 +1110,26 @@ class CrawlStore:
     # ------------------------------------------------------------------
     # garbage collection
     # ------------------------------------------------------------------
-    def gc(self) -> GcReport:
-        """Prune stale state; returns what was removed.
+    def gc(self, *, dry_run: bool = False) -> GcReport:
+        """Prune stale state; returns what was (or would be) removed.
 
-        Three sweeps: (1) endpoint registrations whose stored descriptor
+        Five sweeps: (1) endpoint registrations whose stored descriptor
         no longer hashes to their fingerprint (tampered or written by an
         incompatible version) are dropped; (2) *named* registrations
         superseded by a newer registration of the same name -- the served
         dataset or ``k`` changed -- are dropped; (3) ledger entries,
         sessions and catalogued jobs whose endpoint registration is gone
-        (including ones orphaned by sweeps 1-2) are dropped.
+        (including ones orphaned by sweeps 1-2) are dropped; (4) ledger
+        entries stamped with a **stale epoch** -- an older data version
+        than their endpoint's current one -- are dropped (a delta crawl
+        re-stamps the ones it revalidates, so only genuinely dead
+        answers remain at old epochs); (5) **TTL-expired** entries are
+        dropped.
+
+        With ``dry_run=True`` nothing is deleted: the report carries the
+        counts every sweep *would* remove (``repro store gc --dry-run``).
         """
+        now = time.time()
         with self._lock:
             rows = self._conn.execute(
                 "SELECT fingerprint, name, descriptor, last_seen FROM endpoints"
@@ -866,6 +1149,43 @@ class CrawlStore:
             for fp, name, _descriptor, _seen in rows:
                 if name and fp not in prune and newest_by_name[name][1] != fp:
                     prune.add(fp)
+            kept = [fp for fp, _n, _d, _s in rows if fp not in prune]
+            marks = ", ".join("?" for _ in kept)
+            in_kept = f"({marks})" if kept else "(SELECT NULL WHERE 0)"
+            orphan = f"fingerprint NOT IN {in_kept}"
+            # Stale-epoch / expired sweeps apply only to surviving
+            # endpoints (orphans are already counted by sweep 3) and are
+            # mutually exclusive by construction: an entry at a stale
+            # epoch counts stale whether or not its TTL also lapsed.
+            stale = (
+                f"fingerprint IN {in_kept} AND epoch != "
+                "(SELECT data_version FROM endpoints e "
+                " WHERE e.fingerprint = ledger.fingerprint)"
+            )
+            expired = (
+                f"fingerprint IN {in_kept} AND epoch = "
+                "(SELECT data_version FROM endpoints e "
+                " WHERE e.fingerprint = ledger.fingerprint) "
+                "AND expires_at IS NOT NULL AND expires_at <= ?"
+            )
+            if dry_run:
+                def count(table: str, where: str, params: tuple) -> int:
+                    return int(self._conn.execute(
+                        f"SELECT COUNT(*) FROM {table} WHERE {where}", params
+                    ).fetchone()[0])
+
+                kept_params = tuple(kept)
+                return GcReport(
+                    endpoints_pruned=len(prune),
+                    ledger_pruned=count("ledger", orphan, kept_params),
+                    sessions_pruned=count("sessions", orphan, kept_params),
+                    jobs_pruned=count("jobs", orphan, kept_params),
+                    stale_pruned=count("ledger", stale, kept_params),
+                    expired_pruned=count(
+                        "ledger", expired, kept_params + (now,)
+                    ),
+                    dry_run=True,
+                )
             for fp in prune:
                 self._conn.execute(
                     "DELETE FROM endpoints WHERE fingerprint=?", (fp,)
@@ -882,11 +1202,23 @@ class CrawlStore:
                 "DELETE FROM jobs WHERE fingerprint NOT IN "
                 "(SELECT fingerprint FROM endpoints)"
             ).rowcount
+            stale_pruned = self._conn.execute(
+                "DELETE FROM ledger WHERE epoch != "
+                "(SELECT data_version FROM endpoints e "
+                " WHERE e.fingerprint = ledger.fingerprint)"
+            ).rowcount
+            expired_pruned = self._conn.execute(
+                "DELETE FROM ledger WHERE expires_at IS NOT NULL "
+                "AND expires_at <= ?",
+                (now,),
+            ).rowcount
         return GcReport(
             endpoints_pruned=len(prune),
             ledger_pruned=int(ledger_pruned),
             sessions_pruned=int(sessions_pruned),
             jobs_pruned=int(jobs_pruned),
+            stale_pruned=int(stale_pruned),
+            expired_pruned=int(expired_pruned),
         )
 
     def __repr__(self) -> str:
@@ -899,10 +1231,12 @@ class CrawlStore:
 
 __all__ = [
     "JOB_STATUSES",
+    "STORE_VERSION",
     "CrawlStore",
     "EndpointRecord",
     "GcReport",
     "JobRecord",
+    "LedgerEntry",
     "QueryLedger",
     "SessionRecord",
     "StoreError",

@@ -1,0 +1,171 @@
+"""Watch jobs: the coordinator's continuous-monitoring loop.
+
+A job submitted with ``{"watch": {"interval_s": ...}}`` stays ``running``
+after its initial crawl and re-checks the endpoint every interval: a
+quiet endpoint costs nothing (the data version did not move), a mutated
+one triggers a delta-crawl repair whose skyline must match a from-scratch
+reference, and the tenant reads the repair's freshness report from the
+job view.  Cancellation stops the loop.  Everything here speaks plain
+HTTP, as a tenant would.
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.request
+
+import pytest
+
+from repro import Discoverer, TopKInterface
+from repro.coordinator import CrawlCoordinator
+from repro.datagen import churn_ops, diamonds_table
+from repro.service.wire import decode_job_spec
+
+from ..conftest import parse_prometheus
+from .conftest import delete, get_json, post_json
+
+K = 5
+N = 400
+INTERVAL = 0.2
+
+
+class TestWatchSpec:
+    def test_interval_normalised_to_float(self):
+        spec = decode_job_spec({"watch": {"interval_s": 2}})
+        assert spec["watch"] == {"interval_s": 2.0}
+
+    def test_omitted_watch_defaults_to_none(self):
+        assert decode_job_spec({})["watch"] is None
+
+    @pytest.mark.parametrize(
+        "watch,message",
+        [
+            ("soon", "must be an object"),
+            ({"interval": 1}, "unknown watch field"),
+            ({"interval_s": "fast"}, "must be a number"),
+            ({"interval_s": True}, "must be a number"),
+            ({"interval_s": 0}, "must be > 0"),
+            ({"interval_s": -3.0}, "must be > 0"),
+            ({}, "must be a number"),
+        ],
+        ids=["not-object", "typo", "string", "bool", "zero", "negative",
+             "missing"],
+    )
+    def test_invalid_watch_rejected(self, watch, message):
+        with pytest.raises(ValueError, match=message):
+            decode_job_spec({"watch": watch})
+
+    def test_rejected_over_the_wire_as_400(self, mirrors, tmp_path):
+        table = diamonds_table(50, seed=3)
+        (backend,) = mirrors(table, 1, k=K)
+        with CrawlCoordinator(
+            [backend.url], str(tmp_path / "jobs.db")
+        ) as coordinator:
+            status, body = post_json(
+                f"{coordinator.url}/api/jobs",
+                {"tenant": "alice", "watch": {"interval_s": 0}},
+            )
+            assert status == 400
+            assert "interval_s" in body["message"]
+
+
+class TestWatchLoop:
+    @pytest.fixture
+    def table(self):
+        return diamonds_table(N, seed=3)
+
+    @pytest.fixture
+    def watching(self, table, mirrors, tmp_path):
+        """A started coordinator with one watch job over one backend."""
+        (backend,) = mirrors(table, 1, k=K)
+        coordinator = CrawlCoordinator(
+            [backend.url], str(tmp_path / "jobs.db"), workers_per_backend=2
+        )
+        with coordinator:
+            status, body = post_json(
+                f"{coordinator.url}/api/jobs",
+                {"tenant": "alice", "algorithm": "rq",
+                 "watch": {"interval_s": INTERVAL}},
+            )
+            assert status == 201, body
+            yield coordinator, backend, body["job_id"]
+
+    def await_view(self, coordinator, job_id, predicate, timeout=60.0):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            status, view = get_json(f"{coordinator.url}/api/jobs/{job_id}")
+            assert status == 200, view
+            if predicate(view):
+                return view
+            time.sleep(0.05)
+        raise AssertionError("watch job never reached the expected state")
+
+    def test_watch_cycle_repairs_after_mutation(self, watching, table):
+        coordinator, backend, job_id = watching
+        # Initial crawl lands but the job stays running (it is a watch).
+        view = self.await_view(
+            coordinator, job_id, lambda v: bool(v.get("result"))
+        )
+        assert view["status"] == "running"
+        initial_cost = view["result"]["total_cost"]
+
+        # A quiet endpoint: the next cycle bills nothing.
+        view = self.await_view(
+            coordinator, job_id,
+            lambda v: bool(v.get("progress", {}).get("watch")),
+        )
+        quiet = view["progress"]["watch"]
+        assert quiet["billed"] == 0
+        assert quiet["epoch"] == 0
+        assert not quiet["skyline_changed"]
+
+        # Churn the endpoint; the watcher notices the version bump and
+        # repairs.  The repaired skyline must equal a from-scratch crawl
+        # of the mutated table, at a fraction of its cost.
+        ops = churn_ops(table, 0.10, seed=7, mix=(1.0, 0.0, 0.0))
+        status, reply = post_json(f"{backend.url}/api/mutate", {"ops": ops})
+        assert status == 200, reply
+        view = self.await_view(
+            coordinator, job_id,
+            lambda v: (v.get("progress", {}).get("watch") or {}).get("epoch")
+            == reply["data_version"],
+        )
+        repair = view["progress"]["watch"]
+        scratch = Discoverer().run(TopKInterface(table, k=K), "rq")
+        got = frozenset(tuple(row) for row in view["result"]["skyline"])
+        assert got == scratch.skyline_values
+        assert 0 < repair["billed"] < scratch.total_cost < initial_cost
+        assert repair["complete"]
+        assert repair["revalidated"] > 0
+        freshness = view["result"]["freshness"]
+        assert freshness["epoch"] == reply["data_version"]
+        assert freshness["billed"] == repair["billed"]
+        removed = {tuple(v) for v in repair["skyline_removed"]}
+        added = {tuple(v) for v in repair["skyline_added"]}
+        assert repair["skyline_changed"] == bool(added | removed)
+
+        # Freshness metric families ride the normal scrape.
+        with urllib.request.urlopen(
+            f"{coordinator.url}/metrics", timeout=30
+        ) as response:
+            families = parse_prometheus(response.read().decode())
+        assert "freshness_ledger_stale_entries" in families
+        assert families["freshness_skyline_age_seconds"]["type"] == "gauge"
+        delta_total = sum(
+            value
+            for (_, labels), value in
+            families["freshness_delta_queries_total"]["samples"].items()
+            if dict(labels).get("job") == job_id
+        )
+        assert delta_total >= repair["billed"]
+
+    def test_cancel_stops_the_watch(self, watching):
+        coordinator, _backend, job_id = watching
+        self.await_view(coordinator, job_id, lambda v: bool(v.get("result")))
+        status, _ = delete(f"{coordinator.url}/api/jobs/{job_id}")
+        assert status == 200
+        view = self.await_view(
+            coordinator, job_id,
+            lambda v: v["status"] not in ("queued", "running"),
+        )
+        assert view["status"] == "cancelled"

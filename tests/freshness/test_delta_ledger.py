@@ -1,0 +1,271 @@
+"""Unit tests of the :class:`repro.freshness.DeltaLedger` suspicion model.
+
+The ledger view is the heart of the delta-crawl cascade: these tests pin
+when a stale answer may be served free (nothing dirty touches it, no
+appeared vector could crack its top-k window) and when it must read as a
+miss -- including the rank-aware crack test, the strict-mode cover test
+and the fixpoint bookkeeping (``begin_round`` / ``finish_round`` /
+``force_containing``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.freshness import DeltaLedger, DeltaReport
+from repro.hiddendb.interface import QueryResult
+from repro.hiddendb.query import Interval, Query
+from repro.hiddendb.table import Row
+from repro.store import LedgerEntry
+
+
+class FakeFresh:
+    """Minimal current-epoch ledger (the store view's get/put protocol)."""
+
+    def __init__(self):
+        self.entries: dict[str, QueryResult] = {}
+
+    def get(self, query):
+        return self.entries.get(query.canonical_key())
+
+    def put(self, query, result):
+        self.entries[query.canonical_key()] = result
+
+
+def q(ranges=None, filters=None) -> Query:
+    return Query(
+        {i: Interval(lo, hi) for i, (lo, hi) in (ranges or {}).items()},
+        filters or {},
+    )
+
+
+def answer(query, rows, overflow=False) -> QueryResult:
+    return QueryResult(
+        query,
+        tuple(Row(rid, tuple(values)) for rid, values in rows),
+        overflow,
+        sequence=0,
+    )
+
+
+def entry(query, rows, overflow=False, epoch=0) -> LedgerEntry:
+    return LedgerEntry(
+        qkey=query.canonical_key(),
+        query=query,
+        result=answer(query, rows, overflow),
+        epoch=epoch,
+        billed_at=0.0,
+    )
+
+
+def ledger(*entries, strict=False, width=2, fresh=None) -> DeltaLedger:
+    return DeltaLedger(
+        fresh if fresh is not None else FakeFresh(),
+        {e.qkey: e for e in entries},
+        epoch=1,
+        ranking_width=width,
+        strict=strict,
+    )
+
+
+class TestServing:
+    def test_fresh_hit_wins_and_confirms_vectors(self):
+        fresh = FakeFresh()
+        query = q({0: (0, 9), 1: (0, 9)})
+        fresh.put(query, answer(query, [(1, (2, 3))]))
+        view = ledger(entry(query, [(1, (9, 9))]), fresh=fresh)
+        result = view.get(query)
+        assert result.rows[0].values == (2, 3)
+        assert (2, 3) in view.confirmed_vectors()
+        # Serving fresh never counts as a stale serve.
+        assert view.served_stale == 0
+
+    def test_clean_stale_entry_served_free(self):
+        query = q({0: (0, 4), 1: (0, 4)})
+        view = ledger(entry(query, [(1, (2, 2))]))
+        assert view.get(query) is not None
+        assert view.served_stale == 1
+        assert view.trusted_keys() == (query.canonical_key(),)
+
+    def test_unknown_query_misses(self):
+        view = ledger(entry(q({0: (0, 4)}), [(1, (2, 2))], epoch=0))
+        assert view.get(q({0: (5, 9)})) is None
+
+    def test_put_writes_through_to_fresh(self):
+        fresh = FakeFresh()
+        query = q({0: (0, 9), 1: (0, 9)})
+        view = ledger(fresh=fresh)
+        view.put(query, answer(query, [(1, (3, 3))]))
+        assert fresh.get(query) is not None
+        assert view.get(query).rows[0].values == (3, 3)
+
+
+class TestSuspicion:
+    def test_dirty_rid_overlap_forces_rebill(self):
+        probe = q({0: (0, 9), 1: (0, 9)})
+        stale = entry(q({0: (0, 4), 1: (0, 9)}), [(7, (1, 5))])
+        view = ledger(entry(probe, [(7, (1, 5))]), stale)
+        # Probe re-billed: row 7 changed values -> rid 7 is dirty.
+        view.put(probe, answer(probe, [(7, (1, 6))]))
+        assert view.get(stale.query) is None
+
+    def test_vanished_vector_overlap_forces_rebill(self):
+        probe = q({0: (0, 9), 1: (0, 9)})
+        stale = entry(q({0: (0, 4), 1: (0, 9)}), [(7, (1, 5))])
+        view = ledger(entry(probe, [(7, (1, 5))]), stale)
+        # Row 7 vanished entirely (deleted): answers carrying its old
+        # vector can no longer be trusted.
+        view.put(probe, answer(probe, [(8, (9, 9))]))
+        assert view.get(stale.query) is None
+
+    def test_overflow_window_safe_when_newcomer_dominated_by_last_row(self):
+        probe = q({0: (0, 9), 1: (0, 9)})
+        window = entry(
+            q({0: (0, 4), 1: (0, 4)}),
+            [(11, (2, 3)), (12, (3, 3))],
+            overflow=True,
+        )
+        view = ledger(entry(probe, [(1, (5, 5))]), window)
+        # Rid 9 / vector (4, 4) appeared inside the window's region, but
+        # the window's worst row (3, 3) dominates it -- domination-
+        # consistent ranking puts it below the whole top-k, so the window
+        # still holds.
+        view.put(probe, answer(probe, [(9, (4, 4))]))
+        assert view.get(window.query) is not None
+
+    def test_overflow_window_cracked_by_undominated_newcomer(self):
+        probe = q({0: (0, 9), 1: (0, 9)})
+        window = entry(
+            q({0: (0, 4), 1: (0, 4)}),
+            [(11, (2, 3)), (12, (3, 3))],
+            overflow=True,
+        )
+        view = ledger(entry(probe, [(1, (5, 5))]), window)
+        # (0, 0) appeared in-region and is NOT dominated by the last
+        # returned row: it may out-rank the window, so re-bill.
+        view.put(probe, answer(probe, [(9, (0, 0))]))
+        assert view.get(window.query) is None
+
+    def test_newcomer_outside_region_is_harmless(self):
+        probe = q({0: (0, 9), 1: (0, 9)})
+        window = entry(
+            q({0: (0, 4), 1: (0, 4)}),
+            [(11, (2, 3)), (12, (3, 3))],
+            overflow=True,
+        )
+        view = ledger(entry(probe, [(1, (5, 5))]), window)
+        view.put(probe, answer(probe, [(9, (8, 8))]))
+        assert view.get(window.query) is not None
+
+    def test_certificate_voided_by_in_region_appearance(self):
+        probe = q({0: (0, 9), 1: (0, 9)})
+        empty = entry(q({0: (5, 9), 1: (5, 9)}), [])
+        view = ledger(entry(probe, [(1, (2, 2))]), empty)
+        view.put(probe, answer(probe, [(1, (2, 2)), (9, (6, 6))]))
+        assert view.get(empty.query) is None
+
+
+class TestStrictMode:
+    def test_uncovered_certificate_rebilled(self):
+        empty = entry(q({0: (5, 9), 1: (5, 9)}), [])
+        view = ledger(empty, strict=True)
+        assert view.get(empty.query) is None
+
+    def test_certificate_covered_by_confirmed_dominator(self):
+        probe = q({0: (0, 9), 1: (0, 9)})
+        empty = entry(q({0: (5, 9), 1: (5, 9)}), [])
+        view = ledger(entry(probe, [(1, (2, 2))]), empty, strict=True)
+        # (2, 2) is confirmed alive and dominates the region's lo-corner
+        # (5, 5): anything hiding inside is transitively dominated.
+        view.put(probe, answer(probe, [(1, (2, 2))]))
+        assert view.get(empty.query) is not None
+
+    def test_point_region_certificate_always_safe(self):
+        point = entry(q({0: (7, 7), 1: (7, 7)}), [])
+        view = ledger(point, strict=True)
+        assert view.get(point.query) is not None
+
+    def test_filtered_certificate_never_covered(self):
+        probe = q({0: (0, 9), 1: (0, 9)})
+        filtered = entry(
+            Query({0: Interval(5, 9), 1: Interval(5, 9)}, {"city": 3}), []
+        )
+        view = ledger(entry(probe, [(1, (0, 0))]), filtered, strict=True)
+        view.put(probe, answer(probe, [(1, (0, 0))]))
+        # (0, 0) dominates everything, but a filtered region is a
+        # different lattice slice -- the cover test must not apply.
+        assert view.get(filtered.query) is None
+
+    def test_non_strict_serves_uncovered_certificate(self):
+        empty = entry(q({0: (5, 9), 1: (5, 9)}), [])
+        view = ledger(empty, strict=False)
+        assert view.get(empty.query) is not None
+
+
+class TestFixpoint:
+    def test_finish_round_incriminates_late_dirtied_trust(self):
+        early = entry(q({0: (0, 4), 1: (0, 9)}), [(7, (1, 5))])
+        probe = q({0: (0, 9), 1: (0, 9)})
+        view = ledger(entry(probe, [(7, (1, 5))]), early)
+        # Served while clean...
+        assert view.get(early.query) is not None
+        # ...then the probe's re-bill dirties rid 7.
+        view.put(probe, answer(probe, [(7, (2, 5))]))
+        assert view.finish_round() == 1
+        view.begin_round()
+        # Forced: the next pass must re-bill it.
+        assert view.get(early.query) is None
+        assert view.forced_count == 1
+
+    def test_finish_round_zero_at_fixpoint(self):
+        clean = entry(q({0: (0, 4), 1: (0, 4)}), [(1, (2, 2))])
+        view = ledger(clean)
+        assert view.get(clean.query) is not None
+        assert view.finish_round() == 0
+
+    def test_force_containing_targets_supporting_entries(self):
+        a = entry(q({0: (0, 4), 1: (0, 9)}), [(1, (2, 2))])
+        b = entry(q({0: (5, 9), 1: (0, 9)}), [(2, (7, 7))])
+        view = ledger(a, b)
+        assert view.get(a.query) is not None
+        assert view.get(b.query) is not None
+        assert view.force_containing([(2, 2)]) == 1
+        view.begin_round()
+        assert view.get(a.query) is None
+        assert view.get(b.query) is not None
+
+    def test_put_clears_trust_and_begin_round_resets_counters(self):
+        stale = entry(q({0: (0, 4), 1: (0, 4)}), [(1, (2, 2))])
+        view = ledger(stale)
+        assert view.get(stale.query) is not None
+        view.put(stale.query, answer(stale.query, [(1, (2, 2))]))
+        assert view.trusted_keys() == ()
+        view.begin_round()
+        assert view.served_stale == 0
+
+
+class TestDeltaReport:
+    def report(self, **overrides) -> DeltaReport:
+        base = dict(
+            epoch=2, stale_entries=10, probes=3, served_stale=6, forced=1,
+            revalidated=6, rounds=2, billed=4, prior_skyline_size=5,
+        )
+        base.update(overrides)
+        return DeltaReport(**base)
+
+    def test_skyline_changed_flag(self):
+        assert not self.report().skyline_changed
+        assert self.report(skyline_added=((1, 2),)).skyline_changed
+        assert self.report(skyline_removed=((3, 4),)).skyline_changed
+
+    def test_as_dict_is_json_ready(self):
+        report = self.report(
+            skyline_added=((1, 2),), skyline_removed=((3, 4), (5, 6))
+        )
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["epoch"] == 2
+        assert payload["billed"] == 4
+        assert payload["skyline_added"] == [[1, 2]]
+        assert payload["skyline_removed"] == [[3, 4], [5, 6]]

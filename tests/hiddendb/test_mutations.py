@@ -1,0 +1,277 @@
+"""Mutation semantics of the live-table surface.
+
+:meth:`Table.apply_mutations` is the freshness plane's single write path
+-- the HTTP mutate endpoint, the CLI and the churn generator all funnel
+through it -- so its contract is pinned here: ops apply in order, a batch
+is atomic (validate everything before changing anything), one batch
+advances ``data_version`` by exactly one, and rids are stable and never
+reused.  The same batch applied to the SQLite-native table must leave
+bit-identical state, and every serving engine must answer identically
+over the mutated data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import CHURN_MIX, churn_ops, validate_ops
+from repro.hiddendb import (
+    Interval,
+    InvalidDomainValueError,
+    Query,
+    SQLTable,
+    UnknownAttributeError,
+    build_sqltable,
+)
+
+from ..conftest import (
+    DATAPLANE_ENGINES,
+    build_engine_interface,
+    make_table,
+    truth_values,
+)
+
+ROWS = [(0, 9), (9, 0), (3, 6), (6, 3), (5, 5), (8, 8)]
+
+
+def plain_table():
+    return make_table(ROWS, domain=10)
+
+
+def filtered_table():
+    return make_table(
+        ROWS,
+        domain=10,
+        filters={"city": np.array([0, 1, 0, 1, 2, 2])},
+        filter_domains={"city": 3},
+    )
+
+
+class TestApplyMutations:
+    def test_insert_appends_with_fresh_rid(self):
+        table = plain_table()
+        assert table.apply_mutations(
+            [{"op": "insert", "values": [1, 1]}]
+        ) == 1
+        assert table.n == len(ROWS) + 1
+        assert table.data_version == 1
+        new_rid = int(table.rids[-1])
+        assert new_rid not in range(len(ROWS))
+        assert tuple(table.matrix[-1]) == (1, 1)
+
+    def test_delete_removes_and_never_reuses_the_rid(self):
+        table = plain_table()
+        victim = int(table.rids[-1])
+        table.apply_mutations([{"op": "delete", "rid": victim}])
+        assert victim not in set(table.rids.tolist())
+        table.apply_mutations([{"op": "insert", "values": [2, 2]}])
+        # The vacated rid stays retired: the newcomer gets a higher one.
+        assert int(table.rids[-1]) > victim
+
+    def test_update_preserves_rid_and_overwrites_values(self):
+        table = plain_table()
+        target = int(table.rids[2])
+        table.apply_mutations(
+            [{"op": "update", "rid": target, "values": [7, 7]}]
+        )
+        assert int(table.rids[2]) == target
+        assert tuple(table.matrix[2]) == (7, 7)
+
+    def test_update_can_touch_filters_partially(self):
+        table = filtered_table()
+        target = int(table.rids[0])
+        table.apply_mutations(
+            [{"op": "update", "rid": target, "filters": {"city": 2}}]
+        )
+        # Ranking vector untouched, filter column rewritten in place.
+        assert tuple(table.matrix[0]) == ROWS[0]
+        assert int(table.filter_column("city")[0]) == 2
+
+    def test_batch_advances_data_version_by_exactly_one(self):
+        table = plain_table()
+        table.apply_mutations([
+            {"op": "insert", "values": [1, 1]},
+            {"op": "delete", "rid": 0},
+            {"op": "update", "rid": 1, "values": [4, 4]},
+        ])
+        assert table.data_version == 1
+
+    def test_empty_batch_is_free(self):
+        table = plain_table()
+        assert table.apply_mutations([]) == 0
+        assert table.data_version == 0
+
+    def test_ops_apply_in_order_within_a_batch(self):
+        table = plain_table()
+        table.apply_mutations([{"op": "insert", "values": [1, 1]}])
+        new_rid = int(table.rids[-1])
+        # Later ops see earlier ops' effects: update the rid the same
+        # batch's insert just minted.
+        table.apply_mutations([
+            {"op": "delete", "rid": new_rid},
+            {"op": "insert", "values": [2, 2]},
+            {"op": "update", "rid": new_rid + 1, "values": [3, 3]},
+        ])
+        assert tuple(table.matrix[-1]) == (3, 3)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"op": "insert", "values": [1]},  # arity
+            {"op": "insert", "values": [1, 99]},  # domain violation
+            {"op": "delete", "rid": 999},  # unknown rid
+            {"op": "update", "rid": 0, "values": [1, -1]},  # negative
+            {"op": "upsert", "values": [1, 1]},  # unknown op
+        ],
+        ids=["arity", "domain", "unknown-rid", "negative", "unknown-op"],
+    )
+    def test_invalid_batch_applies_nothing(self, bad):
+        table = plain_table()
+        before = table.matrix.copy()
+        with pytest.raises(
+            (ValueError, UnknownAttributeError, InvalidDomainValueError)
+        ):
+            # The valid leading delete must roll back with the batch.
+            table.apply_mutations([{"op": "delete", "rid": 0}, bad])
+        assert table.n == len(ROWS)
+        assert table.data_version == 0
+        assert np.array_equal(table.matrix, before)
+
+    def test_insert_requires_every_filter_value(self):
+        table = filtered_table()
+        with pytest.raises(ValueError, match="city"):
+            table.apply_mutations([{"op": "insert", "values": [1, 1]}])
+        with pytest.raises(UnknownAttributeError):
+            table.apply_mutations([
+                {"op": "insert", "values": [1, 1],
+                 "filters": {"city": 0, "zip": 1}}
+            ])
+        table.apply_mutations(
+            [{"op": "insert", "values": [1, 1], "filters": {"city": 1}}]
+        )
+        assert int(table.filter_column("city")[-1]) == 1
+
+    def test_snapshot_view_is_immune_to_later_mutations(self):
+        table = plain_table()
+        view = table.snapshot_view()
+        table.apply_mutations([{"op": "delete", "rid": 0}])
+        assert view.n == len(ROWS)
+        assert view.data_version == 0
+        assert table.data_version == 1
+
+
+class TestChurnOps:
+    def test_same_triple_names_the_same_batch(self):
+        a, b = plain_table(), plain_table()
+        assert churn_ops(a, 0.5, seed=7) == churn_ops(b, 0.5, seed=7)
+        assert churn_ops(a, 0.5, seed=7) != churn_ops(a, 0.5, seed=8)
+
+    def test_mix_controls_op_classes(self):
+        table = make_table([(i % 10, (i * 3) % 10) for i in range(100)])
+        deletes_only = churn_ops(table, 0.2, mix=(1.0, 0.0, 0.0))
+        assert {op["op"] for op in deletes_only} == {"delete"}
+        assert len(deletes_only) == 20
+        default = churn_ops(table, 0.2)
+        kinds = [op["op"] for op in default]
+        assert set(kinds) == {"delete", "update", "insert"}
+        assert kinds.count("delete") == round(20 * CHURN_MIX[0])
+
+    def test_delete_and_update_targets_are_live_and_disjoint(self):
+        table = make_table([(i % 10, (i * 3) % 10) for i in range(100)])
+        ops = churn_ops(table, 0.5, seed=3)
+        live = set(table.rids.tolist())
+        targets = [op["rid"] for op in ops if "rid" in op]
+        assert set(targets) <= live
+        assert len(targets) == len(set(targets))
+        # The batch is applicable as generated.
+        assert table.apply_mutations(ops) == len(ops)
+
+    def test_churned_filters_ride_along(self):
+        table = filtered_table()
+        ops = churn_ops(table, 1.0, seed=1)
+        for op in ops:
+            if op["op"] == "insert":
+                assert set(op["filters"]) == {"city"}
+        table.apply_mutations(ops)
+
+    def test_input_validation(self):
+        table = plain_table()
+        with pytest.raises(ValueError, match="frac"):
+            churn_ops(table, 0.0)
+        with pytest.raises(ValueError, match="frac"):
+            churn_ops(table, 1.5)
+        with pytest.raises(ValueError, match="mix"):
+            churn_ops(table, 0.5, mix=(-1.0, 1.0, 0.0))
+        with pytest.raises(ValueError, match="empty"):
+            churn_ops(make_table(np.empty((0, 2)), domain=10), 0.5)
+
+    def test_validate_ops_shape_checks(self):
+        assert validate_ops([{"op": "delete", "rid": 3}]) == [
+            {"op": "delete", "rid": 3}
+        ]
+        with pytest.raises(ValueError, match="list"):
+            validate_ops({"op": "delete", "rid": 3})
+        with pytest.raises(ValueError, match="insert requires values"):
+            validate_ops([{"op": "insert"}])
+        with pytest.raises(ValueError, match="requires rid"):
+            validate_ops([{"op": "update", "values": [1, 1]}])
+        with pytest.raises(ValueError, match="expected"):
+            validate_ops([{"op": "merge"}])
+
+
+class TestEnginesAfterMutation:
+    def churn(self, table):
+        return churn_ops(table, 0.5, seed=11)
+
+    def test_sqlite_table_mirrors_memory_semantics(self, tmp_path):
+        table = filtered_table()
+        path = tmp_path / "live.sqlite"
+        build_sqltable(path, filtered_table())
+        sql = SQLTable(path)
+        ops = self.churn(table)
+        assert table.apply_mutations(ops) == sql.apply_mutations(ops)
+        mirrored = sql.as_memory()
+        assert np.array_equal(mirrored.matrix, table.matrix)
+        assert np.array_equal(mirrored.rids, table.rids)
+        assert np.array_equal(
+            mirrored.filter_column("city"), table.filter_column("city")
+        )
+        assert sql.data_version == table.data_version == 1
+        # The rid high-water mark is persisted: a reopened handle keeps
+        # minting fresh rids above everything ever seen.
+        high = max(int(table.rids.max()), 0)
+        reopened = SQLTable(path)
+        reopened.apply_mutations(
+            [{"op": "insert", "values": [1, 1], "filters": {"city": 0}}]
+        )
+        assert int(reopened.as_memory().rids.max()) > high
+        assert reopened.data_version == 2
+
+    @pytest.mark.parametrize("engine", DATAPLANE_ENGINES)
+    def test_engines_answer_identically_after_churn(self, tmp_path, engine):
+        table = make_table(
+            [((i * 7) % 10, (i * 3) % 10) for i in range(150)], domain=10
+        )
+        table.apply_mutations(churn_ops(table, 0.3, seed=2))
+        reference = build_engine_interface(table, "scan", tmp_path, k=5)
+        candidate = build_engine_interface(table, engine, tmp_path, k=5)
+        for ranges in (
+            {},
+            {0: Interval(0, 4)},
+            {0: Interval(2, 7), 1: Interval(0, 5)},
+            {0: Interval(9, 9), 1: Interval(9, 9)},
+        ):
+            query = Query(ranges=ranges)
+            expected = reference.query(query)
+            got = candidate.query(query)
+            assert got.rows == expected.rows, (engine, query)
+            assert got.overflow == expected.overflow, (engine, query)
+
+    def test_skyline_truth_tracks_mutations(self):
+        table = plain_table()
+        assert (0, 9) in truth_values(table)
+        table.apply_mutations([
+            {"op": "insert", "values": [0, 0]},
+        ])
+        assert truth_values(table) == {(0, 0)}
