@@ -245,6 +245,18 @@ def _build_interface_for(args, strategy: str | None):
     return _build_interface(args)
 
 
+def _workers_arg(value: str) -> "int | str":
+    """argparse type for ``--workers``: a positive int or ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive int or 'auto', got {value!r}"
+        ) from None
+
+
 def _discoverer(args, **config_kwargs) -> Discoverer:
     return Discoverer(
         DiscoveryConfig(
@@ -252,6 +264,8 @@ def _discoverer(args, **config_kwargs) -> Discoverer:
             strategy=getattr(args, "strategy", None),
             workers=getattr(args, "workers", 1),
             batch_size=getattr(args, "batch_size", 16),
+            min_workers=getattr(args, "min_workers", None),
+            max_workers=getattr(args, "max_workers", None),
             dedup=True if getattr(args, "dedup", False) else None,
             trace=getattr(args, "trace", None),
             **config_kwargs,
@@ -422,6 +436,9 @@ def _cmd_serve(args) -> int:
         port=args.port,
         key_budget=args.key_budget,
         faults=faults,
+        rate_limit=args.rate_limit,
+        burst=args.burst,
+        max_inflight=args.max_inflight,
         # The name is the served dataset's identity: crawl stores fold it
         # into their endpoint fingerprint, so serving different data under
         # the same name would wrongly share a ledger.
@@ -441,6 +458,15 @@ def _cmd_serve(args) -> int:
     if faults is not None:
         print(f"faults     : rate={faults.error_rate} codes={faults.error_codes} "
               f"latency={args.latency_ms[0]}-{args.latency_ms[1]}ms")
+    if args.rate_limit is not None or args.max_inflight is not None:
+        shaping = []
+        if args.rate_limit is not None:
+            burst = args.burst if args.burst is not None \
+                else max(1, round(args.rate_limit))
+            shaping.append(f"rate={args.rate_limit:g}qps burst={burst}")
+        if args.max_inflight is not None:
+            shaping.append(f"max-inflight={args.max_inflight}")
+        print("shaping    : " + " ".join(shaping))
     print("endpoints  : GET /api/schema  POST /api/query  GET /api/stats  "
           "POST /api/reset  GET /healthz")
     print("crawl with : repro discover --url " + server.url, flush=True)
@@ -733,10 +759,21 @@ def build_parser() -> argparse.ArgumentParser:
                          "--workers > 1, serial otherwise (the historical "
                          "behaviour).  All strategies produce the same "
                          "skyline and billed cost")
-        sub.add_argument("--workers", type=int, default=1, metavar="N",
+        sub.add_argument("--workers", type=_workers_arg, default=1,
+                         metavar="N|auto",
                          help="dispatch-window width: how many independent "
                          "frontier queries are kept in flight (default 1 = "
-                         "serial; skyline and query cost are unchanged)")
+                         "serial; skyline and query cost are unchanged). "
+                         "'auto' enables AIMD adaptive control: the window "
+                         "grows on clean completions and halves on 429/503/"
+                         "timeout pressure, honoring server Retry-After "
+                         "hints, within [--min-workers, --max-workers]")
+        sub.add_argument("--min-workers", type=int, default=None, metavar="N",
+                         help="adaptive window floor (needs --workers auto; "
+                         "default 1)")
+        sub.add_argument("--max-workers", type=int, default=None, metavar="N",
+                         help="adaptive window ceiling (needs --workers "
+                         "auto; default 32)")
         sub.add_argument("--batch-size", type=int, default=16, metavar="N",
                          help="queries packed per batch round trip when the "
                          "endpoint supports batching (default 16; needs "
@@ -837,6 +874,16 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar=("LO", "HI"),
                      help="uniform latency jitter bounds in milliseconds")
     sub.add_argument("--fault-seed", type=int, default=0)
+    sub.add_argument("--rate-limit", type=float, default=None, metavar="QPS",
+                     help="per-API-key sustained query rate, token-bucket "
+                     "enforced; over-rate requests get a 429 with an "
+                     "honest Retry-After (default unlimited)")
+    sub.add_argument("--burst", type=int, default=None, metavar="N",
+                     help="token-bucket burst capacity for --rate-limit "
+                     "(default: round(QPS))")
+    sub.add_argument("--max-inflight", type=int, default=None, metavar="N",
+                     help="server-wide concurrency cap; excess queries are "
+                     "shed with a retriable 503 (default unbounded)")
     sub.add_argument("--duration", type=float, default=None, metavar="SECONDS",
                      help="stop after this many seconds "
                      "(default: run until interrupted)")

@@ -37,6 +37,7 @@ from typing import Any, Callable, Iterable
 
 from ..hiddendb import Query, QueryBudgetExceeded, QueryResult
 from ..hiddendb.errors import HiddenDBError
+from ..core.adaptive import AdaptiveWindow, resolve_workers
 from ..core.engine import DEFAULT_WORKERS, PipelinedStrategy, QueryEngine
 from ..service.client import RemoteServiceError, RemoteTopKInterface
 from ..service.server import ANONYMOUS_KEY
@@ -323,6 +324,12 @@ class EndpointSet:
         """Number of pooled backends."""
         return len(self._backends)
 
+    @property
+    def clients(self) -> tuple[Any, ...]:
+        """The per-backend HTTP clients, in shard order (telemetry seam:
+        per-backend throttle signals feed per-backend AIMD windows)."""
+        return tuple(b.client for b in self._backends)
+
     def shard_of(self, key: str) -> int:
         """Stable home-backend index for a canonical query key.
 
@@ -458,6 +465,71 @@ class EndpointSet:
         )
 
 
+class ShardedAdaptiveController:
+    """One AIMD window per backend; the drain gates on their *sum*.
+
+    A pool throttles per mirror (each has its own token bucket and
+    concurrency cap), so a single shared window would let one slow mirror
+    collapse dispatch to the healthy ones.  Instead every backend gets
+    its own :class:`~repro.core.adaptive.AdaptiveWindow` fed by that
+    backend client's throttle signals; completions are credited to the
+    key's home shard.  Dispatch holds off only until the *soonest* mirror
+    is clear -- a throttled backend's shrunken window already bounds the
+    pressure it sees.
+    """
+
+    def __init__(
+        self,
+        endpoints: EndpointSet,
+        *,
+        min_size: int = 1,
+        max_size: int = 32,
+        on_event: Callable[[str, int], None] | None = None,
+    ) -> None:
+        self._endpoints = endpoints
+        self._on_event = on_event
+        self._windows = tuple(
+            AdaptiveWindow(
+                min_size=min_size,
+                max_size=max_size,
+                on_event=self._relay if on_event is not None else None,
+                signal_source=getattr(client, "take_throttle_signals", None),
+            )
+            for client in endpoints.clients
+        )
+
+    def _relay(self, kind: str, _size: int) -> None:
+        # Events report the aggregate window the drain actually sees.
+        self._on_event(kind, self.size)
+
+    @property
+    def size(self) -> int:
+        return sum(w.size for w in self._windows)
+
+    @property
+    def increases(self) -> int:
+        return sum(w.increases for w in self._windows)
+
+    @property
+    def decreases(self) -> int:
+        return sum(w.decreases for w in self._windows)
+
+    def holdoff_remaining(self, now: float | None = None) -> float:
+        return min(w.holdoff_remaining(now) for w in self._windows)
+
+    def dispatch_allowed(self, now: float | None = None) -> bool:
+        return self.holdoff_remaining(now) <= 0.0
+
+    def poll(self) -> None:
+        for window in self._windows:
+            window.poll()
+
+    def record_success(self, key: str | None = None) -> None:
+        if key is None:
+            return
+        self._windows[self._endpoints.shard_of(key)].record_success(key)
+
+
 class ShardedStrategy(PipelinedStrategy):
     """Drain a frontier across every backend of an :class:`EndpointSet`.
 
@@ -470,6 +542,11 @@ class ShardedStrategy(PipelinedStrategy):
     single-backend run -- only the wall-clock shrinks, because the
     aggregate in-flight window spans every mirror's latency budget.
 
+    ``workers_per_backend="auto"`` gives every backend its own AIMD
+    window (bounded by ``min_workers`` / ``max_workers``, per backend)
+    via :class:`ShardedAdaptiveController`, so a throttled mirror backs
+    off without starving the rest of the pool.
+
     ``batch_size`` is pinned to 1: batching would route whole chunks to
     one backend and hide per-query budget exhaustion from the stealer.
     """
@@ -480,17 +557,29 @@ class ShardedStrategy(PipelinedStrategy):
         self,
         endpoints: EndpointSet,
         *,
-        workers_per_backend: int = DEFAULT_WORKERS,
+        workers_per_backend: "int | str" = DEFAULT_WORKERS,
+        min_workers: int | None = None,
+        max_workers: int | None = None,
     ) -> None:
-        if workers_per_backend < 1:
-            raise ValueError(
-                f"workers_per_backend must be >= 1, got {workers_per_backend}"
-            )
-        super().__init__(
-            workers=workers_per_backend * endpoints.size, batch_size=1
+        adaptive, width, lo, hi = resolve_workers(
+            workers_per_backend, min_workers, max_workers
         )
+        # The pool window is per-backend width x pool size; adaptive runs
+        # get the ceiling as pool capacity and per-backend AIMD bounds.
+        super().__init__(workers=width * endpoints.size, batch_size=1)
+        self.adaptive = adaptive
+        self.min_workers = lo
+        self.max_workers = hi
         self.endpoints = endpoints
-        self.workers_per_backend = workers_per_backend
+        self.workers_per_backend = width
+
+    def _make_controller(self, engine: QueryEngine) -> ShardedAdaptiveController:
+        return ShardedAdaptiveController(
+            self.endpoints,
+            min_size=self.min_workers,
+            max_size=self.max_workers,
+            on_event=engine.note_window_event,
+        )
 
     def _endpoint_for(self, engine: QueryEngine, item) -> _ShardLease:
         return self.endpoints.lease(item.key)
@@ -500,5 +589,6 @@ __all__ = [
     "BackendSpec",
     "EndpointSet",
     "EndpointSetError",
+    "ShardedAdaptiveController",
     "ShardedStrategy",
 ]

@@ -39,6 +39,7 @@ from .dominance import (
     skyline_indices,
     skyline_of_rows,
 )
+from .adaptive import AdaptiveWindow
 from .engine import (
     STRATEGY_NAMES,
     AsyncStrategy,
@@ -81,6 +82,7 @@ from .stats import QueryLogSummary, summarize_log, summarize_session
 
 __all__ = [
     "STRATEGY_NAMES",
+    "AdaptiveWindow",
     "AlgorithmInfo",
     "AlgorithmNotFoundError",
     "AlgorithmSpec",

@@ -350,6 +350,8 @@ class DiscoverySession:
             config.strategy,
             workers=config.workers,
             batch_size=config.batch_size,
+            min_workers=config.min_workers,
+            max_workers=config.max_workers,
         )
         dedup = config.dedup if config.dedup is not None else default_dedup
         session = cls(

@@ -69,6 +69,7 @@ from ..hiddendb.endpoint import EventLoopRunner, as_async_endpoint
 from ..hiddendb.errors import HiddenDBError, QueryBudgetExceeded
 from ..hiddendb.interface import QueryResult
 from ..hiddendb.query import Query
+from .adaptive import AdaptiveWindow, resolve_workers
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from ..hiddendb.endpoint import SearchEndpoint
@@ -99,7 +100,10 @@ class EngineStats:
     is the peak number of queries simultaneously awaiting an answer;
     ``wall_time_s`` is the elapsed wall-clock time of the run (session
     creation to snapshot), from which :attr:`queries_per_sec` derives the
-    billable throughput.
+    billable throughput.  Adaptive runs (``workers="auto"``) additionally
+    report ``mean_window`` (the dispatch-time average of the AIMD window
+    width) and ``window_decreases`` (multiplicative back-offs taken);
+    both stay zero under fixed-width strategies.
     """
 
     strategy: str = "serial"
@@ -111,6 +115,8 @@ class EngineStats:
     batches: int = 0
     max_in_flight: int = 0
     wall_time_s: float = 0.0
+    mean_window: float = 0.0
+    window_decreases: int = 0
 
     @property
     def duplicate_queries(self) -> int:
@@ -150,6 +156,8 @@ class EngineStats:
             "max_in_flight": self.max_in_flight,
             "wall_time_s": self.wall_time_s,
             "queries_per_sec": self.queries_per_sec,
+            "mean_window": self.mean_window,
+            "window_decreases": self.window_decreases,
         }
 
     def __repr__(self) -> str:
@@ -198,7 +206,15 @@ class QueryEngine:
         self._batches = 0
         self._in_flight = 0
         self._max_in_flight = 0
+        self._window_sum = 0
+        self._window_samples = 0
+        self._window_decreases = 0
         self._started = time.perf_counter()
+        #: AIMD controller of an adaptive strategy (``workers="auto"``),
+        #: created lazily by the first drain and reused by nested and
+        #: repeated drains so the learned window width persists across
+        #: frontier expansions within one session.
+        self._adaptive = None
         #: Thread pool of the outermost active pipelined drain; nested
         #: drains (an expansion callback running a sub-frontier) reuse it
         #: instead of churning a fresh pool per recursion level.
@@ -318,6 +334,21 @@ class QueryEngine:
         """Record one ``batch_query()`` round trip being started."""
         self._batches += 1
 
+    # -- adaptive-window accounting (driver thread) --------------------
+    def note_window(self, size: int) -> None:
+        """Sample the adaptive window width at dispatch time."""
+        self._window_sum += size
+        self._window_samples += 1
+
+    def note_window_event(self, kind: str, size: int) -> None:
+        """An adaptive-window transition (see :mod:`repro.core.adaptive`)."""
+        if kind in ("decrease", "floor"):
+            self._window_decreases += 1
+        if self.observer is not None:
+            hook = getattr(self.observer, "window_event", None)
+            if hook is not None:
+                hook(kind, size)
+
     # -- sequential fetch (the Frontier.fetch / session.issue path) ----
     def fetch(
         self, query: Query, session: "DiscoverySession | None" = None
@@ -358,6 +389,12 @@ class QueryEngine:
             batches=self._batches,
             max_in_flight=self._max_in_flight,
             wall_time_s=time.perf_counter() - self._started,
+            mean_window=(
+                self._window_sum / self._window_samples
+                if self._window_samples
+                else 0.0
+            ),
+            window_decreases=self._window_decreases,
         )
 
 
@@ -516,12 +553,19 @@ class _DrainCore:
         session: "DiscoverySession",
         capacity: int,
         per_task: int,
+        controller=None,
     ) -> None:
         self._frontier = frontier
         self._session = session
         self._engine = session.engine
         self._capacity = capacity
         self._per_task = per_task
+        #: Optional AIMD window controller (``workers="auto"``): shrinks
+        #: and grows the effective capacity between ``min_workers`` and
+        #: ``max_workers`` tasks.  Only dispatch *timing* depends on it;
+        #: classification and the in-order merge are untouched, so the
+        #: issued query set and billed cost stay identical at any width.
+        self._controller = controller
         self._waiting: deque[_Dispatched] = deque()
         self._inflight_keys: set[str] = set()  # dispatched, not yet merged
         self._outstanding = 0  # transported entries not yet merged
@@ -531,15 +575,51 @@ class _DrainCore:
         """Whether the drain still has pending or unmerged work."""
         return bool(self._frontier.pending or self._waiting)
 
+    def _effective_capacity(self) -> int:
+        """In-flight query cap right now (controller-shrunk when adaptive)."""
+        if self._controller is None:
+            return self._capacity
+        return min(self._capacity, self._controller.size * self._per_task)
+
     @property
     def window_open(self) -> bool:
         """Whether another chunk may be dispatched right now."""
-        return bool(self._frontier.pending) and self._outstanding < self._capacity
+        if not self._frontier.pending:
+            return False
+        if (
+            self._controller is not None
+            and self._controller.holdoff_remaining() > 0.0
+        ):
+            # The server named a Retry-After deadline; dispatching before
+            # it would only harvest more 429s.
+            return False
+        return self._outstanding < self._effective_capacity()
 
     @property
     def waiting(self) -> int:
         """Dispatched entries not yet merged."""
         return len(self._waiting)
+
+    @property
+    def stalled(self) -> bool:
+        """Pending work, nothing in flight, dispatch blocked by a hold-off."""
+        return (
+            self._controller is not None
+            and not self._waiting
+            and bool(self._frontier.pending)
+            and not self.window_open
+        )
+
+    def poll_pressure(self) -> None:
+        """Feed throttle signals the transport accumulated since the last
+        poll (429/503/timeouts, max ``Retry-After``) into the controller."""
+        if self._controller is not None:
+            self._controller.poll()
+
+    def wait_ready(self) -> None:
+        """Sleep out (a slice of) the controller's dispatch hold-off."""
+        remaining = self._controller.holdoff_remaining()
+        time.sleep(min(max(remaining, 0.001), 0.05))
 
     def next_chunk(self, max_pops: int | None = None) -> list[_Dispatched]:
         """Pop and classify entries until one transport task is full.
@@ -556,7 +636,9 @@ class _DrainCore:
         observer = engine.observer
         chunk: list[_Dispatched] = []
         pops = 0
-        limit = min(self._per_task, self._capacity - self._outstanding)
+        limit = min(
+            self._per_task, self._effective_capacity() - self._outstanding
+        )
         while self._frontier.pending and len(chunk) < limit:
             if max_pops is not None and pops >= max_pops:
                 break
@@ -608,6 +690,8 @@ class _DrainCore:
                 observer.classified(merged, ckey, "dispatched")
         if chunk:
             engine.note_dispatch(len(chunk))
+            if self._controller is not None:
+                engine.note_window(self._controller.size)
         return chunk
 
     def merge_head(self) -> None:
@@ -625,6 +709,10 @@ class _DrainCore:
             engine.note_answer(
                 head.query, result, batched=head.batch_index is not None
             )
+            if self._controller is not None:
+                # Only answers that actually came back count as clean
+                # completions (a failed resolve raised above).
+                self._controller.record_success(head.key)
         if engine.observer is not None:
             engine.observer.merged(
                 head.key or head.memo_key, transported=head.transported
@@ -671,6 +759,33 @@ class _WindowedStrategy(ExecutionStrategy):
 
     batch_size = 1
     stepwise = False
+    #: Fixed-width by default; adaptive strategies (``workers="auto"``)
+    #: set this and the ``[min_workers, max_workers]`` bounds in their
+    #: constructors, and :attr:`workers` becomes the ceiling (the pool is
+    #: sized for the widest window the controller may ever open).
+    adaptive = False
+    min_workers = 1
+    max_workers = 1
+
+    # -- adaptive window (shared by all windowed strategies) -----------
+    def _controller(self, engine: QueryEngine):
+        """The engine's AIMD controller, created on first adaptive drain."""
+        if not self.adaptive:
+            return None
+        controller = engine._adaptive
+        if controller is None:
+            controller = engine._adaptive = self._make_controller(engine)
+        return controller
+
+    def _make_controller(self, engine: QueryEngine):
+        return AdaptiveWindow(
+            min_size=self.min_workers,
+            max_size=self.max_workers,
+            on_event=engine.note_window_event,
+            signal_source=getattr(
+                engine.interface, "take_throttle_signals", None
+            ),
+        )
 
     # -- transport hooks (subclass responsibility) ---------------------
     def _open(self, engine: QueryEngine):
@@ -698,10 +813,11 @@ class _WindowedStrategy(ExecutionStrategy):
         )
         core = _DrainCore(
             frontier, session, capacity=self.workers * per_task,
-            per_task=per_task,
+            per_task=per_task, controller=self._controller(engine),
         )
         try:
             while core.busy:
+                core.poll_pressure()
                 while core.window_open:
                     chunk = core.next_chunk(
                         max_pops=1 if self.stepwise else None
@@ -712,6 +828,10 @@ class _WindowedStrategy(ExecutionStrategy):
                         break
                 if core.waiting:
                     core.merge_head()
+                elif core.stalled:
+                    # Nothing in flight and a Retry-After hold-off bars
+                    # dispatch: sleep a slice of it instead of hot-spinning.
+                    core.wait_ready()
         except BaseException:
             core.cancel()
             raise
@@ -877,14 +997,21 @@ class PipelinedStrategy(_WindowedStrategy):
 
     def __init__(
         self,
-        workers: int = DEFAULT_WORKERS,
+        workers: "int | str" = DEFAULT_WORKERS,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        *,
+        min_workers: "int | None" = None,
+        max_workers: "int | None" = None,
     ) -> None:
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+        adaptive, width, lo, hi = resolve_workers(
+            workers, min_workers, max_workers
+        )
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        self.workers = workers
+        self.adaptive = adaptive
+        self.workers = width
+        self.min_workers = lo
+        self.max_workers = hi
         self.batch_size = batch_size
 
     def _endpoint_for(self, engine: QueryEngine, item: _Dispatched):
@@ -968,14 +1095,21 @@ class AsyncStrategy(_WindowedStrategy):
 
     def __init__(
         self,
-        workers: int = DEFAULT_WORKERS,
+        workers: "int | str" = DEFAULT_WORKERS,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        *,
+        min_workers: "int | None" = None,
+        max_workers: "int | None" = None,
     ) -> None:
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
+        adaptive, width, lo, hi = resolve_workers(
+            workers, min_workers, max_workers
+        )
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        self.workers = workers
+        self.adaptive = adaptive
+        self.workers = width
+        self.min_workers = lo
+        self.max_workers = hi
         self.batch_size = batch_size
 
     def _open(self, engine: QueryEngine) -> _TransportContext:
@@ -1036,8 +1170,10 @@ class AsyncStrategy(_WindowedStrategy):
 
 def make_strategy(
     name: "str | ExecutionStrategy | None",
-    workers: int = 1,
+    workers: "int | str" = 1,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    min_workers: "int | None" = None,
+    max_workers: "int | None" = None,
 ) -> ExecutionStrategy:
     """Resolve a strategy name into an :class:`ExecutionStrategy`.
 
@@ -1049,14 +1185,29 @@ def make_strategy(
     :class:`ExecutionStrategy` *instance* is returned as-is (it already
     carries its own worker/batch shape) -- the seam through which custom
     strategies such as the coordinator's sharded drain reach the facade.
+
+    ``workers="auto"`` yields an adaptive (AIMD-windowed) pipelined or
+    async strategy whose in-flight window floats in
+    ``[min_workers, max_workers]`` (see :mod:`repro.core.adaptive`);
+    ``None`` then defaults to pipelined, and ``"serial"`` is rejected
+    (its window is one by definition).
     """
     if isinstance(name, ExecutionStrategy):
         return name
+    auto = workers == "auto"
     if name is None:
-        if workers > 1:
-            return PipelinedStrategy(workers=workers, batch_size=batch_size)
+        if auto or workers > 1:
+            return PipelinedStrategy(
+                workers=workers, batch_size=batch_size,
+                min_workers=min_workers, max_workers=max_workers,
+            )
         return SerialStrategy()
     if name == "serial":
+        if auto:
+            raise ValueError(
+                "strategy 'serial' is single-worker; workers='auto' needs "
+                "'pipelined' / 'async'"
+            )
         if workers > 1:
             raise ValueError(
                 f"strategy 'serial' is single-worker; drop workers={workers} "
@@ -1064,9 +1215,15 @@ def make_strategy(
             )
         return SerialStrategy()
     if name == "pipelined":
-        return PipelinedStrategy(workers=workers, batch_size=batch_size)
+        return PipelinedStrategy(
+            workers=workers, batch_size=batch_size,
+            min_workers=min_workers, max_workers=max_workers,
+        )
     if name == "async":
-        return AsyncStrategy(workers=workers, batch_size=batch_size)
+        return AsyncStrategy(
+            workers=workers, batch_size=batch_size,
+            min_workers=min_workers, max_workers=max_workers,
+        )
     raise ValueError(
         f"unknown execution strategy {name!r}; "
         f"pick one of {', '.join(STRATEGY_NAMES)}"

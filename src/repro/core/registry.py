@@ -109,7 +109,16 @@ class DiscoveryConfig:
         this many dispatch tasks in flight while merging answers in
         deterministic order (same skyline, same billable cost).  Under
         ``strategy="async"`` a worker is just an in-flight slot on the
-        event loop, not an OS thread, so wide windows are cheap.
+        event loop, not an OS thread, so wide windows are cheap.  The
+        literal ``"auto"`` makes the window *adaptive*: an AIMD
+        controller (:mod:`repro.core.adaptive`) grows it on clean
+        completions and shrinks it on 429/503/timeout pressure within
+        ``[min_workers, max_workers]``, honoring the server's
+        ``Retry-After``.  Adaptivity changes wall-clock only -- the
+        skyline and billed cost are identical at any window width.
+    min_workers / max_workers:
+        Bounds of the adaptive window; only meaningful with
+        ``workers="auto"`` (defaults 1 and 32).
     batch_size:
         Queries packed per round trip when the endpoint supports
         ``batch_query()`` (the networked service does); only meaningful
@@ -181,7 +190,7 @@ class DiscoveryConfig:
     on_tuple: "Callable[[TraceEntry], None] | None" = None
     record_log: bool = False
     strategy: "str | ExecutionStrategy | None" = None
-    workers: int = 1
+    workers: "int | str" = 1
     batch_size: int = DEFAULT_BATCH_SIZE
     dedup: bool | None = None
     store: "CrawlStore | None" = None
@@ -191,14 +200,40 @@ class DiscoveryConfig:
     trace: Any = None
     options: Mapping[str, Any] = field(default_factory=dict)
     mode: str = "full"
+    min_workers: int | None = None
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.budget is not None and self.budget < 0:
             raise ValueError(f"budget must be >= 0, got {self.budget}")
         if self.band < 1:
             raise ValueError(f"band must be >= 1, got {self.band}")
-        if self.workers < 1:
+        auto = self.workers == "auto"
+        if isinstance(self.workers, str):
+            if not auto:
+                raise ValueError(
+                    f"workers must be a positive int or 'auto', "
+                    f"got {self.workers!r}"
+                )
+        elif self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if not auto and (
+            self.min_workers is not None or self.max_workers is not None
+        ):
+            raise ValueError(
+                "min_workers/max_workers require workers='auto'"
+            )
+        if self.min_workers is not None and self.min_workers < 1:
+            raise ValueError(
+                f"min_workers must be >= 1, got {self.min_workers}"
+            )
+        if self.max_workers is not None:
+            floor = self.min_workers if self.min_workers is not None else 1
+            if self.max_workers < floor:
+                raise ValueError(
+                    f"max_workers must be >= min_workers, "
+                    f"got {self.max_workers} < {floor}"
+                )
         if (
             self.strategy is not None
             and not isinstance(self.strategy, ExecutionStrategy)
@@ -209,7 +244,12 @@ class DiscoveryConfig:
                 f"pick one of {', '.join(STRATEGY_NAMES)} or pass an "
                 f"ExecutionStrategy instance"
             )
-        if self.strategy == "serial" and self.workers > 1:
+        if self.strategy == "serial" and auto:
+            raise ValueError(
+                "strategy 'serial' is single-worker; workers='auto' needs "
+                "'pipelined' / 'async'"
+            )
+        if self.strategy == "serial" and not auto and self.workers > 1:
             raise ValueError(
                 f"strategy 'serial' is single-worker; drop "
                 f"workers={self.workers} or pick 'pipelined' / 'async'"

@@ -71,6 +71,11 @@ def format_engine_stats(stats) -> str:
     if stats.batches:
         line += f" batched={stats.batched} in {stats.batches} round trips"
     line += f" max-in-flight={stats.max_in_flight}"
+    if getattr(stats, "mean_window", 0.0) or getattr(stats, "window_decreases", 0):
+        line += (
+            f" adaptive(mean-window={stats.mean_window:.1f}"
+            f" decreases={stats.window_decreases})"
+        )
     if stats.wall_time_s > 0:
         line += (
             f" wall={stats.wall_time_s:.2f}s"

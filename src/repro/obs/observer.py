@@ -30,6 +30,11 @@ __all__ = ["RunObserver"]
 #: Lifecycle phases emitted by the drain core's classification chain.
 CLASSIFY_PHASES = ("memo", "inflight", "ledger", "cached", "dispatched")
 
+#: AIMD window transitions emitted by the adaptive controller (kept in
+#: lockstep with ``repro.core.adaptive.WINDOW_EVENTS``; duplicated here
+#: so the obs plane never imports the engine).
+WINDOW_EVENTS = ("increase", "decrease", "floor", "ceiling")
+
 
 class RunObserver:
     """Collects metrics and (optionally) JSONL trace spans for one run.
@@ -98,6 +103,15 @@ class RunObserver:
             "Queries served off their home shard (work stealing).",
             ("backend",),
         )
+        self._m_window = reg.gauge(
+            "engine_window_size",
+            "Current AIMD dispatch-window width (adaptive runs only).",
+        )
+        self._m_window_events = reg.counter(
+            "engine_window_events_total",
+            "AIMD window transitions, by kind.",
+            ("kind",),
+        )
         # Hot-path children, pre-resolved once (label validation and
         # tuple building off the per-query path).
         self._classified_bound = {
@@ -106,6 +120,10 @@ class RunObserver:
         }
         self._billed_bound = self._m_billed.bind()
         self._client_bound: Dict[str, object] = {}
+        self._window_bound = {
+            kind: self._m_window_events.bind(kind=kind)
+            for kind in WINDOW_EVENTS
+        }
         #: ``session_id -> time.monotonic()`` of the last checkpoint seen;
         #: feeds the coordinator's checkpoint-lag gauge.
         self.checkpoint_at: Dict[str, float] = {}
@@ -188,6 +206,20 @@ class RunObserver:
         bound.inc()
         if span and self._writer is not None:
             self._span(event, query=query, trace_id=trace_id, **fields)
+
+    def window_event(self, kind: str, size: int) -> None:
+        """The adaptive controller resized the dispatch window."""
+        self._m_window.set(float(size))
+        bound = self._window_bound.get(kind)
+        if bound is None:
+            bound = self._window_bound[kind] = self._m_window_events.bind(
+                kind=kind
+            )
+        bound.inc()
+        if self._writer is not None:
+            self._writer.emit(
+                "window", trace_id=self.run_id, kind=kind, size=size
+            )
 
     # -- store hooks (CrawlStore) ----------------------------------------
 

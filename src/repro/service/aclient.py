@@ -49,7 +49,12 @@ from ..hiddendb.endpoint import EventLoopRunner
 from ..hiddendb.errors import HiddenDBError
 from ..hiddendb.interface import QueryResult
 from ..hiddendb.query import Query
-from .client import QueryClientCore, RemoteServiceError, _Retriable
+from .client import (
+    QueryClientCore,
+    RemoteServiceError,
+    _parse_retry_after,
+    _Retriable,
+)
 from .server import ANONYMOUS_KEY
 from .wire import (
     decode_answer,
@@ -306,6 +311,7 @@ class AsyncRemoteTopKInterface(QueryClientCore):
         attempt = 0
         while pending:
             retry: list[int] = []
+            retry_after: float | None = None
             for start in range(0, len(pending), self._max_batch):
                 chunk = pending[start : start + self._max_batch]
                 try:
@@ -345,6 +351,12 @@ class AsyncRemoteTopKInterface(QueryClientCore):
                         continue
                     exc = self._classify_payload(status, body)
                     if isinstance(exc, _Retriable):
+                        self._note_throttle(exc)
+                        if exc.retry_after is not None and (
+                            retry_after is None
+                            or exc.retry_after > retry_after
+                        ):
+                            retry_after = exc.retry_after
                         retry.append(index)
                     else:
                         failures[index] = exc
@@ -358,9 +370,7 @@ class AsyncRemoteTopKInterface(QueryClientCore):
                     )
                 break
             self._count_retry()
-            await self._asleep(
-                min(self._backoff * 2**attempt, self._backoff_cap)
-            )
+            await self._asleep(self._retry_delay(attempt + 1, retry_after))
             attempt += 1
             pending = retry
         if failures:
@@ -385,18 +395,19 @@ class AsyncRemoteTopKInterface(QueryClientCore):
     ) -> dict[str, Any]:
         last_status: int | None = None
         last_reason = "unknown error"
+        retry_after: float | None = None
         for attempt in range(self._max_retries + 1):
             if attempt:
                 self._count_retry(trace_id=trace_id)
-                await self._asleep(
-                    min(self._backoff * 2 ** (attempt - 1), self._backoff_cap)
-                )
+                await self._asleep(self._retry_delay(attempt, retry_after))
             try:
                 return await self._asend(method, path, body, request_id,
                                          trace_id)
             except _Retriable as exc:
                 last_status = exc.status
                 last_reason = exc.reason
+                retry_after = exc.retry_after
+                self._note_throttle(exc)
                 if self._observer is not None:
                     self._observer.client_event(
                         "fault", trace_id=trace_id, status=exc.status,
@@ -477,7 +488,12 @@ class AsyncRemoteTopKInterface(QueryClientCore):
         self._note_budget(headers)
         self._note_data_version(headers)
         if status >= 400:
-            raise self._classify(status, raw)
+            error = self._classify(status, raw)
+            if isinstance(error, _Retriable):
+                hinted = _parse_retry_after(headers.get("retry-after"))
+                if hinted is not None:
+                    error.retry_after = hinted
+            raise error
         try:
             return json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as exc:

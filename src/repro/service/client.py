@@ -62,6 +62,23 @@ from .wire import (
     endpoint_fingerprint,
 )
 
+#: Ceiling on a server-supplied ``Retry-After`` hint actually slept
+#: (protection against a hostile or misconfigured header; the per-attempt
+#: exponential backoff has its own much smaller ``backoff_cap``).
+RETRY_AFTER_CAP = 30.0
+
+
+def _parse_retry_after(value: "str | float | None") -> float | None:
+    """``Retry-After`` header/body value -> seconds (``None`` if absent
+    or malformed; negative values clamp to 0)."""
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError):
+        return None
+    return max(0.0, seconds)
+
 
 class RemoteServiceError(HiddenDBError):
     """The remote service could not be reached or kept failing.
@@ -132,6 +149,12 @@ class QueryClientCore:
         self._cache_hits = 0
         self._ledger_hits = 0
         self._retries = 0
+        self._throttled = 0
+        #: Pressure accumulator drained by ``take_throttle_signals()``:
+        #: 429/503/timeout signals (and the max ``Retry-After`` seen)
+        #: since the last drain, feeding the engine's AIMD window.
+        self._pressure_events = 0
+        self._pressure_retry_after = 0.0
         self._budget_remaining: int | None = None
         self._data_version = 0
         self._version_skews = 0
@@ -284,6 +307,59 @@ class QueryClientCore:
         if self._observer is not None:
             self._observer.client_event("retry", query, trace_id=trace_id)
 
+    def _note_throttle(self, exc: "_Retriable") -> None:
+        """Record a throttle-class failure (429/503/transport timeout).
+
+        Only these count as *window pressure* for the adaptive engine;
+        other retriable statuses (502/504 relay hiccups) are retried but
+        do not shrink the in-flight window.
+
+        Only a 429's ``Retry-After`` becomes a *dispatch hold-off*: it
+        names a token-refill deadline the whole client should pace on.
+        A load-shed 503 is a transient concurrency signal -- answered by
+        shrinking the window, not by stalling it -- so its hint floors
+        this request's retry sleep but never gates the other workers.
+        """
+        if exc.status not in (429, 503) and exc.status is not None:
+            return
+        retry_after = exc.retry_after if exc.status == 429 else None
+        with self._lock:
+            self._throttled += 1
+            self._pressure_events += 1
+            if (
+                retry_after is not None
+                and retry_after > self._pressure_retry_after
+            ):
+                self._pressure_retry_after = retry_after
+
+    def take_throttle_signals(self) -> tuple[int, float]:
+        """Drain pressure accumulated since the last call.
+
+        Returns ``(count, max_retry_after_seconds)``; polled by the
+        adaptive drain (:mod:`repro.core.adaptive`) between merges.  The
+        cumulative total stays readable as :attr:`throttled`.
+        """
+        with self._lock:
+            count = self._pressure_events
+            retry_after = self._pressure_retry_after
+            self._pressure_events = 0
+            self._pressure_retry_after = 0.0
+        return count, retry_after
+
+    def _retry_delay(self, attempt: int, hint: "float | None") -> float:
+        """Seconds to sleep before retry ``attempt`` (1-based).
+
+        The server's ``Retry-After`` is honored as a *floor* -- sleeping
+        less would only harvest another 429 -- while the exponential
+        backoff still escalates underneath it, so repeated failures of
+        one request back off even against a server that keeps naming
+        tiny deadlines.
+        """
+        backoff = min(self._backoff * 2 ** (attempt - 1), self._backoff_cap)
+        if hint is None:
+            return backoff
+        return max(backoff, min(hint, RETRY_AFTER_CAP))
+
     def _note_budget(self, headers: Mapping[str, str]) -> None:
         remaining = headers.get("X-Budget-Remaining")
         if remaining is None:
@@ -341,8 +417,15 @@ class QueryClientCore:
                 payload.get("message", f"HTTP {status}")
             )
         if payload.get("retriable") or status in (429, 502, 503, 504):
-            return _Retriable(f"HTTP {status} ({error or 'no detail'})",
-                              status=status)
+            return _Retriable(
+                f"HTTP {status} ({error or 'no detail'})",
+                status=status,
+                # Batch items carry the shaping deadline in the body
+                # (per-item headers do not survive the batch envelope);
+                # for whole responses the transport overrides this with
+                # the Retry-After header when present.
+                retry_after=_parse_retry_after(payload.get("retry_after")),
+            )
         return RemoteServiceError(
             f"HTTP {status}: {payload.get('message', error) or 'unexpected error'}",
             status=status,
@@ -413,6 +496,11 @@ class QueryClientCore:
     def retries(self) -> int:
         """Transport retries performed so far (a health signal, not a cost)."""
         return self._retries
+
+    @property
+    def throttled(self) -> int:
+        """Cumulative 429/503/timeout signals seen (window pressure)."""
+        return self._throttled
 
     @property
     def budget_remaining(self) -> int | None:
@@ -598,6 +686,7 @@ class RemoteTopKInterface(QueryClientCore):
         attempt = 0
         while pending:
             retry: list[int] = []
+            retry_after: float | None = None
             for start in range(0, len(pending), self._max_batch):
                 chunk = pending[start : start + self._max_batch]
                 try:
@@ -637,6 +726,12 @@ class RemoteTopKInterface(QueryClientCore):
                         continue
                     exc = self._classify_payload(status, body)
                     if isinstance(exc, _Retriable):
+                        self._note_throttle(exc)
+                        if exc.retry_after is not None and (
+                            retry_after is None
+                            or exc.retry_after > retry_after
+                        ):
+                            retry_after = exc.retry_after
                         retry.append(index)
                     else:
                         failures[index] = exc
@@ -650,7 +745,7 @@ class RemoteTopKInterface(QueryClientCore):
                     )
                 break
             self._count_retry()
-            self._sleep(min(self._backoff * 2**attempt, self._backoff_cap))
+            self._sleep(self._retry_delay(attempt + 1, retry_after))
             attempt += 1
             pending = retry
         if failures:
@@ -725,17 +820,18 @@ class RemoteTopKInterface(QueryClientCore):
     ) -> dict[str, Any]:
         last_status: int | None = None
         last_reason = "unknown error"
+        retry_after: float | None = None
         for attempt in range(self._max_retries + 1):
             if attempt:
                 self._count_retry(trace_id=trace_id)
-                self._sleep(
-                    min(self._backoff * 2 ** (attempt - 1), self._backoff_cap)
-                )
+                self._sleep(self._retry_delay(attempt, retry_after))
             try:
                 return self._send(method, path, body, request_id, trace_id)
             except _Retriable as exc:
                 last_status = exc.status
                 last_reason = exc.reason
+                retry_after = exc.retry_after
+                self._note_throttle(exc)
                 if self._observer is not None:
                     self._observer.client_event(
                         "fault", trace_id=trace_id, status=exc.status,
@@ -837,7 +933,14 @@ class RemoteTopKInterface(QueryClientCore):
         self._note_budget(response_headers)
         self._note_data_version(response_headers)
         if status >= 400:
-            raise self._classify(status, raw)
+            exc = self._classify(status, raw)
+            if isinstance(exc, _Retriable):
+                hinted = _parse_retry_after(
+                    response_headers.get("Retry-After")
+                )
+                if hinted is not None:
+                    exc.retry_after = hinted
+            raise exc
         try:
             return json.loads(raw.decode("utf-8"))
         except (UnicodeDecodeError, ValueError) as exc:
@@ -847,12 +950,23 @@ class RemoteTopKInterface(QueryClientCore):
             ) from None
 
 class _Retriable(Exception):
-    """Internal: a failure worth another attempt."""
+    """Internal: a failure worth another attempt.
 
-    def __init__(self, reason: str, status: int | None) -> None:
+    ``retry_after`` carries the server's honest shaping deadline in
+    seconds (header on whole responses, ``retry_after`` body field on
+    batch items), ``None`` when the server named none.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        status: int | None,
+        retry_after: float | None = None,
+    ) -> None:
         super().__init__(reason)
         self.reason = reason
         self.status = status
+        self.retry_after = retry_after
 
 
 __all__ = ["QueryClientCore", "RemoteServiceError", "RemoteTopKInterface"]

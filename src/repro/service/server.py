@@ -95,6 +95,11 @@ INFLIGHT_WAIT_SECONDS = 60.0
 #: Most queries accepted in one ``/api/batch`` round trip.
 MAX_BATCH_ITEMS = 256
 
+#: ``Retry-After`` seconds named on load-shedding 503s (the concurrency
+#: cap has no token-refill deadline to be honest about, so the server
+#: names a short fixed pause instead).
+LOAD_SHED_RETRY_AFTER = 0.05
+
 
 class ServiceStartupError(HiddenDBError):
     """The service could not start (e.g. its port is already taken).
@@ -215,6 +220,46 @@ class _Billing:
         return sum(issued.values()), keys
 
 
+class _TokenBucket:
+    """Thread-safe per-key token bucket (``rate`` tokens/s, ``burst`` cap).
+
+    Each key starts with a full bucket; a request takes one token.  When
+    the bucket is empty :meth:`acquire` returns the honest number of
+    seconds until a token refills -- exactly what the server advertises
+    as ``Retry-After`` -- so a well-behaved client never has to guess.
+    """
+
+    def __init__(
+        self, rate: float, burst: int, clock=time.monotonic
+    ) -> None:
+        self._rate = float(rate)
+        self._burst = float(burst)
+        self._clock = clock
+        #: key -> (tokens remaining, stamp of the last refill).
+        self._buckets: dict[str, tuple[float, float]] = {}
+        self._lock = threading.Lock()
+
+    def acquire(self, key: str) -> float:
+        """Take one token for ``key``; ``0.0`` on success, else seconds
+        until the next token is available."""
+        now = self._clock()
+        with self._lock:
+            tokens, stamp = self._buckets.get(key, (self._burst, now))
+            tokens = min(self._burst, tokens + (now - stamp) * self._rate)
+            if tokens >= 1.0:
+                self._buckets[key] = (tokens - 1.0, now)
+                return 0.0
+            self._buckets[key] = (tokens, now)
+            return (1.0 - tokens) / self._rate
+
+    def reset(self, key: str | None = None) -> None:
+        with self._lock:
+            if key is None:
+                self._buckets.clear()
+            else:
+                self._buckets.pop(key, None)
+
+
 class HiddenDBServer:
     """Serve a table + ranker as a networked top-k search interface.
 
@@ -237,6 +282,18 @@ class HiddenDBServer:
     faults:
         Optional :class:`FaultConfig` injecting latency jitter and retriable
         429/5xx errors on the query endpoint.
+    rate_limit:
+        Per-API-key sustained query rate in QPS, enforced with a token
+        bucket (``None`` = unlimited).  Requests over the rate get a 429
+        with an honest ``Retry-After`` naming the seconds until the next
+        token refills.
+    burst:
+        Token-bucket capacity: how many queries a key may issue
+        back-to-back before the sustained ``rate_limit`` applies.
+        Defaults to ``max(1, round(rate_limit))``.
+    max_inflight:
+        Server-wide concurrency cap on query handling (``None`` =
+        unbounded).  Excess load is shed with a retriable 503.
     validate:
         Enforce the per-attribute interface taxonomy (leave on).
     name:
@@ -260,6 +317,9 @@ class HiddenDBServer:
         key_budget: int | None = None,
         budgets: Mapping[str, int | None] | None = None,
         faults: FaultConfig | None = None,
+        rate_limit: float | None = None,
+        burst: int | None = None,
+        max_inflight: int | None = None,
         validate: bool = True,
         name: str = "hidden-db",
         engine: str = "auto",
@@ -268,6 +328,17 @@ class HiddenDBServer:
             raise ValueError(f"k must be >= 1, got {k}")
         if key_budget is not None and key_budget < 0:
             raise ValueError(f"key_budget must be >= 0, got {key_budget}")
+        if rate_limit is not None and rate_limit <= 0:
+            raise ValueError(f"rate_limit must be > 0, got {rate_limit}")
+        if burst is not None:
+            if rate_limit is None:
+                raise ValueError("burst requires rate_limit")
+            if burst < 1:
+                raise ValueError(f"burst must be >= 1, got {burst}")
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
         self._table = table
         self._ranker = ranker if ranker is not None else default_ranker(table)
         self._engine = make_engine(table, self._ranker, engine)
@@ -278,6 +349,17 @@ class HiddenDBServer:
         self._injector = (
             FaultInjector(faults) if faults is not None and faults.active else None
         )
+        # Traffic shaping: per-key token bucket + server-wide concurrency
+        # cap.  Throttled requests are never billed and never replay-cached.
+        self._limiter = (
+            _TokenBucket(rate_limit, burst if burst is not None
+                         else max(1, round(rate_limit)))
+            if rate_limit is not None
+            else None
+        )
+        self._max_inflight = max_inflight
+        self._active_queries = 0
+        self._shape_lock = threading.Lock()
         self._validate = validate
         self._name = name
         self._schema_payload = encode_schema(table.schema)
@@ -337,6 +419,11 @@ class HiddenDBServer:
         self._m_mutations = self._metrics.counter(
             "hiddendb_mutations_applied_total",
             "Mutation operations applied through /api/mutate.",
+        )
+        self._m_throttled = self._metrics.counter(
+            "hiddendb_server_throttled_total",
+            "Queries throttled (429 rate limit / 503 load shed), by API key.",
+            ("key",),
         )
         self._m_version = self._metrics.gauge(
             "hiddendb_data_version",
@@ -784,7 +871,65 @@ class HiddenDBServer:
         }
         return 200, body, {}
 
+    def _admit(
+        self, api_key: str
+    ) -> tuple[int, dict[str, Any], dict[str, str]] | None:
+        """Traffic-shaping admission: ``None`` to proceed (an in-flight
+        slot is then held and must be released), else the throttle
+        response.  Throttled queries are never billed, never replayed,
+        and never draw injected faults."""
+        with self._shape_lock:
+            if (
+                self._max_inflight is not None
+                and self._active_queries >= self._max_inflight
+            ):
+                self._m_throttled.inc(key=api_key)
+                return (
+                    503,
+                    {
+                        "error": "overloaded",
+                        "retriable": True,
+                        "retry_after": LOAD_SHED_RETRY_AFTER,
+                    },
+                    {"Retry-After": f"{LOAD_SHED_RETRY_AFTER:.3f}"},
+                )
+            self._active_queries += 1
+        if self._limiter is not None:
+            wait = self._limiter.acquire(api_key)
+            if wait > 0.0:
+                with self._shape_lock:
+                    self._active_queries -= 1
+                self._m_throttled.inc(key=api_key)
+                return (
+                    429,
+                    {
+                        "error": "rate_limited",
+                        "retriable": True,
+                        "retry_after": round(wait, 4),
+                    },
+                    {"Retry-After": f"{wait:.3f}"},
+                )
+        return None
+
     def _answer_query(
+        self,
+        payload: Mapping[str, Any],
+        api_key: str,
+        replay_key: tuple[str, str] | None,
+        inject: bool = True,
+    ) -> tuple[int, dict[str, Any], dict[str, str]]:
+        if self._limiter is None and self._max_inflight is None:
+            return self._serve_query(payload, api_key, replay_key, inject=inject)
+        throttled = self._admit(api_key)
+        if throttled is not None:
+            return throttled
+        try:
+            return self._serve_query(payload, api_key, replay_key, inject=inject)
+        finally:
+            with self._shape_lock:
+                self._active_queries -= 1
+
+    def _serve_query(
         self,
         payload: Mapping[str, Any],
         api_key: str,
